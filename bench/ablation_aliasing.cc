@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Aliasing ablation: quantify Section 5.3's explanation of the
+ * small-table losses ("the use of resetting counters tends to amplify
+ * the negative effects of aliasing") by comparing finite resetting-
+ * counter tables against an alias-free infinite-table reference over
+ * the small (4K) gshare predictor.
+ *
+ * The gap between the 4096-entry table and the unaliased reference is
+ * pure interference; the residual gap to 100% is signal quality.
+ */
+
+#include <cstdio>
+
+#include "confidence/associative_ct.h"
+#include "confidence/interference_probe.h"
+#include "confidence/unaliased.h"
+#include "predictor/history_register.h"
+#include "sim/experiment.h"
+
+using namespace confsim;
+
+int
+main(int argc, char **argv)
+{
+    ExperimentEnv env;
+    if (!ExperimentEnv::fromCli(argc, argv,
+                                "Ablation: aliasing in small tables",
+                                env)) {
+        return 0;
+    }
+
+    std::printf("=== Ablation: finite CT vs alias-free reference (4K "
+                "gshare) ===\n\n");
+    std::vector<EstimatorConfig> configs;
+    for (std::size_t entries : {512, 4096, 65536}) {
+        auto config = oneLevelCounterConfig(
+            IndexScheme::PcXorBhr, CounterKind::Resetting, entries);
+        config.label = std::to_string(entries);
+        configs.push_back(std::move(config));
+    }
+    {
+        // Tagged 2-way table near the 4096-entry direct-mapped
+        // STORAGE budget: 1024 sets x 2 ways of (5-bit counter +
+        // 6-bit tag + valid + LRU) = 26 Kbit vs 4096 x 5 = 20 Kbit —
+        // but only half the entries.
+        EstimatorConfig config;
+        config.label = "2way@storage";
+        config.make = [] {
+            return std::make_unique<AssociativeCounterConfidence>(
+                IndexScheme::PcXorBhr, 1024, 2, 6,
+                CounterKind::Resetting, paper::kCounterMax);
+        };
+        configs.push_back(std::move(config));
+    }
+    {
+        // Tagged 2-way table at the same ENTRY count (2048 sets x 2
+        // ways = 4096 counters, 53 Kbit): isolates conflict misses
+        // from capacity.
+        EstimatorConfig config;
+        config.label = "2way@entries";
+        config.make = [] {
+            return std::make_unique<AssociativeCounterConfidence>(
+                IndexScheme::PcXorBhr, 2048, 2, 6,
+                CounterKind::Resetting, paper::kCounterMax);
+        };
+        configs.push_back(std::move(config));
+    }
+    {
+        EstimatorConfig config;
+        config.label = "unaliased";
+        config.make = [] {
+            return std::make_unique<UnaliasedCounterConfidence>(
+                IndexScheme::PcXorBhr, CounterKind::Resetting,
+                paper::kCounterMax);
+        };
+        configs.push_back(std::move(config));
+    }
+
+    const auto result =
+        runSuiteExperiment(env, smallGshareFactory(), configs);
+    printMispredictionRates(result);
+
+    std::vector<NamedCurve> curves;
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        curves.push_back(compositeCurve(result, i, configs[i].label));
+    printCoverageSummary(curves);
+
+    const double equal = curves[1].curve.mispredCoverageAt(0.2);
+    const double storage_matched =
+        curves[3].curve.mispredCoverageAt(0.2);
+    const double entry_matched =
+        curves[4].curve.mispredCoverageAt(0.2);
+    const double inf = curves[5].curve.mispredCoverageAt(0.2);
+    std::printf("\naliasing cost of the equal-size (4096) direct-"
+                "mapped table: %.1f points of coverage vs the "
+                "alias-free reference\n",
+                100.0 * (inf - equal));
+    std::printf("tags at matched STORAGE: %+.1f points (capacity "
+                "loss usually dominates — a negative result worth "
+                "knowing); at matched ENTRIES: %+.1f points\n",
+                100.0 * (storage_matched - equal),
+                100.0 * (entry_matched - equal));
+
+    // Saturated-bucket occupancy: the paper's mechanism ("aliased
+    // counters are likely to spend more of their time in the
+    // non-saturated state").
+    auto max_bucket_refs = [&result](std::size_t index) {
+        const auto &stats = result.compositeEstimatorStats[index];
+        return 100.0 * stats[paper::kCounterMax].refs /
+               stats.totalRefs();
+    };
+    std::printf("\nsaturated-counter occupancy: 512 -> %.1f%%, 4096 -> "
+                "%.1f%%, 65536 -> %.1f%%, 2way@storage -> %.1f%%, "
+                "2way@entries -> %.1f%%, unaliased -> %.1f%%\n",
+                max_bucket_refs(0), max_bucket_refs(1),
+                max_bucket_refs(2), max_bucket_refs(3),
+                max_bucket_refs(4), max_bucket_refs(5));
+
+    // Direct cause measurement: how much context sharing does each
+    // table width actually experience? (PCxorBHR indexing, composite
+    // across the suite.)
+    std::printf("\ncontext sharing under PCxorBHR indexing "
+                "(InterferenceProbe):\n");
+    std::printf("%-12s %16s %16s %18s\n", "index bits",
+                "entries touched", "shared entries",
+                "shared accesses");
+    for (unsigned bits : {9u, 12u, 16u}) {
+        InterferenceProbe probe(IndexScheme::PcXorBhr, bits);
+        const auto suite = env.makeSuite();
+        for (std::size_t b = 0; b < suite.size(); ++b) {
+            auto gen = suite.makeGenerator(b);
+            GsharePredictor pred =
+                GsharePredictor::makeSmallPaperConfig();
+            HistoryRegister bhr(16);
+            BranchRecord record;
+            BranchContext ctx;
+            // Probe a prefix of each benchmark; sharing statistics
+            // saturate quickly.
+            std::uint64_t seen = 0;
+            while (seen < 200000 && gen->next(record)) {
+                ctx.pc = record.pc;
+                ctx.bhr = bhr.value();
+                probe.observe(ctx);
+                pred.update(record.pc, record.taken);
+                bhr.recordOutcome(record.taken);
+                ++seen;
+            }
+        }
+        const auto report = probe.report();
+        std::printf("%-12u %16llu %15.1f%% %17.1f%%\n", bits,
+                    static_cast<unsigned long long>(
+                        report.entriesTouched),
+                    100.0 * report.sharedEntryFraction(),
+                    100.0 * report.sharedAccessFraction());
+    }
+    std::printf("(shared accesses are where resetting counters get "
+                "spuriously reset — the mechanism behind the coverage "
+                "losses above)\n");
+
+    writeCurvesCsv(env.csvDir + "/ablation_aliasing.csv", curves);
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Selective dual-path execution study (paper Section 1 application 1;
+ * Section 6: "if we fork a dual thread following 20 percent of the
+ * conditional branch predictions, we can capture over 80 percent of
+ * the mispredictions").
+ *
+ * Sweeps the resetting-counter confidence threshold over the IBS
+ * suite, reporting fork rate, misprediction coverage, and the
+ * cost-model speedup, with a blind-forking baseline (fork on every
+ * prediction when the slot is free) for contrast.
+ */
+
+#include <cstdio>
+
+#include "apps/dual_path.h"
+#include "predictor/gshare.h"
+#include "sim/experiment.h"
+#include "util/csv.h"
+#include "util/string_utils.h"
+
+using namespace confsim;
+
+namespace {
+
+struct SweepRow
+{
+    std::string label;
+    double forkRate = 0.0;
+    double coverage = 0.0;
+    double speedup = 0.0;
+};
+
+SweepRow
+runThreshold(const BenchmarkSuite &suite, std::uint64_t threshold,
+             bool blind, unsigned fork_slots = 1)
+{
+    SweepRow row;
+    row.label = blind ? "blind" : "reset<=" + std::to_string(threshold);
+    if (fork_slots != 1)
+        row.label += " x" + std::to_string(fork_slots);
+    double fork_sum = 0.0;
+    double cover_sum = 0.0;
+    double base_sum = 0.0;
+    double dual_sum = 0.0;
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+        auto gen = suite.makeGenerator(b);
+        GsharePredictor pred =
+            GsharePredictor::makeLargePaperConfig();
+        OneLevelCounterConfidence est(IndexScheme::PcXorBhr,
+                                      paper::kLargeCtEntries,
+                                      CounterKind::Resetting,
+                                      paper::kCounterMax, 0);
+        std::vector<bool> low(est.numBuckets(), blind);
+        if (!blind) {
+            for (std::uint64_t v = 0; v <= threshold; ++v)
+                low[v] = true;
+        }
+        DualPathConfig config;
+        config.maxForks = fork_slots;
+        const auto result = runDualPath(*gen, pred, est, low, config);
+        fork_sum += result.forkRate();
+        cover_sum += result.coverage();
+        base_sum += result.baselineCycles;
+        dual_sum += result.dualPathCycles;
+    }
+    const auto n = static_cast<double>(suite.size());
+    row.forkRate = fork_sum / n;
+    row.coverage = cover_sum / n;
+    row.speedup = base_sum / dual_sum;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExperimentEnv env;
+    if (!ExperimentEnv::fromCli(argc, argv,
+                                "Application: selective dual-path "
+                                "execution",
+                                env)) {
+        return 0;
+    }
+
+    std::printf("=== Application 1: selective dual-path execution "
+                "===\n\n");
+    const auto suite = env.makeSuite();
+
+    std::printf("%-12s %10s %10s %9s\n", "policy", "fork-rate",
+                "coverage", "speedup");
+    CsvWriter csv(env.csvDir + "/app_dual_path.csv");
+    csv.writeRow({"policy", "fork_rate", "coverage", "speedup"});
+
+    std::vector<SweepRow> rows;
+    for (std::uint64_t threshold : {0u, 1u, 3u, 7u, 15u})
+        rows.push_back(runThreshold(suite, threshold, false));
+    // Eager-execution-style hardware: more simultaneous fork slots.
+    rows.push_back(runThreshold(suite, 15, false, 2));
+    rows.push_back(runThreshold(suite, 15, false, 4));
+    rows.push_back(runThreshold(suite, 0, true));
+
+    for (const auto &row : rows) {
+        std::printf("%-12s %9.1f%% %9.1f%% %8.3fx\n", row.label.c_str(),
+                    100.0 * row.forkRate, 100.0 * row.coverage,
+                    row.speedup);
+        csv.writeRow({row.label, formatFixed(row.forkRate, 4),
+                      formatFixed(row.coverage, 4),
+                      formatFixed(row.speedup, 4)});
+    }
+    std::printf("\npaper Section 6: forking after ~20%% of predictions "
+                "captures >80%% of mispredictions.\n");
+    std::printf("wrote %s/app_dual_path.csv\n", env.csvDir.c_str());
+    return 0;
+}

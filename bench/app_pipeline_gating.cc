@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Pipeline gating study — the paper's "better not to speculate"
+ * motivation realized as Manne/Klauser/Grunwald-style speculation
+ * control: stall fetch when more than N unresolved low-confidence
+ * branches are in flight.
+ *
+ * Sweeps both the confidence threshold (which resetting-counter
+ * values count as low confidence) and the gating threshold (how many
+ * unresolved low-confidence branches are tolerated) over the IBS
+ * suite with the 64K gshare, reporting the wrong-path-work reduction
+ * (the energy proxy) against the IPC cost.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/pipeline_gating.h"
+#include "confidence/one_level.h"
+#include "predictor/gshare.h"
+#include "sim/experiment.h"
+#include "util/csv.h"
+#include "util/string_utils.h"
+
+using namespace confsim;
+
+namespace {
+
+struct Row
+{
+    std::string label;
+    double ipc = 0.0;
+    double wasted = 0.0;
+    double gatedFrac = 0.0;
+};
+
+Row
+runPolicy(const BenchmarkSuite &suite, bool gate, unsigned threshold,
+          std::uint64_t branches, std::uint32_t low_max = 15)
+{
+    Row row;
+    row.label = gate ? "low<=" + std::to_string(low_max) + ",gate>" +
+                           std::to_string(threshold)
+                     : "no-gating";
+    double ipc_sum = 0.0;
+    double waste_sum = 0.0;
+    double gated_sum = 0.0;
+    for (std::size_t b = 0; b < suite.size(); ++b) {
+        auto gen = suite.makeGenerator(b);
+        GsharePredictor pred = GsharePredictor::makeLargePaperConfig();
+        OneLevelCounterConfidence est(IndexScheme::PcXorBhr,
+                                      paper::kLargeCtEntries,
+                                      CounterKind::Resetting,
+                                      paper::kCounterMax, 0);
+        std::vector<bool> low(est.numBuckets(), false);
+        for (std::uint32_t v = 0; v <= low_max; ++v)
+            low[v] = true;
+        GatingConfig config;
+        config.enableGating = gate;
+        config.gateThreshold = threshold;
+        config.branches = branches;
+        const auto result =
+            runPipelineGating(*gen, pred, est, low, config);
+        ipc_sum += result.ipc();
+        waste_sum += result.wastedFraction();
+        gated_sum += result.cycles == 0
+                         ? 0.0
+                         : static_cast<double>(result.gatedCycles) /
+                               result.cycles;
+    }
+    const auto n = static_cast<double>(suite.size());
+    row.ipc = ipc_sum / n;
+    row.wasted = waste_sum / n;
+    row.gatedFrac = gated_sum / n;
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ExperimentEnv env;
+    if (!ExperimentEnv::fromCli(argc, argv,
+                                "Application: pipeline gating", env)) {
+        return 0;
+    }
+
+    std::printf("=== Application: pipeline gating (speculation "
+                "control) ===\n\n");
+    const auto suite = env.makeSuite();
+    const std::uint64_t branches =
+        std::min<std::uint64_t>(env.branchesPerBenchmark, 1'000'000);
+
+    std::printf("%-12s %8s %10s %12s\n", "policy", "IPC", "wasted%",
+                "gated cyc%");
+    CsvWriter csv(env.csvDir + "/app_pipeline_gating.csv");
+    csv.writeRow({"policy", "ipc", "wasted_frac", "gated_frac"});
+
+    // Sweep both knobs: which counter values count as low confidence
+    // (low<=V) and how many unresolved low-confidence branches are
+    // tolerated before fetch stalls (gate>N).
+    std::vector<Row> rows;
+    rows.push_back(runPolicy(suite, false, 0, branches));
+    for (unsigned threshold : {0u, 1u, 2u})
+        rows.push_back(runPolicy(suite, true, threshold, branches, 15));
+    for (unsigned threshold : {0u, 1u})
+        rows.push_back(runPolicy(suite, true, threshold, branches, 3));
+    rows.push_back(runPolicy(suite, true, 0, branches, 1));
+
+    const double base_ipc = rows[0].ipc;
+    const double base_waste = rows[0].wasted;
+    for (const auto &row : rows) {
+        std::printf("%-12s %8.3f %9.2f%% %11.2f%%\n", row.label.c_str(),
+                    row.ipc, 100.0 * row.wasted,
+                    100.0 * row.gatedFrac);
+        csv.writeRow({row.label, formatFixed(row.ipc, 4),
+                      formatFixed(row.wasted, 5),
+                      formatFixed(row.gatedFrac, 5)});
+    }
+    // Best energy-delay style row: maximize waste removed per IPC
+    // point given up.
+    const Row *best = &rows[1];
+    double best_score = -1.0;
+    for (std::size_t i = 1; i < rows.size(); ++i) {
+        const double removed = 1.0 - rows[i].wasted / base_waste;
+        const double cost =
+            std::max(1e-3, 1.0 - rows[i].ipc / base_ipc);
+        if (removed / cost > best_score) {
+            best_score = removed / cost;
+            best = &rows[i];
+        }
+    }
+    std::printf("\nbest trade-off (%s): %.0f%% of the wrong-path work "
+                "removed for %.1f%% IPC cost\n", best->label.c_str(),
+                100.0 * (1.0 - best->wasted / base_waste),
+                100.0 * (1.0 - best->ipc / base_ipc));
+    std::printf("wrote %s/app_pipeline_gating.csv\n",
+                env.csvDir.c_str());
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Confidence tuner: pick a confidence operating point from data.
+ *
+ * Given a benchmark and a design target — either a maximum
+ * low-confidence set size ("no more than 20% of predictions may
+ * fork") or a minimum misprediction coverage ("catch at least 80% of
+ * misses") — this example profiles the resetting-counter estimator,
+ * reads the operating point off the cumulative curve, and reports the
+ * counter threshold to wire into hardware along with its achieved
+ * classification metrics (PVN, PVP, sensitivity, specificity).
+ *
+ *   ./build/examples/confidence_tuner --benchmark sdet --max-low 0.2
+ *   ./build/examples/confidence_tuner --min-coverage 0.8
+ */
+
+#include <cstdio>
+
+#include "confidence/one_level.h"
+#include "confidence/signal_io.h"
+#include "metrics/classification_metrics.h"
+#include "metrics/confidence_curve.h"
+#include "metrics/table_report.h"
+#include "predictor/gshare.h"
+#include "sim/driver.h"
+#include "util/cli.h"
+#include "workload/workload_generator.h"
+
+using namespace confsim;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("confidence operating-point tuner");
+    cli.addOption("benchmark", "sdet", "IBS workload name");
+    cli.addOption("branches", "2000000", "trace length");
+    cli.addOption("max-low", "0",
+                  "target: max fraction of predictions flagged low "
+                  "(0 = unset)");
+    cli.addOption("min-coverage", "0",
+                  "target: min fraction of mispredictions captured "
+                  "(0 = unset)");
+    cli.addOption("emit-signal", "",
+                  "write the chosen rule as a confsim signal image "
+                  "to this path");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    const double max_low = cli.getDouble("max-low");
+    const double min_coverage = cli.getDouble("min-coverage");
+    if ((max_low <= 0.0) == (min_coverage <= 0.0)) {
+        std::printf("specify exactly one of --max-low or "
+                    "--min-coverage\n");
+        return 1;
+    }
+
+    // Profile the estimator.
+    const BenchmarkProfile profile =
+        ibsProfile(cli.getString("benchmark"));
+    WorkloadGenerator gen(profile, cli.getUnsigned("branches"));
+    GsharePredictor pred = GsharePredictor::makeLargePaperConfig();
+    OneLevelCounterConfidence est(IndexScheme::PcXorBhr, 1 << 16,
+                                  CounterKind::Resetting, 16, 0);
+    SimulationDriver driver(pred, {&est});
+    const auto result = driver.run(gen);
+    const auto &stats = result.estimatorStats[0];
+
+    std::printf("benchmark %s: misprediction rate %.2f%%\n\n",
+                profile.name.c_str(), 100.0 * result.mispredictRate());
+    std::puts(renderCounterTable(buildCounterTable(stats)).c_str());
+
+    // Walk thresholds 0..16 and choose the one meeting the target.
+    // (For a resetting counter the natural low sets are exactly the
+    // prefixes "counter <= t" — Section 5.2's threshold granularity.)
+    int chosen = -1;
+    ClassificationMetrics chosen_metrics;
+    const auto keyed = stats.nonEmpty();
+    for (int t = 0; t <= 16; ++t) {
+        std::vector<bool> low(17, false);
+        for (int v = 0; v <= t; ++v)
+            low[static_cast<std::size_t>(v)] = true;
+        const auto metrics =
+            computeMetrics(confusionFromBuckets(keyed, low));
+        const bool ok = max_low > 0.0
+                            ? metrics.lowFraction <= max_low
+                            : metrics.sensitivity >= min_coverage;
+        if (max_low > 0.0) {
+            // Largest threshold still inside the budget.
+            if (ok) {
+                chosen = t;
+                chosen_metrics = metrics;
+            }
+        } else if (ok) {
+            // Smallest threshold reaching the coverage.
+            chosen = t;
+            chosen_metrics = metrics;
+            break;
+        }
+    }
+
+    if (chosen < 0) {
+        std::printf("no counter threshold meets the target; the "
+                    "granularity limit of Section 5.2 applies — use "
+                    "a larger counter or full CIRs.\n");
+        return 1;
+    }
+
+    std::printf("chosen rule      : low confidence iff counter <= %d\n",
+                chosen);
+    std::printf("low fraction     : %.2f%% of predictions\n",
+                100.0 * chosen_metrics.lowFraction);
+    std::printf("coverage (SENS)  : %.2f%% of mispredictions\n",
+                100.0 * chosen_metrics.sensitivity);
+    std::printf("PVN              : %.2f%% of low-flagged predictions "
+                "actually miss\n",
+                100.0 * chosen_metrics.pvn);
+    std::printf("PVP              : %.2f%% of high-flagged predictions "
+                "are correct\n",
+                100.0 * chosen_metrics.pvp);
+    std::printf("specificity      : %.2f%%\n",
+                100.0 * chosen_metrics.specificity);
+
+    // Optionally persist the rule as a programming image (the paper's
+    // "design logic from benchmark data" hand-off).
+    const std::string signal_path = cli.getString("emit-signal");
+    if (!signal_path.empty()) {
+        std::vector<bool> mask(17, false);
+        for (int v = 0; v <= chosen; ++v)
+            mask[static_cast<std::size_t>(v)] = true;
+        writeSignalImage(signal_path, est.name(), mask);
+        std::printf("signal image     : wrote %s\n",
+                    signal_path.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Trace tool: generate, inspect, and convert branch trace files.
+ *
+ * Subcommands (first positional argument):
+ *   gen <out.cbt>    generate a synthetic benchmark trace file
+ *   stats <in.cbt>   print summary statistics for a trace file
+ *   text <in.cbt> <out.txt>   convert to the debug text format
+ *
+ * Examples:
+ *   ./build/examples/trace_tool gen /tmp/gcc.cbt --benchmark real_gcc
+ *   ./build/examples/trace_tool stats /tmp/gcc.cbt
+ *   ./build/examples/trace_tool text /tmp/gcc.cbt /tmp/gcc.txt
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "trace/trace_io.h"
+#include "trace/trace_stats.h"
+#include "util/cli.h"
+#include "workload/workload_generator.h"
+
+using namespace confsim;
+
+namespace {
+
+int
+cmdGen(const CliParser &cli)
+{
+    if (cli.positional().size() < 2) {
+        std::printf("usage: trace_tool gen <out.cbt> [--benchmark B] "
+                    "[--branches N]\n");
+        return 1;
+    }
+    const std::string out = cli.positional()[1];
+    WorkloadGenerator gen(ibsProfile(cli.getString("benchmark")),
+                          cli.getUnsigned("branches"));
+    const std::uint64_t n = writeTraceFile(gen, out);
+    std::printf("wrote %llu records to %s\n",
+                static_cast<unsigned long long>(n), out.c_str());
+    return 0;
+}
+
+int
+cmdStats(const CliParser &cli)
+{
+    if (cli.positional().size() < 2) {
+        std::printf("usage: trace_tool stats <in.cbt>\n");
+        return 1;
+    }
+    TraceFileReader reader(cli.positional()[1]);
+    const TraceStats stats = collectTraceStats(reader);
+    std::printf("records          : %llu\n",
+                static_cast<unsigned long long>(stats.totalRecords));
+    std::printf("conditional      : %llu\n",
+                static_cast<unsigned long long>(
+                    stats.conditionalCount));
+    std::printf("taken rate       : %.2f%%\n",
+                100.0 * stats.takenRate());
+    std::printf("static branches  : %llu\n",
+                static_cast<unsigned long long>(
+                    stats.staticBranchCount));
+    std::printf("calls/returns    : %llu / %llu\n",
+                static_cast<unsigned long long>(stats.callCount),
+                static_cast<unsigned long long>(stats.returnCount));
+
+    // Hottest static branches.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> hot(
+        stats.perPcCounts.begin(), stats.perPcCounts.end());
+    std::sort(hot.begin(), hot.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    std::printf("hottest branches :\n");
+    for (std::size_t i = 0; i < hot.size() && i < 5; ++i) {
+        std::printf("  0x%llx  %llu executions (%.1f%%)\n",
+                    static_cast<unsigned long long>(hot[i].first),
+                    static_cast<unsigned long long>(hot[i].second),
+                    100.0 * static_cast<double>(hot[i].second) /
+                        static_cast<double>(stats.conditionalCount));
+    }
+    return 0;
+}
+
+int
+cmdText(const CliParser &cli)
+{
+    if (cli.positional().size() < 3) {
+        std::printf("usage: trace_tool text <in.cbt> <out.txt>\n");
+        return 1;
+    }
+    TraceFileReader reader(cli.positional()[1]);
+    const std::uint64_t n =
+        writeTextTrace(reader, cli.positional()[2]);
+    std::printf("wrote %llu text records to %s\n",
+                static_cast<unsigned long long>(n),
+                cli.positional()[2].c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("branch trace generation and inspection tool");
+    cli.addOption("benchmark", "groff", "IBS workload name (for gen)");
+    cli.addOption("branches", "1000000", "trace length (for gen)");
+    if (!cli.parse(argc, argv))
+        return 0;
+    if (cli.positional().empty()) {
+        std::printf("usage: trace_tool <gen|stats|text> ...\n");
+        return 1;
+    }
+    const std::string &command = cli.positional()[0];
+    if (command == "gen")
+        return cmdGen(cli);
+    if (command == "stats")
+        return cmdStats(cli);
+    if (command == "text")
+        return cmdText(cli);
+    std::printf("unknown command '%s'\n", command.c_str());
+    return 1;
+}

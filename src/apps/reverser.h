@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Branch prediction reverser (paper Section 1, application 4).
+ *
+ * "If the confidence in a branch prediction can be determined to be
+ * less than 50%, then the prediction should be reversed."
+ *
+ * Two-pass study: pass 1 profiles per-bucket accuracy of a confidence
+ * estimator; buckets whose measured misprediction rate exceeds 50% form
+ * the reversal set; pass 2 re-runs the trace inverting predictions in
+ * those buckets and reports the accuracy delta.
+ *
+ * The paper conjectures this application and our Table-1 data shows why
+ * it is hard: even the least-confident resetting-counter bucket
+ * mispredicts well under 50% with a strong underlying predictor, so the
+ * reversal set is usually empty there. Weaker predictors or raw-CIR
+ * buckets can expose reversible buckets; the bench sweeps both.
+ */
+
+#ifndef CONFSIM_APPS_REVERSER_H
+#define CONFSIM_APPS_REVERSER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "confidence/confidence_estimator.h"
+#include "metrics/bucket_stats.h"
+#include "predictor/branch_predictor.h"
+#include "trace/trace_source.h"
+
+namespace confsim {
+
+/** Results of a reverser study. */
+struct ReverserResult
+{
+    std::uint64_t branches = 0;
+    std::uint64_t baseMispredicts = 0;     //!< pass-2 without reversal
+    std::uint64_t reversedMispredicts = 0; //!< pass-2 with reversal
+    std::uint64_t reversals = 0;           //!< predictions inverted
+    std::vector<std::uint64_t> reversalBuckets; //!< buckets inverted
+
+    double baseRate() const
+    {
+        return branches == 0
+                   ? 0.0
+                   : static_cast<double>(baseMispredicts) / branches;
+    }
+
+    double reversedRate() const
+    {
+        return branches == 0 ? 0.0
+                             : static_cast<double>(reversedMispredicts) /
+                                   branches;
+    }
+};
+
+/**
+ * Run the two-pass reverser study.
+ *
+ * @param source Trace; reset() is called between passes.
+ * @param predictor Underlying predictor; reset() between passes.
+ * @param estimator Confidence estimator; reset() between passes.
+ * @param rate_threshold Buckets with pass-1 misprediction rate strictly
+ *        above this are reversed (0.5 per the paper's rule).
+ * @param min_bucket_refs Ignore buckets with fewer pass-1 references
+ *        (noise guard).
+ */
+ReverserResult
+runReverser(TraceSource &source, BranchPredictor &predictor,
+            ConfidenceEstimator &estimator, double rate_threshold = 0.5,
+            double min_bucket_refs = 100.0);
+
+} // namespace confsim
+
+#endif // CONFSIM_APPS_REVERSER_H

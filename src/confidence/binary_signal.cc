@@ -1,0 +1,35 @@
+#include "confidence/binary_signal.h"
+
+#include "util/status.h"
+
+namespace confsim {
+
+BinaryConfidenceSignal::BinaryConfidenceSignal(
+    const ConfidenceEstimator &estimator, std::vector<bool> low_buckets)
+    : estimator_(estimator), lowBuckets_(std::move(low_buckets))
+{
+    if (lowBuckets_.size() != estimator.numBuckets())
+        fatal("low-bucket mask size does not match estimator bucket "
+              "count");
+}
+
+BinaryConfidenceSignal
+BinaryConfidenceSignal::fromThreshold(
+    const ConfidenceEstimator &estimator, std::uint64_t max_low_bucket)
+{
+    std::vector<bool> low(estimator.numBuckets(), false);
+    for (std::uint64_t b = 0;
+         b <= max_low_bucket && b < low.size(); ++b) {
+        low[b] = true;
+    }
+    return BinaryConfidenceSignal(estimator, std::move(low));
+}
+
+bool
+BinaryConfidenceSignal::isLowConfidence(const BranchContext &ctx) const
+{
+    const std::uint64_t bucket = estimator_.bucketOf(ctx);
+    return bucket < lowBuckets_.size() && lowBuckets_[bucket];
+}
+
+} // namespace confsim

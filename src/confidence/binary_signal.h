@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The binary high/low confidence signal (paper Fig. 1).
+ *
+ * An estimator classifies each prediction into a bucket; applications
+ * want one bit. A BinaryConfidenceSignal is an estimator plus the set of
+ * buckets designated "low confidence". The set can come from a simple
+ * rule (counter value <= threshold — the practical hardware the paper
+ * proposes) or from profiled bucket statistics (the idealized reduction
+ * function whose minterms are the low-confidence CIR patterns).
+ */
+
+#ifndef CONFSIM_CONFIDENCE_BINARY_SIGNAL_H
+#define CONFSIM_CONFIDENCE_BINARY_SIGNAL_H
+
+#include <vector>
+
+#include "confidence/confidence_estimator.h"
+
+namespace confsim {
+
+/** Estimator + low-confidence bucket set = one-bit confidence signal. */
+class BinaryConfidenceSignal
+{
+  public:
+    /**
+     * @param estimator The bucket source; not owned, must outlive this.
+     * @param low_buckets low_buckets[b] == true marks bucket b low
+     *        confidence; sized to estimator.numBuckets().
+     */
+    BinaryConfidenceSignal(const ConfidenceEstimator &estimator,
+                           std::vector<bool> low_buckets);
+
+    /**
+     * Threshold rule for ordered (counter) estimators: buckets
+     * <= @p max_low_bucket are low confidence. E.g. a resetting counter
+     * with max_low_bucket 15 marks everything but the saturated value
+     * low (Table 1's 20.3%/89.3% operating point).
+     */
+    static BinaryConfidenceSignal
+    fromThreshold(const ConfidenceEstimator &estimator,
+                  std::uint64_t max_low_bucket);
+
+    /** @return true iff the current prediction is low confidence. */
+    bool isLowConfidence(const BranchContext &ctx) const;
+
+    /** @return the wrapped estimator. */
+    const ConfidenceEstimator &estimator() const { return estimator_; }
+
+    /** @return the low-bucket mask. */
+    const std::vector<bool> &lowBuckets() const { return lowBuckets_; }
+
+  private:
+    const ConfidenceEstimator &estimator_;
+    std::vector<bool> lowBuckets_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_BINARY_SIGNAL_H

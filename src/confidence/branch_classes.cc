@@ -1,0 +1,104 @@
+#include "confidence/branch_classes.h"
+
+#include "util/status.h"
+#include "util/string_utils.h"
+
+namespace confsim {
+
+const char *
+toString(BranchClass cls)
+{
+    switch (cls) {
+      case BranchClass::AlwaysOneSided: return "always-one-sided";
+      case BranchClass::StronglyBiased: return "strongly-biased";
+      case BranchClass::MostlyBiased: return "mostly-biased";
+      case BranchClass::Mixed: return "mixed";
+      case BranchClass::NumClasses: break;
+    }
+    panic("unknown BranchClass");
+}
+
+BranchClass
+classifyTakenRate(double taken_rate)
+{
+    // Fold the two one-sided directions together.
+    const double one_sidedness =
+        taken_rate <= 0.5 ? taken_rate : 1.0 - taken_rate;
+    if (one_sidedness <= 0.001)
+        return BranchClass::AlwaysOneSided;
+    if (one_sidedness <= 0.05)
+        return BranchClass::StronglyBiased;
+    if (one_sidedness <= 0.30)
+        return BranchClass::MostlyBiased;
+    return BranchClass::Mixed;
+}
+
+BranchClassBreakdown
+classifyProfile(const StaticBranchProfile &profile)
+{
+    BranchClassBreakdown out{};
+    for (const auto &[pc, entry] : profile.entries()) {
+        const auto cls = static_cast<std::size_t>(
+            classifyTakenRate(entry.takenRate()));
+        ++out[cls].staticBranches;
+        out[cls].executions += entry.executions;
+        out[cls].mispredictions += entry.mispredictions;
+    }
+    return out;
+}
+
+std::string
+renderBranchClassTable(const BranchClassBreakdown &breakdown)
+{
+    std::uint64_t total_static = 0;
+    std::uint64_t total_exec = 0;
+    std::uint64_t total_miss = 0;
+    for (const auto &cls : breakdown) {
+        total_static += cls.staticBranches;
+        total_exec += cls.executions;
+        total_miss += cls.mispredictions;
+    }
+
+    std::string out;
+    out += padRight("class", 18) + padLeft("statics", 9) +
+           padLeft("% dyn", 8) + padLeft("% miss", 8) +
+           padLeft("rate", 8) + "\n";
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(BranchClass::NumClasses); ++c) {
+        const auto &cls = breakdown[c];
+        out += padRight(toString(static_cast<BranchClass>(c)), 18);
+        out += padLeft(std::to_string(cls.staticBranches), 9);
+        out += padLeft(
+            formatFixed(total_exec == 0
+                            ? 0.0
+                            : 100.0 * static_cast<double>(
+                                          cls.executions) /
+                                  static_cast<double>(total_exec),
+                        1),
+            8);
+        out += padLeft(
+            formatFixed(total_miss == 0
+                            ? 0.0
+                            : 100.0 * static_cast<double>(
+                                          cls.mispredictions) /
+                                  static_cast<double>(total_miss),
+                        1),
+            8);
+        out += padLeft(formatPercent(cls.rate(), 2) + "%", 8);
+        out += "\n";
+    }
+    out += padRight("total", 18) + padLeft(std::to_string(total_static), 9) +
+           padLeft("100.0", 8) + padLeft("100.0", 8) +
+           padLeft(formatPercent(total_exec == 0
+                                     ? 0.0
+                                     : static_cast<double>(total_miss) /
+                                           static_cast<double>(
+                                               total_exec),
+                                 2) +
+                       "%",
+                   8) +
+           "\n";
+    return out;
+}
+
+} // namespace confsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Static branch classification (in the tradition of Chang/Hao/Yeh/
+ * Patt's branch classification work): partition static branches by
+ * their dynamic taken rate and relate each class to its share of the
+ * misprediction mass.
+ *
+ * The analysis explains confidence behaviour from first principles:
+ * heavily one-sided branches populate the zero bucket; mixed-direction
+ * branches supply the persistent low-confidence contexts the low sets
+ * capture. bench/fig02_static prints this table alongside the static
+ * confidence curve.
+ */
+
+#ifndef CONFSIM_CONFIDENCE_BRANCH_CLASSES_H
+#define CONFSIM_CONFIDENCE_BRANCH_CLASSES_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "confidence/static_confidence.h"
+
+namespace confsim {
+
+/** Taken-rate bands, one-sided classes folded together. */
+enum class BranchClass : unsigned
+{
+    AlwaysOneSided = 0, //!< taken rate <= 0.1% or >= 99.9%
+    StronglyBiased,     //!< <= 5% or >= 95%
+    MostlyBiased,       //!< <= 30% or >= 70%
+    Mixed,              //!< 30% .. 70%
+    NumClasses
+};
+
+/** @return a short class label. */
+const char *toString(BranchClass cls);
+
+/** Classify a taken rate into its band. */
+BranchClass classifyTakenRate(double taken_rate);
+
+/** Aggregates for one class. */
+struct BranchClassStats
+{
+    std::uint64_t staticBranches = 0;
+    std::uint64_t executions = 0;
+    std::uint64_t mispredictions = 0;
+
+    /** @return misprediction rate within this class. */
+    double
+    rate() const
+    {
+        return executions == 0
+                   ? 0.0
+                   : static_cast<double>(mispredictions) /
+                         static_cast<double>(executions);
+    }
+};
+
+/** Per-class aggregates for a whole profile. */
+using BranchClassBreakdown =
+    std::array<BranchClassStats,
+               static_cast<std::size_t>(BranchClass::NumClasses)>;
+
+/** Classify every branch of @p profile. */
+BranchClassBreakdown
+classifyProfile(const StaticBranchProfile &profile);
+
+/** Render the breakdown as a printable table. */
+std::string
+renderBranchClassTable(const BranchClassBreakdown &breakdown);
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_BRANCH_CLASSES_H

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The query context handed to confidence estimators.
+ *
+ * Fig. 3 of the paper shows the confidence mechanism's inputs: the
+ * program counter, the global branch history register, and (for the
+ * index-scheme ablation of Section 3.1) a global correct/incorrect
+ * register. The simulation driver maintains the architectural copies of
+ * these and snapshots them into a BranchContext before each prediction.
+ */
+
+#ifndef CONFSIM_CONFIDENCE_BRANCH_CONTEXT_H
+#define CONFSIM_CONFIDENCE_BRANCH_CONTEXT_H
+
+#include <cstdint>
+
+namespace confsim {
+
+/** Snapshot of the global state a confidence table may index with. */
+struct BranchContext
+{
+    std::uint64_t pc = 0;    //!< branch address
+    std::uint64_t bhr = 0;   //!< global outcome history, newest bit = LSB
+    unsigned bhrBits = 16;   //!< valid width of bhr
+    std::uint64_t gcir = 0;  //!< global correct/incorrect history
+    unsigned gcirBits = 16;  //!< valid width of gcir
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_BRANCH_CONTEXT_H

@@ -1,0 +1,62 @@
+#include "confidence/index_scheme.h"
+
+#include "util/bits.h"
+#include "util/status.h"
+
+namespace confsim {
+
+const char *
+toString(IndexScheme scheme)
+{
+    switch (scheme) {
+      case IndexScheme::Pc: return "PC";
+      case IndexScheme::Bhr: return "BHR";
+      case IndexScheme::Gcir: return "GCIR";
+      case IndexScheme::PcXorBhr: return "PCxorBHR";
+      case IndexScheme::PcXorGcir: return "PCxorGCIR";
+      case IndexScheme::BhrXorGcir: return "BHRxorGCIR";
+      case IndexScheme::PcXorBhrXorGcir: return "PCxorBHRxorGCIR";
+      case IndexScheme::PcConcatBhr: return "PCconcatBHR";
+    }
+    panic("unknown IndexScheme");
+}
+
+std::uint64_t
+computeIndex(IndexScheme scheme, const BranchContext &ctx,
+             unsigned index_bits)
+{
+    if (index_bits == 0 || index_bits > 32)
+        fatal("confidence table index width must be in [1, 32]");
+
+    const std::uint64_t pc_field = bitsOf(ctx.pc, index_bits + 1, 2);
+    const std::uint64_t bhr_field = ctx.bhr & mask(index_bits);
+    const std::uint64_t gcir_field = ctx.gcir & mask(index_bits);
+
+    switch (scheme) {
+      case IndexScheme::Pc:
+        return pc_field;
+      case IndexScheme::Bhr:
+        return bhr_field;
+      case IndexScheme::Gcir:
+        return gcir_field;
+      case IndexScheme::PcXorBhr:
+        return pc_field ^ bhr_field;
+      case IndexScheme::PcXorGcir:
+        return pc_field ^ gcir_field;
+      case IndexScheme::BhrXorGcir:
+        return bhr_field ^ gcir_field;
+      case IndexScheme::PcXorBhrXorGcir:
+        return pc_field ^ bhr_field ^ gcir_field;
+      case IndexScheme::PcConcatBhr: {
+        // Low half from the PC, high half from the BHR (youngest
+        // history bits kept on both sides).
+        const unsigned lo_bits = (index_bits + 1) / 2;
+        const unsigned hi_bits = index_bits - lo_bits;
+        return (pc_field & mask(lo_bits)) |
+               ((bhr_field & mask(hi_bits)) << lo_bits);
+      }
+    }
+    panic("unknown IndexScheme");
+}
+
+} // namespace confsim

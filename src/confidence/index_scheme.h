@@ -1,0 +1,50 @@
+/**
+ * @file
+ * CIR-table index schemes (paper Section 3.1).
+ *
+ * "Beginning with these three basic methods of indexing into the CT (PC,
+ * global BHR, global CIR), one can construct a number of others by
+ * concatenating portions of each or exclusive-ORing them." All of those
+ * variants are implemented so the index-scheme ablation bench can
+ * reproduce the paper's preliminary findings (XOR beats concatenation;
+ * global-CIR indexing is of little value).
+ */
+
+#ifndef CONFSIM_CONFIDENCE_INDEX_SCHEME_H
+#define CONFSIM_CONFIDENCE_INDEX_SCHEME_H
+
+#include <cstdint>
+#include <string>
+
+#include "confidence/branch_context.h"
+
+namespace confsim {
+
+/** How a confidence table index is formed from the branch context. */
+enum class IndexScheme
+{
+    Pc,              //!< PC bits alone
+    Bhr,             //!< global branch history alone
+    Gcir,            //!< global correct/incorrect register alone
+    PcXorBhr,        //!< the paper's best one-level scheme
+    PcXorGcir,       //!< PC hashed with global CIR
+    BhrXorGcir,      //!< BHR hashed with global CIR
+    PcXorBhrXorGcir, //!< all three XORed
+    PcConcatBhr,     //!< low half PC bits, high half BHR bits
+};
+
+/** @return short name used in reports, e.g. "PCxorBHR". */
+const char *toString(IndexScheme scheme);
+
+/**
+ * Compute a table index of @p index_bits bits under @p scheme.
+ *
+ * PC contributes bits [index_bits + 1 : 2] (word-aligned instructions);
+ * history registers contribute their low index_bits bits.
+ */
+std::uint64_t computeIndex(IndexScheme scheme, const BranchContext &ctx,
+                           unsigned index_bits);
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_INDEX_SCHEME_H

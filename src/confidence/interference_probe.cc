@@ -1,0 +1,60 @@
+#include "confidence/interference_probe.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace confsim {
+
+InterferenceProbe::InterferenceProbe(IndexScheme scheme,
+                                     unsigned index_bits,
+                                     unsigned max_tracked)
+    : scheme_(scheme), indexBits_(index_bits), maxTracked_(max_tracked)
+{
+    if (index_bits == 0 || index_bits > 32)
+        fatal("interference probe index width must be in [1, 32]");
+    if (max_tracked < 2)
+        fatal("interference probe must track at least 2 contexts");
+}
+
+void
+InterferenceProbe::observe(const BranchContext &ctx)
+{
+    const std::uint64_t index = computeIndex(scheme_, ctx, indexBits_);
+    // The full-width index identifies the context: two contexts that
+    // differ only above 32 index bits are indistinguishable to any
+    // table this library can build, so treating them as equal is
+    // exact for our purposes.
+    const std::uint64_t context_id = computeIndex(scheme_, ctx, 32);
+
+    EntryState &entry = entries_[index];
+    ++entry.accesses;
+    if (entry.contexts.size() < maxTracked_ &&
+        std::find(entry.contexts.begin(), entry.contexts.end(),
+                  context_id) == entry.contexts.end()) {
+        entry.contexts.push_back(context_id);
+    }
+}
+
+InterferenceProbe::Report
+InterferenceProbe::report() const
+{
+    Report out;
+    double context_sum = 0.0;
+    for (const auto &[index, entry] : entries_) {
+        ++out.entriesTouched;
+        out.accesses += entry.accesses;
+        context_sum += static_cast<double>(entry.contexts.size());
+        if (entry.contexts.size() >= 2) {
+            ++out.sharedEntries;
+            out.sharedAccesses += entry.accesses;
+        }
+    }
+    out.averageContextsPerEntry =
+        out.entriesTouched == 0
+            ? 0.0
+            : context_sum / static_cast<double>(out.entriesTouched);
+    return out;
+}
+
+} // namespace confsim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Interference probe: measures how many distinct contexts share each
+ * confidence-table entry.
+ *
+ * The curves show aliasing's *effect* (Fig. 10, the aliasing
+ * ablation); this probe measures its *cause* directly: for a given
+ * index scheme and table width, how many table entries are touched,
+ * what fraction of them serve more than one distinct full context,
+ * and what fraction of accesses land on such shared entries. Feed it
+ * the same contexts a table sees to explain that table's losses.
+ */
+
+#ifndef CONFSIM_CONFIDENCE_INTERFERENCE_PROBE_H
+#define CONFSIM_CONFIDENCE_INTERFERENCE_PROBE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "confidence/index_scheme.h"
+
+namespace confsim {
+
+/** Per-index-scheme context-sharing measurement. */
+class InterferenceProbe
+{
+  public:
+    /**
+     * @param scheme Index formation being probed.
+     * @param index_bits Table index width (log2 of the table size).
+     * @param max_tracked Distinct contexts remembered per entry;
+     *        beyond this the entry just counts as "many" (bounds
+     *        memory on huge runs). Must be >= 2.
+     */
+    InterferenceProbe(IndexScheme scheme, unsigned index_bits,
+                      unsigned max_tracked = 4);
+
+    /** Record one table access with this context. */
+    void observe(const BranchContext &ctx);
+
+    /** Aggregate sharing statistics. */
+    struct Report
+    {
+        std::uint64_t accesses = 0;
+        std::uint64_t entriesTouched = 0;
+        std::uint64_t sharedEntries = 0;  //!< entries with >= 2 contexts
+        std::uint64_t sharedAccesses = 0; //!< accesses to such entries
+        double averageContextsPerEntry = 0.0; //!< capped at max_tracked
+
+        double
+        sharedEntryFraction() const
+        {
+            return entriesTouched == 0
+                       ? 0.0
+                       : static_cast<double>(sharedEntries) /
+                             entriesTouched;
+        }
+
+        double
+        sharedAccessFraction() const
+        {
+            return accesses == 0
+                       ? 0.0
+                       : static_cast<double>(sharedAccesses) /
+                             accesses;
+        }
+    };
+
+    /** Compute the report for everything observed so far. */
+    Report report() const;
+
+    /** Forget all observations. */
+    void reset() { entries_.clear(); }
+
+  private:
+    struct EntryState
+    {
+        std::uint64_t accesses = 0;
+        /** Up to maxTracked_ distinct full-context ids. */
+        std::vector<std::uint64_t> contexts;
+    };
+
+    IndexScheme scheme_;
+    unsigned indexBits_;
+    unsigned maxTracked_;
+    std::unordered_map<std::uint64_t, EntryState> entries_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_INTERFERENCE_PROBE_H

@@ -1,0 +1,92 @@
+#include "confidence/multi_level_signal.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace confsim {
+
+MultiLevelConfidenceSignal::MultiLevelConfidenceSignal(
+    const ConfidenceEstimator &estimator, const BucketStats &stats,
+    const std::vector<double> &ref_cuts)
+    : estimator_(estimator)
+{
+    if (stats.numBuckets() != estimator.numBuckets())
+        fatal("bucket stats do not match the estimator");
+    if (ref_cuts.empty())
+        fatal("multi-level signal needs at least one cut point");
+    for (std::size_t i = 0; i < ref_cuts.size(); ++i) {
+        if (ref_cuts[i] <= 0.0 || ref_cuts[i] >= 1.0)
+            fatal("cut points must lie strictly inside (0, 1)");
+        if (i > 0 && ref_cuts[i] <= ref_cuts[i - 1])
+            fatal("cut points must be strictly ascending");
+    }
+    numClasses_ = static_cast<unsigned>(ref_cuts.size()) + 1;
+    if (numClasses_ > 255)
+        fatal("too many confidence classes");
+
+    // Sort buckets by misprediction rate, worst first (the same order
+    // the confidence curves use), then walk the cumulative reference
+    // mass assigning classes.
+    auto keyed = stats.nonEmpty();
+    std::sort(keyed.begin(), keyed.end(),
+              [](const KeyedBucketCounts &a, const KeyedBucketCounts &b) {
+                  const double ra = a.counts.rate();
+                  const double rb = b.counts.rate();
+                  if (ra != rb)
+                      return ra > rb;
+                  return a.bucket < b.bucket;
+              });
+    const double total_refs = stats.totalRefs();
+    if (total_refs <= 0.0)
+        fatal("cannot build a multi-level signal from empty stats");
+
+    // Unreferenced buckets default to the most confident class: with
+    // the recommended all-ones initialization an unseen context reads
+    // as low confidence via its referenced neighbours; classifying
+    // truly unseen buckets as confident is conservative for profiled
+    // operating points.
+    bucketClass_.assign(stats.numBuckets(),
+                        static_cast<std::uint8_t>(numClasses_ - 1));
+    summaries_.assign(numClasses_, ClassSummary{});
+
+    std::vector<double> class_refs(numClasses_, 0.0);
+    std::vector<double> class_misses(numClasses_, 0.0);
+    double cumulative = 0.0;
+    for (const auto &entry : keyed) {
+        const double frac_before = cumulative / total_refs;
+        unsigned cls = numClasses_ - 1;
+        for (std::size_t c = 0; c < ref_cuts.size(); ++c) {
+            if (frac_before < ref_cuts[c]) {
+                cls = static_cast<unsigned>(c);
+                break;
+            }
+        }
+        bucketClass_[entry.bucket] = static_cast<std::uint8_t>(cls);
+        class_refs[cls] += entry.counts.refs;
+        class_misses[cls] += entry.counts.mispredicts;
+        cumulative += entry.counts.refs;
+    }
+    for (unsigned c = 0; c < numClasses_; ++c) {
+        summaries_[c].refFraction = class_refs[c] / total_refs;
+        summaries_[c].mispredictRate =
+            class_refs[c] > 0.0 ? class_misses[c] / class_refs[c]
+                                : 0.0;
+    }
+}
+
+unsigned
+MultiLevelConfidenceSignal::classOf(const BranchContext &ctx) const
+{
+    return classOfBucket(estimator_.bucketOf(ctx));
+}
+
+unsigned
+MultiLevelConfidenceSignal::classOfBucket(std::uint64_t bucket) const
+{
+    if (bucket >= bucketClass_.size())
+        return numClasses_ - 1;
+    return bucketClass_[bucket];
+}
+
+} // namespace confsim

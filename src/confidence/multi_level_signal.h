@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Multi-level confidence classes.
+ *
+ * The paper: "in general, one could divide the branches into multiple
+ * sets with a range of confidence levels. To date, we have not pursued
+ * this generalization and consider only two confidence sets in this
+ * paper." This is that generalization: buckets are partitioned into K
+ * ordered classes (0 = least confident) by cutting the rate-sorted
+ * bucket list at chosen reference-mass fractions, exactly extending
+ * the binary split of BinaryConfidenceSignal.
+ *
+ * Applications can map classes to graded policies — e.g. dual-path
+ * fork on class 0, fetch-deprioritize on class 1, full speed on the
+ * top class. bench/ablation_estimators reports per-class statistics.
+ */
+
+#ifndef CONFSIM_CONFIDENCE_MULTI_LEVEL_SIGNAL_H
+#define CONFSIM_CONFIDENCE_MULTI_LEVEL_SIGNAL_H
+
+#include <vector>
+
+#include "confidence/confidence_estimator.h"
+#include "metrics/bucket_stats.h"
+
+namespace confsim {
+
+/** Maps estimator buckets to K ordered confidence classes. */
+class MultiLevelConfidenceSignal
+{
+  public:
+    /**
+     * Build from profiled bucket statistics.
+     *
+     * @param estimator Bucket source; not owned, must outlive this.
+     * @param stats Profiled per-bucket counts for this estimator.
+     * @param ref_cuts Ascending cumulative reference-mass cut points
+     *        in (0, 1); K = ref_cuts.size() + 1 classes result. E.g.
+     *        {0.05, 0.20} makes three classes: the rate-sorted buckets
+     *        holding the worst 5% of references, the next 15%, and the
+     *        rest.
+     */
+    MultiLevelConfidenceSignal(const ConfidenceEstimator &estimator,
+                               const BucketStats &stats,
+                               const std::vector<double> &ref_cuts);
+
+    /** @return the class (0 = least confident) of this prediction. */
+    unsigned classOf(const BranchContext &ctx) const;
+
+    /** @return number of classes K. */
+    unsigned numClasses() const { return numClasses_; }
+
+    /** @return the class of a raw bucket id. */
+    unsigned classOfBucket(std::uint64_t bucket) const;
+
+    /**
+     * Per-class aggregate of the profiling stats: reference fraction
+     * and misprediction rate of each class (least confident first).
+     */
+    struct ClassSummary
+    {
+        double refFraction = 0.0;
+        double mispredictRate = 0.0;
+    };
+
+    /** @return summaries computed from the profiling stats. */
+    const std::vector<ClassSummary> &classSummaries() const
+    {
+        return summaries_;
+    }
+
+  private:
+    const ConfidenceEstimator &estimator_;
+    std::vector<std::uint8_t> bucketClass_;
+    unsigned numClasses_;
+    std::vector<ClassSummary> summaries_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_MULTI_LEVEL_SIGNAL_H

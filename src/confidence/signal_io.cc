@@ -1,0 +1,93 @@
+#include "confidence/signal_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace confsim {
+
+void
+writeSignalImage(const std::string &path,
+                 const std::string &estimator_name,
+                 const std::vector<bool> &low_buckets)
+{
+    if (low_buckets.empty())
+        fatal("cannot serialize an empty bucket mask");
+    if (estimator_name.find('\n') != std::string::npos)
+        fatal("estimator name must be a single line");
+
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open signal image for writing: " + path);
+    out << "confsim-signal v1\n";
+    out << "estimator " << estimator_name << '\n';
+    out << "buckets " << low_buckets.size() << '\n';
+    out << "low";
+    for (std::size_t b = 0; b < low_buckets.size(); ++b) {
+        if (low_buckets[b])
+            out << ' ' << b;
+    }
+    out << '\n';
+    if (!out)
+        fatal("error writing signal image: " + path);
+}
+
+SignalImage
+readSignalImage(const std::string &path,
+                const std::string &expected_estimator)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open signal image: " + path);
+
+    auto bad = [&path](const std::string &why) {
+        fatal("malformed signal image " + path + ": " + why);
+    };
+
+    std::string line;
+    if (!std::getline(in, line) || line != "confsim-signal v1")
+        bad("missing or unsupported header");
+
+    SignalImage image;
+    if (!std::getline(in, line) || line.rfind("estimator ", 0) != 0)
+        bad("missing estimator line");
+    image.estimatorName = line.substr(10);
+    if (!expected_estimator.empty() &&
+        image.estimatorName != expected_estimator) {
+        fatal("signal image " + path + " is for estimator '" +
+              image.estimatorName + "', expected '" +
+              expected_estimator + "'");
+    }
+
+    if (!std::getline(in, line) || line.rfind("buckets ", 0) != 0)
+        bad("missing buckets line");
+    std::size_t num_buckets = 0;
+    try {
+        num_buckets = std::stoull(line.substr(8));
+    } catch (...) {
+        bad("unparsable bucket count");
+    }
+    if (num_buckets == 0 || num_buckets > (std::size_t{1} << 24))
+        bad("bucket count out of range");
+    image.lowBuckets.assign(num_buckets, false);
+
+    if (!std::getline(in, line) || line.rfind("low", 0) != 0)
+        bad("missing low-bucket line");
+    std::istringstream ids(line.substr(3));
+    long long previous = -1;
+    long long id = 0;
+    while (ids >> id) {
+        if (id < 0 || static_cast<std::size_t>(id) >= num_buckets)
+            bad("bucket id out of range");
+        if (id <= previous)
+            bad("bucket ids must be strictly ascending");
+        image.lowBuckets[static_cast<std::size_t>(id)] = true;
+        previous = id;
+    }
+    if (!ids.eof())
+        bad("trailing garbage on low-bucket line");
+    return image;
+}
+
+} // namespace confsim

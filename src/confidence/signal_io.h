@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Serialization of derived confidence signals.
+ *
+ * The paper's deployment flow (Section 1): "we propose using
+ * benchmarks to collect prediction accuracy data. This data can then
+ * be used to design logic so that the high and low confidence sets
+ * have the characteristics we desire... once implemented, the
+ * confidence logic is used for all programs."
+ *
+ * This module is that hand-off point in software: the profiled
+ * low-confidence bucket mask (the minterm set of the reduction
+ * function) is written to a small versioned file — the "programming
+ * image" a hardware generator or a later simulation run consumes —
+ * and read back into a BinaryConfidenceSignal-compatible mask.
+ *
+ * Format (text, diff-able):
+ *   line 1: "confsim-signal v1"
+ *   line 2: "estimator <name>"
+ *   line 3: "buckets <numBuckets>"
+ *   line 4: "low <index> <index> ..." (ascending bucket ids)
+ */
+
+#ifndef CONFSIM_CONFIDENCE_SIGNAL_IO_H
+#define CONFSIM_CONFIDENCE_SIGNAL_IO_H
+
+#include <string>
+#include <vector>
+
+namespace confsim {
+
+/** A deserialized confidence-signal description. */
+struct SignalImage
+{
+    std::string estimatorName; //!< which estimator the mask is for
+    std::vector<bool> lowBuckets; //!< sized to the bucket space
+};
+
+/**
+ * Write a low-bucket mask to @p path.
+ *
+ * @param path Output file; calls fatal() if unwritable.
+ * @param estimator_name Free-form identifier recorded in the image
+ *        (validated on load if the loader passes an expected name).
+ * @param low_buckets The mask; its size defines the bucket space.
+ */
+void writeSignalImage(const std::string &path,
+                      const std::string &estimator_name,
+                      const std::vector<bool> &low_buckets);
+
+/**
+ * Read a signal image from @p path; calls fatal() on malformed input.
+ *
+ * @param expected_estimator If non-empty, the image's estimator name
+ *        must match exactly (guards against programming the wrong
+ *        hardware table).
+ */
+SignalImage readSignalImage(const std::string &path,
+                            const std::string &expected_estimator = "");
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_SIGNAL_IO_H

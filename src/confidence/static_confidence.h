@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Profile-based static confidence (paper Section 2).
+ *
+ * Pass 1 profiles each static branch's prediction accuracy under the
+ * chosen dynamic predictor (StaticBranchProfile, filled by the
+ * simulation driver). The profile is then cut — by misprediction-rate
+ * threshold or by a target fraction of dynamic branches — into low- and
+ * high-confidence static branch sets, and pass 2 can consult the
+ * resulting StaticConfidence estimator online.
+ *
+ * The paper treats this method as an optimistic baseline ("perfect
+ * profiling": the profile input equals the evaluation input), and so do
+ * we.
+ */
+
+#ifndef CONFSIM_CONFIDENCE_STATIC_CONFIDENCE_H
+#define CONFSIM_CONFIDENCE_STATIC_CONFIDENCE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "confidence/confidence_estimator.h"
+
+namespace confsim {
+
+/** Per-static-branch prediction accuracy profile. */
+class StaticBranchProfile
+{
+  public:
+    /** Accumulated counts for one static branch. */
+    struct Entry
+    {
+        std::uint64_t executions = 0;
+        std::uint64_t mispredictions = 0;
+        std::uint64_t takenCount = 0;
+
+        /** @return misprediction rate (0 when never executed). */
+        double
+        rate() const
+        {
+            return executions == 0
+                       ? 0.0
+                       : static_cast<double>(mispredictions) /
+                             static_cast<double>(executions);
+        }
+
+        /** @return fraction of executions that were taken. */
+        double
+        takenRate() const
+        {
+            return executions == 0
+                       ? 0.0
+                       : static_cast<double>(takenCount) /
+                             static_cast<double>(executions);
+        }
+    };
+
+    /** Record one dynamic execution of the branch at @p pc. */
+    void
+    record(std::uint64_t pc, bool mispredicted, bool taken = false)
+    {
+        auto &entry = entries_[pc];
+        ++entry.executions;
+        if (mispredicted)
+            ++entry.mispredictions;
+        if (taken)
+            ++entry.takenCount;
+    }
+
+    /** @return per-PC entries. */
+    const std::unordered_map<std::uint64_t, Entry> &entries() const
+    {
+        return entries_;
+    }
+
+    /** @return number of profiled static branches. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** @return total dynamic executions across all branches. */
+    std::uint64_t totalExecutions() const;
+
+    /** @return total mispredictions across all branches. */
+    std::uint64_t totalMispredictions() const;
+
+    /**
+     * Select the low-confidence set: static branches, taken in
+     * decreasing misprediction-rate order, until they account for at
+     * least @p ref_fraction of dynamic executions.
+     */
+    std::unordered_set<std::uint64_t>
+    lowSetByRefFraction(double ref_fraction) const;
+
+    /**
+     * Select the low-confidence set: every static branch whose
+     * misprediction rate is >= @p rate_threshold.
+     */
+    std::unordered_set<std::uint64_t>
+    lowSetByRateThreshold(double rate_threshold) const;
+
+  private:
+    /** PCs sorted by misprediction rate, highest first. */
+    std::vector<std::uint64_t> sortedByRate() const;
+
+    std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+/**
+ * Online static confidence estimator: bucket 0 = low confidence,
+ * bucket 1 = high confidence, decided purely by static branch identity.
+ */
+class StaticConfidence : public ConfidenceEstimator
+{
+  public:
+    /** @param low_set PCs tagged low-confidence by the profile. */
+    explicit StaticConfidence(std::unordered_set<std::uint64_t> low_set);
+
+    std::uint64_t bucketOf(const BranchContext &ctx) const override;
+    void update(const BranchContext &ctx, bool correct,
+                bool taken) override;
+    std::uint64_t numBuckets() const override { return 2; }
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "static-profile"; }
+    void reset() override {}
+    bool bucketsAreOrdered() const override { return true; }
+
+  private:
+    std::unordered_set<std::uint64_t> lowSet_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_STATIC_CONFIDENCE_H

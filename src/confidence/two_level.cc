@@ -1,0 +1,120 @@
+#include "confidence/two_level.h"
+
+#include "util/status.h"
+
+namespace confsim {
+
+const char *
+toString(SecondLevelIndex index)
+{
+    switch (index) {
+      case SecondLevelIndex::Cir: return "CIR";
+      case SecondLevelIndex::CirXorPc: return "CIRxorPC";
+      case SecondLevelIndex::CirXorBhr: return "CIRxorBHR";
+      case SecondLevelIndex::CirXorPcXorBhr: return "CIRxorPCxorBHR";
+    }
+    panic("unknown SecondLevelIndex");
+}
+
+TwoLevelConfidence::TwoLevelConfidence(IndexScheme first_scheme,
+                                       std::size_t first_entries,
+                                       unsigned first_cir_bits,
+                                       SecondLevelIndex second_index,
+                                       unsigned second_cir_bits,
+                                       CirReduction reduction,
+                                       CtInit init)
+    : firstScheme_(first_scheme),
+      firstTable_(first_entries, first_cir_bits, init),
+      secondIndex_(second_index),
+      secondTable_(std::size_t{1} << first_cir_bits, second_cir_bits,
+                   init),
+      reduction_(reduction)
+{
+    if (first_cir_bits > 24)
+        fatal("level-1 CIR width > 24 would need a > 16M-entry level-2 "
+              "table");
+    if (reduction == CirReduction::RawPattern && second_cir_bits > 24)
+        fatal("raw-pattern bucket space too large; use <= 24-bit level-2 "
+              "CIRs");
+}
+
+std::uint64_t
+TwoLevelConfidence::secondIndexOf(const BranchContext &ctx) const
+{
+    const std::uint64_t first_cir = firstTable_.read(
+        computeIndex(firstScheme_, ctx, firstTable_.indexBits()));
+    const unsigned bits = secondTable_.indexBits();
+    switch (secondIndex_) {
+      case SecondLevelIndex::Cir:
+        return first_cir;
+      case SecondLevelIndex::CirXorPc:
+        return first_cir ^
+               computeIndex(IndexScheme::Pc, ctx, bits);
+      case SecondLevelIndex::CirXorBhr:
+        return first_cir ^
+               computeIndex(IndexScheme::Bhr, ctx, bits);
+      case SecondLevelIndex::CirXorPcXorBhr:
+        return first_cir ^
+               computeIndex(IndexScheme::PcXorBhr, ctx, bits);
+    }
+    panic("unknown SecondLevelIndex");
+}
+
+std::uint64_t
+TwoLevelConfidence::bucketOf(const BranchContext &ctx) const
+{
+    const std::uint64_t cir = secondTable_.read(secondIndexOf(ctx));
+    switch (reduction_) {
+      case CirReduction::RawPattern:
+        return cir;
+      case CirReduction::OnesCount:
+        return popcount(cir);
+    }
+    panic("unknown CirReduction");
+}
+
+void
+TwoLevelConfidence::update(const BranchContext &ctx, bool correct,
+                           bool)
+{
+    // The level-2 index must be computed from the PRE-update level-1
+    // CIR (the same value bucketOf() saw), so update level 2 first.
+    secondTable_.update(secondIndexOf(ctx), correct);
+    firstTable_.update(
+        computeIndex(firstScheme_, ctx, firstTable_.indexBits()),
+        correct);
+}
+
+std::uint64_t
+TwoLevelConfidence::numBuckets() const
+{
+    switch (reduction_) {
+      case CirReduction::RawPattern:
+        return std::uint64_t{1} << secondTable_.cirBits();
+      case CirReduction::OnesCount:
+        return secondTable_.cirBits() + 1;
+    }
+    panic("unknown CirReduction");
+}
+
+std::uint64_t
+TwoLevelConfidence::storageBits() const
+{
+    return firstTable_.storageBits() + secondTable_.storageBits();
+}
+
+std::string
+TwoLevelConfidence::name() const
+{
+    return std::string("2lvl-") + toString(firstScheme_) + "-" +
+           toString(secondIndex_) + "-" + toString(reduction_);
+}
+
+void
+TwoLevelConfidence::reset()
+{
+    firstTable_.reset();
+    secondTable_.reset();
+}
+
+} // namespace confsim

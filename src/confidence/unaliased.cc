@@ -1,0 +1,95 @@
+#include "confidence/unaliased.h"
+
+#include "util/bits.h"
+#include "util/status.h"
+
+namespace confsim {
+
+UnaliasedCounterConfidence::UnaliasedCounterConfidence(
+    IndexScheme scheme, CounterKind kind, std::uint32_t max_value)
+    : scheme_(scheme), kind_(kind), maxValue_(max_value)
+{
+    if (max_value == 0)
+        fatal("counter max must be >= 1");
+}
+
+std::uint64_t
+UnaliasedCounterConfidence::keyOf(const BranchContext &ctx) const
+{
+    // Full-width index: 32 bits is the widest computeIndex supports
+    // and far exceeds any finite CT, so distinct contexts that a real
+    // table would fold together stay distinct here.
+    return computeIndex(scheme_, ctx, 32);
+}
+
+std::uint64_t
+UnaliasedCounterConfidence::bucketOf(const BranchContext &ctx) const
+{
+    const auto it = counters_.find(keyOf(ctx));
+    // Unseen context == power-on state (counter 0 = the all-ones-CIR
+    // equivalent, as for the finite tables).
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+UnaliasedCounterConfidence::update(const BranchContext &ctx,
+                                   bool correct, bool)
+{
+    auto &counter = counters_[keyOf(ctx)];
+    switch (kind_) {
+      case CounterKind::Saturating:
+        if (correct) {
+            if (counter < maxValue_)
+                ++counter;
+        } else {
+            if (counter > 0)
+                --counter;
+        }
+        break;
+      case CounterKind::Resetting:
+        if (correct) {
+            if (counter < maxValue_)
+                ++counter;
+        } else {
+            counter = 0;
+        }
+        break;
+      case CounterKind::HalfReset:
+        if (correct) {
+            if (counter < maxValue_)
+                ++counter;
+        } else {
+            counter /= 2;
+        }
+        break;
+    }
+}
+
+std::uint64_t
+UnaliasedCounterConfidence::numBuckets() const
+{
+    return static_cast<std::uint64_t>(maxValue_) + 1;
+}
+
+std::uint64_t
+UnaliasedCounterConfidence::storageBits() const
+{
+    const unsigned bits_per_counter = log2Exact(
+        ceilPowerOfTwo(static_cast<std::uint64_t>(maxValue_) + 1));
+    return counters_.size() * bits_per_counter;
+}
+
+std::string
+UnaliasedCounterConfidence::name() const
+{
+    return std::string("unaliased-") + toString(scheme_) + "-" +
+           toString(kind_) + std::to_string(maxValue_);
+}
+
+void
+UnaliasedCounterConfidence::reset()
+{
+    counters_.clear();
+}
+
+} // namespace confsim

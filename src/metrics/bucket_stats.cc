@@ -1,0 +1,115 @@
+#include "metrics/bucket_stats.h"
+
+#include "util/status.h"
+
+namespace confsim {
+
+BucketStats::BucketStats(std::uint64_t num_buckets)
+    : counts_(num_buckets)
+{
+    if (num_buckets == 0)
+        fatal("BucketStats requires at least one bucket");
+}
+
+void
+BucketStats::addWeighted(const BucketStats &other, double weight)
+{
+    if (other.counts_.size() != counts_.size())
+        fatal("cannot merge BucketStats with different bucket spaces");
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        counts_[b].refs += other.counts_[b].refs * weight;
+        counts_[b].mispredicts += other.counts_[b].mispredicts * weight;
+    }
+}
+
+double
+BucketStats::totalRefs() const
+{
+    double total = 0.0;
+    for (const auto &entry : counts_)
+        total += entry.refs;
+    return total;
+}
+
+double
+BucketStats::totalMispredicts() const
+{
+    double total = 0.0;
+    for (const auto &entry : counts_)
+        total += entry.mispredicts;
+    return total;
+}
+
+std::vector<KeyedBucketCounts>
+BucketStats::nonEmpty() const
+{
+    std::vector<KeyedBucketCounts> out;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        if (counts_[b].refs > 0.0)
+            out.push_back({b, counts_[b]});
+    }
+    return out;
+}
+
+void
+BucketStats::clear()
+{
+    for (auto &entry : counts_)
+        entry = BucketCounts{};
+}
+
+void
+SparseBucketStats::addWeighted(const SparseBucketStats &other,
+                               double weight)
+{
+    for (const auto &[bucket, entry] : other.counts_) {
+        auto &mine = counts_[bucket];
+        mine.refs += entry.refs * weight;
+        mine.mispredicts += entry.mispredicts * weight;
+    }
+}
+
+double
+SparseBucketStats::totalRefs() const
+{
+    double total = 0.0;
+    for (const auto &[bucket, entry] : counts_)
+        total += entry.refs;
+    return total;
+}
+
+double
+SparseBucketStats::totalMispredicts() const
+{
+    double total = 0.0;
+    for (const auto &[bucket, entry] : counts_)
+        total += entry.mispredicts;
+    return total;
+}
+
+std::vector<KeyedBucketCounts>
+SparseBucketStats::nonEmpty() const
+{
+    std::vector<KeyedBucketCounts> out;
+    out.reserve(counts_.size());
+    for (const auto &[bucket, entry] : counts_)
+        out.push_back({bucket, entry});
+    return out;
+}
+
+EqualWeightComposite::EqualWeightComposite(std::uint64_t num_buckets)
+    : composite_(num_buckets)
+{}
+
+void
+EqualWeightComposite::add(const BucketStats &benchmark_stats)
+{
+    const double refs = benchmark_stats.totalRefs();
+    if (refs <= 0.0)
+        fatal("cannot composite a benchmark with zero references");
+    // Scale every component to the same total dynamic-branch mass.
+    constexpr double kCommonMass = 1e6;
+    composite_.addWeighted(benchmark_stats, kCommonMass / refs);
+}
+
+} // namespace confsim

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Per-bucket prediction statistics.
+ *
+ * The paper's entire evaluation methodology reduces to: for every bucket
+ * a confidence mechanism can emit (CIR pattern, counter value, static
+ * branch), count how often the bucket was read and how many of those
+ * predictions were wrong; then sort buckets by misprediction rate. This
+ * file provides the accumulators, including the equal-dynamic-branch
+ * weighting used to composite benchmarks (Section 1.2: results are
+ * averaged "so that each benchmark, in effect, executes the same number
+ * of conditional branches").
+ *
+ * Counts are stored as doubles so weighted composites reuse the same
+ * types; raw per-benchmark recording uses exact integer increments.
+ */
+
+#ifndef CONFSIM_METRICS_BUCKET_STATS_H
+#define CONFSIM_METRICS_BUCKET_STATS_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace confsim {
+
+/** References and mispredictions attributed to one bucket. */
+struct BucketCounts
+{
+    double refs = 0.0;
+    double mispredicts = 0.0;
+
+    /** @return misprediction rate (0 for an unreferenced bucket). */
+    double
+    rate() const
+    {
+        return refs <= 0.0 ? 0.0 : mispredicts / refs;
+    }
+};
+
+/** A (bucket id, counts) pair; the unit curve construction consumes. */
+struct KeyedBucketCounts
+{
+    std::uint64_t bucket = 0;
+    BucketCounts counts;
+};
+
+/** Dense accumulator for estimators with a bounded bucket space. */
+class BucketStats
+{
+  public:
+    /** @param num_buckets One past the largest bucket id. */
+    explicit BucketStats(std::uint64_t num_buckets);
+
+    /** Record one prediction in @p bucket. */
+    void
+    record(std::uint64_t bucket, bool mispredicted)
+    {
+        auto &entry = counts_[bucket];
+        entry.refs += 1.0;
+        if (mispredicted)
+            entry.mispredicts += 1.0;
+    }
+
+    /** Merge @p other scaled by @p weight (for compositing). */
+    void addWeighted(const BucketStats &other, double weight);
+
+    /** @return counts of bucket @p bucket. */
+    const BucketCounts &operator[](std::uint64_t bucket) const
+    {
+        return counts_[bucket];
+    }
+
+    /** @return bucket-space size. */
+    std::uint64_t numBuckets() const { return counts_.size(); }
+
+    /** @return sum of refs over all buckets. */
+    double totalRefs() const;
+
+    /** @return sum of mispredictions over all buckets. */
+    double totalMispredicts() const;
+
+    /** @return overall misprediction rate. */
+    double
+    overallRate() const
+    {
+        const double refs = totalRefs();
+        return refs <= 0.0 ? 0.0 : totalMispredicts() / refs;
+    }
+
+    /** @return all non-empty buckets with their ids. */
+    std::vector<KeyedBucketCounts> nonEmpty() const;
+
+    /** Zero all counts. */
+    void clear();
+
+  private:
+    std::vector<BucketCounts> counts_;
+};
+
+/** Sparse accumulator for unbounded keys (per-PC static profiling). */
+class SparseBucketStats
+{
+  public:
+    /** Record one prediction in @p bucket. */
+    void
+    record(std::uint64_t bucket, bool mispredicted)
+    {
+        auto &entry = counts_[bucket];
+        entry.refs += 1.0;
+        if (mispredicted)
+            entry.mispredicts += 1.0;
+    }
+
+    /** Add pre-aggregated counts to @p bucket. */
+    void
+    recordAggregate(std::uint64_t bucket, double refs, double mispredicts)
+    {
+        auto &entry = counts_[bucket];
+        entry.refs += refs;
+        entry.mispredicts += mispredicts;
+    }
+
+    /** Merge @p other scaled by @p weight. */
+    void addWeighted(const SparseBucketStats &other, double weight);
+
+    /** @return number of distinct buckets seen. */
+    std::size_t size() const { return counts_.size(); }
+
+    double totalRefs() const;
+    double totalMispredicts() const;
+
+    /** @return all buckets with their ids (unordered). */
+    std::vector<KeyedBucketCounts> nonEmpty() const;
+
+    void clear() { counts_.clear(); }
+
+  private:
+    std::unordered_map<std::uint64_t, BucketCounts> counts_;
+};
+
+/**
+ * Equal-weight compositor: give each added component the same total
+ * reference mass (Section 1.2's averaging rule). Works for both dense
+ * stats (same bucket space) and keyed lists.
+ */
+class EqualWeightComposite
+{
+  public:
+    /** @param num_buckets Bucket-space size of the dense composite. */
+    explicit EqualWeightComposite(std::uint64_t num_buckets);
+
+    /**
+     * Add one benchmark's stats; it will be scaled so its total refs
+     * equal the common mass (1e6 by convention — only ratios matter).
+     */
+    void add(const BucketStats &benchmark_stats);
+
+    /** @return the composite (valid after >= 1 add). */
+    const BucketStats &result() const { return composite_; }
+
+  private:
+    BucketStats composite_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_METRICS_BUCKET_STATS_H

@@ -1,0 +1,46 @@
+#include "metrics/classification_metrics.h"
+
+namespace confsim {
+
+ClassificationMetrics
+computeMetrics(const ConfusionCounts &counts)
+{
+    ClassificationMetrics out;
+    const double total = counts.total();
+    const double low = counts.lowMispredicted + counts.lowCorrect;
+    const double high = counts.highMispredicted + counts.highCorrect;
+    const double mispredicted =
+        counts.lowMispredicted + counts.highMispredicted;
+    const double correct = counts.lowCorrect + counts.highCorrect;
+
+    out.lowFraction = total > 0.0 ? low / total : 0.0;
+    out.sensitivity =
+        mispredicted > 0.0 ? counts.lowMispredicted / mispredicted : 0.0;
+    out.specificity = correct > 0.0 ? counts.highCorrect / correct : 0.0;
+    out.pvn = low > 0.0 ? counts.lowMispredicted / low : 0.0;
+    out.pvp = high > 0.0 ? counts.highCorrect / high : 0.0;
+    return out;
+}
+
+ConfusionCounts
+confusionFromBuckets(const std::vector<KeyedBucketCounts> &counts,
+                     const std::vector<bool> &low_mask)
+{
+    ConfusionCounts out;
+    for (const auto &entry : counts) {
+        const bool low = entry.bucket < low_mask.size() &&
+                         low_mask[entry.bucket];
+        const double correct =
+            entry.counts.refs - entry.counts.mispredicts;
+        if (low) {
+            out.lowMispredicted += entry.counts.mispredicts;
+            out.lowCorrect += correct;
+        } else {
+            out.highMispredicted += entry.counts.mispredicts;
+            out.highCorrect += correct;
+        }
+    }
+    return out;
+}
+
+} // namespace confsim

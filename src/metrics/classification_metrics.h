@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Binary-split quality metrics for a high/low confidence partition.
+ *
+ * Treating "misprediction" as the positive class and "flagged low
+ * confidence" as the positive test, the standard quantities follow-on
+ * work (e.g. Grunwald et al., "Confidence Estimation for Speculation
+ * Control", ISCA 1998) adopted for exactly these estimators:
+ *
+ *  - sensitivity (SENS): fraction of mispredictions flagged low,
+ *  - specificity (SPEC): fraction of correct predictions flagged high,
+ *  - predictive value of a negative/low signal (PVN): fraction of
+ *    low-flagged predictions that are actually mispredicted,
+ *  - predictive value of a positive/high signal (PVP): fraction of
+ *    high-flagged predictions that are actually correct.
+ *
+ * The paper's "X% of dynamic branches capture Y% of mispredictions"
+ * reading corresponds to (lowFraction, sensitivity).
+ */
+
+#ifndef CONFSIM_METRICS_CLASSIFICATION_METRICS_H
+#define CONFSIM_METRICS_CLASSIFICATION_METRICS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/bucket_stats.h"
+
+namespace confsim {
+
+/** Confusion-matrix counts for a binary confidence split. */
+struct ConfusionCounts
+{
+    double lowMispredicted = 0.0;   //!< flagged low, was mispredicted
+    double lowCorrect = 0.0;        //!< flagged low, was correct
+    double highMispredicted = 0.0;  //!< flagged high, was mispredicted
+    double highCorrect = 0.0;       //!< flagged high, was correct
+
+    double total() const
+    {
+        return lowMispredicted + lowCorrect + highMispredicted +
+               highCorrect;
+    }
+};
+
+/** Derived binary-split metrics. */
+struct ClassificationMetrics
+{
+    double lowFraction = 0.0;  //!< fraction of predictions flagged low
+    double sensitivity = 0.0;  //!< mispredictions caught by the low set
+    double specificity = 0.0;  //!< correct predictions left in high set
+    double pvn = 0.0;          //!< P(mispredict | low)
+    double pvp = 0.0;          //!< P(correct | high)
+};
+
+/** Compute the derived metrics from confusion counts. */
+ClassificationMetrics computeMetrics(const ConfusionCounts &counts);
+
+/**
+ * Build confusion counts from per-bucket statistics and a low-bucket
+ * mask (bucket id indexes the mask; out-of-range ids count as high).
+ */
+ConfusionCounts
+confusionFromBuckets(const std::vector<KeyedBucketCounts> &counts,
+                     const std::vector<bool> &low_mask);
+
+} // namespace confsim
+
+#endif // CONFSIM_METRICS_CLASSIFICATION_METRICS_H

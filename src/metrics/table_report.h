@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table-1-style reports: per-counter-value statistics for ordered
+ * (counter) confidence estimators.
+ *
+ * The paper's Table 1 lists, for each resetting-counter value 0..16:
+ * the misprediction rate at that value, the percentage of references
+ * and of mispredictions occurring at it, and the cumulative percentages
+ * from the top of the table (counter value 0 first — the natural
+ * low-confidence-first order for a resetting counter).
+ */
+
+#ifndef CONFSIM_METRICS_TABLE_REPORT_H
+#define CONFSIM_METRICS_TABLE_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/bucket_stats.h"
+
+namespace confsim {
+
+/** One row of a counter-value statistics table. */
+struct CounterTableRow
+{
+    std::uint64_t counterValue = 0;
+    double mispredictRate = 0.0;   //!< rate at this counter value
+    double refPercent = 0.0;       //!< % of all references
+    double mispredictPercent = 0.0; //!< % of all mispredictions
+    double cumRefPercent = 0.0;     //!< cumulative % of references
+    double cumMispredictPercent = 0.0; //!< cumulative % mispredictions
+};
+
+/**
+ * Build the rows in ascending counter-value order (value 0 = most
+ * recent misprediction = least confident first), with cumulative
+ * columns accumulated down the table exactly as in Table 1.
+ */
+std::vector<CounterTableRow>
+buildCounterTable(const BucketStats &stats);
+
+/** Render rows in the paper's column layout to a printable string. */
+std::string renderCounterTable(const std::vector<CounterTableRow> &rows);
+
+} // namespace confsim
+
+#endif // CONFSIM_METRICS_TABLE_REPORT_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The agree predictor [Sprangle, Chappell, Alsup & Patt, ISCA 1997].
+ *
+ * Instead of predicting taken/not-taken, the history-indexed counters
+ * predict whether the branch will AGREE with a per-branch bias bit
+ * (set to the branch's direction the first time it executes). Since
+ * most branches agree with their bias most of the time, two branches
+ * aliasing to the same counter usually push it the same way —
+ * destructive interference becomes neutral or constructive.
+ *
+ * Included because interference is the central theme of the paper's
+ * Section 5.3 small-table study: the agree transform is the classic
+ * predictor-side answer to the same aliasing problem the confidence
+ * tables face (cf. the tagged associative CT in confidence/).
+ */
+
+#ifndef CONFSIM_PREDICTOR_AGREE_H
+#define CONFSIM_PREDICTOR_AGREE_H
+
+#include <unordered_map>
+
+#include "predictor/branch_predictor.h"
+#include "predictor/history_register.h"
+#include "util/fixed_vector_table.h"
+#include "util/saturating_counter.h"
+
+namespace confsim {
+
+/** Bias-bit + agree-counter predictor over a gshare-style index. */
+class AgreePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param num_entries Agree-counter table size (power of two).
+     * @param history_bits Global history depth (<= index width).
+     * @param counter_bits Agree counter width.
+     */
+    AgreePredictor(std::size_t num_entries, unsigned history_bits,
+                   unsigned counter_bits = 2);
+
+    bool predict(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+    void reset() override;
+
+    /** @return the bias bit for @p pc (first-time default: taken). */
+    bool biasOf(std::uint64_t pc) const;
+
+  private:
+    std::uint64_t indexOf(std::uint64_t pc) const;
+
+    FixedVectorTable<SaturatingCounter> agreeTable_;
+    HistoryRegister history_;
+    unsigned counterBits_;
+    /**
+     * Per-static-branch bias bits, set at first execution. Real
+     * hardware stores these alongside the instruction (BTB or i-cache
+     * line); an unbounded map models that per-static-branch storage,
+     * and storageBits() charges one bit per branch seen.
+     */
+    std::unordered_map<std::uint64_t, bool> bias_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_PREDICTOR_AGREE_H

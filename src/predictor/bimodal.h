@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Bimodal (Smith) predictor: a PC-indexed table of 2-bit saturating
+ * counters [Smith 1981]. Serves as the simple baseline and as one
+ * constituent of the hybrid predictor.
+ */
+
+#ifndef CONFSIM_PREDICTOR_BIMODAL_H
+#define CONFSIM_PREDICTOR_BIMODAL_H
+
+#include "predictor/branch_predictor.h"
+#include "util/fixed_vector_table.h"
+#include "util/saturating_counter.h"
+
+namespace confsim {
+
+/** PC-indexed saturating-counter predictor. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param num_entries Counter table size (power of two).
+     * @param counter_bits Counter width; 2 in all paper configurations.
+     */
+    explicit BimodalPredictor(std::size_t num_entries,
+                              unsigned counter_bits = 2);
+
+    bool predict(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+    void reset() override;
+
+  private:
+    std::uint64_t indexOf(std::uint64_t pc) const;
+
+    FixedVectorTable<SaturatingCounter> table_;
+    unsigned counterBits_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_PREDICTOR_BIMODAL_H

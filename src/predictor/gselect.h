@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The gselect predictor [McFarling 1993]: a 2-bit counter table
+ * indexed by the CONCATENATION of low PC bits and global history bits
+ * (where gshare XORs them). Included as the natural companion baseline
+ * to gshare — the same concatenate-vs-XOR trade-off the confidence
+ * index-scheme ablation studies (bench/ablation_index) exists at the
+ * predictor level, and gselect/gshare make it measurable.
+ */
+
+#ifndef CONFSIM_PREDICTOR_GSELECT_H
+#define CONFSIM_PREDICTOR_GSELECT_H
+
+#include "predictor/branch_predictor.h"
+#include "predictor/history_register.h"
+#include "util/fixed_vector_table.h"
+#include "util/saturating_counter.h"
+
+namespace confsim {
+
+/** Concatenated PC/history indexed two-bit counter predictor. */
+class GselectPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param num_entries Counter table size (power of two), 2^m.
+     * @param history_bits Global history depth h (< m); the index is
+     *        {history[h-1:0], pc[m-h+1:2]}.
+     * @param counter_bits Counter width.
+     */
+    GselectPredictor(std::size_t num_entries, unsigned history_bits,
+                     unsigned counter_bits = 2);
+
+    bool predict(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+    void reset() override;
+
+  private:
+    std::uint64_t indexOf(std::uint64_t pc) const;
+
+    FixedVectorTable<SaturatingCounter> table_;
+    HistoryRegister history_;
+    unsigned counterBits_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_PREDICTOR_GSELECT_H

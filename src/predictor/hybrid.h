@@ -1,0 +1,61 @@
+/**
+ * @file
+ * McFarling combining (hybrid) predictor [McFarling 1993; Evers et al.
+ * 1996 — refs 1 and 5 of the paper].
+ *
+ * Two constituent predictors run in parallel; a PC-indexed table of 2-bit
+ * "chooser" counters selects which constituent's prediction to use. The
+ * chooser trains toward the constituent that was correct when they
+ * disagree. This is the ad-hoc confidence mechanism the paper's
+ * hybrid-selector application (Section 1, application 3) aims to improve
+ * on; apps/hybrid_selector.h builds the confidence-based alternative.
+ */
+
+#ifndef CONFSIM_PREDICTOR_HYBRID_H
+#define CONFSIM_PREDICTOR_HYBRID_H
+
+#include <memory>
+
+#include "predictor/branch_predictor.h"
+#include "util/fixed_vector_table.h"
+#include "util/saturating_counter.h"
+
+namespace confsim {
+
+/** Chooser-based combination of two predictors. */
+class HybridPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param first Constituent selected when the chooser is low.
+     * @param second Constituent selected when the chooser is high.
+     * @param chooser_entries Chooser table size (power of two).
+     */
+    HybridPredictor(std::unique_ptr<BranchPredictor> first,
+                    std::unique_ptr<BranchPredictor> second,
+                    std::size_t chooser_entries);
+
+    bool predict(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+    void reset() override;
+
+    /** @return which constituent the chooser currently selects at @p pc:
+     *  false = first, true = second. */
+    bool selectsSecond(std::uint64_t pc) const;
+
+    /** @return constituent for white-box tests. */
+    const BranchPredictor &first() const { return *first_; }
+    /** @return constituent for white-box tests. */
+    const BranchPredictor &second() const { return *second_; }
+
+  private:
+    std::unique_ptr<BranchPredictor> first_;
+    std::unique_ptr<BranchPredictor> second_;
+    FixedVectorTable<SaturatingCounter> chooser_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_PREDICTOR_HYBRID_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Generalized two-level adaptive branch predictor [Yeh & Patt 1991].
+ *
+ * A first-level history structure (one global BHR, or a table of per-set
+ * local BHRs) selects a pattern, which indexes a second-level pattern
+ * history table (PHT) of saturating counters (one global PHT, or per-set
+ * PHTs). The combinations covered:
+ *  - GAg: global history, global PHT
+ *  - GAp: global history, per-address PHTs
+ *  - PAg: per-address history, global PHT
+ *  - PAp: per-address history, per-address PHTs
+ *
+ * Included as substrate richness: the paper situates CIR-table confidence
+ * mechanisms as "first cousins of dynamic branch predictors" [13], and
+ * the hybrid-selector application wants diverse constituents.
+ */
+
+#ifndef CONFSIM_PREDICTOR_TWO_LEVEL_H
+#define CONFSIM_PREDICTOR_TWO_LEVEL_H
+
+#include <vector>
+
+#include "predictor/branch_predictor.h"
+#include "util/fixed_vector_table.h"
+#include "util/saturating_counter.h"
+#include "util/shift_register.h"
+
+namespace confsim {
+
+/** Yeh-Patt scheme selector. */
+enum class TwoLevelScheme
+{
+    GAg, //!< global history register, single PHT
+    GAp, //!< global history register, PC-selected PHT
+    PAg, //!< per-address history table, single PHT
+    PAp, //!< per-address history table, PC-selected PHT
+};
+
+/** @return a short scheme name ("GAg", ...). */
+const char *toString(TwoLevelScheme scheme);
+
+/** Configurable two-level adaptive predictor. */
+class TwoLevelPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param scheme Which Yeh-Patt variant.
+     * @param history_bits Branch history register depth (PHT index width).
+     * @param bhr_entries Number of level-1 history registers (ignored for
+     *        GAg/GAp which use a single global register).
+     * @param pht_sets Number of level-2 PHTs (ignored for GAg/PAg which
+     *        use one).
+     * @param counter_bits PHT counter width.
+     */
+    TwoLevelPredictor(TwoLevelScheme scheme, unsigned history_bits,
+                      std::size_t bhr_entries = 1024,
+                      std::size_t pht_sets = 16,
+                      unsigned counter_bits = 2);
+
+    bool predict(std::uint64_t pc) const override;
+    void update(std::uint64_t pc, bool taken) override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+    void reset() override;
+
+  private:
+    const ShiftRegister &historyFor(std::uint64_t pc) const;
+    ShiftRegister &historyFor(std::uint64_t pc);
+    std::size_t phtSetFor(std::uint64_t pc) const;
+    const SaturatingCounter &counterFor(std::uint64_t pc) const;
+    SaturatingCounter &counterFor(std::uint64_t pc);
+
+    TwoLevelScheme scheme_;
+    unsigned historyBits_;
+    unsigned counterBits_;
+    /// Level 1: one register (global) or a table (per-address).
+    std::vector<ShiftRegister> histories_;
+    /// Level 2: one or more PHTs of saturating counters.
+    std::vector<FixedVectorTable<SaturatingCounter>> phts_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_PREDICTOR_TWO_LEVEL_H

@@ -1,0 +1,93 @@
+#include "sim/driver.h"
+
+#include "predictor/history_register.h"
+#include "util/shift_register.h"
+
+namespace confsim {
+
+SimulationDriver::SimulationDriver(
+    BranchPredictor &predictor,
+    std::vector<ConfidenceEstimator *> estimators, DriverOptions options)
+    : predictor_(predictor), estimators_(std::move(estimators)),
+      options_(options)
+{}
+
+DriverResult
+SimulationDriver::run(TraceSource &source)
+{
+    DriverResult result;
+    result.estimatorStats.reserve(estimators_.size());
+    for (const auto *estimator : estimators_)
+        result.estimatorStats.emplace_back(estimator->numBuckets());
+
+    // Architectural context registers, maintained by the driver so all
+    // estimators see identical history regardless of predictor type.
+    HistoryRegister bhr(options_.bhrBits);
+    ShiftRegister gcir(options_.gcirBits, 0);
+
+    BranchRecord record;
+    BranchContext ctx;
+    ctx.bhrBits = options_.bhrBits;
+    ctx.gcirBits = options_.gcirBits;
+
+    std::uint64_t simulated = 0;
+    std::uint64_t until_switch = options_.contextSwitchInterval;
+
+    while (source.next(record)) {
+        if (!record.isConditional())
+            continue;
+
+        ctx.pc = record.pc;
+        ctx.bhr = bhr.value();
+        ctx.gcir = gcir.value();
+
+        const bool predicted = predictor_.predict(record.pc);
+        const bool correct = (predicted == record.taken);
+        const bool recording =
+            simulated >= options_.warmupBranches;
+
+        if (recording) {
+            ++result.branches;
+            if (!correct)
+                ++result.mispredicts;
+        }
+
+        // Confidence estimators: bucket is read with the pre-update
+        // context; training sees the prediction's correctness.
+        for (std::size_t i = 0; i < estimators_.size(); ++i) {
+            const std::uint64_t bucket = estimators_[i]->bucketOf(ctx);
+            if (recording)
+                result.estimatorStats[i].record(bucket, !correct);
+            estimators_[i]->update(ctx, correct, record.taken);
+        }
+
+        if (options_.profileStatic && recording) {
+            result.staticProfile.record(record.pc, !correct,
+                                        record.taken);
+        }
+
+        // Predictor and architectural history train on the outcome.
+        predictor_.update(record.pc, record.taken);
+        bhr.recordOutcome(record.taken);
+        gcir.shiftIn(!correct);
+        ++simulated;
+
+        // Context-switch modelling (Section 5.4): periodically restore
+        // the microarchitectural structures to their power-on state.
+        if (options_.contextSwitchInterval != 0 &&
+            --until_switch == 0) {
+            until_switch = options_.contextSwitchInterval;
+            if (options_.flushPredictorOnSwitch)
+                predictor_.reset();
+            if (options_.flushEstimatorsOnSwitch) {
+                for (auto *estimator : estimators_)
+                    estimator->reset();
+            }
+            bhr.reset();
+            gcir.clear();
+        }
+    }
+    return result;
+}
+
+} // namespace confsim

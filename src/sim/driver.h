@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The trace-driven simulation driver.
+ *
+ * Orchestrates one benchmark run: for every conditional branch in the
+ * trace it queries the predictor, snapshots the architectural context
+ * (PC, global BHR, global CIR), queries each attached confidence
+ * estimator's bucket, resolves the branch, and trains everything in the
+ * paper's order (confidence tables and per-static-branch profile see
+ * the prediction's correctness; the predictor and the history registers
+ * see the outcome).
+ */
+
+#ifndef CONFSIM_SIM_DRIVER_H
+#define CONFSIM_SIM_DRIVER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "confidence/confidence_estimator.h"
+#include "confidence/static_confidence.h"
+#include "metrics/bucket_stats.h"
+#include "predictor/branch_predictor.h"
+#include "trace/trace_source.h"
+
+namespace confsim {
+
+/** Driver knobs. */
+struct DriverOptions
+{
+    unsigned bhrBits = 16;   //!< architectural global BHR width
+    unsigned gcirBits = 16;  //!< architectural global CIR width
+    bool profileStatic = false; //!< collect per-static-branch profile
+
+    /**
+     * Branches simulated before statistics collection begins. The
+     * structures still train during warmup; only the counters/curves
+     * exclude it. 0 = record from the first branch (the paper runs
+     * benchmarks "to their full length" and reports everything,
+     * including the initial-state effects Fig. 11 studies).
+     */
+    std::uint64_t warmupBranches = 0;
+
+    /**
+     * Model context switches: every this many branches the predictor
+     * and/or confidence structures are flushed back to their power-on
+     * state (per the flags below) and the architectural BHR/GCIR are
+     * cleared. 0 = never switch. Section 5.4 motivates this knob: the
+     * choice of CT initialization matters exactly because tables
+     * restart after context switches.
+     */
+    std::uint64_t contextSwitchInterval = 0;
+
+    /** Flush the branch predictor at a context switch. */
+    bool flushPredictorOnSwitch = true;
+
+    /** Flush the confidence estimators at a context switch. */
+    bool flushEstimatorsOnSwitch = true;
+};
+
+/** Everything one run produces. */
+struct DriverResult
+{
+    std::uint64_t branches = 0;     //!< conditional branches simulated
+    std::uint64_t mispredicts = 0;  //!< predictor misses
+
+    /** Per attached estimator: bucket statistics (same order). */
+    std::vector<BucketStats> estimatorStats;
+
+    /** Per-static-branch profile (when enabled). */
+    StaticBranchProfile staticProfile;
+
+    /** @return overall misprediction rate. */
+    double
+    mispredictRate() const
+    {
+        return branches == 0
+                   ? 0.0
+                   : static_cast<double>(mispredicts) /
+                         static_cast<double>(branches);
+    }
+};
+
+/** Runs a predictor plus confidence estimators over a trace. */
+class SimulationDriver
+{
+  public:
+    /**
+     * @param predictor The underlying predictor (not owned).
+     * @param estimators Attached confidence estimators (not owned; may
+     *        be empty).
+     * @param options Driver knobs.
+     */
+    SimulationDriver(BranchPredictor &predictor,
+                     std::vector<ConfidenceEstimator *> estimators,
+                     DriverOptions options = {});
+
+    /**
+     * Consume @p source from its current position to exhaustion.
+     * Non-conditional records train nothing and are skipped (the
+     * paper's mechanisms concern conditional branches only).
+     */
+    DriverResult run(TraceSource &source);
+
+  private:
+    BranchPredictor &predictor_;
+    std::vector<ConfidenceEstimator *> estimators_;
+    DriverOptions options_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_SIM_DRIVER_H

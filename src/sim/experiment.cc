@@ -1,0 +1,232 @@
+#include "sim/experiment.h"
+
+#include <cstdio>
+
+#include "util/ascii_plot.h"
+#include "util/csv.h"
+#include "util/string_utils.h"
+
+namespace confsim {
+
+bool
+ExperimentEnv::fromCli(int argc, const char *const *argv,
+                       const std::string &description,
+                       ExperimentEnv &env)
+{
+    CliParser cli(description);
+    cli.addOption("branches", "2000000",
+                  "conditional branches per benchmark");
+    cli.addOption("csv-dir", ".", "directory for CSV output");
+    cli.addFlag("fast", "reduced suite and short traces (smoke run)");
+    if (!cli.parse(argc, argv))
+        return false;
+    env.branchesPerBenchmark = cli.getUnsigned("branches");
+    env.csvDir = cli.getString("csv-dir");
+    if (cli.getFlag("fast")) {
+        env.fullSuite = false;
+        env.branchesPerBenchmark =
+            std::min<std::uint64_t>(env.branchesPerBenchmark, 200'000);
+    }
+    return true;
+}
+
+BenchmarkSuite
+ExperimentEnv::makeSuite() const
+{
+    return fullSuite ? BenchmarkSuite::ibs(branchesPerBenchmark)
+                     : BenchmarkSuite::ibsSmall(branchesPerBenchmark);
+}
+
+PredictorFactory
+largeGshareFactory()
+{
+    return [] {
+        return std::make_unique<GsharePredictor>(
+            paper::kLargePredictorEntries, paper::kLargeHistoryBits);
+    };
+}
+
+PredictorFactory
+smallGshareFactory()
+{
+    return [] {
+        return std::make_unique<GsharePredictor>(
+            paper::kSmallPredictorEntries, paper::kSmallHistoryBits);
+    };
+}
+
+EstimatorConfig
+oneLevelIdealConfig(IndexScheme scheme, std::size_t entries,
+                    unsigned cir_bits, CtInit init)
+{
+    EstimatorConfig config;
+    config.label = toString(scheme);
+    config.make = [=] {
+        return std::make_unique<OneLevelCirConfidence>(
+            scheme, entries, cir_bits, CirReduction::RawPattern, init);
+    };
+    return config;
+}
+
+EstimatorConfig
+oneLevelOnesCountConfig(IndexScheme scheme, std::size_t entries,
+                        unsigned cir_bits)
+{
+    EstimatorConfig config;
+    config.label = std::string(toString(scheme)) + ".1Cnt";
+    config.make = [=] {
+        return std::make_unique<OneLevelCirConfidence>(
+            scheme, entries, cir_bits, CirReduction::OnesCount,
+            CtInit::Ones);
+    };
+    return config;
+}
+
+EstimatorConfig
+oneLevelCounterConfig(IndexScheme scheme, CounterKind kind,
+                      std::size_t entries, std::uint32_t max_value)
+{
+    EstimatorConfig config;
+    config.label = std::string(toString(scheme)) + "." +
+                   (kind == CounterKind::Saturating ? "Sat" : "Reset");
+    config.make = [=] {
+        return std::make_unique<OneLevelCounterConfidence>(
+            scheme, entries, kind, max_value, 0);
+    };
+    return config;
+}
+
+EstimatorConfig
+twoLevelConfig(IndexScheme first_scheme, SecondLevelIndex second_index,
+               std::size_t first_entries, unsigned first_cir_bits,
+               unsigned second_cir_bits)
+{
+    EstimatorConfig config;
+    config.label = std::string(toString(first_scheme)) + "-" +
+                   toString(second_index);
+    config.make = [=] {
+        return std::make_unique<TwoLevelConfidence>(
+            first_scheme, first_entries, first_cir_bits, second_index,
+            second_cir_bits);
+    };
+    return config;
+}
+
+SuiteRunResult
+runSuiteExperiment(const ExperimentEnv &env,
+                   const PredictorFactory &make_predictor,
+                   const std::vector<EstimatorConfig> &estimators)
+{
+    SuiteRunner runner(env.makeSuite());
+    DriverOptions options;
+    options.bhrBits = paper::kLargeHistoryBits;
+    options.gcirBits = paper::kCirBits;
+    options.profileStatic = true;
+
+    EstimatorSetFactory make_estimators = [&estimators] {
+        std::vector<std::unique_ptr<ConfidenceEstimator>> out;
+        out.reserve(estimators.size());
+        for (const auto &config : estimators)
+            out.push_back(config.make());
+        return out;
+    };
+    return runner.run(make_predictor, make_estimators, options);
+}
+
+NamedCurve
+compositeCurve(const SuiteRunResult &result, std::size_t index,
+               const std::string &name)
+{
+    return NamedCurve{
+        name, ConfidenceCurve::fromBucketStats(
+                  result.compositeEstimatorStats.at(index))};
+}
+
+NamedCurve
+staticCompositeCurve(const SuiteRunResult &result)
+{
+    return NamedCurve{"static", ConfidenceCurve::fromSparseStats(
+                                    result.compositeStaticStats)};
+}
+
+void
+printCoverageSummary(const std::vector<NamedCurve> &curves)
+{
+    const double kPoints[] = {0.05, 0.10, 0.20, 0.30, 0.50};
+    std::printf("%-28s", "method");
+    for (double p : kPoints)
+        std::printf("  @%2.0f%%", p * 100.0);
+    std::printf("    AUC\n");
+    for (const auto &named : curves) {
+        std::printf("%-28s", named.name.c_str());
+        for (double p : kPoints) {
+            std::printf("  %5.1f",
+                        100.0 * named.curve.mispredCoverageAt(p));
+        }
+        std::printf("  %.4f\n", named.curve.areaUnderCurve());
+    }
+    std::printf("\n(cells: %% of all mispredictions captured by a "
+                "low-confidence set holding that %% of dynamic "
+                "branches)\n");
+}
+
+std::string
+plotCurves(const std::string &title,
+           const std::vector<NamedCurve> &curves)
+{
+    PlotOptions options;
+    options.title = title;
+    options.xLabel = "% of Dynamic Branches";
+    options.yLabel = "% of Mispredictions (cumulative)";
+    AsciiPlot plot(options);
+    for (const auto &named : curves) {
+        PlotSeries series;
+        series.name = named.name;
+        series.points.push_back({0.0, 0.0});
+        for (const auto &point : named.curve.thinnedPoints(0.0025)) {
+            series.points.push_back({100.0 * point.refFraction,
+                                     100.0 * point.mispredFraction});
+        }
+        series.points.push_back({100.0, 100.0});
+        plot.addSeries(series);
+    }
+    return plot.render();
+}
+
+void
+writeCurvesCsv(const std::string &path,
+               const std::vector<NamedCurve> &curves)
+{
+    CsvWriter csv(path);
+    csv.writeRow({"series", "bucket", "bucket_rate", "ref_pct",
+                  "mispred_pct"});
+    for (const auto &named : curves) {
+        for (const auto &point : named.curve.thinnedPoints(0.0025)) {
+            csv.writeRow({named.name, std::to_string(point.bucket),
+                          formatFixed(point.bucketRate, 6),
+                          formatFixed(100.0 * point.refFraction, 4),
+                          formatFixed(100.0 * point.mispredFraction,
+                                      4)});
+        }
+    }
+    std::printf("wrote %s\n", path.c_str());
+}
+
+void
+printMispredictionRates(const SuiteRunResult &result)
+{
+    std::printf("%-12s %12s %12s %10s\n", "benchmark", "branches",
+                "mispredicts", "rate");
+    for (const auto &bench : result.perBenchmark) {
+        std::printf("%-12s %12llu %12llu %9.2f%%\n",
+                    bench.name.c_str(),
+                    static_cast<unsigned long long>(bench.branches),
+                    static_cast<unsigned long long>(bench.mispredicts),
+                    100.0 * bench.mispredictRate);
+    }
+    std::printf("%-12s %12s %12s %9.2f%%  (equal-weight)\n\n",
+                "composite", "-", "-",
+                100.0 * result.compositeMispredictRate);
+}
+
+} // namespace confsim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared experiment plumbing for the figure/table bench harnesses.
+ *
+ * Centralizes the paper's canonical configurations (predictors, table
+ * geometries, trace lengths) plus the report helpers every bench binary
+ * uses: composite curve extraction, coverage summaries at reference
+ * operating points, ASCII figure plotting, and CSV emission. Keeping
+ * these here means each bench/figNN binary is a short declarative list
+ * of configurations — and that all figures share identical methodology.
+ */
+
+#ifndef CONFSIM_SIM_EXPERIMENT_H
+#define CONFSIM_SIM_EXPERIMENT_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "confidence/one_level.h"
+#include "confidence/two_level.h"
+#include "metrics/confidence_curve.h"
+#include "predictor/gshare.h"
+#include "sim/suite_runner.h"
+#include "util/cli.h"
+
+namespace confsim {
+
+/** Paper-canonical geometry constants. */
+namespace paper {
+
+constexpr std::size_t kLargePredictorEntries = std::size_t{1} << 16;
+constexpr unsigned kLargeHistoryBits = 16;
+constexpr std::size_t kSmallPredictorEntries = std::size_t{1} << 12;
+constexpr unsigned kSmallHistoryBits = 12;
+constexpr std::size_t kLargeCtEntries = std::size_t{1} << 16;
+constexpr unsigned kCirBits = 16;
+constexpr std::uint32_t kCounterMax = 16;
+
+} // namespace paper
+
+/** Runtime environment for a bench binary, parsed from its CLI. */
+struct ExperimentEnv
+{
+    std::uint64_t branchesPerBenchmark = 2'000'000;
+    std::string csvDir = ".";
+    bool fullSuite = true;
+
+    /**
+     * Parse standard bench options (--branches, --csv-dir, --fast).
+     * @return false if --help was printed (caller should exit 0).
+     */
+    static bool fromCli(int argc, const char *const *argv,
+                        const std::string &description,
+                        ExperimentEnv &env);
+
+    /** @return the configured IBS suite (full or reduced). */
+    BenchmarkSuite makeSuite() const;
+};
+
+/** A labelled estimator configuration. */
+struct EstimatorConfig
+{
+    std::string label;
+    std::function<std::unique_ptr<ConfidenceEstimator>()> make;
+};
+
+/** Factory for the paper's 64K-entry gshare. */
+PredictorFactory largeGshareFactory();
+
+/** Factory for the paper's 4K-entry gshare. */
+PredictorFactory smallGshareFactory();
+
+/** One-level CT with full CIRs and raw-pattern (ideal-ready) buckets. */
+EstimatorConfig
+oneLevelIdealConfig(IndexScheme scheme,
+                    std::size_t entries = paper::kLargeCtEntries,
+                    unsigned cir_bits = paper::kCirBits,
+                    CtInit init = CtInit::Ones);
+
+/** One-level CT with full CIRs and ones-count buckets. */
+EstimatorConfig
+oneLevelOnesCountConfig(IndexScheme scheme,
+                        std::size_t entries = paper::kLargeCtEntries,
+                        unsigned cir_bits = paper::kCirBits);
+
+/** One-level CT with embedded counters. */
+EstimatorConfig
+oneLevelCounterConfig(IndexScheme scheme, CounterKind kind,
+                      std::size_t entries = paper::kLargeCtEntries,
+                      std::uint32_t max_value = paper::kCounterMax);
+
+/** Two-level configuration with raw-pattern level-2 buckets. */
+EstimatorConfig
+twoLevelConfig(IndexScheme first_scheme, SecondLevelIndex second_index,
+               std::size_t first_entries = paper::kLargeCtEntries,
+               unsigned first_cir_bits = paper::kCirBits,
+               unsigned second_cir_bits = paper::kCirBits);
+
+/**
+ * Run the configurations over the environment's suite with static
+ * profiling enabled.
+ */
+SuiteRunResult
+runSuiteExperiment(const ExperimentEnv &env,
+                   const PredictorFactory &make_predictor,
+                   const std::vector<EstimatorConfig> &estimators);
+
+/** A named curve ready for reporting. */
+struct NamedCurve
+{
+    std::string name;
+    ConfidenceCurve curve;
+};
+
+/** Composite curve of estimator @p index from a suite run. */
+NamedCurve compositeCurve(const SuiteRunResult &result,
+                          std::size_t index, const std::string &name);
+
+/** Composite per-static-branch curve (the Section 2 method). */
+NamedCurve staticCompositeCurve(const SuiteRunResult &result);
+
+/**
+ * Print a coverage summary table: for each curve, the percent of
+ * mispredictions captured by low-confidence sets of 5/10/20/30/50%
+ * of dynamic branches, plus the curve AUC.
+ */
+void printCoverageSummary(const std::vector<NamedCurve> &curves);
+
+/** Render the paper-style cumulative plot of the curves. */
+std::string plotCurves(const std::string &title,
+                       const std::vector<NamedCurve> &curves);
+
+/**
+ * Write all curves to @p path as CSV rows:
+ * series,bucket,bucket_rate,ref_pct,mispred_pct
+ * (points thinned at 0.25% as in the paper's plotting rule).
+ */
+void writeCurvesCsv(const std::string &path,
+                    const std::vector<NamedCurve> &curves);
+
+/** Print per-benchmark and composite misprediction rates. */
+void printMispredictionRates(const SuiteRunResult &result);
+
+} // namespace confsim
+
+#endif // CONFSIM_SIM_EXPERIMENT_H

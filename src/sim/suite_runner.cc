@@ -1,0 +1,133 @@
+#include "sim/suite_runner.h"
+
+#include <cstdlib>
+#include <future>
+#include <thread>
+
+#include "util/status.h"
+
+namespace confsim {
+
+SuiteRunner::SuiteRunner(BenchmarkSuite suite)
+    : suite_(std::move(suite))
+{}
+
+namespace {
+
+/** Simulate one benchmark of a suite run. */
+BenchmarkRunResult
+runOneBenchmark(const BenchmarkSuite &suite, std::size_t bench,
+                const PredictorFactory &make_predictor,
+                const EstimatorSetFactory &make_estimators,
+                const DriverOptions &options)
+{
+    auto predictor = make_predictor();
+    if (!predictor)
+        fatal("predictor factory returned null");
+    auto estimators = make_estimators();
+    std::vector<ConfidenceEstimator *> raw;
+    raw.reserve(estimators.size());
+    for (auto &estimator : estimators)
+        raw.push_back(estimator.get());
+
+    auto generator = suite.makeGenerator(bench);
+    SimulationDriver driver(*predictor, raw, options);
+    DriverResult run_result = driver.run(*generator);
+
+    BenchmarkRunResult bench_result;
+    bench_result.name = suite.profile(bench).name;
+    bench_result.branches = run_result.branches;
+    bench_result.mispredicts = run_result.mispredicts;
+    bench_result.mispredictRate = run_result.mispredictRate();
+    bench_result.estimatorStats = std::move(run_result.estimatorStats);
+
+    if (options.profileStatic) {
+        // Re-key per-PC entries so distinct benchmarks never alias.
+        const std::uint64_t tag = static_cast<std::uint64_t>(bench)
+                                  << 48;
+        for (const auto &[pc, entry] :
+             run_result.staticProfile.entries()) {
+            bench_result.staticStats.recordAggregate(
+                tag | pc, static_cast<double>(entry.executions),
+                static_cast<double>(entry.mispredictions));
+        }
+    }
+    return bench_result;
+}
+
+} // namespace
+
+SuiteRunResult
+SuiteRunner::run(const PredictorFactory &make_predictor,
+                 const EstimatorSetFactory &make_estimators,
+                 DriverOptions options) const
+{
+    SuiteRunResult result;
+    double rate_sum = 0.0;
+
+    // Benchmarks are independent; fan them out. Results are collected
+    // in suite order, so output is identical to a sequential run.
+    const bool sequential =
+        std::getenv("CONFSIM_SEQUENTIAL") != nullptr ||
+        std::thread::hardware_concurrency() <= 1;
+
+    std::vector<BenchmarkRunResult> bench_results(suite_.size());
+    if (sequential) {
+        for (std::size_t bench = 0; bench < suite_.size(); ++bench) {
+            bench_results[bench] =
+                runOneBenchmark(suite_, bench, make_predictor,
+                                make_estimators, options);
+        }
+    } else {
+        std::vector<std::future<BenchmarkRunResult>> futures;
+        futures.reserve(suite_.size());
+        for (std::size_t bench = 0; bench < suite_.size(); ++bench) {
+            futures.push_back(std::async(
+                std::launch::async, [&, bench] {
+                    return runOneBenchmark(suite_, bench,
+                                           make_predictor,
+                                           make_estimators, options);
+                }));
+        }
+        for (std::size_t bench = 0; bench < suite_.size(); ++bench)
+            bench_results[bench] = futures[bench].get();
+    }
+
+    for (auto &bench_result : bench_results) {
+        rate_sum += bench_result.mispredictRate;
+        result.perBenchmark.push_back(std::move(bench_result));
+    }
+
+    // Estimator names come from a throwaway instance set (factories
+    // may have been invoked concurrently above; names are static per
+    // configuration).
+    for (const auto &estimator : make_estimators())
+        result.estimatorNames.push_back(estimator->name());
+
+    // Equal-weight composites.
+    const std::size_t num_estimators = result.estimatorNames.size();
+    for (std::size_t e = 0; e < num_estimators; ++e) {
+        EqualWeightComposite composite(
+            result.perBenchmark.front().estimatorStats[e].numBuckets());
+        for (const auto &bench_result : result.perBenchmark)
+            composite.add(bench_result.estimatorStats[e]);
+        result.compositeEstimatorStats.push_back(composite.result());
+    }
+
+    if (options.profileStatic) {
+        constexpr double kCommonMass = 1e6;
+        for (const auto &bench_result : result.perBenchmark) {
+            const double refs = bench_result.staticStats.totalRefs();
+            if (refs > 0.0) {
+                result.compositeStaticStats.addWeighted(
+                    bench_result.staticStats, kCommonMass / refs);
+            }
+        }
+    }
+
+    result.compositeMispredictRate =
+        rate_sum / static_cast<double>(suite_.size());
+    return result;
+}
+
+} // namespace confsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Suite-level experiment execution.
+ *
+ * Runs a (predictor, estimator set) configuration over every benchmark
+ * of a suite with fresh structures per benchmark (the paper initializes
+ * all tables at the start of each benchmark) and produces both
+ * per-benchmark results and the equal-dynamic-branch-weight composite
+ * of Section 1.2.
+ */
+
+#ifndef CONFSIM_SIM_SUITE_RUNNER_H
+#define CONFSIM_SIM_SUITE_RUNNER_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "metrics/bucket_stats.h"
+#include "sim/driver.h"
+#include "workload/suite.h"
+
+namespace confsim {
+
+/** Results of one benchmark inside a suite run. */
+struct BenchmarkRunResult
+{
+    std::string name;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    double mispredictRate = 0.0;
+    std::vector<BucketStats> estimatorStats;
+    SparseBucketStats staticStats; //!< per-PC (when profiling enabled)
+};
+
+/** Results of a full suite run. */
+struct SuiteRunResult
+{
+    std::vector<BenchmarkRunResult> perBenchmark;
+    std::vector<std::string> estimatorNames;
+
+    /** Equal-weight composite per estimator (suite order preserved). */
+    std::vector<BucketStats> compositeEstimatorStats;
+
+    /**
+     * Equal-weight composite of per-static-branch stats. Keys are
+     * (benchmark index << 48) | pc so the same address in different
+     * benchmarks stays a distinct static branch.
+     */
+    SparseBucketStats compositeStaticStats;
+
+    /** Equal-weight composite misprediction rate. */
+    double compositeMispredictRate = 0.0;
+};
+
+/** Builds a fresh predictor for one benchmark run. */
+using PredictorFactory =
+    std::function<std::unique_ptr<BranchPredictor>()>;
+
+/** Builds a fresh set of estimators for one benchmark run. */
+using EstimatorSetFactory =
+    std::function<std::vector<std::unique_ptr<ConfidenceEstimator>>()>;
+
+/** Runs configurations across a benchmark suite. */
+class SuiteRunner
+{
+  public:
+    /** @param suite Benchmarks to run (copied). */
+    explicit SuiteRunner(BenchmarkSuite suite);
+
+    /**
+     * Run the configuration over every benchmark.
+     *
+     * Benchmarks are independent simulations, so they execute on a
+     * thread pool (one task per benchmark); results are merged in
+     * suite order, so the output is bit-identical to a sequential
+     * run. Set the CONFSIM_SEQUENTIAL environment variable to force
+     * single-threaded execution (e.g. when profiling).
+     *
+     * @param make_predictor Fresh-predictor factory (called once per
+     *        benchmark, possibly concurrently — must be thread-safe,
+     *        which stateless lambdas trivially are).
+     * @param make_estimators Fresh-estimator-set factory (same rule).
+     * @param options Driver knobs shared by all benchmarks.
+     */
+    SuiteRunResult run(const PredictorFactory &make_predictor,
+                       const EstimatorSetFactory &make_estimators,
+                       DriverOptions options = {}) const;
+
+    /** @return the suite being run. */
+    const BenchmarkSuite &suite() const { return suite_; }
+
+  private:
+    BenchmarkSuite suite_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_SIM_SUITE_RUNNER_H

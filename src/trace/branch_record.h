@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The unit of trace-driven simulation: one dynamic conditional branch.
+ *
+ * The paper's methodology (Section 1.2) is trace-driven simulation over
+ * the conditional-branch stream; everything downstream (predictors,
+ * confidence estimators, profilers) consumes a sequence of BranchRecords.
+ */
+
+#ifndef CONFSIM_TRACE_BRANCH_RECORD_H
+#define CONFSIM_TRACE_BRANCH_RECORD_H
+
+#include <cstdint>
+
+namespace confsim {
+
+/** Classification of a control-transfer instruction in a trace. */
+enum class BranchType : std::uint8_t
+{
+    Conditional = 0, //!< conditional direct branch (the paper's subject)
+    Unconditional,   //!< unconditional direct jump
+    Call,            //!< direct call
+    Return,          //!< return
+};
+
+/**
+ * One dynamic branch instance.
+ *
+ * pc and target are byte addresses; conditional-branch PCs are 4-byte
+ * aligned as on the MIPS/DEC machines the IBS traces came from, so
+ * indexing hardware uses pc >> 2.
+ */
+struct BranchRecord
+{
+    std::uint64_t pc = 0;      //!< address of the branch instruction
+    std::uint64_t target = 0;  //!< taken-path target address
+    bool taken = false;        //!< actual resolved direction
+    BranchType type = BranchType::Conditional;
+
+    /** @return true iff this record participates in prediction. */
+    bool isConditional() const { return type == BranchType::Conditional; }
+
+    bool operator==(const BranchRecord &other) const = default;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_TRACE_BRANCH_RECORD_H

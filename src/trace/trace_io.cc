@@ -1,0 +1,232 @@
+#include "trace/trace_io.h"
+
+#include <array>
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace confsim {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'C', 'B', 'T', '1'};
+constexpr std::size_t kHeaderSize = 12;
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(path, std::ios::binary)
+{
+    if (!out_)
+        fatal("cannot open trace file for writing: " + path);
+    out_.write(kMagic.data(), kMagic.size());
+    // Placeholder count; patched by finish().
+    const std::uint64_t zero = 0;
+    out_.write(reinterpret_cast<const char *>(&zero), sizeof(zero));
+}
+
+void
+TraceWriter::append(const BranchRecord &record)
+{
+    if (finished_)
+        panic("TraceWriter::append after finish");
+    const std::uint64_t pc_word = record.pc >> 2;
+    const std::uint64_t target_word = record.target >> 2;
+    writeVarint(zigZagEncode(
+        static_cast<std::int64_t>(pc_word - prevPcWord_)));
+    writeVarint(zigZagEncode(
+        static_cast<std::int64_t>(target_word - pc_word)));
+    const std::uint8_t flags =
+        (record.taken ? 1 : 0) |
+        (static_cast<std::uint8_t>(record.type) << 1);
+    out_.put(static_cast<char>(flags));
+    prevPcWord_ = pc_word;
+    ++count_;
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    out_.seekp(kMagic.size());
+    out_.write(reinterpret_cast<const char *>(&count_), sizeof(count_));
+    out_.close();
+    if (!out_)
+        fatal("error finalizing trace file");
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!finished_)
+        finish();
+}
+
+void
+TraceWriter::writeVarint(std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out_.put(static_cast<char>((value & 0x7F) | 0x80));
+        value >>= 7;
+    }
+    out_.put(static_cast<char>(value));
+}
+
+TraceFileReader::TraceFileReader(const std::string &path)
+    : in_(path, std::ios::binary), path_(path)
+{
+    if (!in_)
+        fatal("cannot open trace file: " + path);
+    readHeader();
+}
+
+void
+TraceFileReader::readHeader()
+{
+    std::array<char, 4> magic{};
+    in_.read(magic.data(), magic.size());
+    if (!in_ || magic != kMagic)
+        fatal("not a CBT1 trace file: " + path_);
+    in_.read(reinterpret_cast<char *>(&count_), sizeof(count_));
+    if (!in_)
+        fatal("truncated trace header: " + path_);
+}
+
+bool
+TraceFileReader::next(BranchRecord &record)
+{
+    if (produced_ >= count_)
+        return false;
+    const std::int64_t pc_delta = zigZagDecode(readVarint());
+    const std::uint64_t pc_word =
+        prevPcWord_ + static_cast<std::uint64_t>(pc_delta);
+    const std::int64_t target_delta = zigZagDecode(readVarint());
+    const std::uint64_t target_word =
+        pc_word + static_cast<std::uint64_t>(target_delta);
+    const int flags = in_.get();
+    if (flags < 0)
+        fatal("truncated trace record in " + path_);
+    record.pc = pc_word << 2;
+    record.target = target_word << 2;
+    record.taken = (flags & 1) != 0;
+    record.type = static_cast<BranchType>((flags >> 1) & 0x3);
+    prevPcWord_ = pc_word;
+    ++produced_;
+    return true;
+}
+
+void
+TraceFileReader::reset()
+{
+    in_.clear();
+    in_.seekg(kHeaderSize);
+    produced_ = 0;
+    prevPcWord_ = 0;
+}
+
+std::uint64_t
+TraceFileReader::readVarint()
+{
+    std::uint64_t value = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const int byte = in_.get();
+        if (byte < 0)
+            fatal("truncated varint in trace file " + path_);
+        value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0)
+            break;
+        shift += 7;
+        if (shift >= 64)
+            fatal("overlong varint in trace file " + path_);
+    }
+    return value;
+}
+
+TextTraceReader::TextTraceReader(const std::string &path)
+    : in_(path), path_(path)
+{
+    if (!in_)
+        fatal("cannot open text trace file: " + path);
+}
+
+bool
+TextTraceReader::next(BranchRecord &record)
+{
+    std::string line;
+    while (std::getline(in_, line)) {
+        ++lineNumber_;
+        // Skip blanks and comments.
+        std::size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+
+        const auto bad = [this]() -> bool {
+            fatal("malformed text trace line " +
+                  std::to_string(lineNumber_) + " in " + path_);
+        };
+
+        char taken_char = 0;
+        int type_value = -1;
+        unsigned long long pc = 0;
+        unsigned long long target = 0;
+        const int fields =
+            std::sscanf(line.c_str() + start, "%llx %llx %c %d", &pc,
+                        &target, &taken_char, &type_value);
+        if (fields != 4)
+            return bad();
+        if (taken_char != 'T' && taken_char != 'N')
+            return bad();
+        if (type_value < 0 || type_value > 3)
+            return bad();
+
+        record.pc = pc;
+        record.target = target;
+        record.taken = (taken_char == 'T');
+        record.type = static_cast<BranchType>(type_value);
+        return true;
+    }
+    return false;
+}
+
+void
+TextTraceReader::reset()
+{
+    in_.clear();
+    in_.seekg(0);
+    lineNumber_ = 0;
+}
+
+std::uint64_t
+writeTraceFile(TraceSource &source, const std::string &path)
+{
+    TraceWriter writer(path);
+    BranchRecord record;
+    std::uint64_t n = 0;
+    while (source.next(record)) {
+        writer.append(record);
+        ++n;
+    }
+    writer.finish();
+    return n;
+}
+
+std::uint64_t
+writeTextTrace(TraceSource &source, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open text trace for writing: " + path);
+    BranchRecord record;
+    std::uint64_t n = 0;
+    while (source.next(record)) {
+        out << std::hex << "0x" << record.pc << " 0x" << record.target
+            << std::dec << ' ' << (record.taken ? 'T' : 'N') << ' '
+            << static_cast<int>(record.type) << '\n';
+        ++n;
+    }
+    return n;
+}
+
+} // namespace confsim

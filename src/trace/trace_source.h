@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Streaming trace abstraction.
+ *
+ * Traces can be hundreds of millions of branches, so the simulator pulls
+ * records one at a time through this interface instead of materializing
+ * vectors. Both the synthetic workload generator and the trace-file
+ * reader implement it.
+ */
+
+#ifndef CONFSIM_TRACE_TRACE_SOURCE_H
+#define CONFSIM_TRACE_TRACE_SOURCE_H
+
+#include "trace/branch_record.h"
+
+namespace confsim {
+
+/** Pull-model source of dynamic branch records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record.
+     *
+     * @param record Output parameter; valid only when true is returned.
+     * @return false when the trace is exhausted.
+     */
+    virtual bool next(BranchRecord &record) = 0;
+
+    /** Rewind to the beginning (required for two-pass profiling). */
+    virtual void reset() = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_TRACE_TRACE_SOURCE_H

@@ -1,0 +1,34 @@
+#include "trace/trace_stats.h"
+
+namespace confsim {
+
+TraceStats
+collectTraceStats(TraceSource &source)
+{
+    TraceStats stats;
+    BranchRecord record;
+    while (source.next(record)) {
+        ++stats.totalRecords;
+        switch (record.type) {
+          case BranchType::Conditional:
+            ++stats.conditionalCount;
+            if (record.taken)
+                ++stats.takenCount;
+            ++stats.perPcCounts[record.pc];
+            break;
+          case BranchType::Call:
+            ++stats.callCount;
+            break;
+          case BranchType::Return:
+            ++stats.returnCount;
+            break;
+          case BranchType::Unconditional:
+            ++stats.unconditionalCount;
+            break;
+        }
+    }
+    stats.staticBranchCount = stats.perPcCounts.size();
+    return stats;
+}
+
+} // namespace confsim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Basic descriptive statistics over a branch trace: dynamic counts per
+ * branch type, taken rate, static working-set size, and per-static-branch
+ * execution counts. Used by tests to validate the synthetic workloads and
+ * by the examples to characterize traces.
+ */
+
+#ifndef CONFSIM_TRACE_TRACE_STATS_H
+#define CONFSIM_TRACE_TRACE_STATS_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "trace/trace_source.h"
+
+namespace confsim {
+
+/** Aggregate statistics computed by a single pass over a trace. */
+struct TraceStats
+{
+    std::uint64_t totalRecords = 0;       //!< all branch records
+    std::uint64_t conditionalCount = 0;   //!< conditional branches only
+    std::uint64_t takenCount = 0;         //!< taken conditional branches
+    std::uint64_t staticBranchCount = 0;  //!< distinct conditional PCs
+    std::uint64_t callCount = 0;
+    std::uint64_t returnCount = 0;
+    std::uint64_t unconditionalCount = 0;
+
+    /** Dynamic execution count of each static conditional branch. */
+    std::unordered_map<std::uint64_t, std::uint64_t> perPcCounts;
+
+    /** @return fraction of conditional branches that were taken. */
+    double
+    takenRate() const
+    {
+        return conditionalCount == 0
+                   ? 0.0
+                   : static_cast<double>(takenCount) / conditionalCount;
+    }
+};
+
+/** Consume @p source (from its current position) and compute statistics. */
+TraceStats collectTraceStats(TraceSource &source);
+
+} // namespace confsim
+
+#endif // CONFSIM_TRACE_TRACE_STATS_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * In-memory trace source; primarily for unit tests and small workloads.
+ */
+
+#ifndef CONFSIM_TRACE_VECTOR_TRACE_SOURCE_H
+#define CONFSIM_TRACE_VECTOR_TRACE_SOURCE_H
+
+#include <utility>
+#include <vector>
+
+#include "trace/trace_source.h"
+
+namespace confsim {
+
+/** TraceSource backed by a std::vector of records. */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<BranchRecord> records)
+        : records_(std::move(records))
+    {}
+
+    bool
+    next(BranchRecord &record) override
+    {
+        if (pos_ >= records_.size())
+            return false;
+        record = records_[pos_++];
+        return true;
+    }
+
+    void reset() override { pos_ = 0; }
+
+    /** @return the backing records (for test assertions). */
+    const std::vector<BranchRecord> &records() const { return records_; }
+
+  private:
+    std::vector<BranchRecord> records_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_TRACE_VECTOR_TRACE_SOURCE_H

@@ -1,0 +1,141 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+#include "util/string_utils.h"
+
+namespace confsim {
+
+namespace {
+
+const char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+} // namespace
+
+AsciiPlot::AsciiPlot(PlotOptions options)
+    : options_(std::move(options))
+{
+    if (options_.width < 10 || options_.height < 5)
+        fatal("AsciiPlot canvas too small");
+    if (options_.xMax <= options_.xMin || options_.yMax <= options_.yMin)
+        fatal("AsciiPlot requires a non-empty axis range");
+}
+
+void
+AsciiPlot::addSeries(const PlotSeries &series)
+{
+    if (series_.size() >= sizeof(kGlyphs))
+        fatal("AsciiPlot supports at most 8 series");
+    series_.push_back(series);
+}
+
+std::string
+AsciiPlot::render() const
+{
+    const unsigned w = options_.width;
+    const unsigned h = options_.height;
+    std::vector<std::string> canvas(h, std::string(w, ' '));
+
+    auto toCol = [&](double x) -> long {
+        const double f =
+            (x - options_.xMin) / (options_.xMax - options_.xMin);
+        return std::lround(f * (w - 1));
+    };
+    auto toRow = [&](double y) -> long {
+        const double f =
+            (y - options_.yMin) / (options_.yMax - options_.yMin);
+        // Row 0 is the top of the canvas.
+        return std::lround((1.0 - f) * (h - 1));
+    };
+    auto plotCell = [&](long col, long row, char glyph) {
+        if (col < 0 || col >= static_cast<long>(w) || row < 0 ||
+            row >= static_cast<long>(h)) {
+            return;
+        }
+        canvas[static_cast<std::size_t>(row)]
+              [static_cast<std::size_t>(col)] = glyph;
+    };
+
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+        const char glyph = kGlyphs[s];
+        const auto &pts = series_[s].points;
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            plotCell(toCol(pts[i].first), toRow(pts[i].second), glyph);
+            if (options_.connectPoints && i + 1 < pts.size()) {
+                // Interpolate along the longer axis so segments are
+                // visually continuous.
+                const long c0 = toCol(pts[i].first);
+                const long r0 = toRow(pts[i].second);
+                const long c1 = toCol(pts[i + 1].first);
+                const long r1 = toRow(pts[i + 1].second);
+                const long steps =
+                    std::max(std::labs(c1 - c0), std::labs(r1 - r0));
+                for (long t = 1; t < steps; ++t) {
+                    const long c = c0 + (c1 - c0) * t / steps;
+                    const long r = r0 + (r1 - r0) * t / steps;
+                    plotCell(c, r, glyph);
+                }
+            }
+        }
+    }
+
+    std::string out;
+    if (!options_.title.empty())
+        out += options_.title + "\n";
+    if (!options_.yLabel.empty())
+        out += options_.yLabel + "\n";
+
+    const std::size_t margin = 8;
+    for (unsigned row = 0; row < h; ++row) {
+        std::string label;
+        if (row == 0) {
+            label = formatFixed(options_.yMax, 0);
+        } else if (row == h - 1) {
+            label = formatFixed(options_.yMin, 0);
+        } else if (row == (h - 1) / 2) {
+            label = formatFixed(
+                (options_.yMax + options_.yMin) / 2.0, 0);
+        }
+        out += padLeft(label, margin - 2) + " |" + canvas[row] + "\n";
+    }
+
+    out += std::string(margin, ' ');
+    out.back() = '+';
+    out += std::string(w, '-') + "\n";
+
+    std::string xaxis(margin + w, ' ');
+    const std::string x0 = formatFixed(options_.xMin, 0);
+    const std::string xmid =
+        formatFixed((options_.xMin + options_.xMax) / 2.0, 0);
+    const std::string x1 = formatFixed(options_.xMax, 0);
+    auto place = [&xaxis](std::size_t pos, const std::string &text) {
+        if (pos + text.size() <= xaxis.size())
+            xaxis.replace(pos, text.size(), text);
+    };
+    place(margin, x0);
+    if (xmid.size() / 2 <= margin + w / 2)
+        place(margin + w / 2 - xmid.size() / 2, xmid);
+    if (x1.size() <= margin + w)
+        place(margin + w - x1.size(), x1);
+    out += xaxis + "\n";
+
+    if (!options_.xLabel.empty()) {
+        const std::size_t center = margin + w / 2;
+        const std::size_t indent =
+            options_.xLabel.size() / 2 <= center
+                ? center - options_.xLabel.size() / 2
+                : 0;
+        out += std::string(indent, ' ') + options_.xLabel + "\n";
+    }
+
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+        out += "    ";
+        out += kGlyphs[s];
+        out += "  " + series_[s].name + "\n";
+    }
+    return out;
+}
+
+} // namespace confsim

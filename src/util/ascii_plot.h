@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Terminal line/scatter plotting.
+ *
+ * The paper's evaluation is entirely graphs of cumulative mispredictions
+ * versus cumulative dynamic branches. The bench harnesses render those
+ * same graphs as ASCII art so the figure shape (steepness, knee location,
+ * zero-bucket gap) can be eyeballed directly in the terminal, in addition
+ * to the CSVs they write.
+ */
+
+#ifndef CONFSIM_UTIL_ASCII_PLOT_H
+#define CONFSIM_UTIL_ASCII_PLOT_H
+
+#include <string>
+#include <vector>
+
+namespace confsim {
+
+/** One named data series: a polyline of (x, y) points. */
+struct PlotSeries
+{
+    std::string name;                            //!< legend label
+    std::vector<std::pair<double, double>> points; //!< sorted by x
+};
+
+/** Configuration for an AsciiPlot canvas. */
+struct PlotOptions
+{
+    unsigned width = 72;    //!< plot area width in character cells
+    unsigned height = 24;   //!< plot area height in character cells
+    double xMin = 0.0;
+    double xMax = 100.0;
+    double yMin = 0.0;
+    double yMax = 100.0;
+    std::string xLabel;
+    std::string yLabel;
+    std::string title;
+    bool connectPoints = true; //!< linearly interpolate between points
+};
+
+/**
+ * Renders one or more series onto a character canvas with axes, tick
+ * labels, and a legend (each series gets a distinct glyph).
+ */
+class AsciiPlot
+{
+  public:
+    explicit AsciiPlot(PlotOptions options);
+
+    /** Add a series; at most 8 series are supported per plot. */
+    void addSeries(const PlotSeries &series);
+
+    /** Render the plot to a multi-line string. */
+    std::string render() const;
+
+  private:
+    PlotOptions options_;
+    std::vector<PlotSeries> series_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_UTIL_ASCII_PLOT_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal command-line option parser for the example and bench binaries.
+ *
+ * Supports "--name value" and "--name=value" long options plus "--flag"
+ * booleans; anything else is a positional argument. Unknown options are
+ * fatal so typos surface immediately.
+ */
+
+#ifndef CONFSIM_UTIL_CLI_H
+#define CONFSIM_UTIL_CLI_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace confsim {
+
+/** Declarative option table + parsed-value access. */
+class CliParser
+{
+  public:
+    /** @param program_description One-line description for --help. */
+    explicit CliParser(std::string program_description);
+
+    /** Register a string option with a default value. */
+    void addOption(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Register a boolean flag (defaults to false). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. On "--help" prints usage and returns false (caller
+     * should exit 0). Calls fatal() on unknown options.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    /** @return the parsed (or default) value of a string option. */
+    std::string getString(const std::string &name) const;
+
+    /** @return the option parsed as an unsigned integer. */
+    std::uint64_t getUnsigned(const std::string &name) const;
+
+    /** @return the option parsed as a double. */
+    double getDouble(const std::string &name) const;
+
+    /** @return true iff the flag was given. */
+    bool getFlag(const std::string &name) const;
+
+    /** @return positional arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+  private:
+    struct Option
+    {
+        std::string value;
+        std::string help;
+        bool isFlag = false;
+    };
+
+    std::string usageText(const std::string &argv0) const;
+    const Option &lookup(const std::string &name) const;
+
+    std::string description_;
+    std::map<std::string, Option> options_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_UTIL_CLI_H

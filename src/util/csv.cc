@@ -1,0 +1,65 @@
+#include "util/csv.h"
+
+#include "util/status.h"
+#include "util/string_utils.h"
+
+namespace confsim {
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out_(path)
+{
+    if (!out_)
+        fatal("cannot open CSV output file: " + path);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out_ << ',';
+        out_ << escapeCell(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeNumericRow(const std::vector<double> &cells, int decimals)
+{
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (double c : cells)
+        formatted.push_back(formatFixed(c, decimals));
+    writeRow(formatted);
+}
+
+void
+CsvWriter::close()
+{
+    if (out_.is_open())
+        out_.close();
+}
+
+CsvWriter::~CsvWriter()
+{
+    close();
+}
+
+std::string
+CsvWriter::escapeCell(const std::string &cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace confsim

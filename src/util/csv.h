@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal CSV writer used by the bench harnesses to save every figure's
+ * data series next to the terminal output.
+ */
+
+#ifndef CONFSIM_UTIL_CSV_H
+#define CONFSIM_UTIL_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace confsim {
+
+/**
+ * Writes rows of string/number cells to a CSV file. Cells containing
+ * commas, quotes, or newlines are quoted per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; calls fatal() if it cannot be opened. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write a row of pre-formatted cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Write a row of doubles with @p decimals precision. */
+    void writeNumericRow(const std::vector<double> &cells,
+                         int decimals = 6);
+
+    /** Flush and close; also performed by the destructor. */
+    void close();
+
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+  private:
+    static std::string escapeCell(const std::string &cell);
+
+    std::ofstream out_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_UTIL_CSV_H

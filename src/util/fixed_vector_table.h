@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Direct-mapped hardware table template.
+ *
+ * Predictor pattern-history tables and confidence CIR tables are all
+ * power-of-two direct-mapped arrays indexed by a hash of PC/BHR bits.
+ * This template centralizes the index masking, bounds discipline, and
+ * storage-bit accounting that the paper's cost discussion (Section 5.3)
+ * relies on.
+ */
+
+#ifndef CONFSIM_UTIL_FIXED_VECTOR_TABLE_H
+#define CONFSIM_UTIL_FIXED_VECTOR_TABLE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/status.h"
+
+namespace confsim {
+
+/**
+ * A power-of-two sized, direct-mapped table of entries of type T.
+ *
+ * @tparam T Entry type (counter, shift register, ...).
+ */
+template <typename T>
+class FixedVectorTable
+{
+  public:
+    /**
+     * @param num_entries Table size; must be a power of two.
+     * @param prototype Value every entry is initialized to.
+     * @param bits_per_entry Storage cost of one entry, for
+     *        storageBits() accounting.
+     */
+    FixedVectorTable(std::size_t num_entries, const T &prototype,
+                     unsigned bits_per_entry)
+        : entries_(checkSize(num_entries), prototype),
+          indexBits_(log2Exact(num_entries)),
+          bitsPerEntry_(bits_per_entry)
+    {}
+
+    /** @return entry selected by the low index bits of @p index. */
+    T &operator[](std::uint64_t index)
+    {
+        return entries_[index & mask(indexBits_)];
+    }
+
+    /** @return entry selected by the low index bits of @p index. */
+    const T &operator[](std::uint64_t index) const
+    {
+        return entries_[index & mask(indexBits_)];
+    }
+
+    /** @return number of entries. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** @return log2(size()): the number of index bits consumed. */
+    unsigned indexBits() const { return indexBits_; }
+
+    /** @return total storage in bits (the paper's cost metric). */
+    std::uint64_t
+    storageBits() const
+    {
+        return static_cast<std::uint64_t>(entries_.size()) * bitsPerEntry_;
+    }
+
+    /** Reset every entry to @p prototype. */
+    void
+    fill(const T &prototype)
+    {
+        for (auto &entry : entries_)
+            entry = prototype;
+    }
+
+    /** Mutable iteration support (used by randomized initialization). */
+    auto begin() { return entries_.begin(); }
+    auto end() { return entries_.end(); }
+    auto begin() const { return entries_.begin(); }
+    auto end() const { return entries_.end(); }
+
+  private:
+    static std::size_t
+    checkSize(std::size_t num_entries)
+    {
+        if (!isPowerOfTwo(num_entries))
+            fatal("table size must be a power of two");
+        return num_entries;
+    }
+
+    std::vector<T> entries_;
+    unsigned indexBits_;
+    unsigned bitsPerEntry_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_UTIL_FIXED_VECTOR_TABLE_H

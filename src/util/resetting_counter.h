@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Resetting counter — the reduction function the paper recommends
+ * (Section 5.1, "Resetting Counters").
+ *
+ * The counter is incremented (saturating at max) on every correct
+ * prediction and reset to zero on any misprediction, so its value is
+ * "number of correct predictions since the last misprediction, capped".
+ * A saturated counter is the compressed equivalent of the all-zeros CIR
+ * ("zero bucket"); value 0 means the most recent prediction missed.
+ */
+
+#ifndef CONFSIM_UTIL_RESETTING_COUNTER_H
+#define CONFSIM_UTIL_RESETTING_COUNTER_H
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace confsim {
+
+/** Increment-on-correct, reset-on-incorrect counter clamped to [0, max]. */
+class ResettingCounter
+{
+  public:
+    /**
+     * @param max Saturation ceiling (inclusive); the paper uses 16 to
+     *            match 16-bit CIRs. Must be >= 1.
+     * @param initial Starting value, clamped to [0, max].
+     */
+    explicit ResettingCounter(std::uint32_t max, std::uint32_t initial = 0)
+        : max_(max), value_(initial > max ? max : initial)
+    {
+        if (max == 0)
+            fatal("ResettingCounter requires max >= 1");
+    }
+
+    /**
+     * Record a prediction outcome.
+     *
+     * @param correct true if the prediction was correct.
+     * @return the new counter value.
+     */
+    std::uint32_t
+    record(bool correct)
+    {
+        if (correct) {
+            if (value_ < max_)
+                ++value_;
+        } else {
+            value_ = 0;
+        }
+        return value_;
+    }
+
+    /** @return current value in [0, max]. */
+    std::uint32_t value() const { return value_; }
+
+    /** @return the saturation ceiling. */
+    std::uint32_t max() const { return max_; }
+
+    /** @return true iff the counter is saturated (the "zero bucket"). */
+    bool isMax() const { return value_ == max_; }
+
+    /** Force the value (clamped); used by table initialization. */
+    void
+    set(std::uint32_t value)
+    {
+        value_ = value > max_ ? max_ : value;
+    }
+
+  private:
+    std::uint32_t max_;
+    std::uint32_t value_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_UTIL_RESETTING_COUNTER_H

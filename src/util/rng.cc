@@ -1,0 +1,147 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace confsim {
+
+namespace {
+
+/** SplitMix64 step; used for seeding and for Rng::split(). */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Expand the seed with SplitMix64 as the xoshiro authors recommend;
+    // guarantees a non-zero state for any seed.
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits -> uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBelow called with bound == 0");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::nextInRange(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::nextInRange called with lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+bool
+Rng::nextBernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    if (p <= 0.0 || p > 1.0)
+        panic("Rng::nextGeometric requires 0 < p <= 1");
+    if (p == 1.0)
+        return 0;
+    // Inverse transform: floor(log(U) / log(1 - p)).
+    const double u = 1.0 - nextDouble(); // in (0, 1]
+    return static_cast<std::uint64_t>(
+        std::floor(std::log(u) / std::log1p(-p)));
+}
+
+Rng
+Rng::split()
+{
+    std::uint64_t s = next();
+    return Rng(splitMix64(s));
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s)
+{
+    if (n == 0)
+        fatal("ZipfSampler requires at least one rank");
+    cdf_.resize(n);
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+        cdf_[r] = total;
+    }
+    for (auto &c : cdf_)
+        c /= total;
+    cdf_.back() = 1.0; // guard against rounding
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.nextDouble();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double
+ZipfSampler::probabilityOf(std::size_t r) const
+{
+    if (r >= cdf_.size())
+        panic("ZipfSampler::probabilityOf rank out of range");
+    return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+} // namespace confsim

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Streaming summary statistics (Welford's algorithm) and a simple
+ * fixed-width histogram. Used by the robustness harnesses
+ * (bench/ablation_seed_sensitivity) and available to applications that
+ * aggregate per-run metrics.
+ */
+
+#ifndef CONFSIM_UTIL_RUNNING_STATS_H
+#define CONFSIM_UTIL_RUNNING_STATS_H
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace confsim {
+
+/** Numerically stable streaming mean/variance/min/max. */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void
+    add(double value)
+    {
+        ++count_;
+        const double delta = value - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (value - mean_);
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+
+    /** @return number of observations. */
+    std::uint64_t count() const { return count_; }
+
+    /** @return sample mean (0 when empty). */
+    double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+    /** @return population variance (0 with < 2 observations). */
+    double
+    variance() const
+    {
+        return count_ < 2 ? 0.0
+                          : m2_ / static_cast<double>(count_);
+    }
+
+    /** @return population standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** @return sample variance (n - 1 denominator). */
+    double
+    sampleVariance() const
+    {
+        return count_ < 2 ? 0.0
+                          : m2_ / static_cast<double>(count_ - 1);
+    }
+
+    /** @return smallest observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** @return largest observation (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Merge another accumulator (parallel-friendly). */
+    void
+    merge(const RunningStats &other)
+    {
+        if (other.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = other;
+            return;
+        }
+        const double total =
+            static_cast<double>(count_ + other.count_);
+        const double delta = other.mean_ - mean_;
+        m2_ += other.m2_ + delta * delta *
+                               static_cast<double>(count_) *
+                               static_cast<double>(other.count_) /
+                               total;
+        mean_ += delta * static_cast<double>(other.count_) / total;
+        count_ += other.count_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-width histogram over [lo, hi) with under/overflow bins. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower bound of the tracked range.
+     * @param hi Exclusive upper bound; must be > lo.
+     * @param bins Number of equal-width bins (>= 1).
+     */
+    Histogram(double lo, double hi, std::size_t bins)
+        : lo_(lo), hi_(hi), counts_(bins, 0)
+    {
+        if (!(hi > lo))
+            fatal("histogram range must be non-empty");
+        if (bins == 0)
+            fatal("histogram needs at least one bin");
+    }
+
+    /** Record one observation. */
+    void
+    add(double value)
+    {
+        ++total_;
+        if (value < lo_) {
+            ++underflow_;
+            return;
+        }
+        if (value >= hi_) {
+            ++overflow_;
+            return;
+        }
+        const auto bin = static_cast<std::size_t>(
+            (value - lo_) / (hi_ - lo_) *
+            static_cast<double>(counts_.size()));
+        ++counts_[std::min(bin, counts_.size() - 1)];
+    }
+
+    /** @return count in bin @p index. */
+    std::uint64_t binCount(std::size_t index) const
+    {
+        return counts_.at(index);
+    }
+
+    /** @return inclusive lower edge of bin @p index. */
+    double
+    binLow(std::size_t index) const
+    {
+        return lo_ + (hi_ - lo_) * static_cast<double>(index) /
+                         static_cast<double>(counts_.size());
+    }
+
+    /** @return number of bins. */
+    std::size_t numBins() const { return counts_.size(); }
+
+    /** @return observations below the range. */
+    std::uint64_t underflow() const { return underflow_; }
+
+    /** @return observations at/above the upper bound. */
+    std::uint64_t overflow() const { return overflow_; }
+
+    /** @return all observations ever recorded. */
+    std::uint64_t total() const { return total_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_UTIL_RUNNING_STATS_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Saturating up/down counter.
+ *
+ * Two uses in this codebase mirror the paper exactly:
+ *  - 2-bit counters in the branch predictor tables ("weakly taken" init),
+ *  - 0..16 saturating counters used as a compressed CIR reduction
+ *    (Section 5.1, "Saturating Counters").
+ */
+
+#ifndef CONFSIM_UTIL_SATURATING_COUNTER_H
+#define CONFSIM_UTIL_SATURATING_COUNTER_H
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace confsim {
+
+/**
+ * An integer counter clamped to [0, max]. increment()/decrement() saturate
+ * at the extremes instead of wrapping.
+ *
+ * The maximum is a runtime parameter (not a template parameter) because
+ * the paper sweeps counter ranges (0..15 vs 0..16) and experiments
+ * configure them dynamically.
+ */
+class SaturatingCounter
+{
+  public:
+    /**
+     * @param max Saturation ceiling (inclusive); must be >= 1.
+     * @param initial Starting value; clamped to [0, max].
+     */
+    explicit SaturatingCounter(std::uint32_t max, std::uint32_t initial = 0)
+        : max_(max), value_(initial > max ? max : initial)
+    {
+        if (max == 0)
+            fatal("SaturatingCounter requires max >= 1");
+    }
+
+    /** Increment, saturating at max. @return the new value. */
+    std::uint32_t
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+        return value_;
+    }
+
+    /** Decrement, saturating at 0. @return the new value. */
+    std::uint32_t
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+        return value_;
+    }
+
+    /** @return current value in [0, max]. */
+    std::uint32_t value() const { return value_; }
+
+    /** @return the saturation ceiling. */
+    std::uint32_t max() const { return max_; }
+
+    /** @return true iff saturated high. */
+    bool isMax() const { return value_ == max_; }
+
+    /** @return true iff saturated low. */
+    bool isMin() const { return value_ == 0; }
+
+    /** Force the value (clamped to [0, max]); used by initialization. */
+    void
+    set(std::uint32_t value)
+    {
+        value_ = value > max_ ? max_ : value;
+    }
+
+    /**
+     * For a prediction counter: the taken/not-taken decision. Values in
+     * the upper half (>= (max + 1) / 2) predict taken, matching the
+     * standard 2-bit scheme where 2 and 3 are "taken".
+     */
+    bool predictsTaken() const { return value_ >= (max_ + 1) / 2; }
+
+  private:
+    std::uint32_t max_;
+    std::uint32_t value_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_UTIL_SATURATING_COUNTER_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Fixed-width shift register.
+ *
+ * This is the CIR (Correct/Incorrect Register) of the paper as well as
+ * the global branch history register (BHR). New bits shift in at the
+ * least-significant end; the most-significant bit of the window is the
+ * "oldest" bit, which Section 5.4's "lastbit" initialization sets to 1.
+ *
+ * Bit convention for CIRs (paper Section 3.1): 1 = incorrect prediction,
+ * 0 = correct prediction. For BHRs: 1 = taken, 0 = not taken.
+ */
+
+#ifndef CONFSIM_UTIL_SHIFT_REGISTER_H
+#define CONFSIM_UTIL_SHIFT_REGISTER_H
+
+#include <cstdint>
+
+#include "util/bits.h"
+#include "util/status.h"
+
+namespace confsim {
+
+/** An n-bit (n <= 64) shift register with newest bit at position 0. */
+class ShiftRegister
+{
+  public:
+    /**
+     * @param width Register width in bits; 1 <= width <= 64.
+     * @param initial Initial contents (masked to width).
+     */
+    explicit ShiftRegister(unsigned width, std::uint64_t initial = 0)
+        : width_(width), bits_(initial & mask(width))
+    {
+        if (width == 0 || width > 64)
+            fatal("ShiftRegister width must be in [1, 64]");
+    }
+
+    /**
+     * Shift in a new bit at the least-significant position; the oldest
+     * bit falls off the most-significant end.
+     *
+     * @param bit The new youngest bit.
+     * @return the new register contents.
+     */
+    std::uint64_t
+    shiftIn(bool bit)
+    {
+        bits_ = ((bits_ << 1) | (bit ? 1 : 0)) & mask(width_);
+        return bits_;
+    }
+
+    /** @return the register contents, right-justified in width bits. */
+    std::uint64_t value() const { return bits_; }
+
+    /** @return register width in bits. */
+    unsigned width() const { return width_; }
+
+    /** @return the youngest (most recently shifted-in) bit. */
+    bool youngestBit() const { return (bits_ & 1) != 0; }
+
+    /** @return the oldest bit (position width - 1). */
+    bool oldestBit() const { return bitOf(bits_, width_ - 1) != 0; }
+
+    /** Overwrite the contents (masked to width). */
+    void set(std::uint64_t value) { bits_ = value & mask(width_); }
+
+    /** Set every bit (the paper's preferred CIR initialization). */
+    void fill() { bits_ = mask(width_); }
+
+    /** Clear every bit. */
+    void clear() { bits_ = 0; }
+
+    /**
+     * Clear the register except the oldest bit, which is set to 1 —
+     * the "lastbit" initialization of Section 5.4.
+     */
+    void
+    setLastBitOnly()
+    {
+        bits_ = std::uint64_t{1} << (width_ - 1);
+    }
+
+    /** @return number of 1 bits (the ones-count reduction input). */
+    unsigned onesCount() const { return popcount(bits_); }
+
+  private:
+    unsigned width_;
+    std::uint64_t bits_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_UTIL_SHIFT_REGISTER_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 idiom: fatal() for user-caused
+ * conditions (bad configuration, malformed input files) and panic() for
+ * internal invariant violations. Both format a message and terminate, so
+ * library code never has to propagate error codes for unrecoverable
+ * conditions.
+ */
+
+#ifndef CONFSIM_UTIL_STATUS_H
+#define CONFSIM_UTIL_STATUS_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace confsim {
+
+/**
+ * Report an unrecoverable user-caused error (bad configuration, invalid
+ * arguments, malformed trace file) and throw. Use when the simulation
+ * cannot continue but the simulator itself is not at fault.
+ *
+ * Throws std::runtime_error rather than calling std::exit so that tests
+ * can assert on the failure and applications can catch at top level.
+ */
+[[noreturn]] inline void
+fatal(const std::string &message)
+{
+    throw std::runtime_error("fatal: " + message);
+}
+
+/**
+ * Report an internal invariant violation (a simulator bug) and abort.
+ * Use only for conditions that should be impossible regardless of input.
+ */
+[[noreturn]] inline void
+panic(const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s\n", message.c_str());
+    std::abort();
+}
+
+} // namespace confsim
+
+#endif // CONFSIM_UTIL_STATUS_H

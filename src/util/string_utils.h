@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small string formatting helpers shared by report printers and CLIs.
+ */
+
+#ifndef CONFSIM_UTIL_STRING_UTILS_H
+#define CONFSIM_UTIL_STRING_UTILS_H
+
+#include <string>
+#include <vector>
+
+namespace confsim {
+
+/** Format a double with @p decimals digits after the point. */
+std::string formatFixed(double value, int decimals);
+
+/** Format @p value as a percentage string, e.g. 0.896 -> "89.60". */
+std::string formatPercent(double fraction, int decimals = 2);
+
+/** Left-pad @p s with spaces to at least @p width characters. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad @p s with spaces to at least @p width characters. */
+std::string padRight(const std::string &s, std::size_t width);
+
+/** Split @p s on @p sep (no empty-token suppression). */
+std::vector<std::string> splitString(const std::string &s, char sep);
+
+/** @return true if @p s begins with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Parse a non-negative integer; calls fatal() on malformed input. */
+std::uint64_t parseUnsigned(const std::string &s);
+
+/** Parse a double; calls fatal() on malformed input. */
+double parseDouble(const std::string &s);
+
+} // namespace confsim
+
+#endif // CONFSIM_UTIL_STRING_UTILS_H

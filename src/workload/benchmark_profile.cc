@@ -1,0 +1,116 @@
+#include "workload/benchmark_profile.h"
+
+#include "util/status.h"
+
+namespace confsim {
+
+namespace {
+
+/**
+ * Build one profile. The arguments map to the knobs that differ between
+ * IBS programs: code size (static branches), loopiness, trip counts,
+ * branch-class mix and noise.
+ */
+BenchmarkProfile
+makeProfile(const std::string &name, unsigned blocks, double loop_frac,
+            double mean_trip, double geo_frac, const BehaviorMix &mix,
+            double noise, std::uint64_t seed)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.pcBase = 0x00400000 + seed * 0x01000000;
+    p.targetBlocks = blocks;
+    p.loopFraction = loop_frac;
+    p.ifFraction = 0.45;
+    p.maxNestDepth = 3;
+    p.meanTripCount = mean_trip;
+    p.geometricLoopFraction = geo_frac;
+    p.mix = mix;
+    p.correlationNoise = noise;
+    p.seed = seed;
+    return p;
+}
+
+} // namespace
+
+std::vector<BenchmarkProfile>
+ibsProfiles()
+{
+    std::vector<BenchmarkProfile> out;
+
+    // groff: text formatter; mid-sized, moderately branchy, fair amount
+    // of correlated parsing decisions.
+    out.push_back(makeProfile(
+        "groff", 900, 0.24, 9.0, 0.052,
+        BehaviorMix{0.3800, 0.0496, 0.0278, 0.5000, 0.0000, 0.0900}, 0.0024, 11));
+
+    // gs: ghostscript; large code, rendering loops plus branchy
+    // interpreter dispatch.
+    out.push_back(makeProfile(
+        "gs", 1800, 0.24, 9.0, 0.040,
+        BehaviorMix{0.3600, 0.0578, 0.0340, 0.4800, 0.0000, 0.0900}, 0.0024, 12));
+
+    // jpeg: DCT/Huffman kernels; small, loop-dominated, very
+    // predictable (the paper's best benchmark, Fig. 9).
+    out.push_back(makeProfile(
+        "jpeg", 260, 0.48, 8.0, 0.005,
+        BehaviorMix{0.4600, 0.0083, 0.0300, 0.4800, 0.0000, 0.0300}, 0.0006, 13));
+
+    // mpeg: video decode; loopy kernels with some data-dependent
+    // decisions.
+    out.push_back(makeProfile(
+        "mpeg", 420, 0.40, 20.0, 0.026,
+        BehaviorMix{0.5000, 0.0248, 0.0175, 0.4000, 0.0000, 0.0700}, 0.0017, 14));
+
+    // nroff: formatter; similar family to groff, somewhat smaller.
+    out.push_back(makeProfile(
+        "nroff", 900, 0.24, 12.0, 0.052,
+        BehaviorMix{0.4000, 0.0496, 0.0217, 0.4800, 0.0000, 0.0800}, 0.0023, 15));
+
+    // real_gcc: compiler; by far the largest static working set, short
+    // loops, many data-dependent moderate branches (the paper's worst
+    // benchmark, Fig. 9).
+    out.push_back(makeProfile(
+        "real_gcc", 4200, 0.15, 8.0, 0.117,
+        BehaviorMix{0.2800, 0.0991, 0.0367, 0.4450, 0.0000, 0.1000}, 0.0045, 16));
+
+    // sdet: systems-development multiprogram workload incl. kernel
+    // activity; large and irregular.
+    out.push_back(makeProfile(
+        "sdet", 2400, 0.18, 10.0, 0.078,
+        BehaviorMix{0.3200, 0.0802, 0.0292, 0.4450, 0.0000, 0.0900}, 0.0036, 17));
+
+    // verilog: event-driven logic simulation; big tables, moderately
+    // correlated event tests.
+    out.push_back(makeProfile(
+        "verilog", 1400, 0.22, 12.0, 0.058,
+        BehaviorMix{0.3400, 0.0661, 0.0259, 0.4700, 0.0000, 0.0900}, 0.0031, 18));
+
+    // video_play: player loop; predictable streaming kernels.
+    out.push_back(makeProfile(
+        "video_play", 380, 0.42, 10.0, 0.012,
+        BehaviorMix{0.5000, 0.0248, 0.0240, 0.4000, 0.0000, 0.0500}, 0.0010, 19));
+
+    return out;
+}
+
+BenchmarkProfile
+ibsProfile(const std::string &name)
+{
+    for (const auto &profile : ibsProfiles()) {
+        if (profile.name == name)
+            return profile;
+    }
+    fatal("unknown IBS profile: " + name);
+}
+
+std::vector<std::string>
+ibsProfileNames()
+{
+    std::vector<std::string> names;
+    for (const auto &profile : ibsProfiles())
+        names.push_back(profile.name);
+    return names;
+}
+
+} // namespace confsim

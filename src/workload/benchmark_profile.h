@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Benchmark profile: the parameter bundle from which a synthetic CFG and
+ * its branch behaviours are generated, plus the nine named profiles that
+ * stand in for the IBS (Instruction Benchmark Suite) Mach traces the
+ * paper simulated.
+ *
+ * Profile constants were calibrated (see EXPERIMENTS.md) so that the
+ * equal-weight composite misprediction rate of the paper's 64K-entry
+ * gshare lands near the reported 3.85%, the 4K-entry configuration near
+ * 8.6%, `jpeg` is the best-predicted benchmark and `real_gcc` the worst
+ * (paper Fig. 9).
+ */
+
+#ifndef CONFSIM_WORKLOAD_BENCHMARK_PROFILE_H
+#define CONFSIM_WORKLOAD_BENCHMARK_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace confsim {
+
+/** Mix weights for non-loop branch behaviours; need not be normalized. */
+struct BehaviorMix
+{
+    double stronglyBiased = 0.0; //!< Bernoulli, p in [0.93, 0.995]
+    double moderateBiased = 0.0; //!< Bernoulli, p in [0.70, 0.93]
+    double weaklyBiased = 0.0;   //!< Bernoulli, p in [0.50, 0.70]
+    double correlated = 0.0;     //!< boolean function of global history
+    double pattern = 0.0;        //!< short periodic patterns
+    double chain = 0.0;          //!< echo of a recent outcome
+};
+
+/** All knobs of one synthetic benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    /** Base address of the synthetic text segment. */
+    std::uint64_t pcBase = 0x400000;
+
+    /** Approximate number of static conditional branches. */
+    unsigned targetBlocks = 500;
+
+    /** Probability that a generated construct is a loop. */
+    double loopFraction = 0.25;
+
+    /** Probability that a generated construct is an if (vs plain). */
+    double ifFraction = 0.45;
+
+    /** Maximum loop nesting depth. */
+    unsigned maxNestDepth = 3;
+
+    /** Mean loop trip count (per-loop means jitter around this). */
+    double meanTripCount = 8.0;
+
+    /** Fraction of loops whose trip count is geometric (hard exits). */
+    double geometricLoopFraction = 0.3;
+
+    /** Behaviour mix for non-loop branches. */
+    BehaviorMix mix;
+
+    /** Noise probability applied to correlated/chain branches. */
+    double correlationNoise = 0.03;
+
+    /**
+     * Emit call/return/unconditional-jump records interleaved with the
+     * conditional stream (they carry no prediction semantics — the
+     * driver skips them — but make generated trace files structurally
+     * realistic). Off by default: the paper's methodology concerns the
+     * conditional stream only.
+     */
+    bool emitNonConditional = false;
+
+    /** Default trace length in conditional branches. */
+    std::uint64_t defaultLength = 2'000'000;
+
+    /** CFG-construction and runtime noise seed. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * The nine IBS stand-in profiles, in suite order:
+ * groff, gs, jpeg, mpeg, nroff, real_gcc, sdet, verilog, video_play.
+ */
+std::vector<BenchmarkProfile> ibsProfiles();
+
+/** Look up one IBS profile by name; calls fatal() if unknown. */
+BenchmarkProfile ibsProfile(const std::string &name);
+
+/** @return the ordered list of IBS profile names. */
+std::vector<std::string> ibsProfileNames();
+
+} // namespace confsim
+
+#endif // CONFSIM_WORKLOAD_BENCHMARK_PROFILE_H

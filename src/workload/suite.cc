@@ -1,0 +1,55 @@
+#include "workload/suite.h"
+
+#include "util/status.h"
+
+namespace confsim {
+
+BenchmarkSuite::BenchmarkSuite(std::vector<BenchmarkProfile> profiles,
+                               std::uint64_t length)
+    : profiles_(std::move(profiles)), length_(length)
+{
+    if (profiles_.empty())
+        fatal("benchmark suite cannot be empty");
+}
+
+BenchmarkSuite
+BenchmarkSuite::ibs(std::uint64_t branches_per_benchmark)
+{
+    return BenchmarkSuite(ibsProfiles(), branches_per_benchmark);
+}
+
+BenchmarkSuite
+BenchmarkSuite::ibsSmall(std::uint64_t branches_per_benchmark)
+{
+    return ibsSubset({"jpeg", "real_gcc", "groff"},
+                     branches_per_benchmark);
+}
+
+BenchmarkSuite
+BenchmarkSuite::ibsSubset(const std::vector<std::string> &names,
+                          std::uint64_t branches_per_benchmark)
+{
+    std::vector<BenchmarkProfile> profiles;
+    for (const auto &name : names)
+        profiles.push_back(ibsProfile(name));
+    return BenchmarkSuite(std::move(profiles), branches_per_benchmark);
+}
+
+std::vector<std::string>
+BenchmarkSuite::names() const
+{
+    std::vector<std::string> out;
+    for (const auto &profile : profiles_)
+        out.push_back(profile.name);
+    return out;
+}
+
+std::unique_ptr<WorkloadGenerator>
+BenchmarkSuite::makeGenerator(std::size_t index) const
+{
+    if (index >= profiles_.size())
+        fatal("benchmark index out of range");
+    return std::make_unique<WorkloadGenerator>(profiles_[index], length_);
+}
+
+} // namespace confsim

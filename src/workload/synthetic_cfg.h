@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Synthetic control-flow graph.
+ *
+ * A benchmark profile is expanded (deterministically from its seed) into
+ * a graph of basic blocks, each terminated by one conditional branch with
+ * an attached BranchBehavior. Loops become back edges, ifs become forward
+ * skips over a sub-region, and the last block wraps to the first so the
+ * walk can produce arbitrarily long traces.
+ *
+ * Executing the graph — rather than sampling branches independently —
+ * is what gives the dynamic stream coherent global-history context:
+ * which branch executes next depends on prior outcomes, exactly the
+ * property gshare and PC^BHR confidence indexing exploit in real traces.
+ */
+
+#ifndef CONFSIM_WORKLOAD_SYNTHETIC_CFG_H
+#define CONFSIM_WORKLOAD_SYNTHETIC_CFG_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/benchmark_profile.h"
+#include "workload/branch_behavior.h"
+
+namespace confsim {
+
+/** Non-conditional control transfer inside a block (optional). */
+enum class BlockEvent : std::uint8_t
+{
+    None = 0,      //!< plain fall-in
+    Call,          //!< the block starts with a call instruction
+    Return,        //!< the block starts with a return
+    Unconditional, //!< the block starts with a direct jump
+};
+
+/** One basic block: a conditional branch plus its two successors. */
+struct CfgBlock
+{
+    std::uint64_t branchPc = 0;   //!< address of the terminating branch
+    std::uint32_t takenNext = 0;  //!< successor block if taken
+    std::uint32_t fallNext = 0;   //!< successor block if not taken
+    std::unique_ptr<BranchBehavior> behavior; //!< outcome model
+    bool isLoopLatch = false;     //!< taken edge is a back edge
+    BlockEvent entryEvent = BlockEvent::None; //!< optional leading CTI
+};
+
+/** A generated program: blocks with behaviours, ready to walk. */
+class SyntheticCfg
+{
+  public:
+    /** Expand @p profile into a CFG; deterministic in profile.seed. */
+    explicit SyntheticCfg(const BenchmarkProfile &profile);
+
+    /** @return number of basic blocks (== static conditional branches). */
+    std::size_t numBlocks() const { return blocks_.size(); }
+
+    /** @return block @p index (mutable: behaviours are stateful). */
+    CfgBlock &block(std::size_t index) { return blocks_[index]; }
+
+    /** @return block @p index. */
+    const CfgBlock &block(std::size_t index) const
+    {
+        return blocks_[index];
+    }
+
+    /** Restore every behaviour to its initial state. */
+    void resetBehaviors();
+
+    /** @return the profile the graph was generated from. */
+    const BenchmarkProfile &profile() const { return profile_; }
+
+  private:
+    /** Recursive region builder; emits >= 1 block per construct. */
+    void buildConstruct(unsigned depth, Rng &rng);
+
+    /** Append a block with @p behavior; successors patched by caller. */
+    std::size_t emitBlock(std::unique_ptr<BranchBehavior> behavior,
+                          Rng &rng);
+
+    /** Sample a non-loop behaviour from the profile mix. */
+    std::unique_ptr<BranchBehavior> sampleNonLoopBehavior(Rng &rng);
+
+    /** Sample a loop-latch behaviour; @p depth is the loop nesting
+     *  depth (unpredictable trip counts only at depth <= 1). */
+    std::unique_ptr<BranchBehavior> sampleLoopBehavior(unsigned depth,
+                                                       Rng &rng);
+
+    BenchmarkProfile profile_;
+    std::vector<CfgBlock> blocks_;
+    std::uint64_t nextPc_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_WORKLOAD_SYNTHETIC_CFG_H

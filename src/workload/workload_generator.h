@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The synthetic workload generator: a TraceSource that walks a
+ * SyntheticCfg, evaluating each block's branch behaviour and emitting
+ * one conditional BranchRecord per step.
+ */
+
+#ifndef CONFSIM_WORKLOAD_WORKLOAD_GENERATOR_H
+#define CONFSIM_WORKLOAD_WORKLOAD_GENERATOR_H
+
+#include <cstdint>
+
+#include "trace/trace_source.h"
+#include "workload/synthetic_cfg.h"
+
+namespace confsim {
+
+/**
+ * Streaming generator for one benchmark profile.
+ *
+ * Deterministic: the CFG structure derives from profile.seed, and the
+ * runtime noise stream from a fixed transform of the same seed, so two
+ * generators with the same profile and length produce identical traces,
+ * and reset() replays the identical stream.
+ */
+class WorkloadGenerator : public TraceSource
+{
+  public:
+    /**
+     * @param profile Benchmark description.
+     * @param num_branches Trace length in conditional branches; 0 means
+     *        use profile.defaultLength.
+     */
+    explicit WorkloadGenerator(const BenchmarkProfile &profile,
+                               std::uint64_t num_branches = 0);
+
+    bool next(BranchRecord &record) override;
+    void reset() override;
+
+    /** @return the generated program graph (for inspection/tests). */
+    const SyntheticCfg &cfg() const { return cfg_; }
+
+    /** @return configured trace length in branches. */
+    std::uint64_t length() const { return length_; }
+
+  private:
+    SyntheticCfg cfg_;
+    std::uint64_t length_;
+    Rng runtimeRng_;
+    WorkloadContext context_;
+    std::uint32_t currentBlock_ = 0;
+    std::uint64_t emitted_ = 0;     //!< conditional records emitted
+    bool entryEventPending_ = false; //!< emit the block's leading CTI
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_WORKLOAD_WORKLOAD_GENERATOR_H

@@ -1,0 +1,163 @@
+/** @file Unit tests for the selective dual-path execution model. */
+
+#include "apps/dual_path.h"
+
+#include <gtest/gtest.h>
+
+#include "confidence/one_level.h"
+#include "predictor/gshare.h"
+#include "predictor/static_predictor.h"
+#include "trace/vector_trace_source.h"
+#include "workload/workload_generator.h"
+
+namespace confsim {
+namespace {
+
+BenchmarkProfile
+testProfile()
+{
+    BenchmarkProfile p;
+    p.name = "dp-test";
+    p.targetBlocks = 150;
+    p.seed = 91;
+    p.mix = BehaviorMix{0.4, 0.1, 0.05, 0.3, 0.0, 0.1};
+    return p;
+}
+
+TEST(DualPathTest, AllLowConfidenceForksEverywhereWithinResources)
+{
+    // With every bucket low-confidence and a 1-branch window, a fork
+    // fires whenever the slot is free.
+    StaticPredictor pred(StaticPolicy::AlwaysTaken);
+    OneLevelCounterConfidence est(IndexScheme::Pc, 64,
+                                  CounterKind::Resetting, 4, 0);
+    VectorTraceSource source(std::vector<BranchRecord>(
+        100, {0x1000, 0x2000, true, BranchType::Conditional}));
+    DualPathConfig config;
+    config.resolutionWindow = 1;
+    const auto result = runDualPath(
+        source, pred, est, std::vector<bool>(est.numBuckets(), true),
+        config);
+    EXPECT_EQ(result.branches, 100u);
+    EXPECT_EQ(result.forkRequests, 100u);
+    // With window 1, a fork is held for one subsequent branch, so at
+    // most every other branch can fork.
+    EXPECT_GE(result.forks, 50u);
+}
+
+TEST(DualPathTest, NoLowConfidenceNeverForks)
+{
+    StaticPredictor pred(StaticPolicy::AlwaysTaken);
+    OneLevelCounterConfidence est(IndexScheme::Pc, 64,
+                                  CounterKind::Resetting, 4, 0);
+    VectorTraceSource source(std::vector<BranchRecord>(
+        100, {0x1000, 0x2000, false, BranchType::Conditional}));
+    const auto result = runDualPath(
+        source, pred, est, std::vector<bool>(est.numBuckets(), false));
+    EXPECT_EQ(result.forks, 0u);
+    EXPECT_EQ(result.coveredMispredicts, 0u);
+    EXPECT_EQ(result.mispredicts, 100u);
+    // Without forks the dual-path machine degenerates to baseline.
+    EXPECT_DOUBLE_EQ(result.dualPathCycles, result.baselineCycles);
+    EXPECT_DOUBLE_EQ(result.speedup(), 1.0);
+}
+
+TEST(DualPathTest, CoveredMispredictsPayReducedPenalty)
+{
+    // Deterministic single-branch trace: always-taken predictor on an
+    // always-not-taken branch with everything low confidence and a
+    // 1-wide window: every branch forks and every miss is covered.
+    StaticPredictor pred(StaticPolicy::AlwaysTaken);
+    OneLevelCounterConfidence est(IndexScheme::Pc, 64,
+                                  CounterKind::Resetting, 4, 0);
+    VectorTraceSource source(std::vector<BranchRecord>(
+        50, {0x1000, 0x2000, false, BranchType::Conditional}));
+    DualPathConfig config;
+    config.resolutionWindow = 1;
+    const auto result = runDualPath(
+        source, pred, est, std::vector<bool>(est.numBuckets(), true),
+        config);
+    // Every miss resets the fork slot, so the fork is always free at
+    // the next branch: full coverage.
+    EXPECT_EQ(result.mispredicts, 50u);
+    EXPECT_EQ(result.coveredMispredicts, 50u);
+    EXPECT_DOUBLE_EQ(result.coverage(), 1.0);
+    const double expected_baseline =
+        50 * (config.baseCyclesPerBranch + config.mispredictPenalty);
+    const double expected_dual =
+        50 * (config.baseCyclesPerBranch + config.forkCost +
+              config.forkedMispredictPenalty);
+    EXPECT_DOUBLE_EQ(result.baselineCycles, expected_baseline);
+    EXPECT_DOUBLE_EQ(result.dualPathCycles, expected_dual);
+    EXPECT_GT(result.speedup(), 1.0);
+}
+
+TEST(DualPathTest, ConfidenceGuidedForkingBeatsBlindForkingOnBudget)
+{
+    // On a realistic workload, forking on the resetting counter's low
+    // buckets must cover a disproportionate share of mispredictions
+    // relative to the forks spent.
+    WorkloadGenerator gen(testProfile(), 150000);
+    GsharePredictor pred(4096, 12);
+    OneLevelCounterConfidence est(IndexScheme::PcXorBhr, 4096,
+                                  CounterKind::Resetting, 16, 0);
+    std::vector<bool> low(est.numBuckets(), false);
+    for (std::uint64_t b = 0; b <= 3; ++b)
+        low[b] = true; // fork only on the least-confident buckets
+    const auto result = runDualPath(gen, pred, est, low);
+    EXPECT_GT(result.mispredicts, 0u);
+    // Coverage should exceed fork rate substantially (the whole point
+    // of confidence-guided forking).
+    EXPECT_GT(result.coverage(), result.forkRate() * 1.5);
+    EXPECT_GT(result.speedup(), 1.0);
+}
+
+TEST(DualPathTest, MismatchedMaskIsFatal)
+{
+    StaticPredictor pred(StaticPolicy::AlwaysTaken);
+    OneLevelCounterConfidence est(IndexScheme::Pc, 64,
+                                  CounterKind::Resetting, 4, 0);
+    VectorTraceSource source({});
+    EXPECT_THROW(
+        runDualPath(source, pred, est, std::vector<bool>(2, true)),
+        std::runtime_error);
+}
+
+
+TEST(DualPathTest, MoreForkSlotsIncreaseCoverage)
+{
+    // Eager-execution-style hardware: with more simultaneous forks,
+    // coverage can only improve (same trigger policy).
+    auto run = [](unsigned slots) {
+        WorkloadGenerator gen(testProfile(), 100000);
+        GsharePredictor pred(4096, 12);
+        OneLevelCounterConfidence est(IndexScheme::PcXorBhr, 4096,
+                                      CounterKind::Resetting, 16, 0);
+        std::vector<bool> low(est.numBuckets(), false);
+        for (std::uint64_t b = 0; b <= 7; ++b)
+            low[b] = true;
+        DualPathConfig config;
+        config.maxForks = slots;
+        return runDualPath(gen, pred, est, low, config);
+    };
+    const auto one = run(1);
+    const auto four = run(4);
+    EXPECT_GE(four.coverage(), one.coverage());
+    EXPECT_GE(four.forks, one.forks);
+}
+
+TEST(DualPathTest, ZeroForkSlotsIsFatal)
+{
+    StaticPredictor pred(StaticPolicy::AlwaysTaken);
+    OneLevelCounterConfidence est(IndexScheme::Pc, 64,
+                                  CounterKind::Resetting, 4, 0);
+    VectorTraceSource source({});
+    DualPathConfig config;
+    config.maxForks = 0;
+    EXPECT_THROW(runDualPath(source, pred, est,
+                             std::vector<bool>(est.numBuckets(), true),
+                             config),
+                 std::runtime_error);
+}
+} // namespace
+} // namespace confsim

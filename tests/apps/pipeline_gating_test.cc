@@ -1,0 +1,156 @@
+/** @file Unit tests for the pipeline-gating (speculation control)
+ *  model. */
+
+#include "apps/pipeline_gating.h"
+
+#include <gtest/gtest.h>
+
+#include "confidence/one_level.h"
+#include "predictor/gshare.h"
+#include "predictor/static_predictor.h"
+#include "trace/vector_trace_source.h"
+#include "workload/workload_generator.h"
+
+namespace confsim {
+namespace {
+
+std::vector<BranchRecord>
+repeated(std::uint64_t pc, std::size_t n, bool taken)
+{
+    return std::vector<BranchRecord>(
+        n, {pc, pc + 16, taken, BranchType::Conditional});
+}
+
+GatingConfig
+smallConfig(bool gate, unsigned threshold = 0)
+{
+    GatingConfig config;
+    config.fetchWidth = 4;
+    config.resolveLatency = 8;
+    config.instrsPerBranch = 3;
+    config.enableGating = gate;
+    config.gateThreshold = threshold;
+    config.branches = 1'000'000; // run to trace exhaustion
+    return config;
+}
+
+TEST(PipelineGatingTest, PerfectPredictionFetchesNoJunk)
+{
+    StaticPredictor pred(StaticPolicy::AlwaysTaken);
+    OneLevelCounterConfidence est(IndexScheme::Pc, 64,
+                                  CounterKind::Resetting, 4, 0);
+    VectorTraceSource source(repeated(0x1000, 200, true));
+    const auto result = runPipelineGating(
+        source, pred, est, std::vector<bool>(est.numBuckets(), false),
+        smallConfig(false));
+    EXPECT_EQ(result.branches, 200u);
+    EXPECT_EQ(result.mispredicts, 0u);
+    EXPECT_EQ(result.wrongPathInstructions, 0u);
+    EXPECT_EQ(result.committedInstructions,
+              result.fetchedInstructions);
+    // 200 branches x (3 gap instrs + the branch) / 4-wide fetch, plus
+    // the drain tail.
+    EXPECT_GE(result.cycles, 200u);
+    EXPECT_GT(result.ipc(), 3.0);
+}
+
+TEST(PipelineGatingTest, MispredictsCostWrongPathWork)
+{
+    StaticPredictor pred(StaticPolicy::AlwaysTaken);
+    OneLevelCounterConfidence est(IndexScheme::Pc, 64,
+                                  CounterKind::Resetting, 4, 0);
+    VectorTraceSource source(repeated(0x1000, 100, false));
+    const auto result = runPipelineGating(
+        source, pred, est, std::vector<bool>(est.numBuckets(), false),
+        smallConfig(false));
+    EXPECT_EQ(result.mispredicts, 100u);
+    EXPECT_GT(result.wrongPathInstructions, 0u);
+    EXPECT_GT(result.wastedFraction(), 0.3);
+}
+
+TEST(PipelineGatingTest, GatingOnAlwaysLowStopsWrongPathFetch)
+{
+    // Every prediction low-confidence + threshold 0: after fetching a
+    // branch, fetch stalls until it resolves, so no wrong-path
+    // instruction is ever fetched.
+    StaticPredictor pred(StaticPolicy::AlwaysTaken);
+    OneLevelCounterConfidence est(IndexScheme::Pc, 64,
+                                  CounterKind::Resetting, 4, 0);
+    VectorTraceSource source(repeated(0x1000, 100, false));
+    const auto result = runPipelineGating(
+        source, pred, est, std::vector<bool>(est.numBuckets(), true),
+        smallConfig(true, 0));
+    EXPECT_EQ(result.mispredicts, 100u);
+    EXPECT_EQ(result.wrongPathInstructions, 0u);
+    EXPECT_GT(result.gatedCycles, 0u);
+}
+
+TEST(PipelineGatingTest, GatingTradesCyclesForWaste)
+{
+    // On a realistic workload: gating must reduce the wasted fraction;
+    // the IPC cost must be bounded (that's the entire selling point).
+    const auto run = [](bool gate) {
+        WorkloadGenerator gen(ibsProfile("groff"), 200000);
+        GsharePredictor pred(4096, 12);
+        OneLevelCounterConfidence est(IndexScheme::PcXorBhr, 4096,
+                                      CounterKind::Resetting, 16, 0);
+        std::vector<bool> low(est.numBuckets(), false);
+        for (std::uint64_t b = 0; b <= 7; ++b)
+            low[b] = true;
+        GatingConfig config;
+        config.enableGating = gate;
+        config.gateThreshold = 1;
+        config.branches = 200000;
+        return runPipelineGating(gen, pred, est, low, config);
+    };
+    const auto baseline = run(false);
+    const auto gated = run(true);
+    EXPECT_LT(gated.wastedFraction(), baseline.wastedFraction());
+    EXPECT_GT(gated.gatedCycles, 0u);
+    // Gating may cost some IPC but must stay within ~30% here.
+    EXPECT_GT(gated.ipc(), baseline.ipc() * 0.70);
+    // Committed work is identical — same trace either way.
+    EXPECT_EQ(gated.committedInstructions,
+              baseline.committedInstructions);
+}
+
+TEST(PipelineGatingTest, HighThresholdNeverGates)
+{
+    StaticPredictor pred(StaticPolicy::AlwaysTaken);
+    OneLevelCounterConfidence est(IndexScheme::Pc, 64,
+                                  CounterKind::Resetting, 4, 0);
+    VectorTraceSource source(repeated(0x1000, 100, true));
+    GatingConfig config = smallConfig(true, 1000);
+    const auto result = runPipelineGating(
+        source, pred, est, std::vector<bool>(est.numBuckets(), true),
+        config);
+    EXPECT_EQ(result.gatedCycles, 0u);
+}
+
+TEST(PipelineGatingTest, BranchBudgetStopsEarly)
+{
+    StaticPredictor pred(StaticPolicy::AlwaysTaken);
+    OneLevelCounterConfidence est(IndexScheme::Pc, 64,
+                                  CounterKind::Resetting, 4, 0);
+    VectorTraceSource source(repeated(0x1000, 1000, true));
+    GatingConfig config = smallConfig(false);
+    config.branches = 50;
+    const auto result = runPipelineGating(
+        source, pred, est, std::vector<bool>(est.numBuckets(), false),
+        config);
+    EXPECT_EQ(result.branches, 50u);
+}
+
+TEST(PipelineGatingTest, MismatchedMaskIsFatal)
+{
+    StaticPredictor pred(StaticPolicy::AlwaysTaken);
+    OneLevelCounterConfidence est(IndexScheme::Pc, 64,
+                                  CounterKind::Resetting, 4, 0);
+    VectorTraceSource source({});
+    EXPECT_THROW(runPipelineGating(source, pred, est,
+                                   std::vector<bool>(2, true)),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace confsim

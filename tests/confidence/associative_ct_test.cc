@@ -1,0 +1,155 @@
+/** @file Unit tests for the set-associative tagged confidence table. */
+
+#include "confidence/associative_ct.h"
+
+#include <gtest/gtest.h>
+
+#include "confidence/unaliased.h"
+
+namespace confsim {
+namespace {
+
+BranchContext
+context(std::uint64_t pc, std::uint64_t bhr = 0)
+{
+    BranchContext ctx;
+    ctx.pc = pc;
+    ctx.bhr = bhr;
+    return ctx;
+}
+
+TEST(AssociativeCtTest, UnseenContextReadsPowerOnValue)
+{
+    AssociativeCounterConfidence est(IndexScheme::Pc, 64, 2, 8,
+                                     CounterKind::Resetting, 16);
+    EXPECT_EQ(est.bucketOf(context(0x1000)), 0u);
+    EXPECT_EQ(est.tagMisses(), 1u);
+    EXPECT_EQ(est.lookups(), 1u);
+}
+
+TEST(AssociativeCtTest, HitTracksOwnCounter)
+{
+    AssociativeCounterConfidence est(IndexScheme::Pc, 64, 2, 8,
+                                     CounterKind::Resetting, 16);
+    const auto ctx = context(0x1000);
+    for (int i = 0; i < 5; ++i)
+        est.update(ctx, true, true);
+    EXPECT_EQ(est.bucketOf(ctx), 5u);
+    est.update(ctx, false, true);
+    EXPECT_EQ(est.bucketOf(ctx), 0u);
+}
+
+TEST(AssociativeCtTest, TagsSeparateAliasingContexts)
+{
+    // Two PCs that collide in a direct-mapped table of 64 entries but
+    // differ in tag bits: the tagged table keeps them apart (2 ways).
+    AssociativeCounterConfidence tagged(IndexScheme::Pc, 64, 2, 8,
+                                        CounterKind::Resetting, 16);
+    OneLevelCounterConfidence direct(IndexScheme::Pc, 128,
+                                     CounterKind::Resetting, 16, 0);
+    // set bits = 6; contexts with identical low 6 index bits:
+    const auto a = context(0x1000);          // index bits ...
+    const auto b = context(0x1000 + (64 << 2)); // same set, diff tag
+    for (int i = 0; i < 10; ++i) {
+        tagged.update(a, true, true);
+        direct.update(a, true, true);
+    }
+    // b mispredicts; in the tagged table this allocates a second way
+    // and must NOT disturb a's streak.
+    tagged.update(b, false, true);
+    EXPECT_EQ(tagged.bucketOf(a), 10u);
+    EXPECT_EQ(tagged.bucketOf(b), 0u);
+}
+
+TEST(AssociativeCtTest, LruEvictsOldestWay)
+{
+    // 1 set x 2 ways: touch three distinct tags; the first must be
+    // evicted.
+    AssociativeCounterConfidence est(IndexScheme::Pc, 1, 2, 8,
+                                     CounterKind::Resetting, 16);
+    const auto a = context(0x0 << 2);
+    const auto b = context(0x1 << 2);
+    const auto c = context(0x2 << 2);
+    for (int i = 0; i < 4; ++i)
+        est.update(a, true, true);
+    est.update(b, true, true);
+    est.update(c, true, true); // evicts a (LRU)
+    // a restarts from the power-on value.
+    EXPECT_EQ(est.bucketOf(a), 0u);
+    // b and c retain their counters.
+    EXPECT_EQ(est.bucketOf(b), 1u);
+    EXPECT_EQ(est.bucketOf(c), 1u);
+}
+
+TEST(AssociativeCtTest, MatchesUnaliasedWhenCapacitySuffices)
+{
+    // With enough sets/ways for the working set, behaviour must match
+    // the alias-free reference exactly.
+    AssociativeCounterConfidence assoc(IndexScheme::Pc, 64, 4, 16,
+                                       CounterKind::Resetting, 16);
+    UnaliasedCounterConfidence ref(IndexScheme::Pc,
+                                   CounterKind::Resetting, 16);
+    for (int step = 0; step < 2000; ++step) {
+        const auto ctx = context(0x4000 + 4 * (step % 24));
+        const bool correct = (step % 5) != 0;
+        ASSERT_EQ(assoc.bucketOf(ctx), ref.bucketOf(ctx)) << step;
+        assoc.update(ctx, correct, true);
+        ref.update(ctx, correct, true);
+    }
+}
+
+TEST(AssociativeCtTest, StorageAccountsTagsValidAndLru)
+{
+    // 64 sets x 2 ways, 8-bit tags, 0..16 counters (5 bits), valid
+    // bit, 1 LRU bit per entry.
+    AssociativeCounterConfidence est(IndexScheme::Pc, 64, 2, 8,
+                                     CounterKind::Resetting, 16);
+    EXPECT_EQ(est.storageBits(), 128u * (5u + 8u + 1u + 1u));
+    // Direct-mapped (1 way) needs no LRU bits.
+    AssociativeCounterConfidence dm(IndexScheme::Pc, 64, 1, 8,
+                                    CounterKind::Resetting, 16);
+    EXPECT_EQ(dm.storageBits(), 64u * (5u + 8u + 1u));
+}
+
+TEST(AssociativeCtTest, ResetClearsEverything)
+{
+    AssociativeCounterConfidence est(IndexScheme::Pc, 64, 2, 8,
+                                     CounterKind::Resetting, 16);
+    est.update(context(0x1000), true, true);
+    est.bucketOf(context(0x1000));
+    est.reset();
+    EXPECT_EQ(est.lookups(), 0u);
+    EXPECT_EQ(est.tagMisses(), 0u);
+    EXPECT_EQ(est.bucketOf(context(0x1000)), 0u);
+    EXPECT_EQ(est.tagMisses(), 1u); // miss again after reset
+}
+
+TEST(AssociativeCtTest, BadGeometryIsFatal)
+{
+    EXPECT_THROW(AssociativeCounterConfidence(IndexScheme::Pc, 63, 2,
+                                              8,
+                                              CounterKind::Resetting),
+                 std::runtime_error);
+    EXPECT_THROW(AssociativeCounterConfidence(IndexScheme::Pc, 64, 0,
+                                              8,
+                                              CounterKind::Resetting),
+                 std::runtime_error);
+    EXPECT_THROW(AssociativeCounterConfidence(IndexScheme::Pc, 64, 2,
+                                              0,
+                                              CounterKind::Resetting),
+                 std::runtime_error);
+    EXPECT_THROW(AssociativeCounterConfidence(
+                     IndexScheme::Pc, std::size_t{1} << 20, 2, 16,
+                     CounterKind::Resetting),
+                 std::runtime_error);
+}
+
+TEST(AssociativeCtTest, NameEncodesGeometry)
+{
+    AssociativeCounterConfidence est(IndexScheme::PcXorBhr, 256, 4, 6,
+                                     CounterKind::Resetting, 16);
+    EXPECT_EQ(est.name(), "assoc-PCxorBHR-reset16-256sx4w-t6");
+}
+
+} // namespace
+} // namespace confsim

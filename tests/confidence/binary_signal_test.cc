@@ -1,0 +1,81 @@
+/** @file Unit tests for the binary high/low confidence signal. */
+
+#include "confidence/binary_signal.h"
+
+#include <gtest/gtest.h>
+
+#include "confidence/one_level.h"
+
+namespace confsim {
+namespace {
+
+BranchContext
+context(std::uint64_t pc)
+{
+    BranchContext ctx;
+    ctx.pc = pc;
+    return ctx;
+}
+
+TEST(BinarySignalTest, ThresholdMarksLowBuckets)
+{
+    OneLevelCounterConfidence est(IndexScheme::Pc, 256,
+                                  CounterKind::Resetting, 16, 0);
+    const auto signal = BinaryConfidenceSignal::fromThreshold(est, 3);
+    const auto &low = signal.lowBuckets();
+    ASSERT_EQ(low.size(), 17u);
+    for (std::uint64_t b = 0; b <= 16; ++b)
+        EXPECT_EQ(low[b], b <= 3);
+}
+
+TEST(BinarySignalTest, TracksEstimatorState)
+{
+    OneLevelCounterConfidence est(IndexScheme::Pc, 256,
+                                  CounterKind::Resetting, 16, 0);
+    const auto signal = BinaryConfidenceSignal::fromThreshold(est, 15);
+    const auto ctx = context(0x1000);
+    // Counter 0: low confidence.
+    EXPECT_TRUE(signal.isLowConfidence(ctx));
+    for (int i = 0; i < 16; ++i)
+        est.update(ctx, true, true);
+    // Saturated counter: high confidence (the "zero bucket").
+    EXPECT_FALSE(signal.isLowConfidence(ctx));
+    est.update(ctx, false, true);
+    EXPECT_TRUE(signal.isLowConfidence(ctx));
+}
+
+TEST(BinarySignalTest, ExplicitMaskAnyShape)
+{
+    OneLevelCounterConfidence est(IndexScheme::Pc, 256,
+                                  CounterKind::Saturating, 4, 0);
+    // Mark only bucket 2 low (non-contiguous masks are allowed).
+    std::vector<bool> mask(5, false);
+    mask[2] = true;
+    const BinaryConfidenceSignal signal(est, std::move(mask));
+    const auto ctx = context(0x1000);
+    est.update(ctx, true, true);
+    est.update(ctx, true, true); // counter = 2
+    EXPECT_TRUE(signal.isLowConfidence(ctx));
+    est.update(ctx, true, true); // counter = 3
+    EXPECT_FALSE(signal.isLowConfidence(ctx));
+}
+
+TEST(BinarySignalTest, WrongMaskSizeIsFatal)
+{
+    OneLevelCounterConfidence est(IndexScheme::Pc, 256,
+                                  CounterKind::Resetting, 16);
+    EXPECT_THROW(BinaryConfidenceSignal(est, std::vector<bool>(5)),
+                 std::runtime_error);
+}
+
+TEST(BinarySignalTest, ThresholdBeyondRangeMarksEverythingLow)
+{
+    OneLevelCounterConfidence est(IndexScheme::Pc, 256,
+                                  CounterKind::Resetting, 4);
+    const auto signal = BinaryConfidenceSignal::fromThreshold(est, 99);
+    for (bool low : signal.lowBuckets())
+        EXPECT_TRUE(low);
+}
+
+} // namespace
+} // namespace confsim

@@ -1,0 +1,83 @@
+/** @file Unit tests for static branch classification. */
+
+#include "confidence/branch_classes.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(BranchClassTest, TakenRateBands)
+{
+    EXPECT_EQ(classifyTakenRate(0.0), BranchClass::AlwaysOneSided);
+    EXPECT_EQ(classifyTakenRate(1.0), BranchClass::AlwaysOneSided);
+    EXPECT_EQ(classifyTakenRate(0.0005), BranchClass::AlwaysOneSided);
+    EXPECT_EQ(classifyTakenRate(0.03), BranchClass::StronglyBiased);
+    EXPECT_EQ(classifyTakenRate(0.97), BranchClass::StronglyBiased);
+    EXPECT_EQ(classifyTakenRate(0.2), BranchClass::MostlyBiased);
+    EXPECT_EQ(classifyTakenRate(0.8), BranchClass::MostlyBiased);
+    EXPECT_EQ(classifyTakenRate(0.5), BranchClass::Mixed);
+    EXPECT_EQ(classifyTakenRate(0.35), BranchClass::Mixed);
+}
+
+TEST(BranchClassTest, Names)
+{
+    EXPECT_STREQ(toString(BranchClass::AlwaysOneSided),
+                 "always-one-sided");
+    EXPECT_STREQ(toString(BranchClass::Mixed), "mixed");
+}
+
+TEST(BranchClassTest, ProfileEntriesTrackTakenCounts)
+{
+    StaticBranchProfile profile;
+    profile.record(0x100, false, true);
+    profile.record(0x100, true, false);
+    profile.record(0x100, false, true);
+    const auto &entry = profile.entries().at(0x100);
+    EXPECT_EQ(entry.takenCount, 2u);
+    EXPECT_NEAR(entry.takenRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(BranchClassTest, ClassifyProfileAggregates)
+{
+    StaticBranchProfile profile;
+    // Branch A: always taken, never misses (100 execs).
+    for (int i = 0; i < 100; ++i)
+        profile.record(0xA, false, true);
+    // Branch B: 50/50 mixed, 30 misses (100 execs).
+    for (int i = 0; i < 100; ++i)
+        profile.record(0xB, i < 30, i % 2 == 0);
+    // Branch C: 90% taken (mostly biased), 10 misses (100 execs).
+    for (int i = 0; i < 100; ++i)
+        profile.record(0xC, i < 10, i % 10 != 0);
+
+    const auto breakdown = classifyProfile(profile);
+    const auto &one_sided = breakdown[static_cast<std::size_t>(
+        BranchClass::AlwaysOneSided)];
+    const auto &mixed =
+        breakdown[static_cast<std::size_t>(BranchClass::Mixed)];
+    const auto &mostly = breakdown[static_cast<std::size_t>(
+        BranchClass::MostlyBiased)];
+
+    EXPECT_EQ(one_sided.staticBranches, 1u);
+    EXPECT_EQ(one_sided.mispredictions, 0u);
+    EXPECT_EQ(mixed.staticBranches, 1u);
+    EXPECT_EQ(mixed.mispredictions, 30u);
+    EXPECT_NEAR(mixed.rate(), 0.30, 1e-12);
+    EXPECT_EQ(mostly.staticBranches, 1u);
+    EXPECT_EQ(mostly.executions, 100u);
+}
+
+TEST(BranchClassTest, RenderContainsEveryClassAndTotals)
+{
+    StaticBranchProfile profile;
+    profile.record(0x100, false, true);
+    const auto table =
+        renderBranchClassTable(classifyProfile(profile));
+    EXPECT_NE(table.find("always-one-sided"), std::string::npos);
+    EXPECT_NE(table.find("mixed"), std::string::npos);
+    EXPECT_NE(table.find("total"), std::string::npos);
+}
+
+} // namespace
+} // namespace confsim

@@ -1,0 +1,291 @@
+/** @file
+ * Unit tests for the confidence extensions: counter-strength
+ * (SelfCounterConfidence), cross-product composites, multi-level
+ * signals, and the alias-free reference estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "confidence/composite_confidence.h"
+#include "confidence/multi_level_signal.h"
+#include "confidence/one_level.h"
+#include "confidence/self_counter.h"
+#include "confidence/unaliased.h"
+
+namespace confsim {
+namespace {
+
+BranchContext
+context(std::uint64_t pc, std::uint64_t bhr = 0)
+{
+    BranchContext ctx;
+    ctx.pc = pc;
+    ctx.bhr = bhr;
+    return ctx;
+}
+
+TEST(SelfCounterTest, StartsWeakAndStrengthens)
+{
+    SelfCounterConfidence est(IndexScheme::Pc, 256, 3);
+    const auto ctx = context(0x1000);
+    // Weakly-taken init (4 of 0..7): strength 0.
+    EXPECT_EQ(est.bucketOf(ctx), 0u);
+    EXPECT_TRUE(est.shadowPredictsTaken(ctx));
+    for (int i = 0; i < 3; ++i)
+        est.update(ctx, true, true);
+    // Counter saturated at 7: strength 3 (max).
+    EXPECT_EQ(est.bucketOf(ctx), 3u);
+}
+
+TEST(SelfCounterTest, StrengthIsSymmetric)
+{
+    SelfCounterConfidence est(IndexScheme::Pc, 256, 3);
+    const auto ctx = context(0x2000);
+    for (int i = 0; i < 10; ++i)
+        est.update(ctx, true, false); // drive toward not-taken
+    EXPECT_EQ(est.bucketOf(ctx), 3u); // counter 0: also max strength
+    EXPECT_FALSE(est.shadowPredictsTaken(ctx));
+}
+
+TEST(SelfCounterTest, LearnsFromOutcomeNotCorrectness)
+{
+    SelfCounterConfidence est(IndexScheme::Pc, 256, 3);
+    const auto ctx = context(0x3000);
+    // correct=false, taken=true repeatedly: must still strengthen
+    // toward taken (it tracks the outcome).
+    for (int i = 0; i < 5; ++i)
+        est.update(ctx, false, true);
+    EXPECT_TRUE(est.shadowPredictsTaken(ctx));
+    EXPECT_EQ(est.bucketOf(ctx), 3u);
+}
+
+TEST(SelfCounterTest, BucketCountAndOrdering)
+{
+    SelfCounterConfidence est3(IndexScheme::Pc, 256, 3);
+    EXPECT_EQ(est3.numBuckets(), 4u); // strengths 0..3
+    EXPECT_TRUE(est3.bucketsAreOrdered());
+    SelfCounterConfidence est2(IndexScheme::Pc, 256, 2);
+    EXPECT_EQ(est2.numBuckets(), 2u); // weak/strong
+}
+
+TEST(SelfCounterTest, StorageAndReset)
+{
+    SelfCounterConfidence est(IndexScheme::Pc, 1024, 3);
+    EXPECT_EQ(est.storageBits(), 1024u * 3u);
+    const auto ctx = context(0x1000);
+    for (int i = 0; i < 5; ++i)
+        est.update(ctx, true, true);
+    est.reset();
+    EXPECT_EQ(est.bucketOf(ctx), 0u);
+}
+
+TEST(SelfCounterTest, BadGeometryIsFatal)
+{
+    EXPECT_THROW(SelfCounterConfidence(IndexScheme::Pc, 100, 3),
+                 std::runtime_error);
+    EXPECT_THROW(SelfCounterConfidence(IndexScheme::Pc, 256, 1),
+                 std::runtime_error);
+    EXPECT_THROW(SelfCounterConfidence(IndexScheme::Pc, 256, 7),
+                 std::runtime_error);
+}
+
+std::unique_ptr<CompositeConfidence>
+makeComposite()
+{
+    return std::make_unique<CompositeConfidence>(
+        std::make_unique<OneLevelCounterConfidence>(
+            IndexScheme::PcXorBhr, 256, CounterKind::Resetting, 16, 0),
+        std::make_unique<SelfCounterConfidence>(IndexScheme::Pc, 256,
+                                                3));
+}
+
+TEST(CompositeTest, BucketEncodesBothParts)
+{
+    auto composite = makeComposite();
+    EXPECT_EQ(composite->numBuckets(), 17u * 4u);
+    const auto ctx = context(0x1000, 0x5);
+    // Initially: resetting counter 0, strength 0 -> bucket 0.
+    EXPECT_EQ(composite->bucketOf(ctx), 0u);
+    for (int i = 0; i < 16; ++i)
+        composite->update(ctx, true, true);
+    // Resetting 16, strength 3 -> bucket 16*4 + 3.
+    EXPECT_EQ(composite->bucketOf(ctx), 16u * 4u + 3u);
+    const auto [a, b] = composite->splitBucket(composite->bucketOf(ctx));
+    EXPECT_EQ(a, 16u);
+    EXPECT_EQ(b, 3u);
+}
+
+TEST(CompositeTest, UpdatesBothConstituents)
+{
+    auto composite = makeComposite();
+    const auto ctx = context(0x2000);
+    // Mispredicted but taken: resetting part resets; strength part
+    // still strengthens toward taken.
+    for (int i = 0; i < 8; ++i)
+        composite->update(ctx, false, true);
+    const auto [reset_bucket, strength] =
+        composite->splitBucket(composite->bucketOf(ctx));
+    EXPECT_EQ(reset_bucket, 0u);
+    EXPECT_EQ(strength, 3u);
+}
+
+TEST(CompositeTest, StorageIsSumAndNameCombined)
+{
+    auto composite = makeComposite();
+    EXPECT_EQ(composite->storageBits(),
+              composite->first().storageBits() +
+                  composite->second().storageBits());
+    EXPECT_NE(composite->name().find("composite("), std::string::npos);
+}
+
+TEST(CompositeTest, ResetRestoresBoth)
+{
+    auto composite = makeComposite();
+    const auto ctx = context(0x1000);
+    for (int i = 0; i < 10; ++i)
+        composite->update(ctx, true, true);
+    composite->reset();
+    EXPECT_EQ(composite->bucketOf(ctx), 0u);
+}
+
+TEST(CompositeTest, GuardsAgainstHugeSpacesAndNull)
+{
+    EXPECT_THROW(
+        CompositeConfidence(
+            std::make_unique<OneLevelCirConfidence>(
+                IndexScheme::Pc, 256, 16, CirReduction::RawPattern),
+            std::make_unique<OneLevelCirConfidence>(
+                IndexScheme::Bhr, 256, 16, CirReduction::RawPattern)),
+        std::runtime_error);
+    EXPECT_THROW(CompositeConfidence(
+                     nullptr, std::make_unique<SelfCounterConfidence>(
+                                  IndexScheme::Pc, 256, 3)),
+                 std::runtime_error);
+}
+
+class MultiLevelTest : public ::testing::Test
+{
+  protected:
+    MultiLevelTest()
+        : est_(IndexScheme::Pc, 256, CounterKind::Resetting, 4, 0),
+          stats_(est_.numBuckets())
+    {
+        // Bucket rates descending with value: 0 worst, 4 best.
+        const int refs[5] = {100, 200, 300, 400, 4000};
+        const int misses[5] = {50, 60, 45, 20, 25};
+        for (int b = 0; b < 5; ++b) {
+            for (int i = 0; i < refs[b]; ++i)
+                stats_.record(b, i < misses[b]);
+        }
+    }
+
+    OneLevelCounterConfidence est_;
+    BucketStats stats_;
+};
+
+TEST_F(MultiLevelTest, ClassesFollowRateSortedCuts)
+{
+    // Cuts at 2% and 12% of 5000 refs = 100 and 600 refs: class 0 =
+    // {bucket 0}, class 1 = {buckets 1, 2}, class 2 = the rest.
+    MultiLevelConfidenceSignal signal(est_, stats_, {0.02, 0.12});
+    EXPECT_EQ(signal.numClasses(), 3u);
+    EXPECT_EQ(signal.classOfBucket(0), 0u);
+    EXPECT_EQ(signal.classOfBucket(1), 1u);
+    EXPECT_EQ(signal.classOfBucket(2), 1u);
+    EXPECT_EQ(signal.classOfBucket(3), 2u);
+    EXPECT_EQ(signal.classOfBucket(4), 2u);
+}
+
+TEST_F(MultiLevelTest, SummariesPartitionTheMass)
+{
+    MultiLevelConfidenceSignal signal(est_, stats_, {0.02, 0.12});
+    const auto &summaries = signal.classSummaries();
+    ASSERT_EQ(summaries.size(), 3u);
+    double total = 0.0;
+    for (const auto &summary : summaries)
+        total += summary.refFraction;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    // Misprediction rate must fall with the class index.
+    EXPECT_GT(summaries[0].mispredictRate,
+              summaries[1].mispredictRate);
+    EXPECT_GT(summaries[1].mispredictRate,
+              summaries[2].mispredictRate);
+}
+
+TEST_F(MultiLevelTest, ClassOfQueriesEstimator)
+{
+    MultiLevelConfidenceSignal signal(est_, stats_, {0.02, 0.12});
+    const auto ctx = context(0x1000);
+    EXPECT_EQ(signal.classOf(ctx), 0u); // counter 0 -> worst class
+    for (int i = 0; i < 4; ++i)
+        est_.update(ctx, true, true);
+    EXPECT_EQ(signal.classOf(ctx), 2u); // saturated -> best class
+}
+
+TEST_F(MultiLevelTest, BadCutsAreFatal)
+{
+    EXPECT_THROW(MultiLevelConfidenceSignal(est_, stats_, {}),
+                 std::runtime_error);
+    EXPECT_THROW(MultiLevelConfidenceSignal(est_, stats_, {0.0}),
+                 std::runtime_error);
+    EXPECT_THROW(MultiLevelConfidenceSignal(est_, stats_, {0.5, 0.2}),
+                 std::runtime_error);
+    BucketStats empty(est_.numBuckets());
+    EXPECT_THROW(MultiLevelConfidenceSignal(est_, empty, {0.2}),
+                 std::runtime_error);
+}
+
+TEST(UnaliasedTest, DistinctContextsNeverCollide)
+{
+    UnaliasedCounterConfidence est(IndexScheme::PcXorBhr,
+                                   CounterKind::Resetting, 16);
+    const auto a = context(0x1000, 0x1);
+    const auto b = context(0x1000, 0x2);
+    for (int i = 0; i < 5; ++i)
+        est.update(a, true, true);
+    EXPECT_EQ(est.bucketOf(a), 5u);
+    EXPECT_EQ(est.bucketOf(b), 0u); // untouched
+    EXPECT_EQ(est.observedContexts(), 1u);
+}
+
+TEST(UnaliasedTest, MatchesFiniteTableWithoutAliasing)
+{
+    // On a context set small enough to never alias a 256-entry table,
+    // the unaliased estimator and the finite one agree bucket by
+    // bucket.
+    UnaliasedCounterConfidence inf(IndexScheme::Pc,
+                                   CounterKind::Resetting, 16);
+    OneLevelCounterConfidence fin(IndexScheme::Pc, 256,
+                                  CounterKind::Resetting, 16, 0);
+    for (int step = 0; step < 1000; ++step) {
+        const auto ctx = context(0x1000 + 4 * (step % 32));
+        const bool correct = (step % 7) != 0;
+        ASSERT_EQ(inf.bucketOf(ctx), fin.bucketOf(ctx));
+        inf.update(ctx, correct, true);
+        fin.update(ctx, correct, true);
+    }
+}
+
+TEST(UnaliasedTest, ResetClearsObservations)
+{
+    UnaliasedCounterConfidence est(IndexScheme::Pc,
+                                   CounterKind::Resetting, 16);
+    est.update(context(0x1000), true, true);
+    EXPECT_EQ(est.observedContexts(), 1u);
+    est.reset();
+    EXPECT_EQ(est.observedContexts(), 0u);
+    EXPECT_EQ(est.bucketOf(context(0x1000)), 0u);
+}
+
+TEST(UnaliasedTest, StorageGrowsWithContexts)
+{
+    UnaliasedCounterConfidence est(IndexScheme::PcXorBhr,
+                                   CounterKind::Resetting, 16);
+    EXPECT_EQ(est.storageBits(), 0u);
+    est.update(context(0x1000, 0x1), true, true);
+    est.update(context(0x1000, 0x2), true, true);
+    EXPECT_EQ(est.storageBits(), 2u * 5u);
+}
+
+} // namespace
+} // namespace confsim

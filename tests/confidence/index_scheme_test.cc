@@ -1,0 +1,99 @@
+/** @file Unit tests for confidence/index_scheme.h. */
+
+#include "confidence/index_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+
+namespace confsim {
+namespace {
+
+BranchContext
+context(std::uint64_t pc, std::uint64_t bhr, std::uint64_t gcir = 0)
+{
+    BranchContext ctx;
+    ctx.pc = pc;
+    ctx.bhr = bhr;
+    ctx.gcir = gcir;
+    return ctx;
+}
+
+TEST(IndexSchemeTest, PcUsesBitsAboveWordOffset)
+{
+    // 16-bit index from PC bits 17..2 (the paper's field).
+    const auto ctx = context(0x0003FFFC, 0);
+    EXPECT_EQ(computeIndex(IndexScheme::Pc, ctx, 16), 0xFFFFu);
+    EXPECT_EQ(computeIndex(IndexScheme::Pc, context(0x4, 0), 16), 1u);
+    // Byte-offset bits are ignored.
+    EXPECT_EQ(computeIndex(IndexScheme::Pc, context(0x7, 0), 16), 1u);
+}
+
+TEST(IndexSchemeTest, BhrAndGcirUseLowBits)
+{
+    const auto ctx = context(0, 0x12345, 0xABCDE);
+    EXPECT_EQ(computeIndex(IndexScheme::Bhr, ctx, 16), 0x2345u);
+    EXPECT_EQ(computeIndex(IndexScheme::Gcir, ctx, 16), 0xBCDEu);
+}
+
+TEST(IndexSchemeTest, XorCombinations)
+{
+    const auto ctx = context(0x4 << 2, 0x3, 0x5); // pc field = 4
+    EXPECT_EQ(computeIndex(IndexScheme::PcXorBhr, ctx, 16),
+              0x4u ^ 0x3u);
+    EXPECT_EQ(computeIndex(IndexScheme::PcXorGcir, ctx, 16),
+              0x4u ^ 0x5u);
+    EXPECT_EQ(computeIndex(IndexScheme::BhrXorGcir, ctx, 16),
+              0x3u ^ 0x5u);
+    EXPECT_EQ(computeIndex(IndexScheme::PcXorBhrXorGcir, ctx, 16),
+              0x4u ^ 0x3u ^ 0x5u);
+}
+
+TEST(IndexSchemeTest, ConcatSplitsTheIndex)
+{
+    // 8-bit index: low 4 bits from PC, high 4 from BHR.
+    const auto ctx = context(0xA << 2, 0x5);
+    EXPECT_EQ(computeIndex(IndexScheme::PcConcatBhr, ctx, 8),
+              (0x5u << 4) | 0xAu);
+}
+
+TEST(IndexSchemeTest, ConcatOddWidthGivesExtraBitToPc)
+{
+    const auto ctx = context(0x7F << 2, 0x7F);
+    // 7-bit index: 4 PC bits + 3 BHR bits.
+    EXPECT_EQ(computeIndex(IndexScheme::PcConcatBhr, ctx, 7),
+              (0x7u << 4) | 0xFu);
+}
+
+TEST(IndexSchemeTest, ResultAlwaysFitsIndexWidth)
+{
+    const auto ctx = context(0xFFFFFFFC, 0xFFFF, 0xFFFF);
+    for (auto scheme :
+         {IndexScheme::Pc, IndexScheme::Bhr, IndexScheme::Gcir,
+          IndexScheme::PcXorBhr, IndexScheme::PcXorGcir,
+          IndexScheme::BhrXorGcir, IndexScheme::PcXorBhrXorGcir,
+          IndexScheme::PcConcatBhr}) {
+        for (unsigned bits : {4u, 12u, 16u}) {
+            EXPECT_LE(computeIndex(scheme, ctx, bits), mask(bits));
+        }
+    }
+}
+
+TEST(IndexSchemeTest, BadWidthIsFatal)
+{
+    const auto ctx = context(0, 0);
+    EXPECT_THROW(computeIndex(IndexScheme::Pc, ctx, 0),
+                 std::runtime_error);
+    EXPECT_THROW(computeIndex(IndexScheme::Pc, ctx, 33),
+                 std::runtime_error);
+}
+
+TEST(IndexSchemeTest, Names)
+{
+    EXPECT_STREQ(toString(IndexScheme::PcXorBhr), "PCxorBHR");
+    EXPECT_STREQ(toString(IndexScheme::Gcir), "GCIR");
+    EXPECT_STREQ(toString(IndexScheme::PcConcatBhr), "PCconcatBHR");
+}
+
+} // namespace
+} // namespace confsim

@@ -1,0 +1,96 @@
+/** @file Unit tests for the interference probe. */
+
+#include "confidence/interference_probe.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+BranchContext
+context(std::uint64_t pc, std::uint64_t bhr = 0)
+{
+    BranchContext ctx;
+    ctx.pc = pc;
+    ctx.bhr = bhr;
+    return ctx;
+}
+
+TEST(InterferenceProbeTest, DistinctEntriesAreUnshared)
+{
+    InterferenceProbe probe(IndexScheme::Pc, 8);
+    probe.observe(context(0x1000));
+    probe.observe(context(0x1004));
+    probe.observe(context(0x1000));
+    const auto report = probe.report();
+    EXPECT_EQ(report.accesses, 3u);
+    EXPECT_EQ(report.entriesTouched, 2u);
+    EXPECT_EQ(report.sharedEntries, 0u);
+    EXPECT_DOUBLE_EQ(report.sharedEntryFraction(), 0.0);
+    EXPECT_DOUBLE_EQ(report.averageContextsPerEntry, 1.0);
+}
+
+TEST(InterferenceProbeTest, AliasingContextsAreDetected)
+{
+    // 8-bit index on PC: pc and pc + (256 << 2) share an entry but
+    // differ in the 32-bit context id.
+    InterferenceProbe probe(IndexScheme::Pc, 8);
+    probe.observe(context(0x1000));
+    probe.observe(context(0x1000 + (256 << 2)));
+    probe.observe(context(0x1000));
+    const auto report = probe.report();
+    EXPECT_EQ(report.entriesTouched, 1u);
+    EXPECT_EQ(report.sharedEntries, 1u);
+    EXPECT_EQ(report.sharedAccesses, 3u);
+    EXPECT_DOUBLE_EQ(report.sharedAccessFraction(), 1.0);
+    EXPECT_DOUBLE_EQ(report.averageContextsPerEntry, 2.0);
+}
+
+TEST(InterferenceProbeTest, HistorySpreadsContextsUnderXorIndexing)
+{
+    // The same PC with different histories creates distinct contexts;
+    // under PC^BHR indexing with a narrow table some must collide.
+    InterferenceProbe probe(IndexScheme::PcXorBhr, 2);
+    for (std::uint64_t h = 0; h < 16; ++h)
+        probe.observe(context(0x1000, h));
+    const auto report = probe.report();
+    EXPECT_EQ(report.accesses, 16u);
+    EXPECT_LE(report.entriesTouched, 4u);
+    EXPECT_GT(report.sharedEntries, 0u);
+}
+
+TEST(InterferenceProbeTest, TrackingCapBoundsMemoryNotCounts)
+{
+    InterferenceProbe probe(IndexScheme::Pc, 1, 2);
+    // Many distinct contexts, all colliding into <= 2 entries.
+    for (std::uint64_t i = 0; i < 100; ++i)
+        probe.observe(context(0x1000 + (i << 4)));
+    const auto report = probe.report();
+    EXPECT_EQ(report.accesses, 100u);
+    // Per-entry context lists are capped at 2.
+    EXPECT_LE(report.averageContextsPerEntry, 2.0);
+    EXPECT_GT(report.sharedEntries, 0u);
+}
+
+TEST(InterferenceProbeTest, ResetForgets)
+{
+    InterferenceProbe probe(IndexScheme::Pc, 8);
+    probe.observe(context(0x1000));
+    probe.reset();
+    const auto report = probe.report();
+    EXPECT_EQ(report.accesses, 0u);
+    EXPECT_EQ(report.entriesTouched, 0u);
+}
+
+TEST(InterferenceProbeTest, BadParametersAreFatal)
+{
+    EXPECT_THROW(InterferenceProbe(IndexScheme::Pc, 0),
+                 std::runtime_error);
+    EXPECT_THROW(InterferenceProbe(IndexScheme::Pc, 40),
+                 std::runtime_error);
+    EXPECT_THROW(InterferenceProbe(IndexScheme::Pc, 8, 1),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace confsim

@@ -1,0 +1,94 @@
+/** @file Unit tests for confidence-signal serialization. */
+
+#include "confidence/signal_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "metrics/confidence_curve.h"
+
+namespace confsim {
+namespace {
+
+class SignalIoTest : public ::testing::Test
+{
+  protected:
+    std::string path_ =
+        ::testing::TempDir() + "/confsim_signal_test.txt";
+
+    void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(SignalIoTest, RoundTripPreservesMask)
+{
+    std::vector<bool> mask(17, false);
+    mask[0] = mask[3] = mask[16] = true;
+    writeSignalImage(path_, "1lvl-PCxorBHR-reset16-65536", mask);
+    const auto image = readSignalImage(path_);
+    EXPECT_EQ(image.estimatorName, "1lvl-PCxorBHR-reset16-65536");
+    EXPECT_EQ(image.lowBuckets, mask);
+}
+
+TEST_F(SignalIoTest, EmptyLowSetRoundTrips)
+{
+    writeSignalImage(path_, "est", std::vector<bool>(8, false));
+    const auto image = readSignalImage(path_);
+    EXPECT_EQ(image.lowBuckets, std::vector<bool>(8, false));
+}
+
+TEST_F(SignalIoTest, EstimatorNameGuard)
+{
+    writeSignalImage(path_, "est-a", std::vector<bool>(4, true));
+    EXPECT_NO_THROW(readSignalImage(path_, "est-a"));
+    EXPECT_THROW(readSignalImage(path_, "est-b"),
+                 std::runtime_error);
+}
+
+TEST_F(SignalIoTest, CurveDerivedMaskRoundTrips)
+{
+    // The full paper flow: profile -> curve -> operating point ->
+    // image -> reload.
+    BucketStats stats(17);
+    for (int v = 0; v < 17; ++v) {
+        for (int i = 0; i < 50 + v * 100; ++i)
+            stats.record(v, i < (17 - v));
+    }
+    const auto curve = ConfidenceCurve::fromBucketStats(stats);
+    const auto mask = curve.lowBucketMaskForRefFraction(0.2, 17);
+    writeSignalImage(path_, "reset16", mask);
+    EXPECT_EQ(readSignalImage(path_, "reset16").lowBuckets, mask);
+}
+
+TEST_F(SignalIoTest, MalformedImagesAreFatal)
+{
+    const auto write_file = [this](const std::string &content) {
+        std::ofstream out(path_);
+        out << content;
+    };
+    write_file("wrong header\n");
+    EXPECT_THROW(readSignalImage(path_), std::runtime_error);
+    write_file("confsim-signal v1\nestimator e\nbuckets 0\nlow\n");
+    EXPECT_THROW(readSignalImage(path_), std::runtime_error);
+    write_file("confsim-signal v1\nestimator e\nbuckets 4\nlow 9\n");
+    EXPECT_THROW(readSignalImage(path_), std::runtime_error);
+    write_file("confsim-signal v1\nestimator e\nbuckets 4\nlow 2 1\n");
+    EXPECT_THROW(readSignalImage(path_), std::runtime_error);
+    write_file("confsim-signal v1\nestimator e\nbuckets 4\nlow 1 x\n");
+    EXPECT_THROW(readSignalImage(path_), std::runtime_error);
+}
+
+TEST_F(SignalIoTest, MissingFileAndBadWritesAreFatal)
+{
+    EXPECT_THROW(readSignalImage("/no/such/image.txt"),
+                 std::runtime_error);
+    EXPECT_THROW(writeSignalImage(path_, "e", {}),
+                 std::runtime_error);
+    EXPECT_THROW(writeSignalImage(path_, "two\nlines",
+                                  std::vector<bool>(2, true)),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace confsim

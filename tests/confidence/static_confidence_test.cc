@@ -1,0 +1,119 @@
+/** @file Unit tests for the profile-based static confidence method. */
+
+#include "confidence/static_confidence.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+StaticBranchProfile
+sampleProfile()
+{
+    // Three static branches:
+    //   0x100: 100 execs, 50 misses (rate 0.50)
+    //   0x200: 300 execs, 30 misses (rate 0.10)
+    //   0x300: 600 execs,  6 misses (rate 0.01)
+    StaticBranchProfile profile;
+    auto fill = [&profile](std::uint64_t pc, int execs, int misses) {
+        for (int i = 0; i < execs; ++i)
+            profile.record(pc, i < misses);
+    };
+    fill(0x100, 100, 50);
+    fill(0x200, 300, 30);
+    fill(0x300, 600, 6);
+    return profile;
+}
+
+TEST(StaticProfileTest, Totals)
+{
+    const auto profile = sampleProfile();
+    EXPECT_EQ(profile.size(), 3u);
+    EXPECT_EQ(profile.totalExecutions(), 1000u);
+    EXPECT_EQ(profile.totalMispredictions(), 86u);
+}
+
+TEST(StaticProfileTest, EntryRates)
+{
+    const auto profile = sampleProfile();
+    EXPECT_DOUBLE_EQ(profile.entries().at(0x100).rate(), 0.5);
+    EXPECT_DOUBLE_EQ(profile.entries().at(0x300).rate(), 0.01);
+}
+
+TEST(StaticProfileTest, LowSetByRefFractionTakesWorstFirst)
+{
+    const auto profile = sampleProfile();
+    // 10% of 1000 execs: only the worst branch (0x100, 100 execs).
+    const auto low10 = profile.lowSetByRefFraction(0.10);
+    EXPECT_EQ(low10.size(), 1u);
+    EXPECT_TRUE(low10.count(0x100));
+    // 40%: worst two.
+    const auto low40 = profile.lowSetByRefFraction(0.40);
+    EXPECT_EQ(low40.size(), 2u);
+    EXPECT_TRUE(low40.count(0x200));
+    // 100%: everything.
+    EXPECT_EQ(profile.lowSetByRefFraction(1.0).size(), 3u);
+    // 0%: nothing.
+    EXPECT_TRUE(profile.lowSetByRefFraction(0.0).empty());
+}
+
+TEST(StaticProfileTest, LowSetByRateThreshold)
+{
+    const auto profile = sampleProfile();
+    const auto low = profile.lowSetByRateThreshold(0.10);
+    EXPECT_EQ(low.size(), 2u);
+    EXPECT_TRUE(low.count(0x100));
+    EXPECT_TRUE(low.count(0x200));
+    EXPECT_TRUE(profile.lowSetByRateThreshold(0.9).empty());
+}
+
+TEST(StaticProfileTest, EmptyProfileYieldsEmptySets)
+{
+    StaticBranchProfile profile;
+    EXPECT_TRUE(profile.lowSetByRefFraction(0.5).empty());
+    EXPECT_TRUE(profile.lowSetByRateThreshold(0.0).empty());
+}
+
+TEST(StaticConfidenceTest, BucketsByMembership)
+{
+    StaticConfidence est({0x100, 0x200});
+    BranchContext ctx;
+    ctx.pc = 0x100;
+    EXPECT_EQ(est.bucketOf(ctx), 0u); // low confidence
+    ctx.pc = 0x300;
+    EXPECT_EQ(est.bucketOf(ctx), 1u); // high confidence
+    EXPECT_EQ(est.numBuckets(), 2u);
+    EXPECT_TRUE(est.bucketsAreOrdered());
+}
+
+TEST(StaticConfidenceTest, UpdateIsANoop)
+{
+    StaticConfidence est({0x100});
+    BranchContext ctx;
+    ctx.pc = 0x100;
+    est.update(ctx, true, true);
+    est.update(ctx, false, true);
+    EXPECT_EQ(est.bucketOf(ctx), 0u);
+}
+
+TEST(StaticConfidenceTest, StorageCountsTagBits)
+{
+    StaticConfidence est({0x100, 0x200, 0x300});
+    EXPECT_EQ(est.storageBits(), 3u);
+}
+
+TEST(StaticConfidenceTest, EndToEndFromProfile)
+{
+    const auto profile = sampleProfile();
+    StaticConfidence est(profile.lowSetByRefFraction(0.40));
+    BranchContext ctx;
+    ctx.pc = 0x100;
+    EXPECT_EQ(est.bucketOf(ctx), 0u);
+    ctx.pc = 0x200;
+    EXPECT_EQ(est.bucketOf(ctx), 0u);
+    ctx.pc = 0x300;
+    EXPECT_EQ(est.bucketOf(ctx), 1u);
+}
+
+} // namespace
+} // namespace confsim

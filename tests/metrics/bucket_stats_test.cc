@@ -1,0 +1,142 @@
+/** @file Unit tests for per-bucket statistics and compositing. */
+
+#include "metrics/bucket_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(BucketStatsTest, RecordAccumulates)
+{
+    BucketStats stats(4);
+    stats.record(1, false);
+    stats.record(1, true);
+    stats.record(1, true);
+    EXPECT_DOUBLE_EQ(stats[1].refs, 3.0);
+    EXPECT_DOUBLE_EQ(stats[1].mispredicts, 2.0);
+    EXPECT_NEAR(stats[1].rate(), 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats[0].refs, 0.0);
+}
+
+TEST(BucketStatsTest, Totals)
+{
+    BucketStats stats(4);
+    stats.record(0, true);
+    stats.record(1, false);
+    stats.record(2, true);
+    EXPECT_DOUBLE_EQ(stats.totalRefs(), 3.0);
+    EXPECT_DOUBLE_EQ(stats.totalMispredicts(), 2.0);
+    EXPECT_NEAR(stats.overallRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(BucketStatsTest, EmptyRateIsZero)
+{
+    BucketStats stats(4);
+    EXPECT_DOUBLE_EQ(stats.overallRate(), 0.0);
+    EXPECT_DOUBLE_EQ(stats[2].rate(), 0.0);
+}
+
+TEST(BucketStatsTest, NonEmptySkipsUnreferencedBuckets)
+{
+    BucketStats stats(8);
+    stats.record(3, true);
+    stats.record(6, false);
+    const auto keyed = stats.nonEmpty();
+    ASSERT_EQ(keyed.size(), 2u);
+    EXPECT_EQ(keyed[0].bucket, 3u);
+    EXPECT_EQ(keyed[1].bucket, 6u);
+}
+
+TEST(BucketStatsTest, AddWeightedScales)
+{
+    BucketStats a(2);
+    a.record(0, true);
+    a.record(1, false);
+    BucketStats b(2);
+    b.record(0, false);
+    b.addWeighted(a, 2.0);
+    EXPECT_DOUBLE_EQ(b[0].refs, 3.0);
+    EXPECT_DOUBLE_EQ(b[0].mispredicts, 2.0);
+    EXPECT_DOUBLE_EQ(b[1].refs, 2.0);
+}
+
+TEST(BucketStatsTest, MismatchedMergeIsFatal)
+{
+    BucketStats a(2);
+    BucketStats b(3);
+    EXPECT_THROW(a.addWeighted(b, 1.0), std::runtime_error);
+}
+
+TEST(BucketStatsTest, ZeroBucketsIsFatal)
+{
+    EXPECT_THROW(BucketStats(0), std::runtime_error);
+}
+
+TEST(BucketStatsTest, ClearZeroes)
+{
+    BucketStats stats(2);
+    stats.record(0, true);
+    stats.clear();
+    EXPECT_DOUBLE_EQ(stats.totalRefs(), 0.0);
+}
+
+TEST(SparseBucketStatsTest, RecordAndAggregate)
+{
+    SparseBucketStats stats;
+    stats.record(0xDEADBEEF, true);
+    stats.record(0xDEADBEEF, false);
+    stats.recordAggregate(0x42, 10.0, 3.0);
+    EXPECT_EQ(stats.size(), 2u);
+    EXPECT_DOUBLE_EQ(stats.totalRefs(), 12.0);
+    EXPECT_DOUBLE_EQ(stats.totalMispredicts(), 4.0);
+}
+
+TEST(SparseBucketStatsTest, AddWeighted)
+{
+    SparseBucketStats a;
+    a.recordAggregate(1, 100.0, 10.0);
+    SparseBucketStats b;
+    b.recordAggregate(1, 1.0, 1.0);
+    b.recordAggregate(2, 5.0, 0.0);
+    a.addWeighted(b, 10.0);
+    EXPECT_DOUBLE_EQ(a.totalRefs(), 100.0 + 10.0 + 50.0);
+    EXPECT_DOUBLE_EQ(a.totalMispredicts(), 10.0 + 10.0);
+    EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(EqualWeightCompositeTest, EachComponentContributesEqualMass)
+{
+    // Benchmark A: 100 branches, all in bucket 0, 10% misses.
+    BucketStats a(2);
+    for (int i = 0; i < 100; ++i)
+        a.record(0, i < 10);
+    // Benchmark B: 10000 branches, all in bucket 1, 1% misses.
+    BucketStats b(2);
+    for (int i = 0; i < 10000; ++i)
+        b.record(1, i < 100);
+
+    EqualWeightComposite composite(2);
+    composite.add(a);
+    composite.add(b);
+    const BucketStats &out = composite.result();
+    // Despite B having 100x the raw branches, both buckets carry the
+    // same reference mass.
+    EXPECT_NEAR(out[0].refs, out[1].refs, 1e-6);
+    // Rates are preserved per component.
+    EXPECT_NEAR(out[0].rate(), 0.10, 1e-12);
+    EXPECT_NEAR(out[1].rate(), 0.01, 1e-12);
+    // Composite rate = average of the two rates (the paper's
+    // equal-weight averaging).
+    EXPECT_NEAR(out.overallRate(), 0.055, 1e-9);
+}
+
+TEST(EqualWeightCompositeTest, EmptyComponentIsFatal)
+{
+    EqualWeightComposite composite(2);
+    BucketStats empty(2);
+    EXPECT_THROW(composite.add(empty), std::runtime_error);
+}
+
+} // namespace
+} // namespace confsim

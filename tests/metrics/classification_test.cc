@@ -1,0 +1,79 @@
+/** @file Unit tests for binary classification metrics. */
+
+#include "metrics/classification_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(ClassificationTest, PerfectSplit)
+{
+    ConfusionCounts counts;
+    counts.lowMispredicted = 50;
+    counts.highCorrect = 950;
+    const auto metrics = computeMetrics(counts);
+    EXPECT_DOUBLE_EQ(metrics.sensitivity, 1.0);
+    EXPECT_DOUBLE_EQ(metrics.specificity, 1.0);
+    EXPECT_DOUBLE_EQ(metrics.pvn, 1.0);
+    EXPECT_DOUBLE_EQ(metrics.pvp, 1.0);
+    EXPECT_DOUBLE_EQ(metrics.lowFraction, 0.05);
+}
+
+TEST(ClassificationTest, TypicalValues)
+{
+    // 1000 predictions, 4% miss rate; the low set holds 20% of
+    // predictions and catches 80% of misses.
+    ConfusionCounts counts;
+    counts.lowMispredicted = 32;
+    counts.lowCorrect = 168;
+    counts.highMispredicted = 8;
+    counts.highCorrect = 792;
+    const auto metrics = computeMetrics(counts);
+    EXPECT_DOUBLE_EQ(metrics.lowFraction, 0.2);
+    EXPECT_DOUBLE_EQ(metrics.sensitivity, 0.8);
+    EXPECT_NEAR(metrics.pvn, 32.0 / 200.0, 1e-12);
+    EXPECT_NEAR(metrics.pvp, 792.0 / 800.0, 1e-12);
+    EXPECT_NEAR(metrics.specificity, 792.0 / 960.0, 1e-12);
+}
+
+TEST(ClassificationTest, EmptyCountsGiveZeros)
+{
+    const auto metrics = computeMetrics(ConfusionCounts{});
+    EXPECT_DOUBLE_EQ(metrics.lowFraction, 0.0);
+    EXPECT_DOUBLE_EQ(metrics.sensitivity, 0.0);
+    EXPECT_DOUBLE_EQ(metrics.pvn, 0.0);
+}
+
+TEST(ClassificationTest, ConfusionFromBuckets)
+{
+    std::vector<KeyedBucketCounts> buckets = {
+        {0, {100.0, 40.0}}, // low bucket
+        {1, {900.0, 10.0}}, // high bucket
+        {5, {50.0, 5.0}},   // id beyond mask -> treated high
+    };
+    std::vector<bool> low_mask = {true, false};
+    const auto counts = confusionFromBuckets(buckets, low_mask);
+    EXPECT_DOUBLE_EQ(counts.lowMispredicted, 40.0);
+    EXPECT_DOUBLE_EQ(counts.lowCorrect, 60.0);
+    EXPECT_DOUBLE_EQ(counts.highMispredicted, 15.0);
+    EXPECT_DOUBLE_EQ(counts.highCorrect, 935.0);
+    EXPECT_DOUBLE_EQ(counts.total(), 1050.0);
+}
+
+TEST(ClassificationTest, SensitivityMatchesCurveReading)
+{
+    // The paper's "X% of branches capture Y% of mispredictions" is
+    // exactly (lowFraction, sensitivity).
+    ConfusionCounts counts;
+    counts.lowMispredicted = 89;
+    counts.lowCorrect = 111;
+    counts.highMispredicted = 11;
+    counts.highCorrect = 789;
+    const auto metrics = computeMetrics(counts);
+    EXPECT_NEAR(metrics.lowFraction, 0.2, 1e-12);
+    EXPECT_NEAR(metrics.sensitivity, 0.89, 1e-12);
+}
+
+} // namespace
+} // namespace confsim

@@ -1,0 +1,183 @@
+/** @file Unit tests for the cumulative confidence curve. */
+
+#include "metrics/confidence_curve.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+/** Two buckets: a hot bad one and a big good one. */
+BucketStats
+twoBucketStats()
+{
+    BucketStats stats(2);
+    // Bucket 0: 200 refs, 80 misses (rate 0.4).
+    for (int i = 0; i < 200; ++i)
+        stats.record(0, i < 80);
+    // Bucket 1: 800 refs, 20 misses (rate 0.025).
+    for (int i = 0; i < 800; ++i)
+        stats.record(1, i < 20);
+    return stats;
+}
+
+TEST(CurveTest, SortsByRateAndAccumulates)
+{
+    const auto curve =
+        ConfidenceCurve::fromBucketStats(twoBucketStats());
+    ASSERT_EQ(curve.points().size(), 2u);
+    // Worst bucket first.
+    EXPECT_EQ(curve.points()[0].bucket, 0u);
+    EXPECT_NEAR(curve.points()[0].refFraction, 0.2, 1e-12);
+    EXPECT_NEAR(curve.points()[0].mispredFraction, 0.8, 1e-12);
+    // Final point reaches (1, 1).
+    EXPECT_NEAR(curve.points()[1].refFraction, 1.0, 1e-12);
+    EXPECT_NEAR(curve.points()[1].mispredFraction, 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(curve.totalRefs(), 1000.0);
+    EXPECT_DOUBLE_EQ(curve.totalMispredicts(), 100.0);
+}
+
+TEST(CurveTest, MonotonicNondecreasing)
+{
+    BucketStats stats(16);
+    for (int b = 0; b < 16; ++b) {
+        for (int i = 0; i < 50 + 13 * b; ++i)
+            stats.record(b, i < (b * 3) % 17);
+    }
+    const auto curve = ConfidenceCurve::fromBucketStats(stats);
+    double x = 0.0;
+    double y = 0.0;
+    double rate = 1.1;
+    for (const auto &point : curve.points()) {
+        EXPECT_GE(point.refFraction, x);
+        EXPECT_GE(point.mispredFraction, y - 1e-12);
+        EXPECT_LE(point.bucketRate, rate + 1e-12); // sorted descending
+        x = point.refFraction;
+        y = point.mispredFraction;
+        rate = point.bucketRate;
+    }
+    EXPECT_NEAR(x, 1.0, 1e-9);
+    EXPECT_NEAR(y, 1.0, 1e-9);
+}
+
+TEST(CurveTest, CoverageInterpolatesLinearly)
+{
+    const auto curve =
+        ConfidenceCurve::fromBucketStats(twoBucketStats());
+    // At exactly the first point.
+    EXPECT_NEAR(curve.mispredCoverageAt(0.2), 0.8, 1e-12);
+    // Halfway to the first point: linear from (0,0).
+    EXPECT_NEAR(curve.mispredCoverageAt(0.1), 0.4, 1e-12);
+    // Between the points.
+    EXPECT_NEAR(curve.mispredCoverageAt(0.6), 0.9, 1e-12);
+    // Beyond the end.
+    EXPECT_NEAR(curve.mispredCoverageAt(1.5), 1.0, 1e-12);
+    // Degenerate inputs.
+    EXPECT_DOUBLE_EQ(curve.mispredCoverageAt(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(curve.mispredCoverageAt(-1.0), 0.0);
+}
+
+TEST(CurveTest, InverseReading)
+{
+    const auto curve =
+        ConfidenceCurve::fromBucketStats(twoBucketStats());
+    EXPECT_NEAR(curve.refFractionForCoverage(0.8), 0.2, 1e-12);
+    EXPECT_NEAR(curve.refFractionForCoverage(0.4), 0.1, 1e-12);
+    EXPECT_NEAR(curve.refFractionForCoverage(0.9), 0.6, 1e-12);
+    EXPECT_NEAR(curve.refFractionForCoverage(1.0), 1.0, 1e-12);
+}
+
+TEST(CurveTest, LowBucketSelection)
+{
+    const auto curve =
+        ConfidenceCurve::fromBucketStats(twoBucketStats());
+    // 20% of refs -> just the worst bucket.
+    const auto low = curve.lowBucketsForRefFraction(0.2);
+    ASSERT_EQ(low.size(), 1u);
+    EXPECT_EQ(low[0], 0u);
+    // 21% -> needs part of the second; the prefix rule includes it.
+    EXPECT_EQ(curve.lowBucketsForRefFraction(0.21).size(), 2u);
+    // Mask form.
+    const auto mask = curve.lowBucketMaskForRefFraction(0.2, 2);
+    EXPECT_TRUE(mask[0]);
+    EXPECT_FALSE(mask[1]);
+}
+
+TEST(CurveTest, MaskWithTooFewBucketsIsFatal)
+{
+    const auto curve =
+        ConfidenceCurve::fromBucketStats(twoBucketStats());
+    EXPECT_THROW(curve.lowBucketMaskForRefFraction(1.0, 1),
+                 std::runtime_error);
+}
+
+TEST(CurveTest, AucPerfectAndDiagonal)
+{
+    // Perfect concentration: one bucket holds every miss and almost
+    // no refs -> AUC near 1.
+    BucketStats perfect(2);
+    for (int i = 0; i < 10; ++i)
+        perfect.record(0, true);
+    for (int i = 0; i < 990; ++i)
+        perfect.record(1, false);
+    EXPECT_GT(ConfidenceCurve::fromBucketStats(perfect)
+                  .areaUnderCurve(),
+              0.98);
+
+    // No information: uniform rate everywhere -> AUC 0.5.
+    BucketStats flat(4);
+    for (int b = 0; b < 4; ++b) {
+        for (int i = 0; i < 100; ++i)
+            flat.record(b, i < 10);
+    }
+    EXPECT_NEAR(ConfidenceCurve::fromBucketStats(flat).areaUnderCurve(),
+                0.5, 1e-9);
+}
+
+TEST(CurveTest, EmptyStatsGiveEmptyCurve)
+{
+    BucketStats stats(4);
+    const auto curve = ConfidenceCurve::fromBucketStats(stats);
+    EXPECT_TRUE(curve.points().empty());
+    EXPECT_DOUBLE_EQ(curve.mispredCoverageAt(0.5), 0.0);
+}
+
+TEST(CurveTest, ThinningKeepsEndpointsAndSpacing)
+{
+    BucketStats stats(100);
+    for (int b = 0; b < 100; ++b) {
+        for (int i = 0; i < 10; ++i)
+            stats.record(b, i < (100 - b) % 7);
+    }
+    const auto curve = ConfidenceCurve::fromBucketStats(stats);
+    const auto thin = curve.thinnedPoints(0.025);
+    EXPECT_LT(thin.size(), curve.points().size());
+    EXPECT_EQ(thin.front().bucket, curve.points().front().bucket);
+    EXPECT_EQ(thin.back().bucket, curve.points().back().bucket);
+}
+
+TEST(CurveTest, SparseStatsPathWorks)
+{
+    SparseBucketStats stats;
+    stats.recordAggregate(0xAAA, 100, 50);
+    stats.recordAggregate(0xBBB, 900, 10);
+    const auto curve = ConfidenceCurve::fromSparseStats(stats);
+    ASSERT_EQ(curve.points().size(), 2u);
+    EXPECT_EQ(curve.points()[0].bucket, 0xAAAu);
+}
+
+TEST(CurveTest, DeterministicTieBreakOnEqualRates)
+{
+    BucketStats stats(3);
+    for (int b = 0; b < 3; ++b) {
+        for (int i = 0; i < 10; ++i)
+            stats.record(b, i < 5);
+    }
+    const auto curve = ConfidenceCurve::fromBucketStats(stats);
+    EXPECT_EQ(curve.points()[0].bucket, 0u);
+    EXPECT_EQ(curve.points()[1].bucket, 1u);
+    EXPECT_EQ(curve.points()[2].bucket, 2u);
+}
+
+} // namespace
+} // namespace confsim

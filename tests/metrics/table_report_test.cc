@@ -1,0 +1,92 @@
+/** @file Unit tests for Table-1-style counter reports. */
+
+#include "metrics/table_report.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+BucketStats
+counterStats()
+{
+    // Counter values 0..4 with decreasing rates, mimicking Table 1.
+    BucketStats stats(5);
+    const int refs[5] = {100, 150, 200, 250, 2000};
+    const int misses[5] = {40, 30, 20, 10, 20};
+    for (int v = 0; v < 5; ++v) {
+        for (int i = 0; i < refs[v]; ++i)
+            stats.record(v, i < misses[v]);
+    }
+    return stats;
+}
+
+TEST(TableReportTest, RowsInCounterOrder)
+{
+    const auto rows = buildCounterTable(counterStats());
+    ASSERT_EQ(rows.size(), 5u);
+    for (std::size_t v = 0; v < 5; ++v)
+        EXPECT_EQ(rows[v].counterValue, v);
+}
+
+TEST(TableReportTest, RatesAndPercentages)
+{
+    const auto rows = buildCounterTable(counterStats());
+    EXPECT_NEAR(rows[0].mispredictRate, 0.40, 1e-12);
+    const double total_refs = 2700.0;
+    const double total_misses = 120.0;
+    EXPECT_NEAR(rows[0].refPercent, 100.0 * 100.0 / total_refs, 1e-9);
+    EXPECT_NEAR(rows[0].mispredictPercent,
+                100.0 * 40.0 / total_misses, 1e-9);
+}
+
+TEST(TableReportTest, CumulativeColumnsAccumulateDownTheTable)
+{
+    const auto rows = buildCounterTable(counterStats());
+    double cum_refs = 0.0;
+    double cum_misses = 0.0;
+    for (const auto &row : rows) {
+        EXPECT_GE(row.cumRefPercent, cum_refs - 1e-9);
+        EXPECT_GE(row.cumMispredictPercent, cum_misses - 1e-9);
+        cum_refs = row.cumRefPercent;
+        cum_misses = row.cumMispredictPercent;
+    }
+    EXPECT_NEAR(cum_refs, 100.0, 1e-9);
+    EXPECT_NEAR(cum_misses, 100.0, 1e-9);
+}
+
+TEST(TableReportTest, PaperReadingCountZeroIsolatesItsMisses)
+{
+    // "If we were to use a count value of 0 to define the low
+    // confidence set, then we could isolate ..." — row 0's cumulative
+    // cells are exactly its own percentages.
+    const auto rows = buildCounterTable(counterStats());
+    EXPECT_NEAR(rows[0].cumRefPercent, rows[0].refPercent, 1e-12);
+    EXPECT_NEAR(rows[0].cumMispredictPercent,
+                rows[0].mispredictPercent, 1e-12);
+}
+
+TEST(TableReportTest, EmptyBucketsRenderAsZeros)
+{
+    BucketStats stats(3);
+    stats.record(1, true);
+    const auto rows = buildCounterTable(stats);
+    EXPECT_DOUBLE_EQ(rows[0].refPercent, 0.0);
+    EXPECT_DOUBLE_EQ(rows[2].cumRefPercent, 100.0);
+}
+
+TEST(TableReportTest, RenderContainsHeaderAndEveryRow)
+{
+    const auto rows = buildCounterTable(counterStats());
+    const std::string text = renderCounterTable(rows);
+    EXPECT_NE(text.find("Count"), std::string::npos);
+    EXPECT_NE(text.find("Cum.% Mispreds."), std::string::npos);
+    // One line per row plus the header.
+    const auto lines = std::count(text.begin(), text.end(), '\n');
+    EXPECT_EQ(lines, 6);
+}
+
+} // namespace
+} // namespace confsim

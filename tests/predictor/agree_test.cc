@@ -1,0 +1,111 @@
+/** @file Unit tests for the agree predictor. */
+
+#include "predictor/agree.h"
+
+#include <gtest/gtest.h>
+
+#include "predictor/gshare.h"
+#include "sim/driver.h"
+#include "workload/workload_generator.h"
+
+namespace confsim {
+namespace {
+
+TEST(AgreeTest, BiasSetAtFirstExecution)
+{
+    AgreePredictor pred(1024, 8);
+    EXPECT_TRUE(pred.biasOf(0x1000)); // unseen default
+    pred.update(0x1000, false);
+    EXPECT_FALSE(pred.biasOf(0x1000));
+    // Bias never changes afterwards.
+    pred.update(0x1000, true);
+    pred.update(0x1000, true);
+    EXPECT_FALSE(pred.biasOf(0x1000));
+}
+
+TEST(AgreeTest, PredictsBiasWhenAgreeing)
+{
+    AgreePredictor pred(1024, 8);
+    // Branch biased not-taken; counters start weakly-agree, so the
+    // prediction follows the bias immediately after the first update.
+    pred.update(0x1000, false);
+    EXPECT_FALSE(pred.predict(0x1000));
+    // Train disagreement: outcomes flip to taken. More than
+    // history-depth updates so the history saturates (all ones) and
+    // the counter at the final index is actually trained.
+    for (int i = 0; i < 20; ++i)
+        pred.update(0x1000, true);
+    EXPECT_TRUE(pred.predict(0x1000));
+}
+
+TEST(AgreeTest, LearnsBiasedBranchesLikeGshare)
+{
+    AgreePredictor pred(4096, 12);
+    for (int i = 0; i < 100; ++i)
+        pred.update(0x2000, false);
+    EXPECT_FALSE(pred.predict(0x2000));
+}
+
+TEST(AgreeTest, AliasingIsConstructiveForSameAgreementBranches)
+{
+    // Two branches with opposite directions but both 100% stable
+    // share counters constructively under agree (both push "agree"),
+    // where a plain gshare would fight over the shared counter if
+    // aliased. Here we just verify both are predicted perfectly.
+    AgreePredictor pred(64, 6); // tiny table: heavy aliasing
+    int correct = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        correct += (pred.predict(0x1000) == true);
+        pred.update(0x1000, true);
+        correct += (pred.predict(0x2000) == false);
+        pred.update(0x2000, false);
+    }
+    EXPECT_GT(correct, 2 * n - 10);
+}
+
+TEST(AgreeTest, CompetitiveWithGshareOnRealWorkload)
+{
+    // At a small table size, agree must be in the same accuracy range
+    // as gshare (its selling point is aliasing robustness, not raw
+    // accuracy).
+    auto run = [](BranchPredictor &pred) {
+        WorkloadGenerator gen(ibsProfile("groff"), 200000);
+        SimulationDriver driver(pred, {});
+        return driver.run(gen).mispredictRate();
+    };
+    AgreePredictor agree(1024, 10);
+    GsharePredictor gshare(1024, 10);
+    const double agree_rate = run(agree);
+    const double gshare_rate = run(gshare);
+    EXPECT_LT(agree_rate, gshare_rate * 1.3);
+}
+
+TEST(AgreeTest, StorageCountsBiasBits)
+{
+    AgreePredictor pred(1024, 8);
+    const std::uint64_t base = 1024 * 2 + 8;
+    EXPECT_EQ(pred.storageBits(), base);
+    pred.update(0x1000, true);
+    pred.update(0x2000, false);
+    EXPECT_EQ(pred.storageBits(), base + 2);
+}
+
+TEST(AgreeTest, ResetClearsEverything)
+{
+    AgreePredictor pred(1024, 8);
+    pred.update(0x1000, false);
+    pred.reset();
+    EXPECT_TRUE(pred.biasOf(0x1000));
+    EXPECT_TRUE(pred.predict(0x1000));
+}
+
+TEST(AgreeTest, NameAndGeometryChecks)
+{
+    AgreePredictor pred(2048, 11);
+    EXPECT_EQ(pred.name(), "agree-2048x2b-h11");
+    EXPECT_THROW(AgreePredictor(1024, 11), std::runtime_error);
+}
+
+} // namespace
+} // namespace confsim

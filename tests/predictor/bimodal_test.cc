@@ -1,0 +1,82 @@
+/** @file Unit tests for the bimodal predictor. */
+
+#include "predictor/bimodal.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(BimodalTest, InitiallyPredictsTaken)
+{
+    // Counters initialize weakly taken, as in the paper.
+    BimodalPredictor pred(1024);
+    EXPECT_TRUE(pred.predict(0x1000));
+}
+
+TEST(BimodalTest, LearnsNotTakenAfterTwoUpdates)
+{
+    BimodalPredictor pred(1024);
+    pred.update(0x1000, false); // weakly taken -> weakly not taken
+    pred.update(0x1000, false); // -> strongly not taken
+    EXPECT_FALSE(pred.predict(0x1000));
+}
+
+TEST(BimodalTest, HysteresisSurvivesOneAnomaly)
+{
+    BimodalPredictor pred(1024);
+    for (int i = 0; i < 4; ++i)
+        pred.update(0x1000, true); // strongly taken
+    pred.update(0x1000, false);    // one anomaly
+    EXPECT_TRUE(pred.predict(0x1000));
+}
+
+TEST(BimodalTest, DistinctPcsAreIndependent)
+{
+    BimodalPredictor pred(1024);
+    pred.update(0x1000, false);
+    pred.update(0x1000, false);
+    EXPECT_FALSE(pred.predict(0x1000));
+    EXPECT_TRUE(pred.predict(0x1004));
+}
+
+TEST(BimodalTest, AliasingWrapsOnTableSize)
+{
+    BimodalPredictor pred(16); // indexes on (pc >> 2) & 15
+    pred.update(0x0, false);
+    pred.update(0x0, false);
+    // PC 16*4 = 0x40 aliases to the same entry.
+    EXPECT_FALSE(pred.predict(0x40));
+}
+
+TEST(BimodalTest, StorageBits)
+{
+    BimodalPredictor pred(4096, 2);
+    EXPECT_EQ(pred.storageBits(), 8192u);
+}
+
+TEST(BimodalTest, ResetRestoresWeaklyTaken)
+{
+    BimodalPredictor pred(64);
+    pred.update(0x1000, false);
+    pred.update(0x1000, false);
+    pred.reset();
+    EXPECT_TRUE(pred.predict(0x1000));
+}
+
+TEST(BimodalTest, PredictIsIdempotent)
+{
+    BimodalPredictor pred(64);
+    const bool first = pred.predict(0x1000);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(pred.predict(0x1000), first);
+}
+
+TEST(BimodalTest, NameIncludesSize)
+{
+    BimodalPredictor pred(2048);
+    EXPECT_EQ(pred.name(), "bimodal-2048");
+}
+
+} // namespace
+} // namespace confsim

@@ -1,0 +1,78 @@
+/** @file Unit tests for the gselect predictor. */
+
+#include "predictor/gselect.h"
+
+#include <gtest/gtest.h>
+
+#include "predictor/gshare.h"
+
+namespace confsim {
+namespace {
+
+TEST(GselectTest, GeometryAndName)
+{
+    GselectPredictor pred(4096, 6);
+    EXPECT_EQ(pred.storageBits(), 4096u * 2u + 6u);
+    EXPECT_EQ(pred.name(), "gselect-4096x2b-h6");
+}
+
+TEST(GselectTest, HistoryMustLeavePcBits)
+{
+    EXPECT_THROW(GselectPredictor(1024, 10), std::runtime_error);
+    EXPECT_THROW(GselectPredictor(1024, 12), std::runtime_error);
+}
+
+TEST(GselectTest, InitiallyWeaklyTaken)
+{
+    GselectPredictor pred(1024, 4);
+    EXPECT_TRUE(pred.predict(0x1000));
+}
+
+TEST(GselectTest, LearnsBiasedBranch)
+{
+    GselectPredictor pred(4096, 6);
+    for (int i = 0; i < 200; ++i)
+        pred.update(0x2000, false);
+    EXPECT_FALSE(pred.predict(0x2000));
+}
+
+TEST(GselectTest, LearnsAlternationViaHistory)
+{
+    GselectPredictor pred(4096, 6);
+    bool outcome = false;
+    for (int i = 0; i < 2000; ++i) {
+        pred.update(0x3000, outcome);
+        outcome = !outcome;
+    }
+    int correct = 0;
+    for (int i = 0; i < 200; ++i) {
+        correct += (pred.predict(0x3000) == outcome);
+        pred.update(0x3000, outcome);
+        outcome = !outcome;
+    }
+    EXPECT_GT(correct, 195);
+}
+
+TEST(GselectTest, HistoryPartitionsPcAliases)
+{
+    // Two PCs that agree in the low (kept) bits but differ above: in
+    // gselect they alias; the history field then separates contexts.
+    // This just checks the index composition doesn't fault and the
+    // predictor behaves deterministically.
+    GselectPredictor pred(256, 4); // 4 PC bits + 4 history bits
+    pred.update(0x1000, true);
+    pred.update(0x2000, true);
+    EXPECT_TRUE(pred.predict(0x1000));
+}
+
+TEST(GselectTest, ResetRestores)
+{
+    GselectPredictor pred(1024, 4);
+    for (int i = 0; i < 50; ++i)
+        pred.update(0x1000, false);
+    pred.reset();
+    EXPECT_TRUE(pred.predict(0x1000));
+}
+
+} // namespace
+} // namespace confsim

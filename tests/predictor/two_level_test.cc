@@ -1,0 +1,118 @@
+/** @file Unit tests for the Yeh-Patt two-level predictor family. */
+
+#include "predictor/two_level.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(TwoLevelTest, SchemeNames)
+{
+    EXPECT_STREQ(toString(TwoLevelScheme::GAg), "GAg");
+    EXPECT_STREQ(toString(TwoLevelScheme::GAp), "GAp");
+    EXPECT_STREQ(toString(TwoLevelScheme::PAg), "PAg");
+    EXPECT_STREQ(toString(TwoLevelScheme::PAp), "PAp");
+    TwoLevelPredictor pred(TwoLevelScheme::GAg, 8);
+    EXPECT_EQ(pred.name(), "GAg-h8");
+}
+
+TEST(TwoLevelTest, StorageAccounting)
+{
+    // GAg h=10: one 10-bit BHR + 2^10 2-bit counters.
+    TwoLevelPredictor gag(TwoLevelScheme::GAg, 10);
+    EXPECT_EQ(gag.storageBits(), 10u + 2048u);
+
+    // PAg h=8 with 64 BHRs: 64*8 + 2^8*2.
+    TwoLevelPredictor pag(TwoLevelScheme::PAg, 8, 64);
+    EXPECT_EQ(pag.storageBits(), 64u * 8u + 512u);
+
+    // GAp h=8 with 4 PHTs: 8 + 4*2^8*2.
+    TwoLevelPredictor gap(TwoLevelScheme::GAp, 8, 64, 4);
+    EXPECT_EQ(gap.storageBits(), 8u + 4u * 512u);
+}
+
+TEST(TwoLevelTest, RejectsBadGeometry)
+{
+    EXPECT_THROW(TwoLevelPredictor(TwoLevelScheme::GAg, 0),
+                 std::runtime_error);
+    EXPECT_THROW(TwoLevelPredictor(TwoLevelScheme::GAg, 30),
+                 std::runtime_error);
+    EXPECT_THROW(TwoLevelPredictor(TwoLevelScheme::PAg, 8, 100),
+                 std::runtime_error);
+    EXPECT_THROW(TwoLevelPredictor(TwoLevelScheme::PAp, 8, 64, 3),
+                 std::runtime_error);
+}
+
+class TwoLevelSchemeTest
+    : public ::testing::TestWithParam<TwoLevelScheme>
+{};
+
+TEST_P(TwoLevelSchemeTest, InitiallyPredictsTaken)
+{
+    TwoLevelPredictor pred(GetParam(), 8);
+    EXPECT_TRUE(pred.predict(0x1000));
+}
+
+TEST_P(TwoLevelSchemeTest, LearnsStronglyBiasedBranch)
+{
+    TwoLevelPredictor pred(GetParam(), 8);
+    for (int i = 0; i < 600; ++i)
+        pred.update(0x1000, false);
+    EXPECT_FALSE(pred.predict(0x1000));
+}
+
+TEST_P(TwoLevelSchemeTest, LearnsPeriodicPattern)
+{
+    // T T N repeating, single branch: any two-level scheme with an
+    // 8-deep history learns it perfectly.
+    TwoLevelPredictor pred(GetParam(), 8);
+    int phase = 0;
+    for (int i = 0; i < 3000; ++i) {
+        pred.update(0x2000, phase != 2);
+        phase = (phase + 1) % 3;
+    }
+    int correct = 0;
+    for (int i = 0; i < 300; ++i) {
+        const bool taken = phase != 2;
+        correct += (pred.predict(0x2000) == taken);
+        pred.update(0x2000, taken);
+        phase = (phase + 1) % 3;
+    }
+    EXPECT_GT(correct, 295);
+}
+
+TEST_P(TwoLevelSchemeTest, ResetRestoresInitialState)
+{
+    TwoLevelPredictor pred(GetParam(), 8);
+    for (int i = 0; i < 100; ++i)
+        pred.update(0x3000, false);
+    pred.reset();
+    EXPECT_TRUE(pred.predict(0x3000));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, TwoLevelSchemeTest,
+                         ::testing::Values(TwoLevelScheme::GAg,
+                                           TwoLevelScheme::GAp,
+                                           TwoLevelScheme::PAg,
+                                           TwoLevelScheme::PAp),
+                         [](const auto &info) {
+                             return toString(info.param);
+                         });
+
+TEST(TwoLevelTest, PerAddressHistoryIsolatesBranches)
+{
+    // PAg: an alternating branch B must not destroy the history of a
+    // constant branch A (their level-1 registers differ).
+    // PCs 0x1000 and 0x1004 select different level-1 registers
+    // ((pc >> 2) mod 256 differs).
+    TwoLevelPredictor pred(TwoLevelScheme::PAp, 6, 256, 16);
+    for (int i = 0; i < 2000; ++i) {
+        pred.update(0x1000, true);        // A: always taken
+        pred.update(0x1004, i % 2 == 0);  // B: alternating
+    }
+    EXPECT_TRUE(pred.predict(0x1000));
+}
+
+} // namespace
+} // namespace confsim

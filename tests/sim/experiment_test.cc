@@ -1,0 +1,141 @@
+/** @file Unit tests for experiment plumbing (configs, curves, CSV). */
+
+#include "sim/experiment.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(ExperimentEnvTest, CliDefaultsAndFast)
+{
+    ExperimentEnv env;
+    const char *argv[] = {"bench"};
+    ASSERT_TRUE(ExperimentEnv::fromCli(1, argv, "test", env));
+    EXPECT_EQ(env.branchesPerBenchmark, 2'000'000u);
+    EXPECT_TRUE(env.fullSuite);
+
+    ExperimentEnv fast;
+    const char *argv2[] = {"bench", "--fast"};
+    ASSERT_TRUE(ExperimentEnv::fromCli(2, argv2, "test", fast));
+    EXPECT_FALSE(fast.fullSuite);
+    EXPECT_LE(fast.branchesPerBenchmark, 200'000u);
+}
+
+TEST(ExperimentEnvTest, SuiteSizeFollowsFullFlag)
+{
+    ExperimentEnv env;
+    env.fullSuite = true;
+    EXPECT_EQ(env.makeSuite().size(), 9u);
+    env.fullSuite = false;
+    EXPECT_LT(env.makeSuite().size(), 9u);
+}
+
+TEST(ExperimentConfigTest, FactoriesProduceFreshInstances)
+{
+    const auto config = oneLevelIdealConfig(IndexScheme::PcXorBhr, 256,
+                                            8);
+    auto a = config.make();
+    auto b = config.make();
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(a->name(), b->name());
+    EXPECT_EQ(config.label, "PCxorBHR");
+}
+
+TEST(ExperimentConfigTest, PredictorFactories)
+{
+    auto large = largeGshareFactory()();
+    auto small = smallGshareFactory()();
+    EXPECT_EQ(large->name(), "gshare-65536x2b-h16");
+    EXPECT_EQ(small->name(), "gshare-4096x2b-h12");
+}
+
+TEST(ExperimentConfigTest, LabelsMatchPaperFigureKeys)
+{
+    EXPECT_EQ(oneLevelOnesCountConfig(IndexScheme::PcXorBhr).label,
+              "PCxorBHR.1Cnt");
+    EXPECT_EQ(oneLevelCounterConfig(IndexScheme::PcXorBhr,
+                                    CounterKind::Saturating)
+                  .label,
+              "PCxorBHR.Sat");
+    EXPECT_EQ(oneLevelCounterConfig(IndexScheme::PcXorBhr,
+                                    CounterKind::Resetting)
+                  .label,
+              "PCxorBHR.Reset");
+    EXPECT_EQ(twoLevelConfig(IndexScheme::PcXorBhr,
+                             SecondLevelIndex::Cir)
+                  .label,
+              "PCxorBHR-CIR");
+}
+
+class ExperimentRunTest : public ::testing::Test
+{
+  protected:
+    static const SuiteRunResult &
+    sharedResult()
+    {
+        static const SuiteRunResult result = [] {
+            ExperimentEnv env;
+            env.branchesPerBenchmark = 30000;
+            env.fullSuite = false;
+            return runSuiteExperiment(
+                env, smallGshareFactory(),
+                {oneLevelCounterConfig(IndexScheme::PcXorBhr,
+                                       CounterKind::Resetting, 4096)});
+        }();
+        return result;
+    }
+};
+
+TEST_F(ExperimentRunTest, ProducesCurvesWithMassAtOne)
+{
+    const auto &result = sharedResult();
+    const auto curve = compositeCurve(result, 0, "reset");
+    ASSERT_FALSE(curve.curve.points().empty());
+    EXPECT_NEAR(curve.curve.points().back().refFraction, 1.0, 1e-9);
+    EXPECT_NEAR(curve.curve.points().back().mispredFraction, 1.0,
+                1e-9);
+    // Counter estimators have at most 17 buckets.
+    EXPECT_LE(curve.curve.points().size(), 17u);
+}
+
+TEST_F(ExperimentRunTest, StaticCurveAvailable)
+{
+    const auto named = staticCompositeCurve(sharedResult());
+    EXPECT_EQ(named.name, "static");
+    EXPECT_GT(named.curve.points().size(), 100u);
+}
+
+TEST_F(ExperimentRunTest, PlotRendersAllSeries)
+{
+    const auto &result = sharedResult();
+    std::vector<NamedCurve> curves = {compositeCurve(result, 0, "r")};
+    curves.push_back(staticCompositeCurve(result));
+    const std::string plot = plotCurves("title", curves);
+    EXPECT_NE(plot.find("title"), std::string::npos);
+    EXPECT_NE(plot.find("static"), std::string::npos);
+}
+
+TEST_F(ExperimentRunTest, CsvHasHeaderAndRows)
+{
+    const auto &result = sharedResult();
+    const std::string path =
+        ::testing::TempDir() + "/confsim_experiment_test.csv";
+    writeCurvesCsv(path, {compositeCurve(result, 0, "reset")});
+    std::ifstream in(path);
+    std::string header;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_EQ(header, "series,bucket,bucket_rate,ref_pct,mispred_pct");
+    std::string line;
+    int rows = 0;
+    while (std::getline(in, line))
+        ++rows;
+    EXPECT_GT(rows, 0);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace confsim

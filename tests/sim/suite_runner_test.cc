@@ -1,0 +1,108 @@
+/** @file Unit tests for the suite runner. */
+
+#include "sim/suite_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "confidence/one_level.h"
+#include "predictor/gshare.h"
+
+namespace confsim {
+namespace {
+
+SuiteRunResult
+runSmall(std::uint64_t branches, bool profile_static = true)
+{
+    SuiteRunner runner(BenchmarkSuite::ibsSubset({"jpeg", "real_gcc"},
+                                                 branches));
+    DriverOptions options;
+    options.profileStatic = profile_static;
+    return runner.run(
+        [] {
+            return std::make_unique<GsharePredictor>(4096, 12);
+        },
+        [] {
+            std::vector<std::unique_ptr<ConfidenceEstimator>> out;
+            out.push_back(std::make_unique<OneLevelCounterConfidence>(
+                IndexScheme::PcXorBhr, 4096, CounterKind::Resetting,
+                16, 0));
+            return out;
+        },
+        options);
+}
+
+TEST(SuiteRunnerTest, RunsEveryBenchmark)
+{
+    const auto result = runSmall(20000);
+    ASSERT_EQ(result.perBenchmark.size(), 2u);
+    EXPECT_EQ(result.perBenchmark[0].name, "jpeg");
+    EXPECT_EQ(result.perBenchmark[1].name, "real_gcc");
+    for (const auto &bench : result.perBenchmark) {
+        EXPECT_EQ(bench.branches, 20000u);
+        EXPECT_GT(bench.mispredicts, 0u);
+    }
+}
+
+TEST(SuiteRunnerTest, EstimatorNamesReported)
+{
+    const auto result = runSmall(5000);
+    ASSERT_EQ(result.estimatorNames.size(), 1u);
+    EXPECT_EQ(result.estimatorNames[0], "1lvl-PCxorBHR-reset16-4096");
+}
+
+TEST(SuiteRunnerTest, CompositeRateIsEqualWeightMean)
+{
+    const auto result = runSmall(20000);
+    const double mean = (result.perBenchmark[0].mispredictRate +
+                         result.perBenchmark[1].mispredictRate) /
+                        2.0;
+    EXPECT_NEAR(result.compositeMispredictRate, mean, 1e-12);
+}
+
+TEST(SuiteRunnerTest, CompositeStatsGiveEqualMassPerBenchmark)
+{
+    const auto result = runSmall(20000);
+    ASSERT_EQ(result.compositeEstimatorStats.size(), 1u);
+    const auto &composite = result.compositeEstimatorStats[0];
+    // Two benchmarks, each scaled to 1e6 references.
+    EXPECT_NEAR(composite.totalRefs(), 2e6, 1.0);
+}
+
+TEST(SuiteRunnerTest, StaticKeysDoNotCollideAcrossBenchmarks)
+{
+    const auto result = runSmall(20000);
+    std::size_t per_bench_total = 0;
+    for (const auto &bench : result.perBenchmark)
+        per_bench_total += bench.staticStats.size();
+    // The composite preserves every distinct (benchmark, pc) key.
+    EXPECT_EQ(result.compositeStaticStats.size(), per_bench_total);
+}
+
+TEST(SuiteRunnerTest, StaticProfilingOffLeavesStatsEmpty)
+{
+    const auto result = runSmall(5000, false);
+    EXPECT_EQ(result.compositeStaticStats.size(), 0u);
+}
+
+TEST(SuiteRunnerTest, JpegPredictsBetterThanGcc)
+{
+    // The Fig. 9 property at suite-runner level.
+    const auto result = runSmall(100000);
+    EXPECT_LT(result.perBenchmark[0].mispredictRate,
+              result.perBenchmark[1].mispredictRate);
+}
+
+TEST(SuiteRunnerTest, NullPredictorFactoryIsFatal)
+{
+    SuiteRunner runner(BenchmarkSuite::ibsSubset({"jpeg"}, 100));
+    EXPECT_THROW(
+        runner.run([] { return std::unique_ptr<BranchPredictor>{}; },
+                   [] {
+                       return std::vector<
+                           std::unique_ptr<ConfidenceEstimator>>{};
+                   }),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace confsim

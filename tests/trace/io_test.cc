@@ -1,0 +1,260 @@
+/** @file Round-trip and robustness tests for the binary trace format. */
+
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "trace/vector_trace_source.h"
+#include "util/rng.h"
+
+namespace confsim {
+namespace {
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    std::string path_ = ::testing::TempDir() + "/confsim_io_test.cbt";
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::vector<BranchRecord>
+    randomRecords(std::size_t n, std::uint64_t seed)
+    {
+        Rng rng(seed);
+        std::vector<BranchRecord> records;
+        std::uint64_t pc = 0x400000;
+        for (std::size_t i = 0; i < n; ++i) {
+            BranchRecord r;
+            // Mix of local steps and far jumps to exercise deltas.
+            if (rng.nextBernoulli(0.8))
+                pc += 4 * (1 + rng.nextBelow(16));
+            else
+                pc = 0x400000 + 4 * rng.nextBelow(1 << 20);
+            r.pc = pc;
+            r.target = pc + 4 * (rng.nextInRange(-2048, 2048));
+            r.taken = rng.nextBernoulli(0.6);
+            r.type = static_cast<BranchType>(rng.nextBelow(4));
+            records.push_back(r);
+        }
+        return records;
+    }
+};
+
+TEST_F(TraceIoTest, ZigZagRoundTrips)
+{
+    for (std::int64_t v : {0LL, 1LL, -1LL, 1234567LL, -1234567LL,
+                           (1LL << 62), -(1LL << 62)}) {
+        EXPECT_EQ(zigZagDecode(zigZagEncode(v)), v);
+    }
+}
+
+TEST_F(TraceIoTest, ZigZagSmallMagnitudesEncodeSmall)
+{
+    EXPECT_EQ(zigZagEncode(0), 0u);
+    EXPECT_EQ(zigZagEncode(-1), 1u);
+    EXPECT_EQ(zigZagEncode(1), 2u);
+    EXPECT_EQ(zigZagEncode(-2), 3u);
+}
+
+TEST_F(TraceIoTest, RoundTripPreservesEveryRecord)
+{
+    const auto records = randomRecords(5000, 99);
+    VectorTraceSource source(records);
+    EXPECT_EQ(writeTraceFile(source, path_), 5000u);
+
+    TraceFileReader reader(path_);
+    EXPECT_EQ(reader.recordCount(), 5000u);
+    BranchRecord out;
+    for (const auto &expected : records) {
+        ASSERT_TRUE(reader.next(out));
+        ASSERT_EQ(out, expected);
+    }
+    EXPECT_FALSE(reader.next(out));
+}
+
+TEST_F(TraceIoTest, ReaderResetReplays)
+{
+    const auto records = randomRecords(100, 7);
+    VectorTraceSource source(records);
+    writeTraceFile(source, path_);
+
+    TraceFileReader reader(path_);
+    BranchRecord out;
+    for (int i = 0; i < 100; ++i)
+        ASSERT_TRUE(reader.next(out));
+    ASSERT_FALSE(reader.next(out));
+    reader.reset();
+    ASSERT_TRUE(reader.next(out));
+    EXPECT_EQ(out, records[0]);
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips)
+{
+    VectorTraceSource source({});
+    EXPECT_EQ(writeTraceFile(source, path_), 0u);
+    TraceFileReader reader(path_);
+    EXPECT_EQ(reader.recordCount(), 0u);
+    BranchRecord out;
+    EXPECT_FALSE(reader.next(out));
+}
+
+TEST_F(TraceIoTest, CompressionBeatsNaiveEncoding)
+{
+    const auto records = randomRecords(10000, 3);
+    VectorTraceSource source(records);
+    writeTraceFile(source, path_);
+    std::ifstream in(path_, std::ios::ate | std::ios::binary);
+    const auto size = static_cast<std::uint64_t>(in.tellg());
+    // A naive fixed-size encoding would be 17 bytes/record.
+    EXPECT_LT(size, 10000u * 17u / 2u);
+}
+
+TEST_F(TraceIoTest, MissingFileIsFatal)
+{
+    EXPECT_THROW(TraceFileReader("/no/such/file.cbt"),
+                 std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BadMagicIsFatal)
+{
+    std::ofstream out(path_, std::ios::binary);
+    out << "NOPE00000000";
+    out.close();
+    EXPECT_THROW(TraceFileReader{path_}, std::runtime_error);
+}
+
+TEST_F(TraceIoTest, TruncatedRecordsAreFatal)
+{
+    const auto records = randomRecords(100, 5);
+    VectorTraceSource source(records);
+    writeTraceFile(source, path_);
+
+    // Truncate the file in the middle of the record stream.
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    const auto full = static_cast<std::size_t>(in.tellg());
+    std::vector<char> bytes(full / 2);
+    in.seekg(0);
+    in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    in.close();
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+
+    TraceFileReader reader(path_);
+    BranchRecord record;
+    EXPECT_THROW(
+        {
+            while (reader.next(record)) {
+            }
+        },
+        std::runtime_error);
+}
+
+TEST_F(TraceIoTest, TextTraceWritesOneLinePerRecord)
+{
+    const auto records = randomRecords(50, 21);
+    VectorTraceSource source(records);
+    const std::string text_path =
+        ::testing::TempDir() + "/confsim_io_test.txt";
+    EXPECT_EQ(writeTextTrace(source, text_path), 50u);
+    std::ifstream in(text_path);
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line))
+        ++lines;
+    EXPECT_EQ(lines, 50);
+    std::remove(text_path.c_str());
+}
+
+
+TEST_F(TraceIoTest, TextRoundTripPreservesRecords)
+{
+    const auto records = randomRecords(500, 42);
+    VectorTraceSource source(records);
+    const std::string text_path =
+        ::testing::TempDir() + "/confsim_text_rt.txt";
+    writeTextTrace(source, text_path);
+
+    TextTraceReader reader(text_path);
+    BranchRecord out;
+    for (const auto &expected : records) {
+        ASSERT_TRUE(reader.next(out));
+        ASSERT_EQ(out, expected);
+    }
+    EXPECT_FALSE(reader.next(out));
+    std::remove(text_path.c_str());
+}
+
+TEST_F(TraceIoTest, TextReaderSkipsCommentsAndBlanks)
+{
+    const std::string text_path =
+        ::testing::TempDir() + "/confsim_text_cmt.txt";
+    {
+        std::ofstream out(text_path);
+        out << "# a comment line\n";
+        out << "\n";
+        out << "  0x1000 0x2000 T 0\n";
+        out << "# another\n";
+        out << "0x1004 0x3000 N 1\n";
+    }
+    TextTraceReader reader(text_path);
+    BranchRecord record;
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.pc, 0x1000u);
+    EXPECT_TRUE(record.taken);
+    EXPECT_EQ(record.type, BranchType::Conditional);
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.pc, 0x1004u);
+    EXPECT_FALSE(record.taken);
+    EXPECT_EQ(record.type, BranchType::Unconditional);
+    EXPECT_FALSE(reader.next(record));
+    std::remove(text_path.c_str());
+}
+
+TEST_F(TraceIoTest, TextReaderResetReplays)
+{
+    const std::string text_path =
+        ::testing::TempDir() + "/confsim_text_reset.txt";
+    {
+        std::ofstream out(text_path);
+        out << "0x1000 0x2000 T 0\n";
+    }
+    TextTraceReader reader(text_path);
+    BranchRecord record;
+    ASSERT_TRUE(reader.next(record));
+    ASSERT_FALSE(reader.next(record));
+    reader.reset();
+    ASSERT_TRUE(reader.next(record));
+    EXPECT_EQ(record.pc, 0x1000u);
+    std::remove(text_path.c_str());
+}
+
+TEST_F(TraceIoTest, TextReaderRejectsMalformedLines)
+{
+    const std::string text_path =
+        ::testing::TempDir() + "/confsim_text_bad.txt";
+    for (const char *bad_line :
+         {"0x1000 0x2000 X 0", "0x1000 0x2000 T 9", "garbage",
+          "0x1000 0x2000"}) {
+        {
+            std::ofstream out(text_path);
+            out << bad_line << "\n";
+        }
+        TextTraceReader reader(text_path);
+        BranchRecord record;
+        EXPECT_THROW(reader.next(record), std::runtime_error)
+            << bad_line;
+    }
+    std::remove(text_path.c_str());
+}
+
+TEST_F(TraceIoTest, TextReaderMissingFileIsFatal)
+{
+    EXPECT_THROW(TextTraceReader("/no/such/file.txt"),
+                 std::runtime_error);
+}
+} // namespace
+} // namespace confsim

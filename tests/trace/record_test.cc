@@ -1,0 +1,79 @@
+/** @file Unit tests for trace/branch_record.h and vector sources. */
+
+#include "trace/branch_record.h"
+#include "trace/vector_trace_source.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(BranchRecordTest, DefaultsAreConditionalNotTaken)
+{
+    BranchRecord record;
+    EXPECT_TRUE(record.isConditional());
+    EXPECT_FALSE(record.taken);
+    EXPECT_EQ(record.pc, 0u);
+}
+
+TEST(BranchRecordTest, OnlyConditionalIsConditional)
+{
+    BranchRecord record;
+    record.type = BranchType::Call;
+    EXPECT_FALSE(record.isConditional());
+    record.type = BranchType::Return;
+    EXPECT_FALSE(record.isConditional());
+    record.type = BranchType::Unconditional;
+    EXPECT_FALSE(record.isConditional());
+    record.type = BranchType::Conditional;
+    EXPECT_TRUE(record.isConditional());
+}
+
+TEST(BranchRecordTest, EqualityComparesAllFields)
+{
+    BranchRecord a{0x1000, 0x2000, true, BranchType::Conditional};
+    BranchRecord b = a;
+    EXPECT_EQ(a, b);
+    b.taken = false;
+    EXPECT_NE(a, b);
+}
+
+TEST(VectorTraceSourceTest, YieldsRecordsInOrder)
+{
+    std::vector<BranchRecord> records = {
+        {0x100, 0x200, true, BranchType::Conditional},
+        {0x104, 0x300, false, BranchType::Conditional},
+    };
+    VectorTraceSource source(records);
+    BranchRecord out;
+    ASSERT_TRUE(source.next(out));
+    EXPECT_EQ(out, records[0]);
+    ASSERT_TRUE(source.next(out));
+    EXPECT_EQ(out, records[1]);
+    EXPECT_FALSE(source.next(out));
+}
+
+TEST(VectorTraceSourceTest, ResetReplaysIdentically)
+{
+    VectorTraceSource source({{0x100, 0x200, true,
+                               BranchType::Conditional}});
+    BranchRecord first;
+    ASSERT_TRUE(source.next(first));
+    ASSERT_FALSE(source.next(first));
+    source.reset();
+    BranchRecord again;
+    ASSERT_TRUE(source.next(again));
+    EXPECT_EQ(again.pc, 0x100u);
+}
+
+TEST(VectorTraceSourceTest, EmptySourceIsImmediatelyExhausted)
+{
+    VectorTraceSource source({});
+    BranchRecord out;
+    EXPECT_FALSE(source.next(out));
+    source.reset();
+    EXPECT_FALSE(source.next(out));
+}
+
+} // namespace
+} // namespace confsim

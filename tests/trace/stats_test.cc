@@ -1,0 +1,65 @@
+/** @file Unit tests for trace/trace_stats.h. */
+
+#include "trace/trace_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/vector_trace_source.h"
+
+namespace confsim {
+namespace {
+
+TEST(TraceStatsTest, CountsByType)
+{
+    VectorTraceSource source({
+        {0x100, 0x200, true, BranchType::Conditional},
+        {0x104, 0x200, false, BranchType::Conditional},
+        {0x108, 0x300, true, BranchType::Call},
+        {0x10C, 0x400, true, BranchType::Return},
+        {0x110, 0x500, true, BranchType::Unconditional},
+    });
+    const TraceStats stats = collectTraceStats(source);
+    EXPECT_EQ(stats.totalRecords, 5u);
+    EXPECT_EQ(stats.conditionalCount, 2u);
+    EXPECT_EQ(stats.takenCount, 1u);
+    EXPECT_EQ(stats.callCount, 1u);
+    EXPECT_EQ(stats.returnCount, 1u);
+    EXPECT_EQ(stats.unconditionalCount, 1u);
+}
+
+TEST(TraceStatsTest, TakenRate)
+{
+    VectorTraceSource source({
+        {0x100, 0x200, true, BranchType::Conditional},
+        {0x100, 0x200, true, BranchType::Conditional},
+        {0x100, 0x200, true, BranchType::Conditional},
+        {0x100, 0x200, false, BranchType::Conditional},
+    });
+    const TraceStats stats = collectTraceStats(source);
+    EXPECT_DOUBLE_EQ(stats.takenRate(), 0.75);
+}
+
+TEST(TraceStatsTest, EmptyTraceHasZeroRate)
+{
+    VectorTraceSource source({});
+    const TraceStats stats = collectTraceStats(source);
+    EXPECT_EQ(stats.totalRecords, 0u);
+    EXPECT_DOUBLE_EQ(stats.takenRate(), 0.0);
+}
+
+TEST(TraceStatsTest, StaticWorkingSetCountsDistinctPcs)
+{
+    VectorTraceSource source({
+        {0x100, 0x200, true, BranchType::Conditional},
+        {0x104, 0x200, true, BranchType::Conditional},
+        {0x100, 0x200, false, BranchType::Conditional},
+        {0x108, 0x300, true, BranchType::Call}, // not conditional
+    });
+    const TraceStats stats = collectTraceStats(source);
+    EXPECT_EQ(stats.staticBranchCount, 2u);
+    EXPECT_EQ(stats.perPcCounts.at(0x100), 2u);
+    EXPECT_EQ(stats.perPcCounts.at(0x104), 1u);
+}
+
+} // namespace
+} // namespace confsim

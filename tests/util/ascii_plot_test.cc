@@ -1,0 +1,108 @@
+/** @file Unit tests for util/ascii_plot.h. */
+
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+PlotOptions
+smallOptions()
+{
+    PlotOptions options;
+    options.width = 20;
+    options.height = 10;
+    return options;
+}
+
+TEST(AsciiPlotTest, RendersTitleAxesAndLegend)
+{
+    PlotOptions options = smallOptions();
+    options.title = "My Title";
+    options.xLabel = "X axis";
+    AsciiPlot plot(options);
+    plot.addSeries({"series-a", {{0, 0}, {100, 100}}});
+    const std::string out = plot.render();
+    EXPECT_NE(out.find("My Title"), std::string::npos);
+    EXPECT_NE(out.find("X axis"), std::string::npos);
+    EXPECT_NE(out.find("series-a"), std::string::npos);
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find("100"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, DistinctGlyphsPerSeries)
+{
+    AsciiPlot plot(smallOptions());
+    plot.addSeries({"a", {{0, 0}, {100, 50}}});
+    plot.addSeries({"b", {{0, 100}, {100, 100}}});
+    const std::string out = plot.render();
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, TooManySeriesIsFatal)
+{
+    AsciiPlot plot(smallOptions());
+    for (int i = 0; i < 8; ++i)
+        plot.addSeries({"s", {{0, 0}}});
+    EXPECT_THROW(plot.addSeries({"s9", {{0, 0}}}), std::runtime_error);
+}
+
+TEST(AsciiPlotTest, TinyCanvasIsFatal)
+{
+    PlotOptions options;
+    options.width = 2;
+    options.height = 2;
+    EXPECT_THROW(AsciiPlot{options}, std::runtime_error);
+}
+
+TEST(AsciiPlotTest, EmptyAxisRangeIsFatal)
+{
+    PlotOptions options = smallOptions();
+    options.xMin = options.xMax = 5.0;
+    EXPECT_THROW(AsciiPlot{options}, std::runtime_error);
+}
+
+TEST(AsciiPlotTest, OutOfRangePointsAreClipped)
+{
+    AsciiPlot plot(smallOptions());
+    plot.addSeries({"a", {{-50, -50}, {150, 150}}});
+    // Must not crash; points outside the canvas are simply dropped.
+    const std::string out = plot.render();
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(AsciiPlotTest, ConnectsPointsWhenRequested)
+{
+    PlotOptions options = smallOptions();
+    options.connectPoints = true;
+    AsciiPlot plot(options);
+    plot.addSeries({"a", {{0, 0}, {100, 100}}});
+    const std::string connected = plot.render();
+
+    PlotOptions sparse_options = smallOptions();
+    sparse_options.connectPoints = false;
+    AsciiPlot sparse(sparse_options);
+    sparse.addSeries({"a", {{0, 0}, {100, 100}}});
+    const std::string dots = sparse.render();
+
+    const auto count = [](const std::string &s, char c) {
+        return std::count(s.begin(), s.end(), c);
+    };
+    EXPECT_GT(count(connected, '*'), count(dots, '*'));
+}
+
+TEST(AsciiPlotTest, LongLabelsDoNotCrash)
+{
+    PlotOptions options = smallOptions();
+    options.xLabel = std::string(300, 'x');
+    AsciiPlot plot(options);
+    plot.addSeries({"a", {{50, 50}}});
+    EXPECT_FALSE(plot.render().empty());
+}
+
+} // namespace
+} // namespace confsim

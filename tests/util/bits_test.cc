@@ -1,0 +1,101 @@
+/** @file Unit tests for util/bits.h. */
+
+#include "util/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(BitsTest, MaskBasics)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 0x1u);
+    EXPECT_EQ(mask(4), 0xFu);
+    EXPECT_EQ(mask(16), 0xFFFFu);
+    EXPECT_EQ(mask(63), 0x7FFFFFFFFFFFFFFFull);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+}
+
+TEST(BitsTest, MaskBeyond64SaturatesToAllOnes)
+{
+    EXPECT_EQ(mask(65), ~std::uint64_t{0});
+    EXPECT_EQ(mask(200), ~std::uint64_t{0});
+}
+
+TEST(BitsTest, BitsOfExtractsPaperPcField)
+{
+    // The paper's "bits 17 through 2 of the program counter".
+    const std::uint64_t pc = 0x0003FFFCull;
+    EXPECT_EQ(bitsOf(pc, 17, 2), 0xFFFFull);
+    EXPECT_EQ(bitsOf(0x4ull, 17, 2), 0x1ull);
+    EXPECT_EQ(bitsOf(0x40000ull, 17, 2), 0x0ull); // bit 18 excluded
+}
+
+TEST(BitsTest, BitsOfSingleBitField)
+{
+    EXPECT_EQ(bitsOf(0b1010, 3, 3), 1u);
+    EXPECT_EQ(bitsOf(0b1010, 2, 2), 0u);
+}
+
+TEST(BitsTest, BitOf)
+{
+    EXPECT_EQ(bitOf(0b100, 2), 1u);
+    EXPECT_EQ(bitOf(0b100, 1), 0u);
+    EXPECT_EQ(bitOf(~std::uint64_t{0}, 63), 1u);
+}
+
+TEST(BitsTest, XorFoldPreservesLowBitsForNarrowValues)
+{
+    EXPECT_EQ(xorFold(0xAB, 8), 0xABu);
+    EXPECT_EQ(xorFold(0xAB, 16), 0xABu);
+}
+
+TEST(BitsTest, XorFoldCombinesChunks)
+{
+    EXPECT_EQ(xorFold(0x1234'5678ull, 16), 0x1234ull ^ 0x5678ull);
+    EXPECT_EQ(xorFold(0xFF00'00FFull, 8),
+              0xFFull ^ 0x00ull ^ 0x00ull ^ 0xFFull);
+}
+
+TEST(BitsTest, XorFoldZeroWidthIsZero)
+{
+    EXPECT_EQ(xorFold(0x1234, 0), 0u);
+}
+
+TEST(BitsTest, Popcount)
+{
+    EXPECT_EQ(popcount(0), 0u);
+    EXPECT_EQ(popcount(0xFFFF), 16u);
+    EXPECT_EQ(popcount(0x8000'0000'0000'0001ull), 2u);
+}
+
+TEST(BitsTest, PowerOfTwoPredicates)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(65536));
+    EXPECT_FALSE(isPowerOfTwo(65537));
+    EXPECT_TRUE(isPowerOfTwo(std::uint64_t{1} << 63));
+}
+
+TEST(BitsTest, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(2), 1u);
+    EXPECT_EQ(log2Exact(65536), 16u);
+    EXPECT_EQ(log2Exact(std::uint64_t{1} << 40), 40u);
+}
+
+TEST(BitsTest, CeilPowerOfTwo)
+{
+    EXPECT_EQ(ceilPowerOfTwo(0), 1u);
+    EXPECT_EQ(ceilPowerOfTwo(1), 1u);
+    EXPECT_EQ(ceilPowerOfTwo(2), 2u);
+    EXPECT_EQ(ceilPowerOfTwo(3), 4u);
+    EXPECT_EQ(ceilPowerOfTwo(17), 32u);   // a 0..16 counter needs 5 bits
+    EXPECT_EQ(ceilPowerOfTwo(65536), 65536u);
+}
+
+} // namespace
+} // namespace confsim

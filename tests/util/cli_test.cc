@@ -1,0 +1,106 @@
+/** @file Unit tests for util/cli.h. */
+
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(CliTest, DefaultsWhenNotGiven)
+{
+    CliParser cli("test");
+    cli.addOption("branches", "1000", "count");
+    const char *argv[] = {"prog"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_EQ(cli.getUnsigned("branches"), 1000u);
+}
+
+TEST(CliTest, SpaceSeparatedValue)
+{
+    CliParser cli("test");
+    cli.addOption("branches", "1000", "count");
+    const char *argv[] = {"prog", "--branches", "5000"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_EQ(cli.getUnsigned("branches"), 5000u);
+}
+
+TEST(CliTest, EqualsSeparatedValue)
+{
+    CliParser cli("test");
+    cli.addOption("name", "x", "a name");
+    const char *argv[] = {"prog", "--name=hello"};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_EQ(cli.getString("name"), "hello");
+}
+
+TEST(CliTest, FlagsDefaultFalse)
+{
+    CliParser cli("test");
+    cli.addFlag("fast", "go fast");
+    const char *argv[] = {"prog"};
+    ASSERT_TRUE(cli.parse(1, argv));
+    EXPECT_FALSE(cli.getFlag("fast"));
+}
+
+TEST(CliTest, FlagsSetWhenGiven)
+{
+    CliParser cli("test");
+    cli.addFlag("fast", "go fast");
+    const char *argv[] = {"prog", "--fast"};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_TRUE(cli.getFlag("fast"));
+}
+
+TEST(CliTest, UnknownOptionIsFatal)
+{
+    CliParser cli("test");
+    const char *argv[] = {"prog", "--bogus"};
+    EXPECT_THROW(cli.parse(2, argv), std::runtime_error);
+}
+
+TEST(CliTest, MissingValueIsFatal)
+{
+    CliParser cli("test");
+    cli.addOption("n", "1", "count");
+    const char *argv[] = {"prog", "--n"};
+    EXPECT_THROW(cli.parse(2, argv), std::runtime_error);
+}
+
+TEST(CliTest, FlagWithValueIsFatal)
+{
+    CliParser cli("test");
+    cli.addFlag("fast", "go fast");
+    const char *argv[] = {"prog", "--fast=1"};
+    EXPECT_THROW(cli.parse(2, argv), std::runtime_error);
+}
+
+TEST(CliTest, PositionalArgumentsCollected)
+{
+    CliParser cli("test");
+    cli.addOption("n", "1", "count");
+    const char *argv[] = {"prog", "input.trc", "--n", "2", "out.csv"};
+    ASSERT_TRUE(cli.parse(5, argv));
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "input.trc");
+    EXPECT_EQ(cli.positional()[1], "out.csv");
+}
+
+TEST(CliTest, HelpReturnsFalse)
+{
+    CliParser cli("test");
+    const char *argv[] = {"prog", "--help"};
+    EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliTest, GetDoubleParses)
+{
+    CliParser cli("test");
+    cli.addOption("frac", "0.2", "fraction");
+    const char *argv[] = {"prog", "--frac", "0.35"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_DOUBLE_EQ(cli.getDouble("frac"), 0.35);
+}
+
+} // namespace
+} // namespace confsim

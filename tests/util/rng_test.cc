@@ -1,0 +1,169 @@
+/** @file Unit tests for util/rng.h. */
+
+#include "util/rng.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams)
+{
+    Rng a(1);
+    Rng b(2);
+    int differences = 0;
+    for (int i = 0; i < 64; ++i)
+        differences += (a.next() != b.next());
+    EXPECT_GT(differences, 60);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double x = rng.nextDouble();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+    }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBelowStaysInRangeAndHitsAllValues)
+{
+    Rng rng(13);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.nextBelow(7);
+        ASSERT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive)
+{
+    Rng rng(19);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.nextInRange(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, BernoulliExtremes)
+{
+    Rng rng(23);
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_FALSE(rng.nextBernoulli(0.0));
+        ASSERT_TRUE(rng.nextBernoulli(1.0));
+        ASSERT_FALSE(rng.nextBernoulli(-0.5));
+        ASSERT_TRUE(rng.nextBernoulli(1.5));
+    }
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesProbability)
+{
+    Rng rng(29);
+    const int n = 200000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GeometricMeanMatches)
+{
+    Rng rng(31);
+    const double p = 0.25;
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(p));
+    // Mean of failures-before-success geometric = (1 - p) / p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, GeometricWithPOneIsZero)
+{
+    Rng rng(37);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(rng.nextGeometric(1.0), 0u);
+}
+
+TEST(RngTest, SplitProducesDecorrelatedChild)
+{
+    Rng parent(41);
+    Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (parent.next() == child.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(ZipfTest, ZeroSkewIsUniform)
+{
+    ZipfSampler zipf(4, 0.0);
+    for (std::size_t r = 0; r < 4; ++r)
+        EXPECT_NEAR(zipf.probabilityOf(r), 0.25, 1e-12);
+}
+
+TEST(ZipfTest, ProbabilitiesSumToOneAndDecrease)
+{
+    ZipfSampler zipf(100, 1.2);
+    double total = 0.0;
+    double prev = 1.0;
+    for (std::size_t r = 0; r < zipf.size(); ++r) {
+        const double p = zipf.probabilityOf(r);
+        EXPECT_LE(p, prev + 1e-12);
+        prev = p;
+        total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SampleFrequenciesTrackProbabilities)
+{
+    ZipfSampler zipf(8, 1.0);
+    Rng rng(43);
+    std::vector<int> counts(8, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[zipf.sample(rng)];
+    for (std::size_t r = 0; r < 8; ++r) {
+        EXPECT_NEAR(static_cast<double>(counts[r]) / n,
+                    zipf.probabilityOf(r), 0.01);
+    }
+}
+
+} // namespace
+} // namespace confsim

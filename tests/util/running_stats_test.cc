@@ -1,0 +1,92 @@
+/** @file Unit tests for streaming statistics and histograms. */
+
+#include "util/running_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace confsim {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZeroed)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSmallSample)
+{
+    RunningStats stats;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(v);
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 4.0); // classic example
+    EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+    EXPECT_NEAR(stats.sampleVariance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential)
+{
+    Rng rng(4242);
+    RunningStats whole;
+    RunningStats left;
+    RunningStats right;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble() * 10.0 - 3.0;
+        whole.add(v);
+        (i % 2 == 0 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides)
+{
+    RunningStats a;
+    RunningStats b;
+    b.add(3.0);
+    a.merge(b); // empty <- nonempty
+    EXPECT_EQ(a.count(), 1u);
+    RunningStats c;
+    a.merge(c); // nonempty <- empty
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
+TEST(HistogramTest, BinningAndEdges)
+{
+    Histogram hist(0.0, 10.0, 5); // bins of width 2
+    hist.add(0.0);   // bin 0 (inclusive low edge)
+    hist.add(1.99);  // bin 0
+    hist.add(2.0);   // bin 1
+    hist.add(9.99);  // bin 4
+    hist.add(10.0);  // overflow (exclusive upper bound)
+    hist.add(-0.01); // underflow
+    EXPECT_EQ(hist.binCount(0), 2u);
+    EXPECT_EQ(hist.binCount(1), 1u);
+    EXPECT_EQ(hist.binCount(4), 1u);
+    EXPECT_EQ(hist.overflow(), 1u);
+    EXPECT_EQ(hist.underflow(), 1u);
+    EXPECT_EQ(hist.total(), 6u);
+    EXPECT_DOUBLE_EQ(hist.binLow(1), 2.0);
+}
+
+TEST(HistogramTest, BadParametersAreFatal)
+{
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), std::runtime_error);
+    EXPECT_THROW(Histogram(2.0, 1.0, 4), std::runtime_error);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::runtime_error);
+}
+
+} // namespace
+} // namespace confsim

@@ -1,0 +1,96 @@
+/** @file Unit tests for util/shift_register.h (the CIR / BHR). */
+
+#include "util/shift_register.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(ShiftRegisterTest, PaperCirExample)
+{
+    // "if a prediction is correct 3 times, followed by an incorrect
+    // prediction, followed by 4 correct predictions, then an 8-bit CIR
+    // contains 00010000" (1 = incorrect, newest at LSB).
+    ShiftRegister cir(8, 0);
+    cir.shiftIn(false);
+    cir.shiftIn(false);
+    cir.shiftIn(false);
+    cir.shiftIn(true);
+    for (int i = 0; i < 4; ++i)
+        cir.shiftIn(false);
+    EXPECT_EQ(cir.value(), 0b00010000u);
+}
+
+TEST(ShiftRegisterTest, OldBitsFallOff)
+{
+    ShiftRegister reg(4, 0b1111);
+    reg.shiftIn(false);
+    EXPECT_EQ(reg.value(), 0b1110u);
+    reg.shiftIn(false);
+    reg.shiftIn(false);
+    reg.shiftIn(false);
+    EXPECT_EQ(reg.value(), 0u);
+}
+
+TEST(ShiftRegisterTest, InitialValueMasked)
+{
+    ShiftRegister reg(4, 0xFF);
+    EXPECT_EQ(reg.value(), 0xFu);
+}
+
+TEST(ShiftRegisterTest, YoungestAndOldestBit)
+{
+    ShiftRegister reg(4, 0b1000);
+    EXPECT_TRUE(reg.oldestBit());
+    EXPECT_FALSE(reg.youngestBit());
+    reg.shiftIn(true);
+    EXPECT_TRUE(reg.youngestBit());
+    EXPECT_FALSE(reg.oldestBit()); // the 1 moved to position 0 -> 1
+}
+
+TEST(ShiftRegisterTest, FillAndClear)
+{
+    ShiftRegister reg(16, 0);
+    reg.fill();
+    EXPECT_EQ(reg.value(), 0xFFFFu);
+    EXPECT_EQ(reg.onesCount(), 16u);
+    reg.clear();
+    EXPECT_EQ(reg.value(), 0u);
+    EXPECT_EQ(reg.onesCount(), 0u);
+}
+
+TEST(ShiftRegisterTest, LastBitInitialization)
+{
+    // Section 5.4: only the oldest bit set.
+    ShiftRegister reg(16, 0);
+    reg.setLastBitOnly();
+    EXPECT_EQ(reg.value(), 0x8000u);
+    EXPECT_TRUE(reg.oldestBit());
+    EXPECT_EQ(reg.onesCount(), 1u);
+    // After 16 shifts the lastbit marker is gone.
+    for (int i = 0; i < 16; ++i)
+        reg.shiftIn(false);
+    EXPECT_EQ(reg.value(), 0u);
+}
+
+TEST(ShiftRegisterTest, FullWidth64)
+{
+    ShiftRegister reg(64, 0);
+    reg.shiftIn(true);
+    for (int i = 0; i < 63; ++i)
+        reg.shiftIn(false);
+    EXPECT_TRUE(reg.oldestBit());
+    reg.shiftIn(false);
+    EXPECT_EQ(reg.value(), 0u);
+}
+
+TEST(ShiftRegisterTest, SetMasksToWidth)
+{
+    ShiftRegister reg(8, 0);
+    reg.set(0x1FF);
+    EXPECT_EQ(reg.value(), 0xFFu);
+}
+
+} // namespace
+} // namespace confsim

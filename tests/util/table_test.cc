@@ -1,0 +1,70 @@
+/** @file Unit tests for util/fixed_vector_table.h and util/status.h. */
+
+#include "util/fixed_vector_table.h"
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(FixedVectorTableTest, SizeAndIndexBits)
+{
+    FixedVectorTable<int> table(1024, 0, 8);
+    EXPECT_EQ(table.size(), 1024u);
+    EXPECT_EQ(table.indexBits(), 10u);
+}
+
+TEST(FixedVectorTableTest, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(FixedVectorTable<int>(1000, 0, 8), std::runtime_error);
+}
+
+TEST(FixedVectorTableTest, IndexWrapsToLowBits)
+{
+    FixedVectorTable<int> table(16, 0, 8);
+    table[3] = 42;
+    // Index 19 = 16 + 3 wraps to entry 3.
+    EXPECT_EQ(table[19], 42);
+    EXPECT_EQ(table[3 + 32], 42);
+}
+
+TEST(FixedVectorTableTest, StorageBitsAccounting)
+{
+    // The paper's CT: 2^16 entries x 16 bits = 1 Mbit.
+    FixedVectorTable<int> table(1 << 16, 0, 16);
+    EXPECT_EQ(table.storageBits(), std::uint64_t{1} << 20);
+}
+
+TEST(FixedVectorTableTest, FillResetsEveryEntry)
+{
+    FixedVectorTable<int> table(8, 7, 8);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(table[i], 7);
+    table[5] = 1;
+    table.fill(9);
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(table[i], 9);
+}
+
+TEST(FixedVectorTableTest, IterationCoversAllEntries)
+{
+    FixedVectorTable<int> table(4, 1, 8);
+    int sum = 0;
+    for (int v : table)
+        sum += v;
+    EXPECT_EQ(sum, 4);
+}
+
+TEST(StatusTest, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("boom"), std::runtime_error);
+    try {
+        fatal("specific message");
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "fatal: specific message");
+    }
+}
+
+} // namespace
+} // namespace confsim

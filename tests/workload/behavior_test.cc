@@ -1,0 +1,251 @@
+/** @file Unit tests for workload/branch_behavior.h. */
+
+#include "workload/branch_behavior.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(WorkloadContextTest, RecordsAndExposesHistory)
+{
+    WorkloadContext ctx;
+    ctx.recordOutcome(true);
+    ctx.recordOutcome(false);
+    ctx.recordOutcome(true);
+    // pastOutcome(0) = most recent.
+    EXPECT_TRUE(ctx.pastOutcome(0));
+    EXPECT_FALSE(ctx.pastOutcome(1));
+    EXPECT_TRUE(ctx.pastOutcome(2));
+    EXPECT_FALSE(ctx.pastOutcome(3));
+}
+
+TEST(WorkloadContextTest, ResetClearsHistory)
+{
+    WorkloadContext ctx;
+    ctx.recordOutcome(true);
+    ctx.reset();
+    EXPECT_EQ(ctx.historyValue(), 0u);
+}
+
+TEST(BiasedBehaviorTest, FrequencyMatchesProbability)
+{
+    WorkloadContext ctx;
+    Rng rng(5);
+    BiasedBehavior biased(0.8);
+    int taken = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        taken += biased.nextOutcome(ctx, rng);
+    EXPECT_NEAR(static_cast<double>(taken) / n, 0.8, 0.01);
+}
+
+TEST(BiasedBehaviorTest, RejectsBadProbability)
+{
+    EXPECT_THROW(BiasedBehavior(-0.1), std::runtime_error);
+    EXPECT_THROW(BiasedBehavior(1.1), std::runtime_error);
+}
+
+TEST(LoopBehaviorTest, FixedTripPattern)
+{
+    // Trip 4: T T T N, repeating.
+    WorkloadContext ctx;
+    Rng rng(9);
+    LoopBehavior loop(4, TripCountModel::Fixed);
+    for (int pass = 0; pass < 3; ++pass) {
+        EXPECT_TRUE(loop.nextOutcome(ctx, rng));
+        EXPECT_TRUE(loop.nextOutcome(ctx, rng));
+        EXPECT_TRUE(loop.nextOutcome(ctx, rng));
+        EXPECT_FALSE(loop.nextOutcome(ctx, rng));
+    }
+}
+
+TEST(LoopBehaviorTest, TripOneNeverIterates)
+{
+    WorkloadContext ctx;
+    Rng rng(9);
+    LoopBehavior loop(1, TripCountModel::Fixed);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(loop.nextOutcome(ctx, rng));
+}
+
+TEST(LoopBehaviorTest, JitteredStaysInRange)
+{
+    WorkloadContext ctx;
+    Rng rng(11);
+    LoopBehavior loop(10, TripCountModel::Jittered, 2);
+    for (int pass = 0; pass < 200; ++pass) {
+        int trip = 0;
+        while (loop.nextOutcome(ctx, rng))
+            ++trip;
+        ++trip; // the exit execution is also one trip
+        EXPECT_GE(trip, 8);
+        EXPECT_LE(trip, 12);
+    }
+}
+
+TEST(LoopBehaviorTest, GeometricMeanApproximatelyCorrect)
+{
+    WorkloadContext ctx;
+    Rng rng(13);
+    LoopBehavior loop(8, TripCountModel::Geometric);
+    double total = 0.0;
+    const int passes = 20000;
+    for (int pass = 0; pass < passes; ++pass) {
+        int trip = 1;
+        while (loop.nextOutcome(ctx, rng))
+            ++trip;
+        total += trip;
+    }
+    EXPECT_NEAR(total / passes, 8.0, 0.7);
+}
+
+TEST(LoopBehaviorTest, ResetReArms)
+{
+    WorkloadContext ctx;
+    Rng rng(15);
+    LoopBehavior loop(3, TripCountModel::Fixed);
+    EXPECT_TRUE(loop.nextOutcome(ctx, rng));
+    loop.reset();
+    // After reset the loop starts a fresh trip: T T N.
+    EXPECT_TRUE(loop.nextOutcome(ctx, rng));
+    EXPECT_TRUE(loop.nextOutcome(ctx, rng));
+    EXPECT_FALSE(loop.nextOutcome(ctx, rng));
+}
+
+TEST(LoopBehaviorTest, RejectsBadParameters)
+{
+    EXPECT_THROW(LoopBehavior(0, TripCountModel::Fixed),
+                 std::runtime_error);
+    EXPECT_THROW(LoopBehavior(4, TripCountModel::Jittered, 4),
+                 std::runtime_error);
+}
+
+TEST(PatternBehaviorTest, ReplaysCyclically)
+{
+    WorkloadContext ctx;
+    Rng rng(17);
+    PatternBehavior pattern({true, true, false});
+    for (int pass = 0; pass < 4; ++pass) {
+        EXPECT_TRUE(pattern.nextOutcome(ctx, rng));
+        EXPECT_TRUE(pattern.nextOutcome(ctx, rng));
+        EXPECT_FALSE(pattern.nextOutcome(ctx, rng));
+    }
+}
+
+TEST(PatternBehaviorTest, ResetRestartsPhase)
+{
+    WorkloadContext ctx;
+    Rng rng(17);
+    PatternBehavior pattern({true, false});
+    EXPECT_TRUE(pattern.nextOutcome(ctx, rng));
+    pattern.reset();
+    EXPECT_TRUE(pattern.nextOutcome(ctx, rng));
+}
+
+TEST(PatternBehaviorTest, EmptyPatternIsFatal)
+{
+    EXPECT_THROW(PatternBehavior({}), std::runtime_error);
+}
+
+TEST(HistoryCorrelatedTest, ParityFollowsTaps)
+{
+    WorkloadContext ctx;
+    Rng rng(19);
+    HistoryCorrelatedBehavior parity({0, 1}, CorrelationOp::Parity, 0.0);
+    ctx.recordOutcome(true);
+    ctx.recordOutcome(false); // history (newest first): 0, 1
+    EXPECT_TRUE(parity.nextOutcome(ctx, rng)); // 0 xor 1 = 1
+    ctx.recordOutcome(true); // history: 1, 0
+    EXPECT_TRUE(parity.nextOutcome(ctx, rng));
+    ctx.recordOutcome(true); // history: 1, 1
+    EXPECT_FALSE(parity.nextOutcome(ctx, rng));
+}
+
+TEST(HistoryCorrelatedTest, MajorityAndAnd)
+{
+    WorkloadContext ctx;
+    Rng rng(23);
+    ctx.recordOutcome(true);
+    ctx.recordOutcome(true);
+    ctx.recordOutcome(false); // newest first: 0, 1, 1
+    HistoryCorrelatedBehavior maj({0, 1, 2}, CorrelationOp::Majority,
+                                  0.0);
+    EXPECT_TRUE(maj.nextOutcome(ctx, rng)); // two of three taken
+    HistoryCorrelatedBehavior all({0, 1, 2}, CorrelationOp::And, 0.0);
+    EXPECT_FALSE(all.nextOutcome(ctx, rng)); // newest is not taken
+    HistoryCorrelatedBehavior all12({1, 2}, CorrelationOp::And, 0.0);
+    EXPECT_TRUE(all12.nextOutcome(ctx, rng));
+}
+
+TEST(HistoryCorrelatedTest, InvertFlips)
+{
+    WorkloadContext ctx;
+    Rng rng(29);
+    ctx.recordOutcome(true);
+    HistoryCorrelatedBehavior plain({0}, CorrelationOp::Parity, 0.0,
+                                    false);
+    HistoryCorrelatedBehavior inverted({0}, CorrelationOp::Parity, 0.0,
+                                       true);
+    EXPECT_TRUE(plain.nextOutcome(ctx, rng));
+    EXPECT_FALSE(inverted.nextOutcome(ctx, rng));
+}
+
+TEST(HistoryCorrelatedTest, NoiseFlipsAtConfiguredRate)
+{
+    WorkloadContext ctx;
+    Rng rng(31);
+    HistoryCorrelatedBehavior noisy({0}, CorrelationOp::Parity, 0.2);
+    ctx.recordOutcome(true); // functional outcome always "taken"
+    int flips = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        flips += !noisy.nextOutcome(ctx, rng);
+    EXPECT_NEAR(static_cast<double>(flips) / n, 0.2, 0.01);
+}
+
+TEST(HistoryCorrelatedTest, RejectsDeepTapsAndBadNoise)
+{
+    EXPECT_THROW(
+        HistoryCorrelatedBehavior({16}, CorrelationOp::Parity, 0.0),
+        std::runtime_error);
+    EXPECT_THROW(
+        HistoryCorrelatedBehavior({}, CorrelationOp::Parity, 0.0),
+        std::runtime_error);
+    EXPECT_THROW(
+        HistoryCorrelatedBehavior({0}, CorrelationOp::Parity, 1.5),
+        std::runtime_error);
+}
+
+TEST(ChainBehaviorTest, EchoesPastOutcome)
+{
+    WorkloadContext ctx;
+    Rng rng(37);
+    ChainBehavior chain(1, false, 0.0);
+    ctx.recordOutcome(true);
+    ctx.recordOutcome(false); // depth 1 = second most recent = taken
+    EXPECT_TRUE(chain.nextOutcome(ctx, rng));
+    ChainBehavior inverted(1, true, 0.0);
+    EXPECT_FALSE(inverted.nextOutcome(ctx, rng));
+}
+
+TEST(ChainBehaviorTest, RejectsDeepChain)
+{
+    EXPECT_THROW(ChainBehavior(16, false, 0.0), std::runtime_error);
+}
+
+TEST(CloneTest, ClonesAreIndependentAndFresh)
+{
+    WorkloadContext ctx;
+    Rng rng(41);
+    LoopBehavior loop(3, TripCountModel::Fixed);
+    EXPECT_TRUE(loop.nextOutcome(ctx, rng)); // advance original
+    auto clone = loop.clone();
+    // Clone starts a fresh trip: T T N.
+    EXPECT_TRUE(clone->nextOutcome(ctx, rng));
+    EXPECT_TRUE(clone->nextOutcome(ctx, rng));
+    EXPECT_FALSE(clone->nextOutcome(ctx, rng));
+}
+
+} // namespace
+} // namespace confsim

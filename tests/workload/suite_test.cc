@@ -1,0 +1,95 @@
+/** @file Tests for the benchmark suite and IBS profiles. */
+
+#include "workload/suite.h"
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(IbsProfilesTest, NineNamedProfiles)
+{
+    const auto profiles = ibsProfiles();
+    ASSERT_EQ(profiles.size(), 9u);
+    const std::vector<std::string> expected = {
+        "groff", "gs", "jpeg", "mpeg", "nroff",
+        "real_gcc", "sdet", "verilog", "video_play"};
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(profiles[i].name, expected[i]);
+    EXPECT_EQ(ibsProfileNames(), expected);
+}
+
+TEST(IbsProfilesTest, SeedsAndPcBasesAreDistinct)
+{
+    const auto profiles = ibsProfiles();
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        for (std::size_t j = i + 1; j < profiles.size(); ++j) {
+            EXPECT_NE(profiles[i].seed, profiles[j].seed);
+            EXPECT_NE(profiles[i].pcBase, profiles[j].pcBase);
+        }
+    }
+}
+
+TEST(IbsProfilesTest, GccIsLargestJpegIsSmall)
+{
+    // The working-set relationships the paper's Fig. 9 relies on.
+    const auto gcc = ibsProfile("real_gcc");
+    const auto jpeg = ibsProfile("jpeg");
+    for (const auto &profile : ibsProfiles()) {
+        EXPECT_LE(profile.targetBlocks, gcc.targetBlocks);
+    }
+    EXPECT_LT(jpeg.targetBlocks, 2 * 260u);
+}
+
+TEST(IbsProfilesTest, UnknownNameIsFatal)
+{
+    EXPECT_THROW(ibsProfile("nonesuch"), std::runtime_error);
+}
+
+TEST(BenchmarkSuiteTest, FullSuiteHasAllBenchmarks)
+{
+    const auto suite = BenchmarkSuite::ibs(1000);
+    EXPECT_EQ(suite.size(), 9u);
+    EXPECT_EQ(suite.branchesPerBenchmark(), 1000u);
+}
+
+TEST(BenchmarkSuiteTest, SmallSuiteIsSubset)
+{
+    const auto suite = BenchmarkSuite::ibsSmall(1000);
+    EXPECT_LT(suite.size(), 9u);
+    EXPECT_GE(suite.size(), 2u);
+}
+
+TEST(BenchmarkSuiteTest, SubsetByName)
+{
+    const auto suite = BenchmarkSuite::ibsSubset({"jpeg", "sdet"}, 500);
+    ASSERT_EQ(suite.size(), 2u);
+    EXPECT_EQ(suite.profile(0).name, "jpeg");
+    EXPECT_EQ(suite.profile(1).name, "sdet");
+}
+
+TEST(BenchmarkSuiteTest, GeneratorsHonorSuiteLength)
+{
+    const auto suite = BenchmarkSuite::ibsSubset({"jpeg"}, 777);
+    auto gen = suite.makeGenerator(0);
+    BranchRecord record;
+    std::uint64_t n = 0;
+    while (gen->next(record))
+        ++n;
+    EXPECT_EQ(n, 777u);
+}
+
+TEST(BenchmarkSuiteTest, OutOfRangeGeneratorIsFatal)
+{
+    const auto suite = BenchmarkSuite::ibsSmall(100);
+    EXPECT_THROW(suite.makeGenerator(99), std::runtime_error);
+}
+
+TEST(BenchmarkSuiteTest, EmptySubsetIsFatal)
+{
+    EXPECT_THROW(BenchmarkSuite::ibsSubset({}, 100),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace confsim
