@@ -34,9 +34,20 @@ cmdGen(const CliParser &cli)
         return 1;
     }
     const std::string out = cli.positional()[1];
+    const std::string format_name = cli.getString("format");
+    TraceFormat format;
+    if (format_name == "cbt1") {
+        format = TraceFormat::kCbt1;
+    } else if (format_name == "cbt2") {
+        format = TraceFormat::kCbt2;
+    } else {
+        std::printf("unknown --format '%s' (cbt1|cbt2)\n",
+                    format_name.c_str());
+        return 1;
+    }
     WorkloadGenerator gen(ibsProfile(cli.getString("benchmark")),
                           cli.getUnsigned("branches"));
-    const std::uint64_t n = writeTraceFile(gen, out);
+    const std::uint64_t n = writeTraceFile(gen, out, format);
     std::printf("wrote %llu records to %s\n",
                 static_cast<unsigned long long>(n), out.c_str());
     return 0;
@@ -49,10 +60,19 @@ cmdStats(const CliParser &cli)
         std::printf("usage: trace_tool stats <in.cbt>\n");
         return 1;
     }
-    TraceFileReader reader(cli.positional()[1]);
+    const RecoveryMode mode = cli.getFlag("recover")
+                                  ? RecoveryMode::kSkipCorrupt
+                                  : RecoveryMode::kStrict;
+    TraceFileReader reader(cli.positional()[1], mode);
     const TraceStats stats = collectTraceStats(reader);
+    std::printf("format           : CBT%d\n",
+                static_cast<int>(reader.format()));
     std::printf("records          : %llu\n",
                 static_cast<unsigned long long>(stats.totalRecords));
+    if (reader.droppedRecords() != 0)
+        std::printf("dropped (corrupt): %llu\n",
+                    static_cast<unsigned long long>(
+                        reader.droppedRecords()));
     std::printf("conditional      : %llu\n",
                 static_cast<unsigned long long>(
                     stats.conditionalCount));
@@ -107,6 +127,10 @@ main(int argc, char **argv)
     CliParser cli("branch trace generation and inspection tool");
     cli.addOption("benchmark", "groff", "IBS workload name (for gen)");
     cli.addOption("branches", "1000000", "trace length (for gen)");
+    cli.addOption("format", "cbt2",
+                  "output trace format, cbt1|cbt2 (for gen)");
+    cli.addFlag("recover",
+                "skip corrupt chunks instead of aborting (for stats)");
     if (!cli.parse(argc, argv))
         return 0;
     if (cli.positional().empty()) {

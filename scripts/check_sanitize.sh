@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite under ASan + UBSan so the trace
+# I/O error paths and the suite-runner fault handling are exercised
+# with memory checking. Usage: scripts/check_sanitize.sh [ctest args].
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-sanitize
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . \
+    -DCONFSIM_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+# halt_on_error so a sanitizer report fails the ctest run loudly.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"

@@ -1,6 +1,9 @@
 #include "sim/driver.h"
 
+#include <chrono>
+
 #include "predictor/history_register.h"
+#include "sim/run_policy.h"
 #include "util/shift_register.h"
 
 namespace confsim {
@@ -33,7 +36,25 @@ SimulationDriver::run(TraceSource &source)
     std::uint64_t simulated = 0;
     std::uint64_t until_switch = options_.contextSwitchInterval;
 
+    // Cooperative watchdog: amortize the clock read over a batch of
+    // records so the hot loop stays hot.
+    using Clock = std::chrono::steady_clock;
+    constexpr std::uint64_t kWatchdogStride = 8192;
+    const bool watchdog = options_.wallClockLimitMs != 0;
+    const Clock::time_point deadline =
+        watchdog ? Clock::now() + std::chrono::milliseconds(
+                                      options_.wallClockLimitMs)
+                 : Clock::time_point{};
+    std::uint64_t records = 0;
+
     while (source.next(record)) {
+        if (watchdog && (++records % kWatchdogStride) == 0 &&
+            Clock::now() > deadline) {
+            throw WatchdogTimeout(
+                "benchmark exceeded its wall-clock budget of " +
+                std::to_string(options_.wallClockLimitMs) +
+                " ms after " + std::to_string(records) + " records");
+        }
         if (!record.isConditional())
             continue;
 

@@ -56,6 +56,15 @@ struct DriverOptions
 
     /** Flush the confidence estimators at a context switch. */
     bool flushEstimatorsOnSwitch = true;
+
+    /**
+     * Wall-clock budget for one run() in milliseconds; 0 = unlimited.
+     * Checked cooperatively every few thousand records; on expiry the
+     * run throws WatchdogTimeout (run_policy.h) so a hung or runaway
+     * benchmark unwinds instead of wedging its worker thread. Never
+     * fires on a run that finishes in time, so results are unaffected.
+     */
+    std::uint64_t wallClockLimitMs = 0;
 };
 
 /** Everything one run produces. */

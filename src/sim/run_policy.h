@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fault-tolerance policy for suite-level runs.
+ *
+ * Large simulation campaigns live or die on being able to lose
+ * individual benchmarks without invalidating — or re-running — the
+ * whole campaign (cf. Ekman's sampling-methodology papers). RunPolicy
+ * selects how SuiteRunner reacts when one benchmark task fails:
+ * fail-fast (the default: the whole run throws, as before) or
+ * continue-on-error (the failed benchmark is marked, survivors
+ * composite, and the result carries a `degraded` flag). Bounded
+ * per-benchmark retries cover transient failures, and a per-benchmark
+ * wall-clock watchdog turns a hung benchmark into a failed one instead
+ * of wedging the pool.
+ */
+
+#ifndef CONFSIM_SIM_RUN_POLICY_H
+#define CONFSIM_SIM_RUN_POLICY_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace confsim {
+
+/** What a benchmark failure does to the rest of the suite run. */
+enum class ErrorMode : std::uint8_t
+{
+    kFailFast = 0,      //!< first failure aborts the whole run (throws)
+    kContinueOnError = 1 //!< mark the benchmark failed; run the rest
+};
+
+/** Per-suite-run fault-tolerance knobs. */
+struct RunPolicy
+{
+    ErrorMode errorMode = ErrorMode::kFailFast;
+
+    /**
+     * Total attempts per benchmark (>= 1). Retries target transient
+     * failures (e.g. I/O races); a deterministic failure simply fails
+     * identically each attempt. Watchdog timeouts are never retried —
+     * a benchmark that blew its budget once would blow it again.
+     */
+    unsigned maxAttempts = 1;
+
+    /**
+     * Per-benchmark wall-clock budget in milliseconds (0 = none). The
+     * driver checks the deadline cooperatively inside its record loop,
+     * so the hung-benchmark thread unwinds cleanly rather than being
+     * abandoned. The watchdog never fires on a benchmark that
+     * finishes in time, so enabling it does not perturb results.
+     */
+    std::uint64_t watchdogMs = 0;
+
+    /** The default: any benchmark failure aborts the run. */
+    static RunPolicy
+    failFast()
+    {
+        return {};
+    }
+
+    /** Isolate failures; composite over the surviving benchmarks. */
+    static RunPolicy
+    continueOnError()
+    {
+        RunPolicy policy;
+        policy.errorMode = ErrorMode::kContinueOnError;
+        return policy;
+    }
+};
+
+/**
+ * Thrown by SimulationDriver when a run exceeds its wall-clock budget
+ * (DriverOptions::wallClockLimitMs). A distinct type so SuiteRunner
+ * can exempt timeouts from retry.
+ */
+class WatchdogTimeout : public std::runtime_error
+{
+  public:
+    explicit WatchdogTimeout(const std::string &message)
+        : std::runtime_error(message)
+    {}
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_SIM_RUN_POLICY_H

@@ -1,5 +1,6 @@
 #include "sim/suite_runner.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <future>
 #include <thread>
@@ -14,11 +15,12 @@ SuiteRunner::SuiteRunner(BenchmarkSuite suite)
 
 namespace {
 
-/** Simulate one benchmark of a suite run. */
+/** Simulate one benchmark of a suite run (one attempt). */
 BenchmarkRunResult
 runOneBenchmark(const BenchmarkSuite &suite, std::size_t bench,
                 const PredictorFactory &make_predictor,
                 const EstimatorSetFactory &make_estimators,
+                const SourceWrapper &wrap_source,
                 const DriverOptions &options)
 {
     auto predictor = make_predictor();
@@ -30,12 +32,24 @@ runOneBenchmark(const BenchmarkSuite &suite, std::size_t bench,
     for (auto &estimator : estimators)
         raw.push_back(estimator.get());
 
-    auto generator = suite.makeGenerator(bench);
-    SimulationDriver driver(*predictor, raw, options);
-    DriverResult run_result = driver.run(*generator);
-
     BenchmarkRunResult bench_result;
     bench_result.name = suite.profile(bench).name;
+    // Names come from this run's own instances, so the factories are
+    // invoked exactly once per benchmark attempt.
+    bench_result.estimatorNames.reserve(estimators.size());
+    for (const auto &estimator : estimators)
+        bench_result.estimatorNames.push_back(estimator->name());
+
+    std::unique_ptr<TraceSource> source = suite.makeGenerator(bench);
+    if (wrap_source) {
+        source = wrap_source(bench, std::move(source));
+        if (!source)
+            fatal("source wrapper returned null for benchmark '" +
+                  bench_result.name + "'");
+    }
+    SimulationDriver driver(*predictor, raw, options);
+    DriverResult run_result = driver.run(*source);
+
     bench_result.branches = run_result.branches;
     bench_result.mispredicts = run_result.mispredicts;
     bench_result.mispredictRate = run_result.mispredictRate();
@@ -55,18 +69,65 @@ runOneBenchmark(const BenchmarkSuite &suite, std::size_t bench,
     return bench_result;
 }
 
+/**
+ * Run one benchmark under the policy: exceptions become the result's
+ * error field, transient failures get bounded retries, and watchdog
+ * timeouts are terminal (re-running a blown budget just blows it
+ * again). Never throws, so a failure cannot wedge the worker pool.
+ */
+BenchmarkRunResult
+runGuarded(const BenchmarkSuite &suite, std::size_t bench,
+           const PredictorFactory &make_predictor,
+           const EstimatorSetFactory &make_estimators,
+           const SourceWrapper &wrap_source,
+           const DriverOptions &options, const RunPolicy &policy)
+{
+    const unsigned max_attempts = std::max(1u, policy.maxAttempts);
+    BenchmarkRunResult failed;
+    for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        try {
+            BenchmarkRunResult ok =
+                runOneBenchmark(suite, bench, make_predictor,
+                                make_estimators, wrap_source, options);
+            ok.attempts = attempt;
+            return ok;
+        } catch (const WatchdogTimeout &e) {
+            failed = BenchmarkRunResult{};
+            failed.name = suite.profile(bench).name;
+            failed.error = e.what();
+            failed.attempts = attempt;
+            return failed;
+        } catch (const std::exception &e) {
+            failed = BenchmarkRunResult{};
+            failed.name = suite.profile(bench).name;
+            failed.error = e.what();
+            failed.attempts = attempt;
+        } catch (...) {
+            failed = BenchmarkRunResult{};
+            failed.name = suite.profile(bench).name;
+            failed.error = "unknown exception";
+            failed.attempts = attempt;
+        }
+    }
+    return failed;
+}
+
 } // namespace
 
 SuiteRunResult
 SuiteRunner::run(const PredictorFactory &make_predictor,
                  const EstimatorSetFactory &make_estimators,
-                 DriverOptions options) const
+                 DriverOptions options, RunPolicy policy) const
 {
     SuiteRunResult result;
-    double rate_sum = 0.0;
+    if (policy.watchdogMs != 0)
+        options.wallClockLimitMs = policy.watchdogMs;
+    const bool fail_fast = policy.errorMode == ErrorMode::kFailFast;
 
     // Benchmarks are independent; fan them out. Results are collected
-    // in suite order, so output is identical to a sequential run.
+    // in suite order, so output is identical to a sequential run —
+    // including which failure fail-fast reports (always the first in
+    // suite order, regardless of completion order).
     const bool sequential =
         std::getenv("CONFSIM_SEQUENTIAL") != nullptr ||
         std::thread::hardware_concurrency() <= 1;
@@ -75,8 +136,11 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
     if (sequential) {
         for (std::size_t bench = 0; bench < suite_.size(); ++bench) {
             bench_results[bench] =
-                runOneBenchmark(suite_, bench, make_predictor,
-                                make_estimators, options);
+                runGuarded(suite_, bench, make_predictor,
+                           make_estimators, sourceWrapper_, options,
+                           policy);
+            if (fail_fast && bench_results[bench].failed())
+                break; // the loud rethrow below picks this up
         }
     } else {
         std::vector<std::future<BenchmarkRunResult>> futures;
@@ -84,49 +148,75 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
         for (std::size_t bench = 0; bench < suite_.size(); ++bench) {
             futures.push_back(std::async(
                 std::launch::async, [&, bench] {
-                    return runOneBenchmark(suite_, bench,
-                                           make_predictor,
-                                           make_estimators, options);
+                    return runGuarded(suite_, bench, make_predictor,
+                                      make_estimators, sourceWrapper_,
+                                      options, policy);
                 }));
         }
         for (std::size_t bench = 0; bench < suite_.size(); ++bench)
             bench_results[bench] = futures[bench].get();
     }
 
-    for (auto &bench_result : bench_results) {
-        rate_sum += bench_result.mispredictRate;
-        result.perBenchmark.push_back(std::move(bench_result));
-    }
-
-    // Estimator names come from a throwaway instance set (factories
-    // may have been invoked concurrently above; names are static per
-    // configuration).
-    for (const auto &estimator : make_estimators())
-        result.estimatorNames.push_back(estimator->name());
-
-    // Equal-weight composites.
-    const std::size_t num_estimators = result.estimatorNames.size();
-    for (std::size_t e = 0; e < num_estimators; ++e) {
-        EqualWeightComposite composite(
-            result.perBenchmark.front().estimatorStats[e].numBuckets());
-        for (const auto &bench_result : result.perBenchmark)
-            composite.add(bench_result.estimatorStats[e]);
-        result.compositeEstimatorStats.push_back(composite.result());
-    }
-
-    if (options.profileStatic) {
-        constexpr double kCommonMass = 1e6;
-        for (const auto &bench_result : result.perBenchmark) {
-            const double refs = bench_result.staticStats.totalRefs();
-            if (refs > 0.0) {
-                result.compositeStaticStats.addWeighted(
-                    bench_result.staticStats, kCommonMass / refs);
+    if (fail_fast) {
+        for (const auto &bench_result : bench_results) {
+            if (bench_result.failed()) {
+                fatal("benchmark '" + bench_result.name +
+                      "' failed: " + bench_result.error);
             }
         }
     }
 
-    result.compositeMispredictRate =
-        rate_sum / static_cast<double>(suite_.size());
+    double rate_sum = 0.0;
+    std::size_t survivors = 0;
+    for (auto &bench_result : bench_results) {
+        if (!bench_result.failed()) {
+            rate_sum += bench_result.mispredictRate;
+            ++survivors;
+        }
+        result.perBenchmark.push_back(std::move(bench_result));
+    }
+    result.degraded = survivors != suite_.size();
+
+    // Composites are equal-weight over the surviving subset.
+    const BenchmarkRunResult *first_ok = nullptr;
+    for (const auto &bench_result : result.perBenchmark) {
+        if (!bench_result.failed()) {
+            first_ok = &bench_result;
+            break;
+        }
+    }
+    if (first_ok != nullptr) {
+        result.estimatorNames = first_ok->estimatorNames;
+        const std::size_t num_estimators =
+            result.estimatorNames.size();
+        for (std::size_t e = 0; e < num_estimators; ++e) {
+            EqualWeightComposite composite(
+                first_ok->estimatorStats[e].numBuckets());
+            for (const auto &bench_result : result.perBenchmark) {
+                if (!bench_result.failed())
+                    composite.add(bench_result.estimatorStats[e]);
+            }
+            result.compositeEstimatorStats.push_back(
+                composite.result());
+        }
+
+        if (options.profileStatic) {
+            constexpr double kCommonMass = 1e6;
+            for (const auto &bench_result : result.perBenchmark) {
+                if (bench_result.failed())
+                    continue;
+                const double refs =
+                    bench_result.staticStats.totalRefs();
+                if (refs > 0.0) {
+                    result.compositeStaticStats.addWeighted(
+                        bench_result.staticStats, kCommonMass / refs);
+                }
+            }
+        }
+
+        result.compositeMispredictRate =
+            rate_sum / static_cast<double>(survivors);
+    }
     return result;
 }
 

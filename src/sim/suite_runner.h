@@ -7,6 +7,13 @@
  * all tables at the start of each benchmark) and produces both
  * per-benchmark results and the equal-dynamic-branch-weight composite
  * of Section 1.2.
+ *
+ * Benchmark tasks are error-isolated: a failure inside one benchmark
+ * (corrupt trace, watchdog timeout, estimator bug) is caught into that
+ * benchmark's BenchmarkRunResult::error instead of tearing down the
+ * thread pool. A RunPolicy chooses whether the suite run then throws
+ * (fail-fast, the default) or composites over the survivors with the
+ * result flagged degraded (continue-on-error). See docs/robustness.md.
  */
 
 #ifndef CONFSIM_SIM_SUITE_RUNNER_H
@@ -19,6 +26,8 @@
 
 #include "metrics/bucket_stats.h"
 #include "sim/driver.h"
+#include "sim/run_policy.h"
+#include "trace/trace_source.h"
 #include "workload/suite.h"
 
 namespace confsim {
@@ -32,6 +41,18 @@ struct BenchmarkRunResult
     double mispredictRate = 0.0;
     std::vector<BucketStats> estimatorStats;
     SparseBucketStats staticStats; //!< per-PC (when profiling enabled)
+
+    /** Estimator names, from this run's own estimator instances. */
+    std::vector<std::string> estimatorNames;
+
+    /** Why this benchmark failed; empty on success. */
+    std::string error;
+
+    /** Attempts consumed (> 1 only when RunPolicy retries fired). */
+    unsigned attempts = 0;
+
+    /** @return true iff this benchmark produced no usable result. */
+    bool failed() const { return !error.empty(); }
 };
 
 /** Results of a full suite run. */
@@ -50,8 +71,24 @@ struct SuiteRunResult
      */
     SparseBucketStats compositeStaticStats;
 
-    /** Equal-weight composite misprediction rate. */
+    /** Equal-weight composite misprediction rate (over survivors). */
     double compositeMispredictRate = 0.0;
+
+    /**
+     * True iff any benchmark failed, i.e. the composites cover only a
+     * surviving subset of the suite (RunPolicy continue-on-error).
+     */
+    bool degraded = false;
+
+    /** @return how many benchmarks failed. */
+    std::size_t
+    failedBenchmarks() const
+    {
+        std::size_t n = 0;
+        for (const auto &bench : perBenchmark)
+            n += bench.failed() ? 1 : 0;
+        return n;
+    }
 };
 
 /** Builds a fresh predictor for one benchmark run. */
@@ -61,6 +98,17 @@ using PredictorFactory =
 /** Builds a fresh set of estimators for one benchmark run. */
 using EstimatorSetFactory =
     std::function<std::vector<std::unique_ptr<ConfidenceEstimator>>()>;
+
+/**
+ * Optional per-benchmark trace-source decorator. Receives the
+ * benchmark index and the freshly built generator; whatever it returns
+ * is what the driver consumes. Used to substitute trace-file readers
+ * for generators and to inject faults (FaultInjectingTraceSource) in
+ * robustness tests. Called once per attempt, possibly concurrently —
+ * must be thread-safe.
+ */
+using SourceWrapper = std::function<std::unique_ptr<TraceSource>(
+    std::size_t bench, std::unique_ptr<TraceSource> inner)>;
 
 /** Runs configurations across a benchmark suite. */
 class SuiteRunner
@@ -79,20 +127,35 @@ class SuiteRunner
      * single-threaded execution (e.g. when profiling).
      *
      * @param make_predictor Fresh-predictor factory (called once per
-     *        benchmark, possibly concurrently — must be thread-safe,
-     *        which stateless lambdas trivially are).
+     *        benchmark attempt, possibly concurrently — must be
+     *        thread-safe, which stateless lambdas trivially are).
      * @param make_estimators Fresh-estimator-set factory (same rule).
      * @param options Driver knobs shared by all benchmarks.
+     * @param policy Fault-tolerance policy. The default fail-fast
+     *        policy throws on the first (suite-order) failure, so
+     *        existing callers see the pre-RunPolicy behaviour.
      */
     SuiteRunResult run(const PredictorFactory &make_predictor,
                        const EstimatorSetFactory &make_estimators,
-                       DriverOptions options = {}) const;
+                       DriverOptions options = {},
+                       RunPolicy policy = {}) const;
+
+    /**
+     * Install a trace-source decorator applied to every benchmark's
+     * generator (empty = none). Primarily a fault-injection and
+     * file-replay hook.
+     */
+    void setSourceWrapper(SourceWrapper wrapper)
+    {
+        sourceWrapper_ = std::move(wrapper);
+    }
 
     /** @return the suite being run. */
     const BenchmarkSuite &suite() const { return suite_; }
 
   private:
     BenchmarkSuite suite_;
+    SourceWrapper sourceWrapper_;
 };
 
 } // namespace confsim

@@ -1,0 +1,85 @@
+#include "trace/fault_injection.h"
+
+#include "util/status.h"
+
+namespace confsim {
+
+FaultInjectingTraceSource::FaultInjectingTraceSource(TraceSource &inner,
+                                                     FaultSpec spec)
+    : inner_(&inner), spec_(spec), rng_(spec.seed)
+{}
+
+FaultInjectingTraceSource::FaultInjectingTraceSource(
+    std::unique_ptr<TraceSource> inner, FaultSpec spec)
+    : owned_(std::move(inner)), inner_(owned_.get()), spec_(spec),
+      rng_(spec.seed)
+{
+    if (!inner_)
+        fatal("FaultInjectingTraceSource: null inner source");
+}
+
+bool
+FaultInjectingTraceSource::next(BranchRecord &record)
+{
+    if (spec_.truncateAfter != 0 &&
+        delivered_ >= spec_.truncateAfter) {
+        stats_.truncated = true;
+        return false;
+    }
+    if (spec_.failAfter != 0 && delivered_ >= spec_.failAfter) {
+        fatal("injected fault: trace stream corrupt after " +
+              std::to_string(delivered_) + " records");
+    }
+    for (;;) {
+        BranchRecord r;
+        if (havePending_) {
+            r = pending_;
+            havePending_ = false;
+        } else if (!inner_->next(r)) {
+            return false;
+        }
+        if (spec_.dropProb > 0.0 &&
+            rng_.nextBernoulli(spec_.dropProb)) {
+            ++stats_.drops;
+            continue;
+        }
+        if (spec_.duplicateProb > 0.0 &&
+            rng_.nextBernoulli(spec_.duplicateProb)) {
+            // The copy re-enters the fault pipeline next call, so a
+            // duplicate can itself be corrupted (or dropped) again.
+            pending_ = r;
+            havePending_ = true;
+            ++stats_.duplicates;
+        }
+        if (spec_.pcBitFlipProb > 0.0 &&
+            rng_.nextBernoulli(spec_.pcBitFlipProb)) {
+            r.pc ^= std::uint64_t{1} << rng_.nextBelow(64);
+            ++stats_.pcFlips;
+        }
+        if (spec_.targetBitFlipProb > 0.0 &&
+            rng_.nextBernoulli(spec_.targetBitFlipProb)) {
+            r.target ^= std::uint64_t{1} << rng_.nextBelow(64);
+            ++stats_.targetFlips;
+        }
+        if (spec_.takenFlipProb > 0.0 &&
+            rng_.nextBernoulli(spec_.takenFlipProb)) {
+            r.taken = !r.taken;
+            ++stats_.takenFlips;
+        }
+        record = r;
+        ++delivered_;
+        return true;
+    }
+}
+
+void
+FaultInjectingTraceSource::reset()
+{
+    inner_->reset();
+    rng_ = Rng(spec_.seed);
+    stats_ = FaultStats{};
+    delivered_ = 0;
+    havePending_ = false;
+}
+
+} // namespace confsim

@@ -3,26 +3,50 @@
 #include <array>
 #include <cstdio>
 
+#include "util/crc32.h"
 #include "util/status.h"
 
 namespace confsim {
 
 namespace {
 
-constexpr std::array<char, 4> kMagic = {'C', 'B', 'T', '1'};
-constexpr std::size_t kHeaderSize = 12;
+constexpr std::array<char, 4> kMagic1 = {'C', 'B', 'T', '1'};
+constexpr std::array<char, 4> kMagic2 = {'C', 'B', 'T', '2'};
+constexpr std::array<char, 4> kChunkMarker = {'C', 'H', 'N', 'K'};
+constexpr std::size_t kHeader1Size = 12;
+constexpr std::size_t kHeader2Size = 16;
+
+/**
+ * Upper bound a well-formed chunk payload can have: kChunkRecords
+ * records of at most 21 bytes (two 10-byte varints + flags). Anything
+ * larger is a corrupt size field, not a real chunk.
+ */
+constexpr std::uint32_t kMaxChunkPayload =
+    static_cast<std::uint32_t>(TraceWriter::kChunkRecords * 21);
+
+void
+writeLe32(std::ofstream &out, std::uint32_t value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
 
 } // namespace
 
-TraceWriter::TraceWriter(const std::string &path)
-    : out_(path, std::ios::binary)
+TraceWriter::TraceWriter(const std::string &path, TraceFormat format)
+    : out_(path, std::ios::binary), path_(path), format_(format)
 {
     if (!out_)
         fatal("cannot open trace file for writing: " + path);
-    out_.write(kMagic.data(), kMagic.size());
-    // Placeholder count; patched by finish().
+    const auto &magic =
+        format_ == TraceFormat::kCbt1 ? kMagic1 : kMagic2;
+    out_.write(magic.data(), magic.size());
+    // Placeholder count (and, for CBT2, its CRC); patched by finish().
     const std::uint64_t zero = 0;
     out_.write(reinterpret_cast<const char *>(&zero), sizeof(zero));
+    if (format_ == TraceFormat::kCbt2) {
+        writeLe32(out_, 0);
+        chunk_.reserve(kChunkRecords * 4);
+    }
 }
 
 void
@@ -32,49 +56,100 @@ TraceWriter::append(const BranchRecord &record)
         panic("TraceWriter::append after finish");
     const std::uint64_t pc_word = record.pc >> 2;
     const std::uint64_t target_word = record.target >> 2;
-    writeVarint(zigZagEncode(
+    appendVarint(zigZagEncode(
         static_cast<std::int64_t>(pc_word - prevPcWord_)));
-    writeVarint(zigZagEncode(
+    appendVarint(zigZagEncode(
         static_cast<std::int64_t>(target_word - pc_word)));
     const std::uint8_t flags =
         (record.taken ? 1 : 0) |
         (static_cast<std::uint8_t>(record.type) << 1);
-    out_.put(static_cast<char>(flags));
     prevPcWord_ = pc_word;
     ++count_;
+    if (format_ == TraceFormat::kCbt2) {
+        chunk_.push_back(static_cast<char>(flags));
+        // flushChunk() restarts the delta chain, so it must run after
+        // prevPcWord_ is updated for this record.
+        if (++chunkRecords_ == kChunkRecords)
+            flushChunk();
+    } else {
+        out_.put(static_cast<char>(flags));
+    }
+}
+
+void
+TraceWriter::flushChunk()
+{
+    if (chunkRecords_ == 0)
+        return;
+    out_.write(kChunkMarker.data(), kChunkMarker.size());
+    writeLe32(out_, static_cast<std::uint32_t>(chunk_.size()));
+    writeLe32(out_, static_cast<std::uint32_t>(chunkRecords_));
+    out_.write(chunk_.data(),
+               static_cast<std::streamsize>(chunk_.size()));
+    writeLe32(out_, crc32(chunk_.data(), chunk_.size()));
+    chunk_.clear();
+    chunkRecords_ = 0;
+    // The delta chain restarts per chunk so chunks decode
+    // independently (a skipped chunk must not poison its successor).
+    prevPcWord_ = 0;
 }
 
 void
 TraceWriter::finish()
 {
     if (finished_)
-        return;
+        fatal("TraceWriter::finish called twice for " + path_);
+    finishImpl();
+}
+
+void
+TraceWriter::finishImpl()
+{
     finished_ = true;
-    out_.seekp(kMagic.size());
+    if (format_ == TraceFormat::kCbt2)
+        flushChunk();
+    out_.seekp(kMagic1.size());
     out_.write(reinterpret_cast<const char *>(&count_), sizeof(count_));
+    if (format_ == TraceFormat::kCbt2)
+        writeLe32(out_, crc32(&count_, sizeof(count_)));
     out_.close();
     if (!out_)
-        fatal("error finalizing trace file");
+        fatal("error finalizing trace file: " + path_);
 }
 
 TraceWriter::~TraceWriter()
 {
-    if (!finished_)
-        finish();
+    if (finished_)
+        return;
+    // Auto-finish so the header never claims a stale record count, but
+    // never throw out of a destructor (we may be unwinding already).
+    try {
+        finishImpl();
+    } catch (...) {
+    }
 }
 
 void
-TraceWriter::writeVarint(std::uint64_t value)
+TraceWriter::appendVarint(std::uint64_t value)
 {
-    while (value >= 0x80) {
-        out_.put(static_cast<char>((value & 0x7F) | 0x80));
-        value >>= 7;
+    if (format_ == TraceFormat::kCbt2) {
+        while (value >= 0x80) {
+            chunk_.push_back(static_cast<char>((value & 0x7F) | 0x80));
+            value >>= 7;
+        }
+        chunk_.push_back(static_cast<char>(value));
+    } else {
+        while (value >= 0x80) {
+            out_.put(static_cast<char>((value & 0x7F) | 0x80));
+            value >>= 7;
+        }
+        out_.put(static_cast<char>(value));
     }
-    out_.put(static_cast<char>(value));
 }
 
-TraceFileReader::TraceFileReader(const std::string &path)
-    : in_(path, std::ios::binary), path_(path)
+TraceFileReader::TraceFileReader(const std::string &path,
+                                 RecoveryMode mode)
+    : in_(path, std::ios::binary), path_(path), mode_(mode)
 {
     if (!in_)
         fatal("cannot open trace file: " + path);
@@ -86,27 +161,70 @@ TraceFileReader::readHeader()
 {
     std::array<char, 4> magic{};
     in_.read(magic.data(), magic.size());
-    if (!in_ || magic != kMagic)
-        fatal("not a CBT1 trace file: " + path_);
+    if (!in_)
+        fatal("not a CBT trace file (short header): " + path_);
+    if (magic == kMagic1) {
+        format_ = TraceFormat::kCbt1;
+    } else if (magic == kMagic2) {
+        format_ = TraceFormat::kCbt2;
+    } else {
+        fatal("not a CBT1/CBT2 trace file: " + path_);
+    }
     in_.read(reinterpret_cast<char *>(&count_), sizeof(count_));
     if (!in_)
         fatal("truncated trace header: " + path_);
+    if (format_ == TraceFormat::kCbt2) {
+        std::uint32_t header_crc = 0;
+        in_.read(reinterpret_cast<char *>(&header_crc),
+                 sizeof(header_crc));
+        if (!in_)
+            fatal("truncated trace header: " + path_);
+        if (crc32(&count_, sizeof(count_)) != header_crc) {
+            if (mode_ == RecoveryMode::kStrict) {
+                fatal("corrupt trace header (record-count CRC "
+                      "mismatch): " + path_);
+            }
+            // Recoverable: read what the chunks hold and account for
+            // drops from per-chunk counts instead of the header.
+            countTrusted_ = false;
+        }
+    }
+}
+
+void
+TraceFileReader::corrupt(const std::string &what)
+{
+    fatal(what + " (chunk " + std::to_string(chunkIndex_) +
+          ", record " + std::to_string(produced_) + ") in " + path_);
 }
 
 bool
 TraceFileReader::next(BranchRecord &record)
 {
-    if (produced_ >= count_)
+    if (exhausted_)
         return false;
-    const std::int64_t pc_delta = zigZagDecode(readVarint());
+    return format_ == TraceFormat::kCbt1 ? nextCbt1(record)
+                                         : nextCbt2(record);
+}
+
+bool
+TraceFileReader::nextCbt1(BranchRecord &record)
+{
+    if (produced_ >= count_) {
+        exhausted_ = true;
+        return false;
+    }
+    const std::int64_t pc_delta = zigZagDecode(readVarintStream());
     const std::uint64_t pc_word =
         prevPcWord_ + static_cast<std::uint64_t>(pc_delta);
-    const std::int64_t target_delta = zigZagDecode(readVarint());
+    const std::int64_t target_delta = zigZagDecode(readVarintStream());
     const std::uint64_t target_word =
         pc_word + static_cast<std::uint64_t>(target_delta);
     const int flags = in_.get();
-    if (flags < 0)
-        fatal("truncated trace record in " + path_);
+    if (flags < 0) {
+        fatal("truncated trace record " + std::to_string(produced_) +
+              " in " + path_);
+    }
     record.pc = pc_word << 2;
     record.target = target_word << 2;
     record.taken = (flags & 1) != 0;
@@ -116,30 +234,227 @@ TraceFileReader::next(BranchRecord &record)
     return true;
 }
 
+bool
+TraceFileReader::nextCbt2(BranchRecord &record)
+{
+    for (;;) {
+        if (chunkRecordsLeft_ > 0) {
+            if (decodeFromChunk(record)) {
+                ++produced_;
+                return true;
+            }
+            continue; // chunk abandoned (kSkipCorrupt); try the next
+        }
+        if (!loadNextChunk()) {
+            exhausted_ = true;
+            if (mode_ == RecoveryMode::kStrict &&
+                produced_ != count_) {
+                fatal("trace record count mismatch: header promises " +
+                      std::to_string(count_) + ", file contains " +
+                      std::to_string(produced_) + ": " + path_);
+            }
+            return false;
+        }
+    }
+}
+
+bool
+TraceFileReader::loadNextChunk()
+{
+    bool have_marker = false;
+    for (;;) {
+        if (!have_marker) {
+            std::array<char, 4> marker{};
+            in_.read(marker.data(), marker.size());
+            const std::streamsize got = in_.gcount();
+            if (got == 0)
+                return false; // clean EOF at a chunk boundary
+            if (got < 4 || marker != kChunkMarker) {
+                if (mode_ == RecoveryMode::kStrict) {
+                    corrupt(got < 4 ? "truncated chunk header"
+                                    : "bad chunk sync marker");
+                }
+                in_.clear();
+                if (!resyncToMarker())
+                    return false;
+            }
+        }
+        have_marker = false;
+
+        std::uint32_t payload_size = 0;
+        std::uint32_t chunk_count = 0;
+        in_.read(reinterpret_cast<char *>(&payload_size),
+                 sizeof(payload_size));
+        in_.read(reinterpret_cast<char *>(&chunk_count),
+                 sizeof(chunk_count));
+        if (!in_) {
+            if (mode_ == RecoveryMode::kStrict)
+                corrupt("truncated chunk header");
+            return false; // tail lost; header count settles the drops
+        }
+        // Plausibility: a record encodes to >= 3 bytes, so a count
+        // that cannot fit the payload (or an absurd payload size)
+        // means the header itself took the hit.
+        if (payload_size > kMaxChunkPayload ||
+            static_cast<std::uint64_t>(chunk_count) * 3 >
+                payload_size) {
+            if (mode_ == RecoveryMode::kStrict)
+                corrupt("implausible chunk header");
+            in_.clear();
+            if (!resyncToMarker())
+                return false;
+            have_marker = true;
+            continue;
+        }
+
+        chunk_.resize(payload_size);
+        in_.read(chunk_.data(),
+                 static_cast<std::streamsize>(payload_size));
+        std::uint32_t footer_crc = 0;
+        in_.read(reinterpret_cast<char *>(&footer_crc),
+                 sizeof(footer_crc));
+        if (!in_) {
+            if (mode_ == RecoveryMode::kStrict)
+                corrupt("truncated chunk");
+            return false;
+        }
+        ++chunkIndex_;
+        if (crc32(chunk_.data(), chunk_.size()) != footer_crc) {
+            if (mode_ == RecoveryMode::kStrict)
+                corrupt("chunk CRC mismatch");
+            dropped_ += chunk_count;
+            continue; // positioned at the next chunk boundary
+        }
+        if (chunk_count == 0)
+            continue;
+        chunkPos_ = 0;
+        chunkRecordsLeft_ = chunk_count;
+        prevPcWord_ = 0;
+        return true;
+    }
+}
+
+bool
+TraceFileReader::resyncToMarker()
+{
+    // Scan the byte stream for the next "CHNK" sync marker. The four
+    // marker bytes are pairwise distinct, so on mismatch the only
+    // possible restart is a fresh 'C'.
+    std::size_t matched = 0;
+    for (;;) {
+        const int c = in_.get();
+        if (c < 0)
+            return false;
+        if (c == kChunkMarker[matched]) {
+            if (++matched == kChunkMarker.size())
+                return true;
+        } else {
+            matched = (c == kChunkMarker[0]) ? 1 : 0;
+        }
+    }
+}
+
+bool
+TraceFileReader::decodeFromChunk(BranchRecord &record)
+{
+    // The payload passed its CRC, so a decode failure here means the
+    // chunk header's record count disagrees with the payload.
+    const auto fail = [this](const char *what) -> bool {
+        if (mode_ == RecoveryMode::kStrict)
+            corrupt(what);
+        dropped_ += chunkRecordsLeft_; // best effort; the header
+                                       // count reconciles the total
+        chunkRecordsLeft_ = 0;
+        chunkPos_ = chunk_.size();
+        return false;
+    };
+
+    std::uint64_t raw[2] = {0, 0};
+    for (auto &value : raw) {
+        unsigned shift = 0;
+        unsigned bytes = 0;
+        for (;;) {
+            if (chunkPos_ >= chunk_.size())
+                return fail("record payload exhausted mid-varint");
+            const auto byte =
+                static_cast<std::uint8_t>(chunk_[chunkPos_++]);
+            if (++bytes > 10)
+                return fail("overlong varint (> 10 bytes)");
+            value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+            if ((byte & 0x80) == 0)
+                break;
+            shift += 7;
+        }
+    }
+    if (chunkPos_ >= chunk_.size())
+        return fail("record payload exhausted before flags");
+    const auto flags = static_cast<std::uint8_t>(chunk_[chunkPos_++]);
+
+    const std::uint64_t pc_word =
+        prevPcWord_ + static_cast<std::uint64_t>(zigZagDecode(raw[0]));
+    const std::uint64_t target_word =
+        pc_word + static_cast<std::uint64_t>(zigZagDecode(raw[1]));
+    record.pc = pc_word << 2;
+    record.target = target_word << 2;
+    record.taken = (flags & 1) != 0;
+    record.type = static_cast<BranchType>((flags >> 1) & 0x3);
+    prevPcWord_ = pc_word;
+
+    if (--chunkRecordsLeft_ == 0 && chunkPos_ != chunk_.size()) {
+        if (mode_ == RecoveryMode::kStrict)
+            corrupt("chunk record-count cross-check failed "
+                    "(unused payload)");
+        chunkPos_ = chunk_.size();
+    }
+    return true;
+}
+
+std::uint64_t
+TraceFileReader::droppedRecords() const
+{
+    // With a trusted header, "promised minus delivered" is exact even
+    // when resync lost chunks whose own counts were unreadable.
+    if (countTrusted_ && exhausted_)
+        return count_ > produced_ ? count_ - produced_ : 0;
+    return dropped_;
+}
+
 void
 TraceFileReader::reset()
 {
     in_.clear();
-    in_.seekg(kHeaderSize);
+    in_.seekg(static_cast<std::streamoff>(
+        format_ == TraceFormat::kCbt1 ? kHeader1Size : kHeader2Size));
     produced_ = 0;
     prevPcWord_ = 0;
+    exhausted_ = false;
+    chunk_.clear();
+    chunkPos_ = 0;
+    chunkRecordsLeft_ = 0;
+    chunkIndex_ = 0;
+    dropped_ = 0;
 }
 
 std::uint64_t
-TraceFileReader::readVarint()
+TraceFileReader::readVarintStream()
 {
     std::uint64_t value = 0;
     unsigned shift = 0;
+    unsigned bytes = 0;
     for (;;) {
         const int byte = in_.get();
-        if (byte < 0)
-            fatal("truncated varint in trace file " + path_);
+        if (byte < 0) {
+            fatal("truncated varint in record " +
+                  std::to_string(produced_) + " of " + path_);
+        }
+        if (++bytes > 10) {
+            fatal("overlong varint (> 10 bytes) in record " +
+                  std::to_string(produced_) + " of " + path_);
+        }
         value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
         if ((byte & 0x80) == 0)
             break;
         shift += 7;
-        if (shift >= 64)
-            fatal("overlong varint in trace file " + path_);
     }
     return value;
 }
@@ -199,9 +514,10 @@ TextTraceReader::reset()
 }
 
 std::uint64_t
-writeTraceFile(TraceSource &source, const std::string &path)
+writeTraceFile(TraceSource &source, const std::string &path,
+               TraceFormat format)
 {
-    TraceWriter writer(path);
+    TraceWriter writer(path, format);
     BranchRecord record;
     std::uint64_t n = 0;
     while (source.next(record)) {

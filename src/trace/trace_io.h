@@ -1,13 +1,33 @@
 /**
  * @file
- * Binary branch-trace file format (".cbt" — conditional branch trace).
+ * Binary branch-trace file formats (".cbt" — conditional branch trace).
  *
- * Layout:
+ * CBT1 (legacy, still fully readable):
  *   header:  magic "CBT1" (4 bytes), record count (LE u64)
  *   records: per record —
  *     varint  zig-zag delta of (pc >> 2) from previous record's pc >> 2
  *     varint  zig-zag delta of (target >> 2) from this record's pc >> 2
  *     u8      flags: bit0 = taken, bits1-2 = BranchType
+ *
+ * CBT2 (default, checksummed):
+ *   header:  magic "CBT2" (4 bytes), record count (LE u64),
+ *            CRC32 of the count field (LE u32)
+ *   chunks:  records are grouped into chunks of up to kChunkRecords;
+ *            the per-record encoding is identical to CBT1 but the PC
+ *            delta chain restarts at every chunk boundary so one lost
+ *            chunk cannot corrupt the next. Each chunk is:
+ *     u32     sync marker "CHNK"
+ *     u32     payload size in bytes (LE)
+ *     u32     record count in this chunk (LE)
+ *     bytes   payload (the encoded records)
+ *     u32     CRC32 of the payload (LE)
+ *
+ * A flipped bit anywhere in a chunk fails the footer CRC; a flipped bit
+ * in the chunk header fails the marker, the size bound, or the
+ * record-count cross-check. TraceFileReader either throws on the first
+ * such error (RecoveryMode::kStrict, the default) or resynchronizes at
+ * the next chunk and reports how many records were lost
+ * (RecoveryMode::kSkipCorrupt).
  *
  * Delta + varint encoding exploits spatial locality: typical traces
  * compress to ~3 bytes/record. A human-readable text format ("pc target
@@ -20,22 +40,47 @@
 #include <cstdint>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "trace/trace_source.h"
 
 namespace confsim {
 
-/** Streaming writer for the binary trace format. */
+/** On-disk trace format version. */
+enum class TraceFormat : std::uint8_t
+{
+    kCbt1 = 1, //!< legacy: no integrity checking
+    kCbt2 = 2, //!< chunked with per-chunk CRC32 footers (default)
+};
+
+/** How TraceFileReader reacts to corruption. */
+enum class RecoveryMode : std::uint8_t
+{
+    kStrict = 0,     //!< throw on the first integrity violation
+    kSkipCorrupt = 1 //!< resync at the next chunk; count dropped records
+};
+
+/** Streaming writer for the binary trace formats. */
 class TraceWriter
 {
   public:
+    /** Records per CBT2 chunk (the CRC/resync granularity). */
+    static constexpr std::uint64_t kChunkRecords = 4096;
+
     /** Open @p path; calls fatal() on failure. */
-    explicit TraceWriter(const std::string &path);
+    explicit TraceWriter(const std::string &path,
+                         TraceFormat format = TraceFormat::kCbt2);
 
     /** Append one record. */
     void append(const BranchRecord &record);
 
-    /** Patch the header record count and close the file. */
+    /**
+     * Flush pending data, patch the header record count, and close the
+     * file. Calling finish() twice is a usage error and throws; the
+     * destructor finalizes automatically (and swallows I/O errors, as
+     * destructors must) if finish() was never called — e.g. during
+     * exception unwind — so the header never claims the wrong count.
+     */
     void finish();
 
     ~TraceWriter();
@@ -44,20 +89,34 @@ class TraceWriter
     TraceWriter &operator=(const TraceWriter &) = delete;
 
   private:
-    void writeVarint(std::uint64_t value);
+    void flushChunk();
+    void finishImpl();
+    void appendVarint(std::uint64_t value);
 
     std::ofstream out_;
+    std::string path_;
+    TraceFormat format_;
+    std::vector<char> chunk_;         //!< CBT2: pending chunk payload
+    std::uint64_t chunkRecords_ = 0;  //!< CBT2: records in chunk_
     std::uint64_t count_ = 0;
     std::uint64_t prevPcWord_ = 0;
     bool finished_ = false;
 };
 
-/** Streaming reader for the binary trace format; a TraceSource. */
+/** Streaming reader for the binary trace formats; a TraceSource. */
 class TraceFileReader : public TraceSource
 {
   public:
-    /** Open @p path; calls fatal() on open or header errors. */
-    explicit TraceFileReader(const std::string &path);
+    /**
+     * Open @p path; calls fatal() on open or header errors. The format
+     * (CBT1 vs CBT2) is detected from the magic.
+     *
+     * @param mode Corruption handling; kSkipCorrupt only changes
+     *        behaviour for CBT2 files (CBT1 has no redundancy to
+     *        recover with, so it is always strict).
+     */
+    explicit TraceFileReader(const std::string &path,
+                             RecoveryMode mode = RecoveryMode::kStrict);
 
     bool next(BranchRecord &record) override;
     void reset() override;
@@ -65,22 +124,50 @@ class TraceFileReader : public TraceSource
     /** @return total records promised by the header. */
     std::uint64_t recordCount() const { return count_; }
 
+    /** @return the detected on-disk format. */
+    TraceFormat format() const { return format_; }
+
+    /**
+     * @return records lost to corruption (kSkipCorrupt only).
+     * Final once next() has returned false.
+     */
+    std::uint64_t droppedRecords() const;
+
   private:
-    std::uint64_t readVarint();
     void readHeader();
+    bool nextCbt1(BranchRecord &record);
+    bool nextCbt2(BranchRecord &record);
+    bool loadNextChunk();
+    bool resyncToMarker();
+    void corrupt(const std::string &what);
+    std::uint64_t readVarintStream();
+    std::uint64_t readVarintChunk();
+    bool decodeFromChunk(BranchRecord &record);
 
     std::ifstream in_;
     std::string path_;
+    RecoveryMode mode_;
+    TraceFormat format_ = TraceFormat::kCbt1;
     std::uint64_t count_ = 0;
+    bool countTrusted_ = true;
     std::uint64_t produced_ = 0;
     std::uint64_t prevPcWord_ = 0;
+    bool exhausted_ = false;
+
+    // CBT2 chunk state.
+    std::vector<char> chunk_;
+    std::size_t chunkPos_ = 0;
+    std::uint64_t chunkRecordsLeft_ = 0;
+    std::uint64_t chunkIndex_ = 0;
+    std::uint64_t dropped_ = 0; //!< from chunks with a known count
 };
 
 /**
  * Copy every record of @p source to a binary trace file.
  * @return the number of records written.
  */
-std::uint64_t writeTraceFile(TraceSource &source, const std::string &path);
+std::uint64_t writeTraceFile(TraceSource &source, const std::string &path,
+                             TraceFormat format = TraceFormat::kCbt2);
 
 /** Write @p source to the debug text format ("pc target taken type"). */
 std::uint64_t writeTextTrace(TraceSource &source, const std::string &path);

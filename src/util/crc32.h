@@ -1,0 +1,93 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for trace-file
+ * integrity checking.
+ *
+ * Header-only: the 256-entry lookup table is built at compile time, and
+ * both one-shot and incremental interfaces are provided. The CBT2 trace
+ * format (trace/trace_io.h) stores one CRC per chunk so a single flipped
+ * bit anywhere in a chunk is detected on read.
+ */
+
+#ifndef CONFSIM_UTIL_CRC32_H
+#define CONFSIM_UTIL_CRC32_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace confsim {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t value = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            value = (value >> 1) ^ ((value & 1) ? 0xEDB88320u : 0u);
+        }
+        table[i] = value;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    makeCrc32Table();
+
+} // namespace detail
+
+/**
+ * Incremental CRC-32 accumulator.
+ *
+ * Feed bytes with update(); value() may be read at any point and equals
+ * the one-shot crc32() of everything fed so far.
+ */
+class Crc32
+{
+  public:
+    /** Absorb @p size bytes at @p data. */
+    void
+    update(const void *data, std::size_t size)
+    {
+        const auto *bytes = static_cast<const std::uint8_t *>(data);
+        std::uint32_t state = state_;
+        for (std::size_t i = 0; i < size; ++i) {
+            state = (state >> 8) ^
+                    detail::kCrc32Table[(state ^ bytes[i]) & 0xFF];
+        }
+        state_ = state;
+    }
+
+    /** Absorb a single byte. */
+    void
+    update(std::uint8_t byte)
+    {
+        state_ = (state_ >> 8) ^
+                 detail::kCrc32Table[(state_ ^ byte) & 0xFF];
+    }
+
+    /** @return the CRC of all bytes absorbed so far. */
+    std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+    /** Restore the empty-input state. */
+    void reset() { state_ = 0xFFFFFFFFu; }
+
+  private:
+    std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/** One-shot CRC-32 of a byte buffer. */
+inline std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    Crc32 crc;
+    crc.update(data, size);
+    return crc.value();
+}
+
+} // namespace confsim
+
+#endif // CONFSIM_UTIL_CRC32_H

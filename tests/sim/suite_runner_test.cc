@@ -2,13 +2,34 @@
 
 #include "sim/suite_runner.h"
 
+#include <atomic>
+
 #include <gtest/gtest.h>
 
 #include "confidence/one_level.h"
 #include "predictor/gshare.h"
+#include "trace/fault_injection.h"
 
 namespace confsim {
 namespace {
+
+PredictorFactory
+smallPredictor()
+{
+    return [] { return std::make_unique<GsharePredictor>(4096, 12); };
+}
+
+EstimatorSetFactory
+smallEstimators()
+{
+    return [] {
+        std::vector<std::unique_ptr<ConfidenceEstimator>> out;
+        out.push_back(std::make_unique<OneLevelCounterConfidence>(
+            IndexScheme::PcXorBhr, 4096, CounterKind::Resetting, 16,
+            0));
+        return out;
+    };
+}
 
 SuiteRunResult
 runSmall(std::uint64_t branches, bool profile_static = true)
@@ -102,6 +123,174 @@ TEST(SuiteRunnerTest, NullPredictorFactoryIsFatal)
                            std::unique_ptr<ConfidenceEstimator>>{};
                    }),
         std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// RunPolicy: error isolation, retries, watchdog.
+
+/** Wrap benchmark @p faulty_bench so its stream throws mid-run. */
+SourceWrapper
+failingWrapper(std::size_t faulty_bench)
+{
+    return [faulty_bench](std::size_t bench,
+                          std::unique_ptr<TraceSource> inner)
+               -> std::unique_ptr<TraceSource> {
+        if (bench != faulty_bench)
+            return inner;
+        FaultSpec spec;
+        spec.failAfter = 500;
+        return std::make_unique<FaultInjectingTraceSource>(
+            std::move(inner), spec);
+    };
+}
+
+TEST(SuiteRunnerTest, FailFastThrowsOnInjectedFault)
+{
+    SuiteRunner runner(BenchmarkSuite::ibsSubset({"jpeg", "real_gcc"},
+                                                 5000));
+    runner.setSourceWrapper(failingWrapper(1));
+    EXPECT_THROW(runner.run(smallPredictor(), smallEstimators()),
+                 std::runtime_error);
+}
+
+TEST(SuiteRunnerTest, ContinueOnErrorIsolatesTheFailure)
+{
+    SuiteRunner runner(BenchmarkSuite::ibsSubset({"jpeg", "real_gcc"},
+                                                 5000));
+    runner.setSourceWrapper(failingWrapper(0));
+    const auto result =
+        runner.run(smallPredictor(), smallEstimators(), {},
+                   RunPolicy::continueOnError());
+
+    ASSERT_EQ(result.perBenchmark.size(), 2u);
+    EXPECT_TRUE(result.perBenchmark[0].failed());
+    EXPECT_NE(result.perBenchmark[0].error.find("injected fault"),
+              std::string::npos);
+    EXPECT_FALSE(result.perBenchmark[1].failed());
+    EXPECT_TRUE(result.degraded);
+    EXPECT_EQ(result.failedBenchmarks(), 1u);
+
+    // Composites cover exactly the surviving benchmark.
+    EXPECT_DOUBLE_EQ(result.compositeMispredictRate,
+                     result.perBenchmark[1].mispredictRate);
+    ASSERT_EQ(result.compositeEstimatorStats.size(), 1u);
+    EXPECT_NEAR(result.compositeEstimatorStats[0].totalRefs(), 1e6,
+                1.0);
+    ASSERT_EQ(result.estimatorNames.size(), 1u);
+    EXPECT_EQ(result.estimatorNames[0], "1lvl-PCxorBHR-reset16-4096");
+}
+
+TEST(SuiteRunnerTest, ContinueOnErrorWithoutFailuresIsNotDegraded)
+{
+    const auto fail_fast = runSmall(5000);
+    SuiteRunner runner(BenchmarkSuite::ibsSubset({"jpeg", "real_gcc"},
+                                                 5000));
+    DriverOptions options;
+    options.profileStatic = true;
+    const auto lenient =
+        runner.run(smallPredictor(), smallEstimators(), options,
+                   RunPolicy::continueOnError());
+
+    EXPECT_FALSE(lenient.degraded);
+    EXPECT_EQ(lenient.failedBenchmarks(), 0u);
+    // Bit-identical to the default policy when nothing fails.
+    ASSERT_EQ(lenient.perBenchmark.size(),
+              fail_fast.perBenchmark.size());
+    for (std::size_t i = 0; i < lenient.perBenchmark.size(); ++i) {
+        EXPECT_EQ(lenient.perBenchmark[i].mispredicts,
+                  fail_fast.perBenchmark[i].mispredicts);
+        EXPECT_EQ(lenient.perBenchmark[i].branches,
+                  fail_fast.perBenchmark[i].branches);
+    }
+    EXPECT_DOUBLE_EQ(lenient.compositeMispredictRate,
+                     fail_fast.compositeMispredictRate);
+}
+
+TEST(SuiteRunnerTest, RetriesRecoverTransientFailures)
+{
+    SuiteRunner runner(BenchmarkSuite::ibsSubset({"jpeg"}, 2000));
+    auto first_attempts = std::make_shared<std::atomic<int>>(0);
+    runner.setSourceWrapper(
+        [first_attempts](std::size_t,
+                         std::unique_ptr<TraceSource> inner)
+            -> std::unique_ptr<TraceSource> {
+            if (first_attempts->fetch_add(1) == 0) {
+                FaultSpec spec;
+                spec.failAfter = 100; // transient: first attempt only
+                return std::make_unique<FaultInjectingTraceSource>(
+                    std::move(inner), spec);
+            }
+            return inner;
+        });
+
+    RunPolicy policy = RunPolicy::continueOnError();
+    policy.maxAttempts = 3;
+    const auto result =
+        runner.run(smallPredictor(), smallEstimators(), {}, policy);
+    ASSERT_EQ(result.perBenchmark.size(), 1u);
+    EXPECT_FALSE(result.perBenchmark[0].failed());
+    EXPECT_EQ(result.perBenchmark[0].attempts, 2u);
+    EXPECT_FALSE(result.degraded);
+}
+
+TEST(SuiteRunnerTest, PersistentFailureExhaustsAttempts)
+{
+    SuiteRunner runner(BenchmarkSuite::ibsSubset({"jpeg"}, 2000));
+    runner.setSourceWrapper(failingWrapper(0));
+    RunPolicy policy = RunPolicy::continueOnError();
+    policy.maxAttempts = 3;
+    const auto result =
+        runner.run(smallPredictor(), smallEstimators(), {}, policy);
+    ASSERT_EQ(result.perBenchmark.size(), 1u);
+    EXPECT_TRUE(result.perBenchmark[0].failed());
+    EXPECT_EQ(result.perBenchmark[0].attempts, 3u);
+}
+
+TEST(SuiteRunnerTest, WatchdogMarksHungBenchmarkFailed)
+{
+    // A 1 ms budget on a multi-million-branch benchmark must trip the
+    // watchdog; the benchmark is marked failed, not wedged, and the
+    // timeout is not retried (attempts stays 1 despite maxAttempts).
+    SuiteRunner runner(
+        BenchmarkSuite::ibsSubset({"jpeg"}, 20'000'000));
+    RunPolicy policy = RunPolicy::continueOnError();
+    policy.watchdogMs = 1;
+    policy.maxAttempts = 3;
+    const auto result =
+        runner.run(smallPredictor(), smallEstimators(), {}, policy);
+    ASSERT_EQ(result.perBenchmark.size(), 1u);
+    EXPECT_TRUE(result.perBenchmark[0].failed());
+    EXPECT_NE(result.perBenchmark[0].error.find("wall-clock"),
+              std::string::npos);
+    EXPECT_EQ(result.perBenchmark[0].attempts, 1u);
+    EXPECT_TRUE(result.degraded);
+    EXPECT_EQ(result.compositeEstimatorStats.size(), 0u);
+}
+
+TEST(SuiteRunnerTest, FactoriesInvokedExactlyOncePerBenchmark)
+{
+    SuiteRunner runner(BenchmarkSuite::ibsSubset({"jpeg", "real_gcc"},
+                                                 2000));
+    auto predictor_calls = std::make_shared<std::atomic<int>>(0);
+    auto estimator_calls = std::make_shared<std::atomic<int>>(0);
+    const auto result = runner.run(
+        [predictor_calls] {
+            predictor_calls->fetch_add(1);
+            return std::make_unique<GsharePredictor>(4096, 12);
+        },
+        [estimator_calls]()
+            -> std::vector<std::unique_ptr<ConfidenceEstimator>> {
+            estimator_calls->fetch_add(1);
+            std::vector<std::unique_ptr<ConfidenceEstimator>> out;
+            out.push_back(std::make_unique<OneLevelCounterConfidence>(
+                IndexScheme::PcXorBhr, 4096, CounterKind::Resetting,
+                16, 0));
+            return out;
+        });
+    EXPECT_EQ(predictor_calls->load(), 2);
+    EXPECT_EQ(estimator_calls->load(), 2);
+    ASSERT_EQ(result.estimatorNames.size(), 1u);
+    EXPECT_EQ(result.estimatorNames[0], "1lvl-PCxorBHR-reset16-4096");
 }
 
 } // namespace

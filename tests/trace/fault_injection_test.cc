@@ -1,0 +1,167 @@
+/** @file Unit tests for the fault-injecting trace decorator. */
+
+#include "trace/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/vector_trace_source.h"
+#include "util/rng.h"
+
+namespace confsim {
+namespace {
+
+std::vector<BranchRecord>
+makeRecords(std::size_t n)
+{
+    std::vector<BranchRecord> records;
+    for (std::size_t i = 0; i < n; ++i) {
+        BranchRecord r;
+        r.pc = 0x1000 + 4 * i;
+        r.target = r.pc + 64;
+        r.taken = (i % 3) == 0;
+        records.push_back(r);
+    }
+    return records;
+}
+
+std::vector<BranchRecord>
+drain(TraceSource &source)
+{
+    std::vector<BranchRecord> out;
+    BranchRecord record;
+    while (source.next(record))
+        out.push_back(record);
+    return out;
+}
+
+TEST(FaultInjectionTest, DefaultSpecIsPassthrough)
+{
+    const auto records = makeRecords(500);
+    VectorTraceSource inner(records);
+    FaultInjectingTraceSource faulty(inner, FaultSpec{});
+    EXPECT_EQ(drain(faulty), records);
+    EXPECT_EQ(faulty.stats().total(), 0u);
+    EXPECT_FALSE(faulty.stats().truncated);
+}
+
+TEST(FaultInjectionTest, SameSeedSameFaultStream)
+{
+    const auto records = makeRecords(2000);
+    FaultSpec spec;
+    spec.takenFlipProb = 0.05;
+    spec.pcBitFlipProb = 0.05;
+    spec.dropProb = 0.02;
+    spec.duplicateProb = 0.02;
+
+    VectorTraceSource inner_a(records);
+    VectorTraceSource inner_b(records);
+    FaultInjectingTraceSource a(inner_a, spec);
+    FaultInjectingTraceSource b(inner_b, spec);
+    EXPECT_EQ(drain(a), drain(b));
+    EXPECT_GT(a.stats().total(), 0u);
+    EXPECT_EQ(a.stats().takenFlips, b.stats().takenFlips);
+}
+
+TEST(FaultInjectionTest, ResetReplaysIdenticalCorruption)
+{
+    const auto records = makeRecords(1000);
+    FaultSpec spec;
+    spec.takenFlipProb = 0.1;
+    spec.dropProb = 0.05;
+    VectorTraceSource inner(records);
+    FaultInjectingTraceSource faulty(inner, spec);
+
+    const auto first = drain(faulty);
+    faulty.reset();
+    EXPECT_EQ(drain(faulty), first);
+}
+
+TEST(FaultInjectionTest, DropsShrinkAndDuplicatesGrowTheStream)
+{
+    const auto records = makeRecords(4000);
+    {
+        FaultSpec spec;
+        spec.dropProb = 0.1;
+        VectorTraceSource inner(records);
+        FaultInjectingTraceSource faulty(inner, spec);
+        const auto out = drain(faulty);
+        EXPECT_EQ(out.size() + faulty.stats().drops, records.size());
+        EXPECT_GT(faulty.stats().drops, 0u);
+    }
+    {
+        FaultSpec spec;
+        spec.duplicateProb = 0.1;
+        VectorTraceSource inner(records);
+        FaultInjectingTraceSource faulty(inner, spec);
+        const auto out = drain(faulty);
+        EXPECT_GT(out.size(), records.size());
+        EXPECT_GT(faulty.stats().duplicates, 0u);
+    }
+}
+
+TEST(FaultInjectionTest, TakenFlipCountMatchesDelta)
+{
+    const auto records = makeRecords(3000);
+    FaultSpec spec;
+    spec.takenFlipProb = 0.25;
+    VectorTraceSource inner(records);
+    FaultInjectingTraceSource faulty(inner, spec);
+    const auto out = drain(faulty);
+    ASSERT_EQ(out.size(), records.size());
+    std::uint64_t differing = 0;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        differing += out[i].taken != records[i].taken ? 1 : 0;
+    EXPECT_EQ(differing, faulty.stats().takenFlips);
+    EXPECT_GT(differing, 0u);
+}
+
+TEST(FaultInjectionTest, PcFlipChangesExactlyOneBit)
+{
+    const auto records = makeRecords(1000);
+    FaultSpec spec;
+    spec.pcBitFlipProb = 1.0; // corrupt every record
+    VectorTraceSource inner(records);
+    FaultInjectingTraceSource faulty(inner, spec);
+    const auto out = drain(faulty);
+    ASSERT_EQ(out.size(), records.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const std::uint64_t diff = out[i].pc ^ records[i].pc;
+        EXPECT_EQ(__builtin_popcountll(diff), 1) << "record " << i;
+    }
+    EXPECT_EQ(faulty.stats().pcFlips, records.size());
+}
+
+TEST(FaultInjectionTest, TruncationStopsTheStream)
+{
+    const auto records = makeRecords(100);
+    FaultSpec spec;
+    spec.truncateAfter = 40;
+    VectorTraceSource inner(records);
+    FaultInjectingTraceSource faulty(inner, spec);
+    const auto out = drain(faulty);
+    EXPECT_EQ(out.size(), 40u);
+    EXPECT_TRUE(faulty.stats().truncated);
+}
+
+TEST(FaultInjectionTest, FailAfterThrows)
+{
+    const auto records = makeRecords(100);
+    FaultSpec spec;
+    spec.failAfter = 10;
+    VectorTraceSource inner(records);
+    FaultInjectingTraceSource faulty(inner, spec);
+    BranchRecord record;
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(faulty.next(record));
+    EXPECT_THROW(faulty.next(record), std::runtime_error);
+}
+
+TEST(FaultInjectionTest, OwningConstructorRejectsNull)
+{
+    EXPECT_THROW(FaultInjectingTraceSource(
+                     std::unique_ptr<TraceSource>{}, FaultSpec{}),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace confsim

@@ -1,13 +1,15 @@
-/** @file Round-trip and robustness tests for the binary trace format. */
+/** @file Round-trip and robustness tests for the binary trace formats. */
 
 #include "trace/trace_io.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include <gtest/gtest.h>
 
 #include "trace/vector_trace_source.h"
+#include "util/crc32.h"
 #include "util/rng.h"
 
 namespace confsim {
@@ -40,6 +42,62 @@ class TraceIoTest : public ::testing::Test
             records.push_back(r);
         }
         return records;
+    }
+
+    std::vector<char>
+    readFileBytes(const std::string &path)
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        std::vector<char> bytes(
+            static_cast<std::size_t>(in.tellg()));
+        in.seekg(0);
+        in.read(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+        return bytes;
+    }
+
+    void
+    writeFileBytes(const std::string &path,
+                   const std::vector<char> &bytes)
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    void
+    flipBit(const std::string &path, std::size_t byte_offset,
+            unsigned bit)
+    {
+        auto bytes = readFileBytes(path);
+        ASSERT_LT(byte_offset, bytes.size());
+        bytes[byte_offset] ^= static_cast<char>(1u << bit);
+        writeFileBytes(path, bytes);
+    }
+
+    struct ChunkInfo
+    {
+        std::size_t offset;       //!< of the sync marker
+        std::uint32_t payloadSize;
+        std::uint32_t recordCount;
+    };
+
+    /** Parse CBT2 chunk framing (assumes an intact file). */
+    std::vector<ChunkInfo>
+    parseChunks(const std::string &path)
+    {
+        const auto bytes = readFileBytes(path);
+        std::vector<ChunkInfo> chunks;
+        std::size_t pos = 16; // CBT2 header
+        while (pos + 12 <= bytes.size()) {
+            ChunkInfo info;
+            info.offset = pos;
+            std::memcpy(&info.payloadSize, bytes.data() + pos + 4, 4);
+            std::memcpy(&info.recordCount, bytes.data() + pos + 8, 4);
+            chunks.push_back(info);
+            pos += 12 + info.payloadSize + 4;
+        }
+        return chunks;
     }
 };
 
@@ -255,6 +313,318 @@ TEST_F(TraceIoTest, TextReaderMissingFileIsFatal)
 {
     EXPECT_THROW(TextTraceReader("/no/such/file.txt"),
                  std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// CBT1 compatibility.
+
+TEST_F(TraceIoTest, Cbt1RoundTripStillWorks)
+{
+    const auto records = randomRecords(5000, 11);
+    VectorTraceSource source(records);
+    EXPECT_EQ(writeTraceFile(source, path_, TraceFormat::kCbt1), 5000u);
+
+    TraceFileReader reader(path_);
+    EXPECT_EQ(reader.format(), TraceFormat::kCbt1);
+    EXPECT_EQ(reader.recordCount(), 5000u);
+    BranchRecord out;
+    for (const auto &expected : records) {
+        ASSERT_TRUE(reader.next(out));
+        ASSERT_EQ(out, expected);
+    }
+    EXPECT_FALSE(reader.next(out));
+    EXPECT_EQ(reader.droppedRecords(), 0u);
+}
+
+TEST_F(TraceIoTest, Cbt1EncodingIsByteStable)
+{
+    // The legacy on-disk encoding must never drift: header is magic +
+    // LE count, then varint zig-zag deltas + flags per record.
+    BranchRecord r;
+    r.pc = 0x47939C;
+    r.target = 0x47ACCC;
+    r.taken = false;
+    r.type = BranchType::Unconditional;
+    VectorTraceSource source({r});
+    writeTraceFile(source, path_, TraceFormat::kCbt1);
+
+    const std::vector<char> expected = {
+        'C', 'B', 'T', '1',
+        0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        '\xce', '\x93', '\x8f', '\x01', // zz(pc >> 2)
+        '\x98', '\x19',                 // zz((target - pc) >> 2)
+        0x02,                           // flags: not taken, type 1
+    };
+    EXPECT_EQ(readFileBytes(path_), expected);
+}
+
+TEST_F(TraceIoTest, Cbt1ToCbt2RoundTripCompatibility)
+{
+    const auto records = randomRecords(6000, 13);
+    VectorTraceSource source(records);
+    writeTraceFile(source, path_, TraceFormat::kCbt1);
+
+    const std::string path2 =
+        ::testing::TempDir() + "/confsim_io_test_up.cbt";
+    {
+        TraceFileReader legacy(path_);
+        EXPECT_EQ(writeTraceFile(legacy, path2), 6000u);
+    }
+    TraceFileReader upgraded(path2);
+    EXPECT_EQ(upgraded.format(), TraceFormat::kCbt2);
+    BranchRecord out;
+    for (const auto &expected : records) {
+        ASSERT_TRUE(upgraded.next(out));
+        ASSERT_EQ(out, expected);
+    }
+    EXPECT_FALSE(upgraded.next(out));
+    std::remove(path2.c_str());
+}
+
+TEST_F(TraceIoTest, OverlongVarintIsFatal)
+{
+    // CBT1 body of eleven continuation bytes: > 10-byte varint bound.
+    std::vector<char> bytes = {'C', 'B', 'T', '1',
+                               0x01, 0x00, 0x00, 0x00,
+                               0x00, 0x00, 0x00, 0x00};
+    for (int i = 0; i < 11; ++i)
+        bytes.push_back('\x80');
+    writeFileBytes(path_, bytes);
+
+    TraceFileReader reader(path_);
+    BranchRecord record;
+    try {
+        reader.next(record);
+        FAIL() << "overlong varint not detected";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("overlong varint"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST_F(TraceIoTest, TruncatedRecordErrorNamesRecordIndex)
+{
+    const auto records = randomRecords(100, 5);
+    VectorTraceSource source(records);
+    writeTraceFile(source, path_, TraceFormat::kCbt1);
+
+    auto bytes = readFileBytes(path_);
+    bytes.resize(bytes.size() / 2);
+    writeFileBytes(path_, bytes);
+
+    TraceFileReader reader(path_);
+    BranchRecord record;
+    try {
+        while (reader.next(record)) {
+        }
+        FAIL() << "truncation not detected";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("record"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find(path_),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ---------------------------------------------------------------------
+// TraceWriter finalization.
+
+TEST_F(TraceIoTest, WriterDestructorFinalizesHeaderCount)
+{
+    const auto records = randomRecords(10, 3);
+    {
+        TraceWriter writer(path_);
+        for (const auto &r : records)
+            writer.append(r);
+        // No finish(): simulate exception unwind past the writer.
+    }
+    TraceFileReader reader(path_);
+    EXPECT_EQ(reader.recordCount(), 10u);
+    BranchRecord out;
+    for (const auto &expected : records) {
+        ASSERT_TRUE(reader.next(out));
+        ASSERT_EQ(out, expected);
+    }
+    EXPECT_FALSE(reader.next(out));
+}
+
+TEST_F(TraceIoTest, WriterFinishTwiceThrows)
+{
+    TraceWriter writer(path_);
+    writer.finish();
+    EXPECT_THROW(writer.finish(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// CBT2 integrity checking and recovery.
+
+TEST_F(TraceIoTest, Cbt2DetectsSingleBitFlipAnywhere)
+{
+    const auto records = randomRecords(200, 17);
+    VectorTraceSource source(records);
+    writeTraceFile(source, path_);
+    const std::size_t size = readFileBytes(path_).size();
+
+    // Flip one bit at every byte offset in turn; a strict reader must
+    // throw either at open or while draining the stream.
+    for (std::size_t offset = 0; offset < size; ++offset) {
+        {
+            VectorTraceSource again(records);
+            writeTraceFile(again, path_);
+        }
+        flipBit(path_, offset, offset % 8);
+        EXPECT_THROW(
+            {
+                TraceFileReader reader(path_);
+                BranchRecord record;
+                while (reader.next(record)) {
+                }
+            },
+            std::runtime_error)
+            << "flip at byte " << offset << " not detected";
+    }
+}
+
+TEST_F(TraceIoTest, Cbt2SkipCorruptResyncsAtNextChunk)
+{
+    // Four chunks: 3 * 4096 full + 1 * 100 tail.
+    const std::size_t n = 3 * TraceWriter::kChunkRecords + 100;
+    const auto records = randomRecords(n, 23);
+    VectorTraceSource source(records);
+    writeTraceFile(source, path_);
+
+    const auto chunks = parseChunks(path_);
+    ASSERT_EQ(chunks.size(), 4u);
+
+    // Corrupt a payload byte in the middle of chunk 1.
+    flipBit(path_, chunks[1].offset + 12 + chunks[1].payloadSize / 2,
+            3);
+
+    TraceFileReader reader(path_, RecoveryMode::kSkipCorrupt);
+    std::vector<BranchRecord> survivors;
+    BranchRecord out;
+    while (reader.next(out))
+        survivors.push_back(out);
+
+    EXPECT_EQ(reader.droppedRecords(), TraceWriter::kChunkRecords);
+    ASSERT_EQ(survivors.size(), n - TraceWriter::kChunkRecords);
+
+    // Chunk 0 then chunks 2..3, bit-exact: the per-chunk delta chain
+    // means losing chunk 1 cannot poison its successors.
+    std::vector<BranchRecord> expected(
+        records.begin(),
+        records.begin() + TraceWriter::kChunkRecords);
+    expected.insert(expected.end(),
+                    records.begin() + 2 * TraceWriter::kChunkRecords,
+                    records.end());
+    EXPECT_EQ(survivors, expected);
+}
+
+TEST_F(TraceIoTest, Cbt2SkipCorruptHandlesTruncatedTail)
+{
+    const std::size_t n = 2 * TraceWriter::kChunkRecords;
+    const auto records = randomRecords(n, 29);
+    VectorTraceSource source(records);
+    writeTraceFile(source, path_);
+
+    const auto chunks = parseChunks(path_);
+    ASSERT_EQ(chunks.size(), 2u);
+    auto bytes = readFileBytes(path_);
+    bytes.resize(chunks[1].offset + 12 + chunks[1].payloadSize / 2);
+    writeFileBytes(path_, bytes);
+
+    TraceFileReader reader(path_, RecoveryMode::kSkipCorrupt);
+    std::size_t delivered = 0;
+    BranchRecord out;
+    while (reader.next(out))
+        ++delivered;
+    EXPECT_EQ(delivered, TraceWriter::kChunkRecords);
+    EXPECT_EQ(reader.droppedRecords(), TraceWriter::kChunkRecords);
+}
+
+TEST_F(TraceIoTest, Cbt2StrictRecordCountMismatchIsFatal)
+{
+    const auto records = randomRecords(100, 31);
+    VectorTraceSource source(records);
+    writeTraceFile(source, path_);
+
+    // Patch the header count (and recompute its CRC so only the
+    // cross-check against the chunk contents can catch the lie).
+    auto bytes = readFileBytes(path_);
+    std::uint64_t count = 0;
+    std::memcpy(&count, bytes.data() + 4, sizeof(count));
+    count += 7;
+    std::memcpy(bytes.data() + 4, &count, sizeof(count));
+    const std::uint32_t header_crc = crc32(&count, sizeof(count));
+    std::memcpy(bytes.data() + 12, &header_crc, sizeof(header_crc));
+    writeFileBytes(path_, bytes);
+
+    TraceFileReader reader(path_);
+    BranchRecord record;
+    EXPECT_THROW(
+        {
+            while (reader.next(record)) {
+            }
+        },
+        std::runtime_error);
+}
+
+TEST_F(TraceIoTest, Cbt2SkipCorruptSurvivesHeaderCountCorruption)
+{
+    const auto records = randomRecords(500, 37);
+    VectorTraceSource source(records);
+    writeTraceFile(source, path_);
+
+    // Flip a bit inside the header record count without fixing the
+    // CRC: strict throws at open, skip-corrupt falls back to the
+    // per-chunk counts and still delivers every record.
+    flipBit(path_, 6, 0);
+    EXPECT_THROW(TraceFileReader{path_}, std::runtime_error);
+
+    TraceFileReader reader(path_, RecoveryMode::kSkipCorrupt);
+    std::vector<BranchRecord> out_records;
+    BranchRecord out;
+    while (reader.next(out))
+        out_records.push_back(out);
+    EXPECT_EQ(out_records.size(), records.size());
+    EXPECT_EQ(out_records, records);
+    EXPECT_EQ(reader.droppedRecords(), 0u);
+}
+
+TEST_F(TraceIoTest, Cbt2TruncatedHeaderIsFatal)
+{
+    writeFileBytes(path_, {'C', 'B', 'T', '2', 0x05, 0x00});
+    EXPECT_THROW(TraceFileReader{path_}, std::runtime_error);
+}
+
+TEST_F(TraceIoTest, Cbt2ReaderResetReplaysAndClearsDropCount)
+{
+    const std::size_t n = TraceWriter::kChunkRecords + 50;
+    const auto records = randomRecords(n, 41);
+    VectorTraceSource source(records);
+    writeTraceFile(source, path_);
+
+    const auto chunks = parseChunks(path_);
+    ASSERT_EQ(chunks.size(), 2u);
+    flipBit(path_, chunks[0].offset + 12 + 5, 2);
+
+    TraceFileReader reader(path_, RecoveryMode::kSkipCorrupt);
+    BranchRecord out;
+    std::size_t first_pass = 0;
+    while (reader.next(out))
+        ++first_pass;
+    EXPECT_EQ(first_pass, 50u);
+    EXPECT_EQ(reader.droppedRecords(), TraceWriter::kChunkRecords);
+
+    reader.reset();
+    std::size_t second_pass = 0;
+    while (reader.next(out))
+        ++second_pass;
+    EXPECT_EQ(second_pass, first_pass);
+    EXPECT_EQ(reader.droppedRecords(), TraceWriter::kChunkRecords);
 }
 } // namespace
 } // namespace confsim

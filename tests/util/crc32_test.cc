@@ -1,0 +1,68 @@
+/** @file Unit tests for the CRC-32 helper. */
+
+#include "util/crc32.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(Crc32Test, KnownCheckValue)
+{
+    // The standard CRC-32 check vector.
+    const std::string data = "123456789";
+    EXPECT_EQ(crc32(data.data(), data.size()), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyInputIsZero)
+{
+    EXPECT_EQ(crc32(nullptr, 0), 0x00000000u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot)
+{
+    const std::string data = "the quick brown fox jumps over "
+                             "the lazy dog";
+    Crc32 crc;
+    crc.update(data.data(), 10);
+    crc.update(data.data() + 10, data.size() - 10);
+    EXPECT_EQ(crc.value(), crc32(data.data(), data.size()));
+}
+
+TEST(Crc32Test, ByteAtATimeMatchesOneShot)
+{
+    const std::string data = "confsim";
+    Crc32 crc;
+    for (const char c : data)
+        crc.update(static_cast<std::uint8_t>(c));
+    EXPECT_EQ(crc.value(), crc32(data.data(), data.size()));
+}
+
+TEST(Crc32Test, ResetRestoresEmptyState)
+{
+    Crc32 crc;
+    crc.update("junk", 4);
+    crc.reset();
+    EXPECT_EQ(crc.value(), crc32(nullptr, 0));
+}
+
+TEST(Crc32Test, SingleBitFlipChangesValue)
+{
+    std::string data(256, '\0');
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<char>(i);
+    const std::uint32_t clean = crc32(data.data(), data.size());
+    for (std::size_t byte = 0; byte < data.size(); byte += 37) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string flipped = data;
+            flipped[byte] ^= static_cast<char>(1 << bit);
+            EXPECT_NE(crc32(flipped.data(), flipped.size()), clean)
+                << "byte " << byte << " bit " << bit;
+        }
+    }
+}
+
+} // namespace
+} // namespace confsim
