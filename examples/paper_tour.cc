@@ -41,12 +41,19 @@ main(int argc, char **argv)
     cli.addFlag("full", "run the full nine-benchmark suite");
     cli.addOption("branches", "400000",
                   "conditional branches per benchmark");
+    cli.addOption("telemetry", "",
+                  "write JSONL telemetry (manifest + events) here");
+    cli.addFlag("progress", "stderr heartbeat while the suite runs");
     if (!cli.parse(argc, argv))
         return 0;
 
     ExperimentEnv env;
     env.fullSuite = cli.getFlag("full");
     env.branchesPerBenchmark = cli.getUnsigned("branches");
+    env.tool = "paper_tour";
+    env.telemetry.jsonlPath = cli.getString("telemetry");
+    env.telemetry.progress = cli.getFlag("progress");
+    env.telemetryContext = Telemetry::fromOptions(env.telemetry);
 
     std::printf("confsim paper tour — 'Assigning Confidence to "
                 "Conditional Branch Predictions' (MICRO-29, 1996)\n");

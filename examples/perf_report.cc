@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Performance-trajectory reporter: times the simulation stack —
+ * predictor-only driver loop, then each paper estimator riding the
+ * driver, then the full six-estimator configuration — and writes a
+ * dated, schema-versioned artifact:
+ *
+ *   BENCH_<YYYY-MM-DD>.json
+ *     { "schema": "confsim-bench-v1", "date": ..., build provenance,
+ *       "results": [ { "name", "branches", "wall_ms",
+ *                      "ns_per_branch" }, ... ] }
+ *
+ * CI runs this (with --fast) on every push and uploads the artifact,
+ * so ns/branch regressions leave a dated trail that can be diffed
+ * across commits. With --telemetry, the same runs also emit the JSONL
+ * event stream (driver_run + sampled estimator_update_cost events).
+ *
+ *   ./build/examples/perf_report --fast --out-dir reports
+ */
+
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/telemetry.h"
+#include "sim/experiment.h"
+#include "trace/trace_stats.h"
+#include "util/cli.h"
+#include "util/status.h"
+#include "workload/workload_generator.h"
+
+using namespace confsim;
+
+namespace {
+
+/** One timed configuration. */
+struct TimedCase
+{
+    std::string name;
+    std::uint64_t branches = 0;
+    double wallMs = 0.0;
+    double nsPerBranch = 0.0;
+};
+
+/** @return today's local date as YYYY-MM-DD. */
+std::string
+todayIso()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    localtime_r(&now, &tm);
+    char buf[16];
+    std::strftime(buf, sizeof buf, "%Y-%m-%d", &tm);
+    return buf;
+}
+
+/** Run one (predictor, estimator set) configuration and time it. */
+TimedCase
+timeCase(const std::string &name, const BenchmarkProfile &profile,
+         std::uint64_t branches,
+         const std::vector<EstimatorConfig> &configs,
+         Telemetry *telemetry)
+{
+    WorkloadGenerator workload(profile, branches);
+    const auto predictor = largeGshareFactory()();
+    std::vector<std::unique_ptr<ConfidenceEstimator>> estimators;
+    std::vector<ConfidenceEstimator *> raw;
+    for (const auto &config : configs) {
+        estimators.push_back(config.make());
+        raw.push_back(estimators.back().get());
+    }
+    DriverOptions options;
+    options.telemetry = telemetry;
+    options.telemetryLabel = name;
+    SimulationDriver driver(*predictor, raw, options);
+    const DriverResult result = driver.run(workload);
+
+    TimedCase timed;
+    timed.name = name;
+    timed.branches = result.branches;
+    timed.wallMs = result.wallMs;
+    timed.nsPerBranch =
+        result.branches == 0
+            ? 0.0
+            : result.wallMs * 1e6 / static_cast<double>(result.branches);
+    return timed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("perf-trajectory report (BENCH_<date>.json)");
+    cli.addOption("out-dir", ".",
+                  "directory for the BENCH_<date>.json artifact");
+    cli.addOption("branches", "2000000",
+                  "branches per timed configuration");
+    cli.addOption("benchmark", "groff", "IBS workload used for timing");
+    cli.addFlag("fast", "short traces (CI smoke run)");
+    cli.addOption("telemetry", "",
+                  "write JSONL telemetry (manifest + events) here");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    std::uint64_t branches = cli.getUnsigned("branches");
+    if (cli.getFlag("fast"))
+        branches = std::min<std::uint64_t>(branches, 200'000);
+    const BenchmarkProfile profile =
+        ibsProfile(cli.getString("benchmark"));
+
+    TelemetryOptions telemetry_options;
+    telemetry_options.jsonlPath = cli.getString("telemetry");
+    const auto telemetry = Telemetry::fromOptions(telemetry_options);
+
+    // Provenance shared by the JSON artifact and the telemetry stream.
+    RunManifest manifest = RunManifest::withBuildInfo();
+    manifest.tool = "perf_report";
+    manifest.suite = "single";
+    {
+        ManifestBenchmark bench;
+        bench.name = profile.name;
+        bench.seed = profile.seed;
+        bench.branches = branches;
+        WorkloadGenerator workload(profile, branches);
+        bench.traceChecksum = streamChecksum(workload, 4096);
+        manifest.benchmarks.push_back(bench);
+    }
+    manifest.predictor = largeGshareFactory()()->name();
+    if (telemetry)
+        telemetry->setManifest(manifest);
+
+    const std::vector<
+        std::pair<std::string, std::vector<EstimatorConfig>>>
+        cases = {
+            {"driver/predictor_only", {}},
+            {"estimator/pc_ideal",
+             {oneLevelIdealConfig(IndexScheme::Pc)}},
+            {"estimator/pcxorbhr_ideal",
+             {oneLevelIdealConfig(IndexScheme::PcXorBhr)}},
+            {"estimator/ones_count",
+             {oneLevelOnesCountConfig(IndexScheme::PcXorBhr)}},
+            {"estimator/saturating",
+             {oneLevelCounterConfig(IndexScheme::PcXorBhr,
+                                    CounterKind::Saturating)}},
+            {"estimator/resetting",
+             {oneLevelCounterConfig(IndexScheme::PcXorBhr,
+                                    CounterKind::Resetting)}},
+            {"estimator/two_level",
+             {twoLevelConfig(IndexScheme::PcXorBhr,
+                             SecondLevelIndex::Cir)}},
+        };
+
+    std::vector<TimedCase> results;
+    for (const auto &[name, configs] : cases) {
+        results.push_back(timeCase(name, profile, branches, configs,
+                                   telemetry.get()));
+        std::printf("%-26s %8.2f ns/branch  (%.1f ms)\n",
+                    results.back().name.c_str(),
+                    results.back().nsPerBranch,
+                    results.back().wallMs);
+    }
+
+    const std::string date = todayIso();
+    const std::string out_dir = cli.getString("out-dir");
+    std::filesystem::create_directories(out_dir);
+    const std::string path = out_dir + "/BENCH_" + date + ".json";
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open " + path + " for writing");
+    out << "{" << jsonString("schema") << ":"
+        << jsonString("confsim-bench-v1") << ","
+        << jsonString("date") << ":" << jsonString(date) << ","
+        << jsonString("build_type") << ":"
+        << jsonString(manifest.buildType) << ","
+        << jsonString("compiler") << ":"
+        << jsonString(manifest.compiler) << ","
+        << jsonString("cxx_standard") << ":"
+        << jsonString(manifest.cxxStandard) << ","
+        << jsonString("benchmark") << ":" << jsonString(profile.name)
+        << "," << jsonString("branches") << ":" << branches << ","
+        << jsonString("results") << ":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const TimedCase &timed = results[i];
+        if (i != 0)
+            out << ",";
+        out << "{" << jsonString("name") << ":"
+            << jsonString(timed.name) << "," << jsonString("branches")
+            << ":" << timed.branches << "," << jsonString("wall_ms")
+            << ":" << jsonNumber(timed.wallMs) << ","
+            << jsonString("ns_per_branch") << ":"
+            << jsonNumber(timed.nsPerBranch) << "}";
+    }
+    out << "]}\n";
+    out.close();
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}

@@ -20,8 +20,10 @@
 #include "confidence/binary_signal.h"
 #include "confidence/one_level.h"
 #include "metrics/confidence_curve.h"
+#include "obs/telemetry.h"
 #include "predictor/gshare.h"
 #include "sim/driver.h"
+#include "trace/trace_stats.h"
 #include "util/cli.h"
 #include "workload/workload_generator.h"
 
@@ -35,6 +37,9 @@ main(int argc, char **argv)
                   "IBS workload name (groff, gs, jpeg, mpeg, nroff, "
                   "real_gcc, sdet, verilog, video_play)");
     cli.addOption("branches", "1000000", "trace length");
+    cli.addOption("telemetry", "",
+                  "write JSONL telemetry (manifest + events) here");
+    cli.addFlag("progress", "announce the run on stderr");
     if (!cli.parse(argc, argv))
         return 0;
 
@@ -48,8 +53,34 @@ main(int argc, char **argv)
     OneLevelCounterConfidence confidence(
         IndexScheme::PcXorBhr, 1 << 16, CounterKind::Resetting, 16, 0);
 
+    // Optional telemetry: a single-benchmark manifest plus the
+    // driver's own events. Null (and therefore free) by default.
+    TelemetryOptions telemetry_options;
+    telemetry_options.jsonlPath = cli.getString("telemetry");
+    telemetry_options.progress = cli.getFlag("progress");
+    const auto telemetry = Telemetry::fromOptions(telemetry_options);
+
+    DriverOptions options;
+    if (telemetry) {
+        RunManifest manifest = RunManifest::withBuildInfo();
+        manifest.tool = "quickstart";
+        manifest.suite = "single";
+        ManifestBenchmark bench;
+        bench.name = profile.name;
+        bench.seed = profile.seed;
+        bench.branches = cli.getUnsigned("branches");
+        bench.traceChecksum = streamChecksum(workload, 4096);
+        manifest.benchmarks.push_back(bench);
+        manifest.predictor = predictor.name();
+        manifest.predictorStorageBits = predictor.storageBits();
+        manifest.estimators.push_back(confidence.name());
+        telemetry->setManifest(manifest);
+        options.telemetry = telemetry.get();
+        options.telemetryLabel = profile.name;
+    }
+
     // 3. Simulate.
-    SimulationDriver driver(predictor, {&confidence});
+    SimulationDriver driver(predictor, {&confidence}, options);
     const DriverResult result = driver.run(workload);
 
     std::printf("benchmark      : %s\n", profile.name.c_str());

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Schema validation for confsim telemetry artifacts.
+
+Two artifact kinds are validated (both documented in
+docs/observability.md):
+
+  events JSONL   (--jsonl, the default)
+      One JSON object per line. Line 1 must be the run manifest
+      (type "manifest", schema "confsim-telemetry-v1"); every later
+      line is an event with a string "type" and a numeric, monotonic
+      non-negative "t_ms". Known event types are checked for their
+      required fields.
+
+  BENCH report   (--bench)
+      A single JSON object with schema "confsim-bench-v1", an ISO
+      date, build provenance, and a non-empty "results" array of
+      {name, branches, wall_ms, ns_per_branch}.
+
+Usage:
+    validate_telemetry.py run.jsonl [more.jsonl ...]
+    validate_telemetry.py --bench BENCH_2026-08-06.json
+
+Exits 0 when every file validates, 1 on the first violation. Stdlib
+only — safe to run anywhere CI has a python3.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+MANIFEST_SCHEMA = "confsim-telemetry-v1"
+BENCH_SCHEMA = "confsim-bench-v1"
+
+# Required fields per event type; unknown event types are allowed
+# (the stream is extensible) but known ones must be complete.
+EVENT_REQUIRED_FIELDS = {
+    "suite_run_started": ["benchmarks", "error_mode", "max_attempts"],
+    "suite_run_finished": ["wall_ms", "degraded", "failed_benchmarks"],
+    "benchmark_started": ["benchmark"],
+    "benchmark_finished": [
+        "benchmark", "wall_ms", "attempts", "branches", "mispredicts",
+        "mispredict_rate",
+    ],
+    "benchmark_retry": ["benchmark", "attempt", "error"],
+    "watchdog_timeout": ["benchmark", "error"],
+    "driver_run": [
+        "benchmark", "branches", "measured_branches",
+        "warmup_branches", "mispredicts", "mispredict_rate",
+        "wall_ms", "ns_per_branch",
+    ],
+    "context_switch_flush": ["benchmark", "at_branch"],
+    "estimator_update_cost": [
+        "benchmark", "estimator", "samples", "mean_ns",
+    ],
+    "fault_injected": ["benchmark", "kind", "record"],
+    "corrupt_chunk_skipped": [
+        "benchmark", "what", "chunk", "dropped_records",
+    ],
+    "metrics_snapshot": [],
+}
+
+MANIFEST_REQUIRED = [
+    "schema", "tool", "suite", "benchmarks", "predictor",
+    "estimators", "build_type", "compiler", "cxx_standard",
+]
+
+
+class ValidationError(Exception):
+    pass
+
+
+def fail(path, where, message):
+    raise ValidationError(f"{path}:{where}: {message}")
+
+
+def validate_manifest(path, obj):
+    for key in MANIFEST_REQUIRED:
+        if key not in obj:
+            fail(path, 1, f"manifest is missing required key '{key}'")
+    if obj["schema"] != MANIFEST_SCHEMA:
+        fail(path, 1,
+             f"manifest schema is '{obj['schema']}', "
+             f"expected '{MANIFEST_SCHEMA}'")
+    if not isinstance(obj["benchmarks"], list):
+        fail(path, 1, "manifest 'benchmarks' must be a list")
+    for i, bench in enumerate(obj["benchmarks"]):
+        for key in ("name", "seed", "branches", "trace_checksum"):
+            if key not in bench:
+                fail(path, 1,
+                     f"manifest benchmark #{i} is missing '{key}'")
+
+
+def validate_event(path, lineno, obj):
+    if not isinstance(obj.get("type"), str):
+        fail(path, lineno, "event has no string 'type'")
+    t_ms = obj.get("t_ms")
+    if not isinstance(t_ms, (int, float)) or t_ms < 0:
+        fail(path, lineno, "event 't_ms' must be a non-negative number")
+    required = EVENT_REQUIRED_FIELDS.get(obj["type"])
+    if required is None:
+        return  # unknown event types are allowed
+    for key in required:
+        if key not in obj:
+            fail(path, lineno,
+                 f"event '{obj['type']}' is missing field '{key}'")
+
+
+def validate_jsonl(path):
+    with open(path, encoding="utf-8") as stream:
+        lines = stream.read().splitlines()
+    if not lines:
+        fail(path, 1, "file is empty (expected a manifest line)")
+    objs = []
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            objs.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            fail(path, lineno, f"invalid JSON: {err}")
+    if objs[0].get("type") != "manifest":
+        fail(path, 1,
+             f"first record must be the manifest, got "
+             f"'{objs[0].get('type')}'")
+    validate_manifest(path, objs[0])
+    last_t = 0.0
+    for lineno, obj in enumerate(objs[1:], start=2):
+        if obj.get("type") == "manifest":
+            fail(path, lineno, "duplicate manifest record")
+        validate_event(path, lineno, obj)
+        if obj["t_ms"] < last_t:
+            fail(path, lineno,
+                 f"t_ms went backwards ({obj['t_ms']} < {last_t})")
+        last_t = obj["t_ms"]
+    return len(objs) - 1
+
+
+def validate_bench(path):
+    with open(path, encoding="utf-8") as stream:
+        try:
+            obj = json.load(stream)
+        except json.JSONDecodeError as err:
+            fail(path, 1, f"invalid JSON: {err}")
+    if obj.get("schema") != BENCH_SCHEMA:
+        fail(path, 1,
+             f"schema is '{obj.get('schema')}', "
+             f"expected '{BENCH_SCHEMA}'")
+    if not re.fullmatch(r"\d{4}-\d{2}-\d{2}", obj.get("date", "")):
+        fail(path, 1, f"'date' is not YYYY-MM-DD: {obj.get('date')!r}")
+    for key in ("build_type", "compiler", "cxx_standard", "benchmark",
+                "branches"):
+        if key not in obj:
+            fail(path, 1, f"missing required key '{key}'")
+    results = obj.get("results")
+    if not isinstance(results, list) or not results:
+        fail(path, 1, "'results' must be a non-empty list")
+    for i, result in enumerate(results):
+        for key in ("name", "branches", "wall_ms", "ns_per_branch"):
+            if key not in result:
+                fail(path, 1, f"result #{i} is missing '{key}'")
+        if not isinstance(result["ns_per_branch"], (int, float)) or \
+                result["ns_per_branch"] < 0:
+            fail(path, 1,
+                 f"result #{i} 'ns_per_branch' must be >= 0")
+    return len(results)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate confsim telemetry artifacts.")
+    parser.add_argument("files", nargs="+",
+                        help="artifact files to validate")
+    parser.add_argument("--bench", action="store_true",
+                        help="files are BENCH_*.json perf reports "
+                             "(default: events JSONL)")
+    args = parser.parse_args()
+
+    try:
+        for path in args.files:
+            if args.bench:
+                n = validate_bench(path)
+                print(f"{path}: OK ({n} result(s))")
+            else:
+                n = validate_jsonl(path)
+                print(f"{path}: OK (manifest + {n} event(s))")
+    except ValidationError as err:
+        print(f"FAIL {err}", file=sys.stderr)
+        return 1
+    except OSError as err:
+        print(f"FAIL {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+#include "obs/export.h"
+
+#include "util/status.h"
+#include "util/string_utils.h"
+
+namespace confsim {
+
+namespace {
+
+/** Decimal places used by both writers: enough for exact 1e-9 reads. */
+constexpr int kDecimals = 9;
+
+/**
+ * Split CSV text into data lines, verifying the header. All cells in
+ * these schemas are numeric (never quoted/comma-bearing), so a plain
+ * split is an exact parser.
+ */
+std::vector<std::vector<std::string>>
+parseRows(const std::string &csv, const char *expected_header,
+          std::size_t expected_cells)
+{
+    std::vector<std::vector<std::string>> rows;
+    const std::vector<std::string> lines = splitString(csv, '\n');
+    if (lines.empty() || lines[0] != expected_header) {
+        fatal("CSV header mismatch: expected '" +
+              std::string(expected_header) + "'");
+    }
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        if (lines[i].empty())
+            continue; // trailing newline
+        std::vector<std::string> cells = splitString(lines[i], ',');
+        if (cells.size() != expected_cells) {
+            fatal("CSV line " + std::to_string(i + 1) + ": expected " +
+                  std::to_string(expected_cells) + " cells, got " +
+                  std::to_string(cells.size()));
+        }
+        rows.push_back(std::move(cells));
+    }
+    return rows;
+}
+
+} // namespace
+
+std::string
+counterTableToCsv(const std::vector<CounterTableRow> &rows)
+{
+    std::string out = kCounterTableCsvHeader;
+    out += '\n';
+    for (const auto &row : rows) {
+        out += std::to_string(row.counterValue);
+        out += ',' + formatFixed(row.mispredictRate, kDecimals);
+        out += ',' + formatFixed(row.refPercent, kDecimals);
+        out += ',' + formatFixed(row.mispredictPercent, kDecimals);
+        out += ',' + formatFixed(row.cumRefPercent, kDecimals);
+        out += ',' + formatFixed(row.cumMispredictPercent, kDecimals);
+        out += '\n';
+    }
+    return out;
+}
+
+std::vector<CounterTableRow>
+counterTableFromCsv(const std::string &csv)
+{
+    std::vector<CounterTableRow> rows;
+    for (const auto &cells :
+         parseRows(csv, kCounterTableCsvHeader, 6)) {
+        CounterTableRow row;
+        row.counterValue = parseUnsigned(cells[0]);
+        row.mispredictRate = parseDouble(cells[1]);
+        row.refPercent = parseDouble(cells[2]);
+        row.mispredictPercent = parseDouble(cells[3]);
+        row.cumRefPercent = parseDouble(cells[4]);
+        row.cumMispredictPercent = parseDouble(cells[5]);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::string
+confidenceCurveToCsv(const std::vector<CurvePoint> &points)
+{
+    std::string out = kCurveCsvHeader;
+    out += '\n';
+    for (const auto &point : points) {
+        out += std::to_string(point.bucket);
+        out += ',' + formatFixed(point.bucketRate, kDecimals);
+        out += ',' + formatFixed(point.refFraction, kDecimals);
+        out += ',' + formatFixed(point.mispredFraction, kDecimals);
+        out += '\n';
+    }
+    return out;
+}
+
+std::vector<CurvePoint>
+confidenceCurveFromCsv(const std::string &csv)
+{
+    std::vector<CurvePoint> points;
+    for (const auto &cells : parseRows(csv, kCurveCsvHeader, 4)) {
+        CurvePoint point;
+        point.bucket = parseUnsigned(cells[0]);
+        point.bucketRate = parseDouble(cells[1]);
+        point.refFraction = parseDouble(cells[2]);
+        point.mispredFraction = parseDouble(cells[3]);
+        points.push_back(point);
+    }
+    return points;
+}
+
+} // namespace confsim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * CSV serialization for the metrics-layer report types — Table-1
+ * counter tables (metrics/table_report.h) and confidence-curve points
+ * (metrics/confidence_curve.h) — with exact-schema parsers for the
+ * inverse direction. The writers emit fixed-precision, fully
+ * deterministic output, so files can be golden-compared in tests and
+ * diffed across runs; the parsers make the files loadable back into
+ * the same structs for downstream tooling (perf-trajectory reports,
+ * notebook analysis) without a JSON dependency.
+ */
+
+#ifndef CONFSIM_OBS_EXPORT_H
+#define CONFSIM_OBS_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "metrics/confidence_curve.h"
+#include "metrics/table_report.h"
+
+namespace confsim {
+
+/** Header emitted by counterTableToCsv(). */
+inline constexpr const char *kCounterTableCsvHeader =
+    "counter_value,mispredict_rate,ref_pct,mispred_pct,cum_ref_pct,"
+    "cum_mispred_pct";
+
+/** Header emitted by confidenceCurveToCsv(). */
+inline constexpr const char *kCurveCsvHeader =
+    "bucket,bucket_rate,ref_fraction,mispred_fraction";
+
+/** Render Table-1 rows as CSV (header + one line per row). */
+std::string
+counterTableToCsv(const std::vector<CounterTableRow> &rows);
+
+/**
+ * Parse counterTableToCsv() output back into rows. Calls fatal() on a
+ * wrong header or malformed line.
+ */
+std::vector<CounterTableRow>
+counterTableFromCsv(const std::string &csv);
+
+/** Render curve points as CSV (header + one line per point). */
+std::string
+confidenceCurveToCsv(const std::vector<CurvePoint> &points);
+
+/**
+ * Parse confidenceCurveToCsv() output back into points. Calls fatal()
+ * on a wrong header or malformed line.
+ */
+std::vector<CurvePoint>
+confidenceCurveFromCsv(const std::string &csv);
+
+} // namespace confsim
+
+#endif // CONFSIM_OBS_EXPORT_H

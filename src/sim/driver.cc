@@ -1,7 +1,10 @@
 #include "sim/driver.h"
 
+#include <algorithm>
 #include <chrono>
+#include <limits>
 
+#include "obs/telemetry.h"
 #include "predictor/history_register.h"
 #include "sim/run_policy.h"
 #include "util/shift_register.h"
@@ -47,6 +50,21 @@ SimulationDriver::run(TraceSource &source)
                  : Clock::time_point{};
     std::uint64_t records = 0;
 
+    // Telemetry: sampled estimator-cost accumulators stay local to
+    // this run (no locks in the loop); everything is merged/emitted
+    // once at the end. With telemetry off, the loop only ever tests
+    // `sample_countdown`, pre-set so the timing path is dead.
+    Telemetry *const telemetry = options_.telemetry;
+    const std::uint64_t sample_stride =
+        std::max<std::uint64_t>(1, options_.telemetrySampleStride);
+    std::uint64_t sample_countdown =
+        telemetry != nullptr
+            ? 1
+            : std::numeric_limits<std::uint64_t>::max();
+    if (telemetry != nullptr)
+        result.estimatorUpdateNs.resize(estimators_.size());
+    const Clock::time_point run_start = Clock::now();
+
     while (source.next(record)) {
         if (watchdog && (++records % kWatchdogStride) == 0 &&
             Clock::now() > deadline) {
@@ -75,11 +93,28 @@ SimulationDriver::run(TraceSource &source)
 
         // Confidence estimators: bucket is read with the pre-update
         // context; training sees the prediction's correctness.
-        for (std::size_t i = 0; i < estimators_.size(); ++i) {
-            const std::uint64_t bucket = estimators_[i]->bucketOf(ctx);
-            if (recording)
-                result.estimatorStats[i].record(bucket, !correct);
-            estimators_[i]->update(ctx, correct, record.taken);
+        if (--sample_countdown == 0) {
+            sample_countdown = sample_stride;
+            for (std::size_t i = 0; i < estimators_.size(); ++i) {
+                const Clock::time_point t0 = Clock::now();
+                const std::uint64_t bucket =
+                    estimators_[i]->bucketOf(ctx);
+                if (recording)
+                    result.estimatorStats[i].record(bucket, !correct);
+                estimators_[i]->update(ctx, correct, record.taken);
+                result.estimatorUpdateNs[i].add(
+                    std::chrono::duration<double, std::nano>(
+                        Clock::now() - t0)
+                        .count());
+            }
+        } else {
+            for (std::size_t i = 0; i < estimators_.size(); ++i) {
+                const std::uint64_t bucket =
+                    estimators_[i]->bucketOf(ctx);
+                if (recording)
+                    result.estimatorStats[i].record(bucket, !correct);
+                estimators_[i]->update(ctx, correct, record.taken);
+            }
         }
 
         if (options_.profileStatic && recording) {
@@ -106,6 +141,64 @@ SimulationDriver::run(TraceSource &source)
             }
             bhr.reset();
             gcir.clear();
+            ++result.contextSwitches;
+            if (telemetry != nullptr) {
+                telemetry->emit(TelemetryEvent(
+                    events::kContextSwitchFlush,
+                    {field("benchmark", options_.telemetryLabel),
+                     field("at_branch", simulated),
+                     field("flush_predictor",
+                           options_.flushPredictorOnSwitch),
+                     field("flush_estimators",
+                           options_.flushEstimatorsOnSwitch)}));
+            }
+        }
+    }
+
+    result.wallMs = std::chrono::duration<double, std::milli>(
+                        Clock::now() - run_start)
+                        .count();
+
+    if (telemetry != nullptr) {
+        const std::uint64_t warmup_consumed =
+            std::min(simulated, options_.warmupBranches);
+        const double ns_per_branch =
+            simulated == 0 ? 0.0
+                           : result.wallMs * 1e6 /
+                                 static_cast<double>(simulated);
+        telemetry->emit(TelemetryEvent(
+            events::kDriverRun,
+            {field("benchmark", options_.telemetryLabel),
+             field("branches", simulated),
+             field("measured_branches", result.branches),
+             field("warmup_branches", warmup_consumed),
+             field("mispredicts", result.mispredicts),
+             field("mispredict_rate", result.mispredictRate()),
+             field("context_switches", result.contextSwitches),
+             field("wall_ms", result.wallMs),
+             field("ns_per_branch", ns_per_branch)}));
+
+        MetricsRegistry &registry = telemetry->registry();
+        registry.increment("driver.runs");
+        registry.increment("driver.branches", simulated);
+        registry.increment("driver.mispredicts", result.mispredicts);
+        registry.observe("driver.wall_ms", result.wallMs);
+        registry.observe("driver.ns_per_branch", ns_per_branch);
+        for (std::size_t i = 0; i < estimators_.size(); ++i) {
+            const RunningStats &cost = result.estimatorUpdateNs[i];
+            if (cost.count() == 0)
+                continue;
+            telemetry->emit(TelemetryEvent(
+                events::kEstimatorUpdateCost,
+                {field("benchmark", options_.telemetryLabel),
+                 field("estimator", estimators_[i]->name()),
+                 field("samples", cost.count()),
+                 field("mean_ns", cost.mean()),
+                 field("min_ns", cost.min()),
+                 field("max_ns", cost.max())}));
+            registry.mergeStats("driver.estimator_update_ns." +
+                                    estimators_[i]->name(),
+                                cost);
         }
     }
     return result;

@@ -15,6 +15,7 @@
 #define CONFSIM_SIM_DRIVER_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "confidence/confidence_estimator.h"
@@ -22,8 +23,11 @@
 #include "metrics/bucket_stats.h"
 #include "predictor/branch_predictor.h"
 #include "trace/trace_source.h"
+#include "util/running_stats.h"
 
 namespace confsim {
+
+class Telemetry;
 
 /** Driver knobs. */
 struct DriverOptions
@@ -65,6 +69,26 @@ struct DriverOptions
      * fires on a run that finishes in time, so results are unaffected.
      */
     std::uint64_t wallClockLimitMs = 0;
+
+    /**
+     * Observability hook (obs/telemetry.h); null = telemetry off, in
+     * which case the only cost the feature adds to the record loop is
+     * a branch on this null pointer. When set, the driver emits a
+     * driver_run summary event, a context_switch_flush event per
+     * modelled switch, per-estimator sampled update-cost events, and
+     * merges its locally accumulated stats into the registry.
+     */
+    Telemetry *telemetry = nullptr;
+
+    /** Label for this run's events (benchmark name in suite runs). */
+    std::string telemetryLabel;
+
+    /**
+     * Estimator update cost is timed on one branch in every this many
+     * (amortizes the two clock reads; 0 is treated as every branch).
+     * Only consulted when telemetry is attached.
+     */
+    std::uint64_t telemetrySampleStride = 8192;
 };
 
 /** Everything one run produces. */
@@ -78,6 +102,20 @@ struct DriverResult
 
     /** Per-static-branch profile (when enabled). */
     StaticBranchProfile staticProfile;
+
+    /** Wall time of the run() call in milliseconds. */
+    double wallMs = 0.0;
+
+    /** Context switches modelled (DriverOptions switch interval). */
+    std::uint64_t contextSwitches = 0;
+
+    /**
+     * Sampled per-estimator bucketOf+update cost in nanoseconds (same
+     * order as estimatorStats). Empty unless telemetry was attached —
+     * accumulated locally, lock-free, and merged by the caller
+     * (cf. RunningStats::merge).
+     */
+    std::vector<RunningStats> estimatorUpdateNs;
 
     /** @return overall misprediction rate. */
     double

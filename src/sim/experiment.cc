@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "trace/trace_stats.h"
 #include "util/ascii_plot.h"
 #include "util/csv.h"
 #include "util/string_utils.h"
@@ -18,6 +19,13 @@ ExperimentEnv::fromCli(int argc, const char *const *argv,
                   "conditional branches per benchmark");
     cli.addOption("csv-dir", ".", "directory for CSV output");
     cli.addFlag("fast", "reduced suite and short traces (smoke run)");
+    cli.addOption("telemetry", "",
+                  "write JSONL telemetry (manifest + events) here");
+    cli.addOption("telemetry-csv", "",
+                  "write long-format CSV telemetry here");
+    cli.addFlag("progress", "stderr heartbeat while the suite runs");
+    cli.addOption("heartbeat", "1",
+                  "heartbeat period, in finished benchmarks");
     if (!cli.parse(argc, argv))
         return false;
     env.branchesPerBenchmark = cli.getUnsigned("branches");
@@ -27,6 +35,13 @@ ExperimentEnv::fromCli(int argc, const char *const *argv,
         env.branchesPerBenchmark =
             std::min<std::uint64_t>(env.branchesPerBenchmark, 200'000);
     }
+    env.tool = description;
+    env.telemetry.jsonlPath = cli.getString("telemetry");
+    env.telemetry.csvPath = cli.getString("telemetry-csv");
+    env.telemetry.progress = cli.getFlag("progress");
+    env.telemetry.heartbeatEveryBenchmarks =
+        static_cast<unsigned>(cli.getUnsigned("heartbeat"));
+    env.telemetryContext = Telemetry::fromOptions(env.telemetry);
     return true;
 }
 
@@ -112,6 +127,46 @@ twoLevelConfig(IndexScheme first_scheme, SecondLevelIndex second_index,
     return config;
 }
 
+namespace {
+
+/**
+ * Build the reproducibility manifest for one suite experiment: suite
+ * identity with per-benchmark stream checksums, predictor/estimator
+ * names (from throwaway instances), driver knobs, build provenance.
+ */
+RunManifest
+buildManifest(const ExperimentEnv &env, const BenchmarkSuite &suite,
+              const PredictorFactory &make_predictor,
+              const std::vector<EstimatorConfig> &estimators,
+              const DriverOptions &options)
+{
+    RunManifest manifest = RunManifest::withBuildInfo();
+    manifest.tool = env.tool;
+    manifest.suite = env.fullSuite ? "ibs-full" : "ibs-small";
+    const auto predictor = make_predictor();
+    manifest.predictor = predictor->name();
+    manifest.predictorStorageBits = predictor->storageBits();
+    for (const auto &config : estimators)
+        manifest.estimators.push_back(config.make()->name());
+    manifest.bhrBits = options.bhrBits;
+    manifest.gcirBits = options.gcirBits;
+    manifest.warmupBranches = options.warmupBranches;
+    manifest.contextSwitchInterval = options.contextSwitchInterval;
+    constexpr std::uint64_t kChecksumRecords = 4096;
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        ManifestBenchmark bench;
+        bench.name = suite.profile(i).name;
+        bench.seed = suite.profile(i).seed;
+        bench.branches = suite.branchesPerBenchmark();
+        const auto source = suite.makeGenerator(i);
+        bench.traceChecksum = streamChecksum(*source, kChecksumRecords);
+        manifest.benchmarks.push_back(std::move(bench));
+    }
+    return manifest;
+}
+
+} // namespace
+
 SuiteRunResult
 runSuiteExperiment(const ExperimentEnv &env,
                    const PredictorFactory &make_predictor,
@@ -122,6 +177,14 @@ runSuiteExperiment(const ExperimentEnv &env,
     options.bhrBits = paper::kLargeHistoryBits;
     options.gcirBits = paper::kCirBits;
     options.profileStatic = true;
+
+    Telemetry *const telemetry = env.telemetryContext.get();
+    if (telemetry != nullptr) {
+        telemetry->setManifest(buildManifest(
+            env, runner.suite(), make_predictor, estimators, options));
+        options.telemetry = telemetry;
+        options.telemetrySampleStride = env.telemetry.sampleStride;
+    }
 
     EstimatorSetFactory make_estimators = [&estimators] {
         std::vector<std::unique_ptr<ConfidenceEstimator>> out;

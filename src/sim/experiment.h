@@ -22,6 +22,7 @@
 #include "confidence/one_level.h"
 #include "confidence/two_level.h"
 #include "metrics/confidence_curve.h"
+#include "obs/telemetry.h"
 #include "predictor/gshare.h"
 #include "sim/suite_runner.h"
 #include "util/cli.h"
@@ -48,8 +49,22 @@ struct ExperimentEnv
     std::string csvDir = ".";
     bool fullSuite = true;
 
+    /** Producing binary's description (the manifest "tool" field). */
+    std::string tool;
+
+    /** Telemetry knobs (--telemetry/--telemetry-csv/--progress). */
+    TelemetryOptions telemetry;
+
     /**
-     * Parse standard bench options (--branches, --csv-dir, --fast).
+     * Shared telemetry context, or null when no sink is enabled.
+     * Created by fromCli(); shared so copies of the env feed one
+     * stream. runSuiteExperiment() wires it into the driver.
+     */
+    std::shared_ptr<Telemetry> telemetryContext;
+
+    /**
+     * Parse standard bench options (--branches, --csv-dir, --fast,
+     * --telemetry, --telemetry-csv, --progress, --heartbeat).
      * @return false if --help was printed (caller should exit 0).
      */
     static bool fromCli(int argc, const char *const *argv,

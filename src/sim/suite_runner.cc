@@ -1,10 +1,14 @@
 #include "sim/suite_runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <future>
 #include <thread>
 
+#include "obs/telemetry.h"
+#include "trace/fault_injection.h"
+#include "trace/trace_io.h"
 #include "util/status.h"
 
 namespace confsim {
@@ -14,6 +18,56 @@ SuiteRunner::SuiteRunner(BenchmarkSuite suite)
 {}
 
 namespace {
+
+/** Milliseconds elapsed since @p start. */
+double
+elapsedMsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * Forward fault-injection and corrupt-chunk-skip notifications from a
+ * benchmark's trace source into the telemetry event stream. Only the
+ * outermost decorator is inspected; call sites that build deeper
+ * stacks can install hooks on inner layers themselves.
+ */
+void
+wireSourceTelemetry(TraceSource &source, Telemetry *telemetry,
+                    const std::string &benchmark)
+{
+    if (telemetry == nullptr)
+        return;
+    if (auto *faults =
+            dynamic_cast<FaultInjectingTraceSource *>(&source)) {
+        faults->setEventHook([telemetry, benchmark](
+                                 const char *kind,
+                                 std::uint64_t delivered) {
+            telemetry->emit(TelemetryEvent(
+                events::kFaultInjected,
+                {field("benchmark", benchmark), field("kind", kind),
+                 field("record", delivered)}));
+            telemetry->registry().increment(std::string("faults.") +
+                                            kind);
+        });
+    }
+    if (auto *reader = dynamic_cast<TraceFileReader *>(&source)) {
+        reader->setCorruptionHook(
+            [telemetry, benchmark](const std::string &what,
+                                   std::uint64_t chunk,
+                                   std::uint64_t dropped) {
+                telemetry->emit(TelemetryEvent(
+                    events::kCorruptChunkSkipped,
+                    {field("benchmark", benchmark),
+                     field("what", what), field("chunk", chunk),
+                     field("dropped_records", dropped)}));
+                telemetry->registry().increment(
+                    "trace.corrupt_chunks_skipped");
+            });
+    }
+}
 
 /** Simulate one benchmark of a suite run (one attempt). */
 BenchmarkRunResult
@@ -47,9 +101,14 @@ runOneBenchmark(const BenchmarkSuite &suite, std::size_t bench,
             fatal("source wrapper returned null for benchmark '" +
                   bench_result.name + "'");
     }
-    SimulationDriver driver(*predictor, raw, options);
+    wireSourceTelemetry(*source, options.telemetry,
+                        bench_result.name);
+    DriverOptions run_options = options;
+    run_options.telemetryLabel = bench_result.name;
+    SimulationDriver driver(*predictor, raw, run_options);
     DriverResult run_result = driver.run(*source);
 
+    bench_result.wallMs = run_result.wallMs;
     bench_result.branches = run_result.branches;
     bench_result.mispredicts = run_result.mispredicts;
     bench_result.mispredictRate = run_result.mispredictRate();
@@ -82,6 +141,14 @@ runGuarded(const BenchmarkSuite &suite, std::size_t bench,
            const SourceWrapper &wrap_source,
            const DriverOptions &options, const RunPolicy &policy)
 {
+    Telemetry *const telemetry = options.telemetry;
+    const std::string bench_name = suite.profile(bench).name;
+    const auto start = std::chrono::steady_clock::now();
+    if (telemetry != nullptr) {
+        telemetry->emit(
+            TelemetryEvent(events::kBenchmarkStarted,
+                           {field("benchmark", bench_name)}));
+    }
     const unsigned max_attempts = std::max(1u, policy.maxAttempts);
     BenchmarkRunResult failed;
     for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -90,25 +157,46 @@ runGuarded(const BenchmarkSuite &suite, std::size_t bench,
                 runOneBenchmark(suite, bench, make_predictor,
                                 make_estimators, wrap_source, options);
             ok.attempts = attempt;
+            ok.wallMs = elapsedMsSince(start);
             return ok;
         } catch (const WatchdogTimeout &e) {
             failed = BenchmarkRunResult{};
-            failed.name = suite.profile(bench).name;
+            failed.name = bench_name;
             failed.error = e.what();
             failed.attempts = attempt;
+            failed.wallMs = elapsedMsSince(start);
+            if (telemetry != nullptr) {
+                telemetry->emit(TelemetryEvent(
+                    events::kWatchdogTimeout,
+                    {field("benchmark", bench_name),
+                     field("attempt",
+                           static_cast<std::uint64_t>(attempt)),
+                     field("error", failed.error)}));
+                telemetry->registry().increment(
+                    "suite.watchdog_timeouts");
+            }
             return failed;
         } catch (const std::exception &e) {
             failed = BenchmarkRunResult{};
-            failed.name = suite.profile(bench).name;
+            failed.name = bench_name;
             failed.error = e.what();
             failed.attempts = attempt;
         } catch (...) {
             failed = BenchmarkRunResult{};
-            failed.name = suite.profile(bench).name;
+            failed.name = bench_name;
             failed.error = "unknown exception";
             failed.attempts = attempt;
         }
+        if (telemetry != nullptr && attempt < max_attempts) {
+            telemetry->emit(TelemetryEvent(
+                events::kBenchmarkRetry,
+                {field("benchmark", bench_name),
+                 field("attempt", static_cast<std::uint64_t>(attempt)),
+                 field("error", failed.error)}));
+            telemetry->registry().increment("suite.retries");
+        }
     }
+    failed.wallMs = elapsedMsSince(start);
     return failed;
 }
 
@@ -131,6 +219,22 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
     const bool sequential =
         std::getenv("CONFSIM_SEQUENTIAL") != nullptr ||
         std::thread::hardware_concurrency() <= 1;
+
+    Telemetry *const telemetry = options.telemetry;
+    const auto suite_start = std::chrono::steady_clock::now();
+    if (telemetry != nullptr) {
+        telemetry->emit(TelemetryEvent(
+            events::kSuiteRunStarted,
+            {field("benchmarks",
+                   static_cast<std::uint64_t>(suite_.size())),
+             field("error_mode",
+                   fail_fast ? "fail_fast" : "continue_on_error"),
+             field("max_attempts",
+                   static_cast<std::uint64_t>(
+                       std::max(1u, policy.maxAttempts))),
+             field("watchdog_ms", options.wallClockLimitMs),
+             field("parallel", !sequential)}));
+    }
 
     std::vector<BenchmarkRunResult> bench_results(suite_.size());
     if (sequential) {
@@ -157,9 +261,44 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
             bench_results[bench] = futures[bench].get();
     }
 
+    if (telemetry != nullptr) {
+        MetricsRegistry &registry = telemetry->registry();
+        for (const auto &bench_result : bench_results) {
+            if (bench_result.name.empty())
+                continue; // never ran (sequential fail-fast break)
+            telemetry->emit(TelemetryEvent(
+                events::kBenchmarkFinished,
+                {field("benchmark", bench_result.name),
+                 field("wall_ms", bench_result.wallMs),
+                 field("attempts", static_cast<std::uint64_t>(
+                                       bench_result.attempts)),
+                 field("branches", bench_result.branches),
+                 field("mispredicts", bench_result.mispredicts),
+                 field("mispredict_rate", bench_result.mispredictRate),
+                 field("error", bench_result.error)}));
+            registry.increment("suite.benchmarks");
+            registry.observe("suite.bench_wall_ms",
+                             bench_result.wallMs);
+            if (bench_result.failed())
+                registry.increment("suite.failures");
+        }
+    }
+
     if (fail_fast) {
         for (const auto &bench_result : bench_results) {
             if (bench_result.failed()) {
+                if (telemetry != nullptr) {
+                    std::uint64_t failures = 0;
+                    for (const auto &other : bench_results)
+                        failures += other.failed() ? 1 : 0;
+                    telemetry->emit(TelemetryEvent(
+                        events::kSuiteRunFinished,
+                        {field("wall_ms", elapsedMsSince(suite_start)),
+                         field("degraded", true),
+                         field("failed_benchmarks", failures),
+                         field("survivors", std::uint64_t{0}),
+                         field("error", bench_result.error)}));
+                }
                 fatal("benchmark '" + bench_result.name +
                       "' failed: " + bench_result.error);
             }
@@ -216,6 +355,22 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
 
         result.compositeMispredictRate =
             rate_sum / static_cast<double>(survivors);
+    }
+
+    result.wallMs = elapsedMsSince(suite_start);
+    if (telemetry != nullptr) {
+        telemetry->emit(TelemetryEvent(
+            events::kSuiteRunFinished,
+            {field("wall_ms", result.wallMs),
+             field("composite_mispredict_rate",
+                   result.compositeMispredictRate),
+             field("degraded", result.degraded),
+             field("failed_benchmarks",
+                   static_cast<std::uint64_t>(
+                       result.failedBenchmarks())),
+             field("survivors",
+                   static_cast<std::uint64_t>(survivors))}));
+        telemetry->registry().observe("suite.wall_ms", result.wallMs);
     }
     return result;
 }

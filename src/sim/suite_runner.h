@@ -48,8 +48,18 @@ struct BenchmarkRunResult
     /** Why this benchmark failed; empty on success. */
     std::string error;
 
-    /** Attempts consumed (> 1 only when RunPolicy retries fired). */
-    unsigned attempts = 0;
+    /**
+     * Attempts consumed: 1 when the benchmark succeeded (or failed
+     * terminally) on the first try, > 1 only when RunPolicy retries
+     * fired. Every result a suite run returns has attempts >= 1.
+     */
+    unsigned attempts = 1;
+
+    /**
+     * Wall-clock time spent on this benchmark, across all attempts
+     * (trace generation + simulation, not just the driver loop).
+     */
+    double wallMs = 0.0;
 
     /** @return true iff this benchmark produced no usable result. */
     bool failed() const { return !error.empty(); }
@@ -79,6 +89,9 @@ struct SuiteRunResult
      * surviving subset of the suite (RunPolicy continue-on-error).
      */
     bool degraded = false;
+
+    /** Wall-clock time of the whole suite run. */
+    double wallMs = 0.0;
 
     /** @return how many benchmarks failed. */
     std::size_t

@@ -23,10 +23,14 @@ FaultInjectingTraceSource::next(BranchRecord &record)
 {
     if (spec_.truncateAfter != 0 &&
         delivered_ >= spec_.truncateAfter) {
+        if (!stats_.truncated && hook_)
+            hook_("truncate", delivered_);
         stats_.truncated = true;
         return false;
     }
     if (spec_.failAfter != 0 && delivered_ >= spec_.failAfter) {
+        if (hook_)
+            hook_("hard_fail", delivered_);
         fatal("injected fault: trace stream corrupt after " +
               std::to_string(delivered_) + " records");
     }
@@ -40,7 +44,7 @@ FaultInjectingTraceSource::next(BranchRecord &record)
         }
         if (spec_.dropProb > 0.0 &&
             rng_.nextBernoulli(spec_.dropProb)) {
-            ++stats_.drops;
+            injected(stats_.drops, "drop");
             continue;
         }
         if (spec_.duplicateProb > 0.0 &&
@@ -49,22 +53,22 @@ FaultInjectingTraceSource::next(BranchRecord &record)
             // duplicate can itself be corrupted (or dropped) again.
             pending_ = r;
             havePending_ = true;
-            ++stats_.duplicates;
+            injected(stats_.duplicates, "duplicate");
         }
         if (spec_.pcBitFlipProb > 0.0 &&
             rng_.nextBernoulli(spec_.pcBitFlipProb)) {
             r.pc ^= std::uint64_t{1} << rng_.nextBelow(64);
-            ++stats_.pcFlips;
+            injected(stats_.pcFlips, "pc_bit_flip");
         }
         if (spec_.targetBitFlipProb > 0.0 &&
             rng_.nextBernoulli(spec_.targetBitFlipProb)) {
             r.target ^= std::uint64_t{1} << rng_.nextBelow(64);
-            ++stats_.targetFlips;
+            injected(stats_.targetFlips, "target_bit_flip");
         }
         if (spec_.takenFlipProb > 0.0 &&
             rng_.nextBernoulli(spec_.takenFlipProb)) {
             r.taken = !r.taken;
-            ++stats_.takenFlips;
+            injected(stats_.takenFlips, "taken_flip");
         }
         record = r;
         ++delivered_;

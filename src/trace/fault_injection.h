@@ -20,6 +20,7 @@
 #define CONFSIM_TRACE_FAULT_INJECTION_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "trace/trace_source.h"
@@ -68,6 +69,17 @@ struct FaultStats
     }
 };
 
+/**
+ * Observer invoked once per injected fault, with the fault kind
+ * ("pc_bit_flip", "target_bit_flip", "taken_flip", "drop",
+ * "duplicate", "truncate", "hard_fail") and the count of records
+ * delivered so far (i.e. the stream position the fault hit). Wired by
+ * SuiteRunner to the telemetry event stream so every injected fault
+ * is observable in the run's JSONL.
+ */
+using FaultEventHook =
+    std::function<void(const char *kind, std::uint64_t delivered)>;
+
 /** TraceSource decorator that injects FaultSpec faults. */
 class FaultInjectingTraceSource : public TraceSource
 {
@@ -90,12 +102,28 @@ class FaultInjectingTraceSource : public TraceSource
     /** @return records delivered since construction or last reset(). */
     std::uint64_t delivered() const { return delivered_; }
 
+    /** Install a per-fault observer (empty = none). */
+    void setEventHook(FaultEventHook hook)
+    {
+        hook_ = std::move(hook);
+    }
+
   private:
+    /** Count a fault and notify the hook, if any. */
+    void
+    injected(std::uint64_t &stat, const char *kind)
+    {
+        ++stat;
+        if (hook_)
+            hook_(kind, delivered_);
+    }
+
     std::unique_ptr<TraceSource> owned_;
     TraceSource *inner_;
     FaultSpec spec_;
     Rng rng_;
     FaultStats stats_;
+    FaultEventHook hook_;
     std::uint64_t delivered_ = 0;
     bool havePending_ = false;
     BranchRecord pending_;

@@ -198,6 +198,13 @@ TraceFileReader::corrupt(const std::string &what)
           ", record " + std::to_string(produced_) + ") in " + path_);
 }
 
+void
+TraceFileReader::skipped(const std::string &what, std::uint64_t dropped)
+{
+    if (corruptionHook_)
+        corruptionHook_(what, chunkIndex_, dropped);
+}
+
 bool
 TraceFileReader::next(BranchRecord &record)
 {
@@ -274,6 +281,7 @@ TraceFileReader::loadNextChunk()
                     corrupt(got < 4 ? "truncated chunk header"
                                     : "bad chunk sync marker");
                 }
+                skipped("bad chunk sync marker", 0);
                 in_.clear();
                 if (!resyncToMarker())
                     return false;
@@ -300,6 +308,7 @@ TraceFileReader::loadNextChunk()
                 payload_size) {
             if (mode_ == RecoveryMode::kStrict)
                 corrupt("implausible chunk header");
+            skipped("implausible chunk header", 0);
             in_.clear();
             if (!resyncToMarker())
                 return false;
@@ -322,6 +331,7 @@ TraceFileReader::loadNextChunk()
         if (crc32(chunk_.data(), chunk_.size()) != footer_crc) {
             if (mode_ == RecoveryMode::kStrict)
                 corrupt("chunk CRC mismatch");
+            skipped("chunk CRC mismatch", chunk_count);
             dropped_ += chunk_count;
             continue; // positioned at the next chunk boundary
         }
@@ -362,6 +372,7 @@ TraceFileReader::decodeFromChunk(BranchRecord &record)
     const auto fail = [this](const char *what) -> bool {
         if (mode_ == RecoveryMode::kStrict)
             corrupt(what);
+        skipped(what, chunkRecordsLeft_);
         dropped_ += chunkRecordsLeft_; // best effort; the header
                                        // count reconciles the total
         chunkRecordsLeft_ = 0;

@@ -39,6 +39,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -133,8 +134,28 @@ class TraceFileReader : public TraceSource
      */
     std::uint64_t droppedRecords() const;
 
+    /**
+     * Observer invoked each time kSkipCorrupt recovery skips over a
+     * damaged region: @p what names the violation (same wording as
+     * the kStrict error), @p chunk_index is the 1-based chunk the
+     * reader had reached, and @p dropped_records is how many records
+     * that skip is known to have cost (0 when the chunk's own count
+     * was unreadable — the header count reconciles the total). Wired
+     * to telemetry so corrupt-chunk events appear in run JSONL.
+     */
+    using CorruptionHook = std::function<void(
+        const std::string &what, std::uint64_t chunk_index,
+        std::uint64_t dropped_records)>;
+
+    /** Install a corruption observer (empty = none). */
+    void setCorruptionHook(CorruptionHook hook)
+    {
+        corruptionHook_ = std::move(hook);
+    }
+
   private:
     void readHeader();
+    void skipped(const std::string &what, std::uint64_t dropped);
     bool nextCbt1(BranchRecord &record);
     bool nextCbt2(BranchRecord &record);
     bool loadNextChunk();
@@ -160,6 +181,7 @@ class TraceFileReader : public TraceSource
     std::uint64_t chunkRecordsLeft_ = 0;
     std::uint64_t chunkIndex_ = 0;
     std::uint64_t dropped_ = 0; //!< from chunks with a known count
+    CorruptionHook corruptionHook_;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "trace/trace_stats.h"
 
+#include "util/crc32.h"
+
 namespace confsim {
 
 TraceStats
@@ -29,6 +31,31 @@ collectTraceStats(TraceSource &source)
     }
     stats.staticBranchCount = stats.perPcCounts.size();
     return stats;
+}
+
+std::uint32_t
+streamChecksum(TraceSource &source, std::uint64_t max_records)
+{
+    source.reset();
+    Crc32 crc;
+    BranchRecord record;
+    std::uint64_t seen = 0;
+    while (source.next(record)) {
+        std::uint8_t bytes[18];
+        for (int i = 0; i < 8; ++i)
+            bytes[i] = static_cast<std::uint8_t>(record.pc >> (8 * i));
+        for (int i = 0; i < 8; ++i) {
+            bytes[8 + i] =
+                static_cast<std::uint8_t>(record.target >> (8 * i));
+        }
+        bytes[16] = record.taken ? 1 : 0;
+        bytes[17] = static_cast<std::uint8_t>(record.type);
+        crc.update(bytes, sizeof(bytes));
+        if (max_records != 0 && ++seen >= max_records)
+            break;
+    }
+    source.reset();
+    return crc.value();
 }
 
 } // namespace confsim

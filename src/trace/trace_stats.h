@@ -43,6 +43,19 @@ struct TraceStats
 /** Consume @p source (from its current position) and compute statistics. */
 TraceStats collectTraceStats(TraceSource &source);
 
+/**
+ * CRC-32 fingerprint of the first @p max_records records of @p source
+ * (0 = hash the whole stream). Each record's pc, target, direction,
+ * and type are absorbed in a fixed little-endian byte order, so the
+ * checksum identifies trace *content* independently of the container
+ * format (generator, CBT file, text file). Rewinds @p source both
+ * before hashing and after, leaving it ready for simulation. Telemetry
+ * run manifests use this to pin down exactly which branch stream a run
+ * consumed.
+ */
+std::uint32_t streamChecksum(TraceSource &source,
+                             std::uint64_t max_records = 0);
+
 } // namespace confsim
 
 #endif // CONFSIM_TRACE_TRACE_STATS_H

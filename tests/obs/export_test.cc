@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Golden-string and round-trip tests for the CSV exporters of the
+ * metrics report types (Table-1 counter tables, confidence-curve
+ * points). The writers promise deterministic fixed-precision output,
+ * so exact string comparison is valid.
+ */
+
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/bucket_stats.h"
+
+namespace confsim {
+namespace {
+
+std::vector<CounterTableRow>
+sampleTable()
+{
+    // A 3-value counter distribution with easy percentages.
+    BucketStats stats(3);
+    for (int i = 0; i < 50; ++i)
+        stats.record(0, i < 25); // 50 refs, 25 mispredicts
+    for (int i = 0; i < 30; ++i)
+        stats.record(1, i < 3); // 30 refs, 3 mispredicts
+    for (int i = 0; i < 20; ++i)
+        stats.record(2, false); // 20 refs, clean
+    return buildCounterTable(stats);
+}
+
+TEST(ExportTest, CounterTableGoldenCsv)
+{
+    const std::string csv = counterTableToCsv(sampleTable());
+    const std::string expected =
+        "counter_value,mispredict_rate,ref_pct,mispred_pct,"
+        "cum_ref_pct,cum_mispred_pct\n"
+        "0,0.500000000,50.000000000,89.285714286,50.000000000,"
+        "89.285714286\n"
+        "1,0.100000000,30.000000000,10.714285714,80.000000000,"
+        "100.000000000\n"
+        "2,0.000000000,20.000000000,0.000000000,100.000000000,"
+        "100.000000000\n";
+    EXPECT_EQ(csv, expected);
+}
+
+TEST(ExportTest, CounterTableRoundTrips)
+{
+    const auto rows = sampleTable();
+    const auto parsed = counterTableFromCsv(counterTableToCsv(rows));
+    ASSERT_EQ(parsed.size(), rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(parsed[i].counterValue, rows[i].counterValue);
+        EXPECT_NEAR(parsed[i].mispredictRate, rows[i].mispredictRate,
+                    1e-9);
+        EXPECT_NEAR(parsed[i].refPercent, rows[i].refPercent, 1e-8);
+        EXPECT_NEAR(parsed[i].mispredictPercent,
+                    rows[i].mispredictPercent, 1e-8);
+        EXPECT_NEAR(parsed[i].cumRefPercent, rows[i].cumRefPercent,
+                    1e-8);
+        EXPECT_NEAR(parsed[i].cumMispredictPercent,
+                    rows[i].cumMispredictPercent, 1e-8);
+    }
+}
+
+TEST(ExportTest, ConfidenceCurveGoldenCsv)
+{
+    const std::vector<CurvePoint> points = {
+        {0, 0.5, 0.25, 0.75},
+        {1, 0.125, 1.0, 1.0},
+    };
+    const std::string csv = confidenceCurveToCsv(points);
+    const std::string expected =
+        "bucket,bucket_rate,ref_fraction,mispred_fraction\n"
+        "0,0.500000000,0.250000000,0.750000000\n"
+        "1,0.125000000,1.000000000,1.000000000\n";
+    EXPECT_EQ(csv, expected);
+}
+
+TEST(ExportTest, ConfidenceCurveRoundTripsThroughRealStats)
+{
+    BucketStats stats(4);
+    for (int i = 0; i < 100; ++i)
+        stats.record(static_cast<std::uint64_t>(i % 4), i % 5 == 0);
+    const auto curve = ConfidenceCurve::fromBucketStats(stats);
+    const auto &points = curve.points();
+    const auto parsed =
+        confidenceCurveFromCsv(confidenceCurveToCsv(points));
+    ASSERT_EQ(parsed.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(parsed[i].bucket, points[i].bucket);
+        EXPECT_NEAR(parsed[i].bucketRate, points[i].bucketRate, 1e-9);
+        EXPECT_NEAR(parsed[i].refFraction, points[i].refFraction,
+                    1e-9);
+        EXPECT_NEAR(parsed[i].mispredFraction,
+                    points[i].mispredFraction, 1e-9);
+    }
+}
+
+TEST(ExportTest, EmptyInputsProduceHeaderOnly)
+{
+    EXPECT_EQ(counterTableToCsv({}),
+              std::string(kCounterTableCsvHeader) + "\n");
+    EXPECT_EQ(confidenceCurveToCsv({}),
+              std::string(kCurveCsvHeader) + "\n");
+    EXPECT_TRUE(counterTableFromCsv(counterTableToCsv({})).empty());
+    EXPECT_TRUE(
+        confidenceCurveFromCsv(confidenceCurveToCsv({})).empty());
+}
+
+TEST(ExportTest, WrongHeaderIsFatal)
+{
+    EXPECT_THROW(counterTableFromCsv("bad,header\n1,2\n"),
+                 std::runtime_error);
+    EXPECT_THROW(confidenceCurveFromCsv("nope\n"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace confsim

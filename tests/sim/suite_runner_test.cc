@@ -64,6 +64,17 @@ TEST(SuiteRunnerTest, RunsEveryBenchmark)
     }
 }
 
+TEST(SuiteRunnerTest, AttemptsIsOneOnFirstTrySuccess)
+{
+    const auto result = runSmall(5000);
+    for (const auto &bench : result.perBenchmark) {
+        EXPECT_TRUE(bench.error.empty());
+        EXPECT_EQ(bench.attempts, 1u) << bench.name;
+        EXPECT_GT(bench.wallMs, 0.0) << bench.name;
+    }
+    EXPECT_GT(result.wallMs, 0.0);
+}
+
 TEST(SuiteRunnerTest, EstimatorNamesReported)
 {
     const auto result = runSmall(5000);

@@ -50,6 +50,30 @@ TEST(RunningStatsTest, MergeMatchesSequential)
     EXPECT_DOUBLE_EQ(left.max(), whole.max());
 }
 
+TEST(RunningStatsTest, ShardedMergeMatchesSingleStream)
+{
+    // The parallel-reduction pattern the telemetry layer relies on:
+    // many per-worker accumulators folded pairwise in arbitrary order
+    // must equal one sequential stream.
+    constexpr int kShards = 7;
+    Rng rng(99);
+    RunningStats whole;
+    RunningStats shards[kShards];
+    for (int i = 0; i < 35000; ++i) {
+        const double v = rng.nextDouble() * 1000.0 - 250.0;
+        whole.add(v);
+        shards[i % kShards].add(v);
+    }
+    RunningStats merged;
+    for (int s = kShards - 1; s >= 0; --s)
+        merged.merge(shards[s]);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(merged.variance(), whole.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+}
+
 TEST(RunningStatsTest, MergeWithEmptySides)
 {
     RunningStats a;
