@@ -47,8 +47,12 @@ Telemetry::setManifest(const RunManifest &manifest)
 void
 Telemetry::emit(TelemetryEvent event)
 {
-    event.tMs = elapsedMs();
+    // Stamp under the lock so sink order matches timestamp order:
+    // stamping first would let a concurrent emit overtake us and
+    // write a later t_ms ahead of ours, breaking the monotonic-t_ms
+    // guarantee the schema validator enforces.
     std::lock_guard<std::mutex> lock(mutex_);
+    event.tMs = elapsedMs();
     for (auto &sink : sinks_)
         sink->writeEvent(event);
 }
@@ -90,8 +94,8 @@ Telemetry::finish()
                 field(name + ".max", stats.max()));
         }
     }
-    snapshot_event.tMs = elapsedMs();
     std::lock_guard<std::mutex> lock(mutex_);
+    snapshot_event.tMs = elapsedMs();
     for (auto &sink : sinks_) {
         sink->writeEvent(snapshot_event);
         sink->flush();

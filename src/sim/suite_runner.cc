@@ -135,11 +135,11 @@ runOneBenchmark(const BenchmarkSuite &suite, std::size_t bench,
  * again). Never throws, so a failure cannot wedge the worker pool.
  */
 BenchmarkRunResult
-runGuarded(const BenchmarkSuite &suite, std::size_t bench,
-           const PredictorFactory &make_predictor,
-           const EstimatorSetFactory &make_estimators,
-           const SourceWrapper &wrap_source,
-           const DriverOptions &options, const RunPolicy &policy)
+runGuardedImpl(const BenchmarkSuite &suite, std::size_t bench,
+               const PredictorFactory &make_predictor,
+               const EstimatorSetFactory &make_estimators,
+               const SourceWrapper &wrap_source,
+               const DriverOptions &options, const RunPolicy &policy)
 {
     Telemetry *const telemetry = options.telemetry;
     const std::string bench_name = suite.profile(bench).name;
@@ -198,6 +198,43 @@ runGuarded(const BenchmarkSuite &suite, std::size_t bench,
     }
     failed.wallMs = elapsedMsSince(start);
     return failed;
+}
+
+/**
+ * runGuardedImpl plus completion telemetry. The benchmark_finished
+ * event is emitted here, as each benchmark completes, so progress
+ * sinks (stderr heartbeat) see results live during parallel runs
+ * rather than a burst after the join barrier. Telemetry::emit and
+ * MetricsRegistry are thread-safe, so workers emit directly.
+ */
+BenchmarkRunResult
+runGuarded(const BenchmarkSuite &suite, std::size_t bench,
+           const PredictorFactory &make_predictor,
+           const EstimatorSetFactory &make_estimators,
+           const SourceWrapper &wrap_source,
+           const DriverOptions &options, const RunPolicy &policy)
+{
+    BenchmarkRunResult bench_result =
+        runGuardedImpl(suite, bench, make_predictor, make_estimators,
+                       wrap_source, options, policy);
+    if (Telemetry *const telemetry = options.telemetry) {
+        telemetry->emit(TelemetryEvent(
+            events::kBenchmarkFinished,
+            {field("benchmark", bench_result.name),
+             field("wall_ms", bench_result.wallMs),
+             field("attempts",
+                   static_cast<std::uint64_t>(bench_result.attempts)),
+             field("branches", bench_result.branches),
+             field("mispredicts", bench_result.mispredicts),
+             field("mispredict_rate", bench_result.mispredictRate),
+             field("error", bench_result.error)}));
+        MetricsRegistry &registry = telemetry->registry();
+        registry.increment("suite.benchmarks");
+        registry.observe("suite.bench_wall_ms", bench_result.wallMs);
+        if (bench_result.failed())
+            registry.increment("suite.failures");
+    }
+    return bench_result;
 }
 
 } // namespace
@@ -261,29 +298,6 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
             bench_results[bench] = futures[bench].get();
     }
 
-    if (telemetry != nullptr) {
-        MetricsRegistry &registry = telemetry->registry();
-        for (const auto &bench_result : bench_results) {
-            if (bench_result.name.empty())
-                continue; // never ran (sequential fail-fast break)
-            telemetry->emit(TelemetryEvent(
-                events::kBenchmarkFinished,
-                {field("benchmark", bench_result.name),
-                 field("wall_ms", bench_result.wallMs),
-                 field("attempts", static_cast<std::uint64_t>(
-                                       bench_result.attempts)),
-                 field("branches", bench_result.branches),
-                 field("mispredicts", bench_result.mispredicts),
-                 field("mispredict_rate", bench_result.mispredictRate),
-                 field("error", bench_result.error)}));
-            registry.increment("suite.benchmarks");
-            registry.observe("suite.bench_wall_ms",
-                             bench_result.wallMs);
-            if (bench_result.failed())
-                registry.increment("suite.failures");
-        }
-    }
-
     if (fail_fast) {
         for (const auto &bench_result : bench_results) {
             if (bench_result.failed()) {
@@ -298,6 +312,11 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
                          field("failed_benchmarks", failures),
                          field("survivors", std::uint64_t{0}),
                          field("error", bench_result.error)}));
+                    // Flush now: if the caller doesn't catch the
+                    // fatal() exception, std::terminate skips
+                    // unwinding and buffered sink tails (including
+                    // the event above) would be lost.
+                    telemetry->finish();
                 }
                 fatal("benchmark '" + bench_result.name +
                       "' failed: " + bench_result.error);

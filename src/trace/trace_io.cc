@@ -277,11 +277,11 @@ TraceFileReader::loadNextChunk()
             if (got == 0)
                 return false; // clean EOF at a chunk boundary
             if (got < 4 || marker != kChunkMarker) {
-                if (mode_ == RecoveryMode::kStrict) {
-                    corrupt(got < 4 ? "truncated chunk header"
-                                    : "bad chunk sync marker");
-                }
-                skipped("bad chunk sync marker", 0);
+                const char *what = got < 4 ? "truncated chunk header"
+                                           : "bad chunk sync marker";
+                if (mode_ == RecoveryMode::kStrict)
+                    corrupt(what);
+                skipped(what, 0);
                 in_.clear();
                 if (!resyncToMarker())
                     return false;
