@@ -31,6 +31,7 @@
 #include "obs/telemetry.h"
 #include "sim/experiment.h"
 #include "trace/trace_stats.h"
+#include "util/atomic_file.h"
 #include "util/cli.h"
 #include "util/status.h"
 #include "workload/workload_generator.h"
@@ -171,9 +172,11 @@ main(int argc, char **argv)
     const std::string out_dir = cli.getString("out-dir");
     std::filesystem::create_directories(out_dir);
     const std::string path = out_dir + "/BENCH_" + date + ".json";
-    std::ofstream out(path);
-    if (!out)
-        fatal("cannot open " + path + " for writing");
+    // Crash-safe: build the report in a .tmp sibling and rename it
+    // into place, so an interrupted run cannot leave a truncated JSON
+    // artifact for the trajectory tooling to choke on.
+    AtomicFileWriter writer(path);
+    std::ostream &out = writer.stream();
     out << "{" << jsonString("schema") << ":"
         << jsonString("confsim-bench-v1") << ","
         << jsonString("date") << ":" << jsonString(date) << ","
@@ -198,7 +201,7 @@ main(int argc, char **argv)
             << jsonNumber(timed.nsPerBranch) << "}";
     }
     out << "]}\n";
-    out.close();
+    writer.commit();
     std::printf("wrote %s\n", path.c_str());
     return 0;
 }

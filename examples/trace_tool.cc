@@ -6,16 +6,20 @@
  *   gen <out.cbt>    generate a synthetic benchmark trace file
  *   stats <in.cbt>   print summary statistics for a trace file
  *   text <in.cbt> <out.txt>   convert to the debug text format
+ *   checkpoint inspect <file...>  dump a checkpoint's registry
+ *   checkpoint verify <file...>   exit 1 if any file fails its CRCs
  *
  * Examples:
  *   ./build/examples/trace_tool gen /tmp/gcc.cbt --benchmark real_gcc
  *   ./build/examples/trace_tool stats /tmp/gcc.cbt
  *   ./build/examples/trace_tool text /tmp/gcc.cbt /tmp/gcc.txt
+ *   ./build/examples/trace_tool checkpoint inspect ckpt/groff.g000003.ckpt
  */
 
 #include <algorithm>
 #include <cstdio>
 
+#include "ckpt/checkpoint.h"
 #include "trace/trace_io.h"
 #include "trace/trace_stats.h"
 #include "util/cli.h"
@@ -119,6 +123,68 @@ cmdText(const CliParser &cli)
     return 0;
 }
 
+/**
+ * Inspect one checkpoint file: header, integrity verdicts, and the
+ * component registry with per-component CRC status.
+ * @return true iff the file is fully valid.
+ */
+bool
+inspectOne(const std::string &path, bool verbose)
+{
+    CheckpointInspection info;
+    try {
+        info = inspectCheckpoint(readFileBytes(path));
+    } catch (const std::exception &e) {
+        std::printf("%s: unreadable (%s)\n", path.c_str(), e.what());
+        return false;
+    }
+    if (!verbose) {
+        std::printf("%s: %s\n", path.c_str(),
+                    info.valid() ? "OK" : "CORRUPT");
+        return info.valid();
+    }
+    std::printf("%s:\n", path.c_str());
+    std::printf("  magic          : %s\n", info.magicOk ? "ok" : "BAD");
+    std::printf("  format version : %u%s\n", info.formatVersion,
+                info.versionOk ? "" : " (unsupported)");
+    std::printf("  structure      : %s\n",
+                info.structureOk ? "ok" : "BAD");
+    std::printf("  file CRC       : %s\n",
+                info.fileCrcOk ? "ok" : "MISMATCH");
+    std::printf("  label          : %s\n", info.label.c_str());
+    std::printf("  watermark      : %llu records\n",
+                static_cast<unsigned long long>(info.watermark));
+    std::printf("  branches       : %llu\n",
+                static_cast<unsigned long long>(info.branches));
+    std::printf("  components     : %zu\n", info.components.size());
+    for (const auto &component : info.components) {
+        std::printf("    %-40s v%-3u %8llu bytes  crc %s\n",
+                    component.name.c_str(), component.version,
+                    static_cast<unsigned long long>(component.size),
+                    component.crcOk ? "ok" : "MISMATCH");
+    }
+    std::printf("  verdict        : %s\n",
+                info.valid() ? "VALID" : "CORRUPT");
+    return info.valid();
+}
+
+int
+cmdCheckpoint(const CliParser &cli)
+{
+    const auto &args = cli.positional();
+    if (args.size() < 3 ||
+        (args[1] != "inspect" && args[1] != "verify")) {
+        std::printf(
+            "usage: trace_tool checkpoint <inspect|verify> <file...>\n");
+        return 1;
+    }
+    const bool verbose = args[1] == "inspect";
+    bool all_valid = true;
+    for (std::size_t i = 2; i < args.size(); ++i)
+        all_valid = inspectOne(args[i], verbose) && all_valid;
+    return all_valid ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -134,7 +200,8 @@ main(int argc, char **argv)
     if (!cli.parse(argc, argv))
         return 0;
     if (cli.positional().empty()) {
-        std::printf("usage: trace_tool <gen|stats|text> ...\n");
+        std::printf(
+            "usage: trace_tool <gen|stats|text|checkpoint> ...\n");
         return 1;
     }
     const std::string &command = cli.positional()[0];
@@ -144,6 +211,8 @@ main(int argc, char **argv)
         return cmdStats(cli);
     if (command == "text")
         return cmdText(cli);
+    if (command == "checkpoint")
+        return cmdCheckpoint(cli);
     std::printf("unknown command '%s'\n", command.c_str());
     return 1;
 }

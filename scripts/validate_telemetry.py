@@ -16,9 +16,16 @@ docs/observability.md):
       date, build provenance, and a non-empty "results" array of
       {name, branches, wall_ms, ns_per_branch}.
 
+A resumed run can additionally be checked against the run it resumed
+(--resume-of): both manifests must describe the same simulation input
+— identical benchmark (name, seed, trace_checksum) lists — otherwise
+the "resume" silently simulated a different trace and its bit-exactness
+guarantee is meaningless.
+
 Usage:
     validate_telemetry.py run.jsonl [more.jsonl ...]
     validate_telemetry.py --bench BENCH_2026-08-06.json
+    validate_telemetry.py --resume-of original.jsonl resumed.jsonl
 
 Exits 0 when every file validates, 1 on the first violation. Stdlib
 only — safe to run anywhere CI has a python3.
@@ -57,6 +64,11 @@ EVENT_REQUIRED_FIELDS = {
     "corrupt_chunk_skipped": [
         "benchmark", "what", "chunk", "dropped_records",
     ],
+    "checkpoint_written": [
+        "benchmark", "generation", "at_branch", "bytes",
+    ],
+    "checkpoint_restored": ["benchmark", "generation", "at_branch"],
+    "checkpoint_corrupt": ["benchmark", "generation", "error"],
     "metrics_snapshot": [],
 }
 
@@ -164,6 +176,47 @@ def validate_bench(path):
     return len(results)
 
 
+def read_manifest(path):
+    """Parse and schema-validate a JSONL file's manifest line."""
+    with open(path, encoding="utf-8") as stream:
+        first = stream.readline()
+    if not first.strip():
+        fail(path, 1, "file is empty (expected a manifest line)")
+    try:
+        obj = json.loads(first)
+    except json.JSONDecodeError as err:
+        fail(path, 1, f"invalid JSON: {err}")
+    if obj.get("type") != "manifest":
+        fail(path, 1,
+             f"first record must be the manifest, got "
+             f"'{obj.get('type')}'")
+    validate_manifest(path, obj)
+    return obj
+
+
+def validate_resume_pair(original_path, resumed_path):
+    """Check that a resumed run simulated the same input as the
+    original: identical (name, seed, trace_checksum) benchmark lists.
+    """
+    def trace_identity(manifest):
+        return [(b["name"], b["seed"], b["trace_checksum"])
+                for b in manifest["benchmarks"]]
+
+    original = trace_identity(read_manifest(original_path))
+    resumed = trace_identity(read_manifest(resumed_path))
+    if len(original) != len(resumed):
+        fail(resumed_path, 1,
+             f"resumed run has {len(resumed)} benchmark(s), the "
+             f"original had {len(original)}")
+    for i, (orig, res) in enumerate(zip(original, resumed)):
+        if orig != res:
+            fail(resumed_path, 1,
+                 f"benchmark #{i} diverged from the original run: "
+                 f"original (name, seed, trace_checksum) = {orig}, "
+                 f"resumed = {res}")
+    return len(resumed)
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Validate confsim telemetry artifacts.")
@@ -172,10 +225,23 @@ def main():
     parser.add_argument("--bench", action="store_true",
                         help="files are BENCH_*.json perf reports "
                              "(default: events JSONL)")
+    parser.add_argument("--resume-of", metavar="ORIGINAL",
+                        help="each file is the JSONL of a resumed run; "
+                             "assert its manifest simulates the same "
+                             "traces as ORIGINAL's manifest")
     args = parser.parse_args()
+    if args.bench and args.resume_of:
+        parser.error("--bench and --resume-of are mutually exclusive")
 
     try:
         for path in args.files:
+            if args.resume_of:
+                n = validate_jsonl(path)
+                benches = validate_resume_pair(args.resume_of, path)
+                print(f"{path}: OK ({n} event(s); trace identity "
+                      f"matches {args.resume_of} across {benches} "
+                      f"benchmark(s))")
+                continue
             if args.bench:
                 n = validate_bench(path)
                 print(f"{path}: OK ({n} result(s))")

@@ -1,0 +1,192 @@
+#include "ckpt/checkpoint.h"
+
+#include <fstream>
+
+#include "util/atomic_file.h"
+#include "util/crc32.h"
+#include "util/status.h"
+
+namespace confsim {
+
+void
+Checkpoint::add(std::string name, std::uint32_t version,
+                std::vector<std::uint8_t> payload)
+{
+    CheckpointComponent component;
+    component.name = std::move(name);
+    component.version = version;
+    component.payload = std::move(payload);
+    components_.push_back(std::move(component));
+}
+
+const CheckpointComponent *
+Checkpoint::find(const std::string &name) const
+{
+    for (const auto &component : components_)
+        if (component.name == name)
+            return &component;
+    return nullptr;
+}
+
+std::vector<std::uint8_t>
+Checkpoint::serialize() const
+{
+    StateWriter out;
+    out.putBytes(kCheckpointMagic, sizeof kCheckpointMagic);
+    out.putU32(kCheckpointFormatVersion);
+    out.putString(label);
+    out.putU64(watermark);
+    out.putU64(branches);
+    out.putU32(static_cast<std::uint32_t>(components_.size()));
+    for (const auto &component : components_) {
+        out.putString(component.name);
+        out.putU32(component.version);
+        out.putU64(component.payload.size());
+        out.putBytes(component.payload.data(), component.payload.size());
+        out.putU32(
+            crc32(component.payload.data(), component.payload.size()));
+    }
+    out.putU32(crc32(out.bytes().data(), out.bytes().size()));
+    return out.take();
+}
+
+namespace {
+
+/**
+ * Shared CSK1 walk: strict mode throws on the first violation, lenient
+ * mode records verdicts and keeps going as far as the structure allows.
+ * One walker keeps the two paths from drifting apart.
+ */
+CheckpointInspection
+walk(const std::vector<std::uint8_t> &bytes, Checkpoint *out,
+     bool strict)
+{
+    CheckpointInspection info;
+    const std::size_t kFooter = sizeof(std::uint32_t);
+    if (bytes.size() < sizeof kCheckpointMagic + kFooter) {
+        if (strict)
+            fatal("checkpoint file too small (" +
+                  std::to_string(bytes.size()) + " bytes)");
+        return info;
+    }
+
+    info.magicOk = std::memcmp(bytes.data(), kCheckpointMagic,
+                               sizeof kCheckpointMagic) == 0;
+    if (!info.magicOk) {
+        if (strict)
+            fatal("checkpoint magic mismatch (not a CSK1 file)");
+        return info;
+    }
+
+    // Whole-file CRC covers everything before the 4-byte footer.
+    const std::size_t body = bytes.size() - kFooter;
+    const std::uint32_t stored_crc =
+        static_cast<std::uint32_t>(bytes[body]) |
+        (static_cast<std::uint32_t>(bytes[body + 1]) << 8) |
+        (static_cast<std::uint32_t>(bytes[body + 2]) << 16) |
+        (static_cast<std::uint32_t>(bytes[body + 3]) << 24);
+    info.fileCrcOk = crc32(bytes.data(), body) == stored_crc;
+    if (strict && !info.fileCrcOk)
+        fatal("checkpoint file CRC mismatch");
+
+    try {
+        StateReader in(bytes.data(), body);
+        char magic[sizeof kCheckpointMagic];
+        for (char &c : magic)
+            c = static_cast<char>(in.getU8());
+        info.formatVersion = in.getU32();
+        info.versionOk = info.formatVersion == kCheckpointFormatVersion;
+        if (strict && !info.versionOk)
+            fatal("checkpoint format version " +
+                  std::to_string(info.formatVersion) +
+                  " is not supported (expected " +
+                  std::to_string(kCheckpointFormatVersion) + ")");
+        info.label = in.getString();
+        info.watermark = in.getU64();
+        info.branches = in.getU64();
+        const std::uint32_t count = in.getU32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+            CheckpointComponentInfo entry;
+            entry.name = in.getString();
+            entry.version = in.getU32();
+            entry.size = in.getU64();
+            if (entry.size > in.remaining())
+                fatal("checkpoint component '" + entry.name +
+                      "' overruns the file");
+            std::vector<std::uint8_t> payload(
+                static_cast<std::size_t>(entry.size));
+            for (auto &byte : payload)
+                byte = in.getU8();
+            const std::uint32_t payload_crc = in.getU32();
+            entry.crcOk =
+                crc32(payload.data(), payload.size()) == payload_crc;
+            if (strict && !entry.crcOk)
+                fatal("checkpoint component '" + entry.name +
+                      "' CRC mismatch");
+            info.components.push_back(entry);
+            if (out != nullptr)
+                out->add(entry.name, entry.version, std::move(payload));
+        }
+        if (!in.atEnd())
+            fatal("checkpoint has trailing garbage");
+        info.structureOk = true;
+        if (out != nullptr) {
+            out->label = info.label;
+            out->watermark = info.watermark;
+            out->branches = info.branches;
+        }
+    } catch (const std::exception &) {
+        info.structureOk = false;
+        if (strict)
+            throw;
+    }
+    return info;
+}
+
+} // namespace
+
+Checkpoint
+Checkpoint::deserialize(const std::vector<std::uint8_t> &bytes)
+{
+    Checkpoint ckpt;
+    walk(bytes, &ckpt, /*strict=*/true);
+    return ckpt;
+}
+
+CheckpointInspection
+inspectCheckpoint(const std::vector<std::uint8_t> &bytes)
+{
+    return walk(bytes, nullptr, /*strict=*/false);
+}
+
+void
+writeCheckpointFile(const std::string &path, const Checkpoint &ckpt)
+{
+    const std::vector<std::uint8_t> bytes = ckpt.serialize();
+    AtomicFileWriter writer(path);
+    writer.stream().write(reinterpret_cast<const char *>(bytes.data()),
+                          static_cast<std::streamsize>(bytes.size()));
+    writer.commit();
+}
+
+std::vector<std::uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open " + path + " for reading");
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    if (in.bad())
+        fatal("read error on " + path);
+    return bytes;
+}
+
+Checkpoint
+readCheckpointFile(const std::string &path)
+{
+    return Checkpoint::deserialize(readFileBytes(path));
+}
+
+} // namespace confsim

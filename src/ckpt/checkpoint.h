@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The CSK1 checkpoint container: a versioned, CRC32-checksummed binary
+ * registry of named component payloads.
+ *
+ * File layout (all integers little-endian, written via StateWriter):
+ *
+ *   magic            "CSK1" (4 bytes)
+ *   format_version   u32 (currently 1)
+ *   label            u32 length + bytes (benchmark / run label)
+ *   watermark        u64 trace records consumed when taken
+ *   branches         u64 conditional branches simulated when taken
+ *   component_count  u32
+ *   per component:
+ *     name           u32 length + bytes  (e.g. "predictor:gshare/8Kx2")
+ *     state_version  u32                 (Serializable::stateVersion())
+ *     payload_size   u64
+ *     payload        bytes
+ *     payload_crc    u32 CRC-32 of the payload bytes
+ *   file_crc         u32 CRC-32 of every preceding byte
+ *
+ * The whole-file CRC catches truncation and random corruption in one
+ * check; the per-component CRCs let `trace_tool checkpoint inspect`
+ * report exactly which component is damaged. Component names embed the
+ * component's own name() string, so resuming under a different
+ * predictor/estimator configuration fails by lookup rather than by
+ * silently pouring state into the wrong table.
+ */
+
+#ifndef CONFSIM_CKPT_CHECKPOINT_H
+#define CONFSIM_CKPT_CHECKPOINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ckpt/serializable.h"
+#include "ckpt/state_io.h"
+
+namespace confsim {
+
+inline constexpr char kCheckpointMagic[4] = {'C', 'S', 'K', '1'};
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+/** One named entry in the checkpoint's component registry. */
+struct CheckpointComponent
+{
+    std::string name;
+    std::uint32_t version = 1;
+    std::vector<std::uint8_t> payload;
+};
+
+/**
+ * In-memory checkpoint: metadata plus the component registry.
+ * serialize()/deserialize() convert to/from the CSK1 byte format;
+ * deserialize() throws (via fatal()) on any integrity violation.
+ */
+class Checkpoint
+{
+  public:
+    std::string label;           //!< benchmark / run label
+    std::uint64_t watermark = 0; //!< trace records consumed
+    std::uint64_t branches = 0;  //!< conditional branches simulated
+
+    /** Register a raw payload under @p name. */
+    void add(std::string name, std::uint32_t version,
+             std::vector<std::uint8_t> payload);
+
+    /**
+     * Serialize @p object (anything with saveState(StateWriter&)) and
+     * register the payload under @p name with @p version.
+     */
+    template <typename T>
+    void
+    addState(const std::string &name, std::uint32_t version,
+             const T &object)
+    {
+        StateWriter writer;
+        object.saveState(writer);
+        add(name, version, writer.take());
+    }
+
+    /** addState() using the component's own stateVersion(). */
+    void
+    addComponent(const std::string &name, const Serializable &component)
+    {
+        addState(name, component.stateVersion(), component);
+    }
+
+    /** @return the registry entry named @p name, or nullptr. */
+    const CheckpointComponent *find(const std::string &name) const;
+
+    /**
+     * Restore @p object from the component named @p name, requiring the
+     * stored version to equal @p version. fatal() if the component is
+     * absent, the version mismatches, or the payload is not fully
+     * consumed (all three mean "this checkpoint does not describe this
+     * configuration").
+     */
+    template <typename T>
+    void
+    restoreState(const std::string &name, std::uint32_t version,
+                 T &object) const
+    {
+        const CheckpointComponent *entry = find(name);
+        if (entry == nullptr)
+            fatal("checkpoint has no component '" + name + "'");
+        if (entry->version != version)
+            fatal("checkpoint component '" + name + "' is version " +
+                  std::to_string(entry->version) + ", expected " +
+                  std::to_string(version));
+        StateReader reader(entry->payload);
+        object.loadState(reader);
+        if (!reader.atEnd())
+            fatal("checkpoint component '" + name + "' has " +
+                  std::to_string(reader.remaining()) +
+                  " unconsumed byte(s)");
+    }
+
+    /** restoreState() using the component's own stateVersion(). */
+    void
+    restoreComponent(const std::string &name,
+                     Serializable &component) const
+    {
+        restoreState(name, component.stateVersion(), component);
+    }
+
+    const std::vector<CheckpointComponent> &components() const
+    {
+        return components_;
+    }
+
+    /** Encode to the CSK1 byte format (with CRCs). */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Decode and fully verify a CSK1 byte buffer; throws on damage. */
+    static Checkpoint deserialize(const std::vector<std::uint8_t> &bytes);
+
+  private:
+    std::vector<CheckpointComponent> components_;
+};
+
+/** Per-component verdict from a tolerant (non-throwing) parse. */
+struct CheckpointComponentInfo
+{
+    std::string name;
+    std::uint32_t version = 0;
+    std::uint64_t size = 0;
+    bool crcOk = false;
+};
+
+/**
+ * Tolerant parse result for `trace_tool checkpoint inspect`: records
+ * what is wrong instead of throwing, and lists every component it
+ * could still walk.
+ */
+struct CheckpointInspection
+{
+    bool magicOk = false;
+    bool versionOk = false;
+    bool fileCrcOk = false;
+    bool structureOk = false; //!< registry walk stayed in bounds
+    std::uint32_t formatVersion = 0;
+    std::string label;
+    std::uint64_t watermark = 0;
+    std::uint64_t branches = 0;
+    std::vector<CheckpointComponentInfo> components;
+
+    bool valid() const
+    {
+        if (!(magicOk && versionOk && fileCrcOk && structureOk))
+            return false;
+        for (const auto &component : components)
+            if (!component.crcOk)
+                return false;
+        return true;
+    }
+};
+
+/** Parse @p bytes leniently, recording integrity verdicts. */
+CheckpointInspection
+inspectCheckpoint(const std::vector<std::uint8_t> &bytes);
+
+/** Atomically write @p ckpt to @p path (tmp + fsync + rename). */
+void writeCheckpointFile(const std::string &path, const Checkpoint &ckpt);
+
+/** Read and fully verify @p path; throws (via fatal()) on damage. */
+Checkpoint readCheckpointFile(const std::string &path);
+
+/** Slurp a file's bytes; throws (via fatal()) if unreadable. */
+std::vector<std::uint8_t> readFileBytes(const std::string &path);
+
+} // namespace confsim
+
+#endif // CONFSIM_CKPT_CHECKPOINT_H

@@ -1,0 +1,182 @@
+#include "ckpt/checkpoint_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "util/status.h"
+
+namespace confsim {
+
+namespace {
+
+/** Zero-padded generation tag, e.g. 42 -> "g000042". */
+std::string
+generationTag(std::uint64_t generation)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "g%06llu",
+                  static_cast<unsigned long long>(generation));
+    return buf;
+}
+
+} // namespace
+
+CheckpointStore::CheckpointStore(std::string directory, std::string label,
+                                 unsigned keepGenerations)
+    : directory_(std::move(directory)), label_(std::move(label)),
+      keepGenerations_(keepGenerations == 0 ? 1 : keepGenerations)
+{
+    if (directory_.empty())
+        fatal("checkpoint directory must not be empty");
+    std::error_code ec;
+    std::filesystem::create_directories(directory_, ec);
+    if (ec)
+        fatal("cannot create checkpoint directory " + directory_ + ": " +
+              ec.message());
+    const std::vector<std::uint64_t> existing = generations();
+    if (!existing.empty())
+        nextGeneration_ = existing.front() + 1;
+}
+
+void
+CheckpointStore::setEventHook(CheckpointStoreHook hook)
+{
+    hook_ = std::move(hook);
+}
+
+void
+CheckpointStore::emit(const CheckpointStoreEvent &event) const
+{
+    if (hook_)
+        hook_(event);
+}
+
+std::string
+CheckpointStore::generationPath(std::uint64_t generation) const
+{
+    return directory_ + "/" + label_ + "." + generationTag(generation) +
+           ".ckpt";
+}
+
+std::string
+CheckpointStore::completedPath() const
+{
+    return directory_ + "/" + label_ + ".done.ckpt";
+}
+
+std::vector<std::uint64_t>
+CheckpointStore::generations() const
+{
+    const std::string prefix = label_ + ".g";
+    const std::string suffix = ".ckpt";
+    std::vector<std::uint64_t> found;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(directory_, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() <= prefix.size() + suffix.size())
+            continue;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        const std::string digits =
+            name.substr(prefix.size(),
+                        name.size() - prefix.size() - suffix.size());
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos)
+            continue;
+        found.push_back(std::stoull(digits));
+    }
+    std::sort(found.rbegin(), found.rend());
+    return found;
+}
+
+void
+CheckpointStore::write(const Checkpoint &ckpt)
+{
+    const std::uint64_t generation = nextGeneration_++;
+    const std::string path = generationPath(generation);
+    writeCheckpointFile(path, ckpt);
+
+    CheckpointStoreEvent event;
+    event.kind = CheckpointStoreEvent::Kind::Written;
+    event.path = path;
+    event.generation = generation;
+    event.atBranch = ckpt.branches;
+    std::error_code ec;
+    event.bytes = std::filesystem::file_size(path, ec);
+    emit(event);
+
+    const std::vector<std::uint64_t> existing = generations();
+    for (std::size_t i = keepGenerations_; i < existing.size(); ++i)
+        std::remove(generationPath(existing[i]).c_str());
+}
+
+std::optional<Checkpoint>
+CheckpointStore::loadPath(const std::string &path,
+                          std::uint64_t generation)
+{
+    try {
+        return readCheckpointFile(path);
+    } catch (const std::exception &err) {
+        CheckpointStoreEvent event;
+        event.kind = CheckpointStoreEvent::Kind::Corrupt;
+        event.path = path;
+        event.generation = generation;
+        event.detail = err.what();
+        emit(event);
+        return std::nullopt;
+    }
+}
+
+std::optional<Checkpoint>
+CheckpointStore::load(std::uint64_t generation)
+{
+    return loadPath(generationPath(generation), generation);
+}
+
+std::optional<Checkpoint>
+CheckpointStore::loadLatestValid()
+{
+    for (const std::uint64_t generation : generations()) {
+        if (auto ckpt = load(generation))
+            return ckpt;
+    }
+    return std::nullopt;
+}
+
+void
+CheckpointStore::writeCompleted(const Checkpoint &ckpt)
+{
+    writeCheckpointFile(completedPath(), ckpt);
+
+    CheckpointStoreEvent event;
+    event.kind = CheckpointStoreEvent::Kind::Written;
+    event.path = completedPath();
+    event.generation = 0;
+    event.atBranch = ckpt.branches;
+    std::error_code ec;
+    event.bytes = std::filesystem::file_size(completedPath(), ec);
+    emit(event);
+}
+
+std::optional<Checkpoint>
+CheckpointStore::loadCompleted()
+{
+    std::error_code ec;
+    if (!std::filesystem::exists(completedPath(), ec))
+        return std::nullopt;
+    return loadPath(completedPath(), 0);
+}
+
+void
+CheckpointStore::removeGenerations()
+{
+    for (const std::uint64_t generation : generations())
+        std::remove(generationPath(generation).c_str());
+}
+
+} // namespace confsim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Generation-rotating checkpoint store for one run label.
+ *
+ * Layout under the checkpoint directory:
+ *
+ *   <label>.g000042.ckpt   rotating mid-run generations (newest wins)
+ *   <label>.done.ckpt      completed-run marker holding final results
+ *
+ * Writes are atomic (util/atomic_file), so a crash during a checkpoint
+ * leaves the previous generation intact. The store keeps the newest
+ * `keepGenerations` files; recovery walks generations newest-first and
+ * falls back one generation whenever a file fails its CRC — the
+ * fall-back-one-generation rule documented in docs/robustness.md.
+ *
+ * The store is observability-transparent: an optional hook receives a
+ * CheckpointStoreEvent for every write and every corrupt file, which
+ * the suite runner forwards into the telemetry stream as
+ * checkpoint_written / checkpoint_corrupt events.
+ */
+
+#ifndef CONFSIM_CKPT_CHECKPOINT_STORE_H
+#define CONFSIM_CKPT_CHECKPOINT_STORE_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+
+namespace confsim {
+
+/** What a CheckpointStore just did (for telemetry forwarding). */
+struct CheckpointStoreEvent
+{
+    enum class Kind
+    {
+        Written, //!< a generation or done-marker hit the disk
+        Corrupt, //!< a file failed CRC/structure checks and was skipped
+    };
+
+    Kind kind = Kind::Written;
+    std::string path;
+    std::uint64_t generation = 0; //!< 0 for the done-marker
+    std::uint64_t atBranch = 0;   //!< branches recorded in the file
+    std::uint64_t bytes = 0;      //!< file size (Written only)
+    std::string detail;           //!< error text (Corrupt only)
+};
+
+using CheckpointStoreHook =
+    std::function<void(const CheckpointStoreEvent &)>;
+
+class CheckpointStore
+{
+  public:
+    /**
+     * Bind to @p directory (created if absent) for run @p label.
+     * Scans existing generation files so a resumed process continues
+     * the generation sequence instead of restarting it.
+     */
+    CheckpointStore(std::string directory, std::string label,
+                    unsigned keepGenerations = 2);
+
+    /** Observe writes and corruption; replaces any previous hook. */
+    void setEventHook(CheckpointStoreHook hook);
+
+    /**
+     * Atomically write @p ckpt as the next generation, then prune
+     * generations beyond keepGenerations (newest kept).
+     */
+    void write(const Checkpoint &ckpt);
+
+    /** Generation numbers present on disk, newest first. */
+    std::vector<std::uint64_t> generations() const;
+
+    /**
+     * Load generation @p generation if it verifies; on CRC/structure
+     * failure fires a Corrupt event and returns nullopt so the caller
+     * can fall back one generation.
+     */
+    std::optional<Checkpoint> load(std::uint64_t generation);
+
+    /**
+     * Walk generations newest-first and return the first that
+     * verifies, firing a Corrupt event per damaged file passed over.
+     */
+    std::optional<Checkpoint> loadLatestValid();
+
+    /** Atomically write the completed-run marker. */
+    void writeCompleted(const Checkpoint &ckpt);
+
+    /** Load the completed-run marker if present and intact. */
+    std::optional<Checkpoint> loadCompleted();
+
+    /** Delete all mid-run generation files (after completion). */
+    void removeGenerations();
+
+    std::string generationPath(std::uint64_t generation) const;
+    std::string completedPath() const;
+    const std::string &directory() const { return directory_; }
+    const std::string &label() const { return label_; }
+
+  private:
+    std::optional<Checkpoint> loadPath(const std::string &path,
+                                       std::uint64_t generation);
+    void emit(const CheckpointStoreEvent &event) const;
+
+    std::string directory_;
+    std::string label_;
+    unsigned keepGenerations_;
+    std::uint64_t nextGeneration_ = 1;
+    CheckpointStoreHook hook_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CKPT_CHECKPOINT_STORE_H

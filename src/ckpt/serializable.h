@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The Serializable capability: components that can checkpoint their
+ * mutable state into a StateWriter and restore it bit-exactly from a
+ * StateReader.
+ *
+ * The base implementations are deliberately conservative:
+ * checkpointable() defaults to FALSE, so a component that has not
+ * audited its own state cannot silently participate in a resume and
+ * produce subtly divergent results. Stateless components override
+ * checkpointable() to true and keep the no-op save/load; stateful ones
+ * override all three.
+ *
+ * Versioning: stateVersion() is stored alongside each component's
+ * payload in the checkpoint registry. Bump it whenever the payload
+ * layout changes; a version mismatch at restore time invalidates the
+ * checkpoint (the store then falls back one generation) instead of
+ * misinterpreting old bytes.
+ */
+
+#ifndef CONFSIM_CKPT_SERIALIZABLE_H
+#define CONFSIM_CKPT_SERIALIZABLE_H
+
+#include <cstdint>
+
+#include "ckpt/state_io.h"
+
+namespace confsim {
+
+class Serializable
+{
+  public:
+    virtual ~Serializable() = default;
+
+    /**
+     * @return true iff saveState()/loadState() capture ALL mutable
+     * state, i.e. a restored instance behaves identically to the
+     * original on every future input. Defaults to false so forgetting
+     * to implement serialization disables checkpointing rather than
+     * corrupting it.
+     */
+    virtual bool checkpointable() const { return false; }
+
+    /** Append this component's mutable state to @p out. */
+    virtual void saveState(StateWriter &out) const { (void)out; }
+
+    /**
+     * Restore state previously written by saveState() on an instance
+     * with the same configuration. Throws (via fatal()) on any
+     * mismatch; the instance may be left partially modified, so
+     * callers must discard it on failure.
+     */
+    virtual void loadState(StateReader &in) { (void)in; }
+
+    /** Payload layout version recorded in the checkpoint registry. */
+    virtual std::uint32_t stateVersion() const { return 1; }
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CKPT_SERIALIZABLE_H

@@ -1,5 +1,7 @@
 #include "confidence/associative_ct.h"
 
+#include "ckpt/state_io.h"
+
 #include "util/bits.h"
 #include "util/status.h"
 
@@ -166,6 +168,35 @@ AssociativeCounterConfidence::reset()
     entries_.assign(entries_.size(), Entry{});
     tagMisses_ = 0;
     lookups_ = 0;
+}
+
+
+void
+AssociativeCounterConfidence::saveState(StateWriter &out) const
+{
+    out.putU64(entries_.size());
+    for (const Entry &entry : entries_) {
+        out.putU16(entry.tag);
+        out.putU8(entry.counter);
+        out.putU8(entry.lru);
+        out.putBool(entry.valid);
+    }
+    out.putU64(tagMisses_);
+    out.putU64(lookups_);
+}
+
+void
+AssociativeCounterConfidence::loadState(StateReader &in)
+{
+    in.expectU64(entries_.size(), "associative CT entries");
+    for (Entry &entry : entries_) {
+        entry.tag = in.getU16();
+        entry.counter = in.getU8();
+        entry.lru = in.getU8();
+        entry.valid = in.getBool();
+    }
+    tagMisses_ = in.getU64();
+    lookups_ = in.getU64();
 }
 
 } // namespace confsim

@@ -1,5 +1,7 @@
 #include "confidence/cir_table.h"
 
+#include "ckpt/state_io.h"
+
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -53,6 +55,25 @@ CirTable::reset()
             entry = std::uint64_t{1} << (cirBits_ - 1);
         break;
     }
+}
+
+
+void
+CirTable::saveState(StateWriter &out) const
+{
+    out.putU64(entries_.size());
+    out.putU64(cirBits_);
+    for (const std::uint64_t entry : entries_)
+        out.putU64(entry);
+}
+
+void
+CirTable::loadState(StateReader &in)
+{
+    in.expectU64(entries_.size(), "CIR table size");
+    in.expectU64(cirBits_, "CIR width");
+    for (std::uint64_t &entry : entries_)
+        entry = in.getU64();
 }
 
 } // namespace confsim

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/state_io.h"
 #include "util/bits.h"
 
 namespace confsim {
@@ -90,6 +91,12 @@ class CirTable
 
     /** Reinitialize all entries per the configured policy. */
     void reset();
+
+    /** Checkpoint the packed CIR contents (size/width-guarded). */
+    void saveState(StateWriter &out) const;
+
+    /** Restore a saveState() snapshot into a same-shape table. */
+    void loadState(StateReader &in);
 
   private:
     std::vector<std::uint64_t> entries_;

@@ -1,5 +1,7 @@
 #include "confidence/composite_confidence.h"
 
+#include "ckpt/state_io.h"
+
 #include "util/status.h"
 
 namespace confsim {
@@ -63,6 +65,27 @@ CompositeConfidence::splitBucket(std::uint64_t bucket) const
 {
     return {bucket / second_->numBuckets(),
             bucket % second_->numBuckets()};
+}
+
+
+bool
+CompositeConfidence::checkpointable() const
+{
+    return first_->checkpointable() && second_->checkpointable();
+}
+
+void
+CompositeConfidence::saveState(StateWriter &out) const
+{
+    first_->saveState(out);
+    second_->saveState(out);
+}
+
+void
+CompositeConfidence::loadState(StateReader &in)
+{
+    first_->loadState(in);
+    second_->loadState(in);
 }
 
 } // namespace confsim

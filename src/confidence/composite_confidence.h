@@ -47,6 +47,10 @@ class CompositeConfidence : public ConfidenceEstimator
     std::uint64_t storageBits() const override;
     std::string name() const override;
     void reset() override;
+
+    bool checkpointable() const override;
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
     /** Pairs are not totally ordered even if both parts are. */
     bool bucketsAreOrdered() const override { return false; }
 

@@ -20,12 +20,18 @@
 #include <cstdint>
 #include <string>
 
+#include "ckpt/serializable.h"
 #include "confidence/branch_context.h"
 
 namespace confsim {
 
-/** Abstract branch-prediction confidence mechanism. */
-class ConfidenceEstimator
+/**
+ * Abstract branch-prediction confidence mechanism.
+ *
+ * Also Serializable: estimators used in checkpointed runs implement
+ * saveState()/loadState() for bit-exact resume (see src/ckpt/).
+ */
+class ConfidenceEstimator : public Serializable
 {
   public:
     virtual ~ConfidenceEstimator() = default;

@@ -1,5 +1,7 @@
 #include "confidence/one_level.h"
 
+#include "ckpt/state_io.h"
+
 #include "util/status.h"
 
 namespace confsim {
@@ -192,6 +194,35 @@ void
 OneLevelCounterConfidence::reset()
 {
     counters_.assign(counters_.size(), initialValue_);
+}
+
+
+void
+OneLevelCirConfidence::saveState(StateWriter &out) const
+{
+    table_.saveState(out);
+}
+
+void
+OneLevelCirConfidence::loadState(StateReader &in)
+{
+    table_.loadState(in);
+}
+
+void
+OneLevelCounterConfidence::saveState(StateWriter &out) const
+{
+    out.putU64(counters_.size());
+    for (const std::uint32_t counter : counters_)
+        out.putU32(counter);
+}
+
+void
+OneLevelCounterConfidence::loadState(StateReader &in)
+{
+    in.expectU64(counters_.size(), "counter CT size");
+    for (std::uint32_t &counter : counters_)
+        counter = in.getU32();
 }
 
 } // namespace confsim

@@ -58,6 +58,10 @@ class OneLevelCirConfidence : public ConfidenceEstimator
     std::uint64_t storageBits() const override;
     std::string name() const override;
     void reset() override;
+
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
     bool bucketsAreOrdered() const override;
 
     /** @return the raw CIR the current context reads (for tests). */
@@ -114,6 +118,10 @@ class OneLevelCounterConfidence : public ConfidenceEstimator
     std::uint64_t storageBits() const override;
     std::string name() const override;
     void reset() override;
+
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
     bool bucketsAreOrdered() const override { return true; }
 
     /** @return the counter ceiling. */

@@ -1,5 +1,7 @@
 #include "confidence/self_counter.h"
 
+#include "ckpt/state_io.h"
+
 #include "util/bits.h"
 #include "util/status.h"
 
@@ -88,6 +90,23 @@ void
 SelfCounterConfidence::reset()
 {
     counters_.assign(counters_.size(), initialValue_);
+}
+
+
+void
+SelfCounterConfidence::saveState(StateWriter &out) const
+{
+    out.putU64(counters_.size());
+    for (const std::uint32_t counter : counters_)
+        out.putU32(counter);
+}
+
+void
+SelfCounterConfidence::loadState(StateReader &in)
+{
+    in.expectU64(counters_.size(), "self-counter CT size");
+    for (std::uint32_t &counter : counters_)
+        counter = in.getU32();
 }
 
 } // namespace confsim

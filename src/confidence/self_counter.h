@@ -58,6 +58,10 @@ class SelfCounterConfidence : public ConfidenceEstimator
     std::uint64_t storageBits() const override;
     std::string name() const override;
     void reset() override;
+
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
     bool bucketsAreOrdered() const override { return true; }
 
     /** @return the shadow counter's current direction guess. */

@@ -1,5 +1,7 @@
 #include "confidence/static_confidence.h"
 
+#include "ckpt/state_helpers.h"
+
 #include <algorithm>
 
 namespace confsim {
@@ -94,6 +96,29 @@ StaticConfidence::storageBits() const
     // instruction encoding or an i-cache bit, like the S-1 and
     // PowerPC 601 schemes cited in Section 1.1).
     return lowSet_.size();
+}
+
+
+void
+StaticBranchProfile::saveState(StateWriter &out) const
+{
+    saveSortedMap(out, entries_, [](StateWriter &w, const Entry &entry) {
+        w.putU64(entry.executions);
+        w.putU64(entry.mispredictions);
+        w.putU64(entry.takenCount);
+    });
+}
+
+void
+StaticBranchProfile::loadState(StateReader &in)
+{
+    loadMap(in, entries_, [](StateReader &r) {
+        Entry entry;
+        entry.executions = r.getU64();
+        entry.mispredictions = r.getU64();
+        entry.takenCount = r.getU64();
+        return entry;
+    });
 }
 
 } // namespace confsim

@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "ckpt/state_io.h"
 #include "confidence/confidence_estimator.h"
 
 namespace confsim {
@@ -79,6 +80,12 @@ class StaticBranchProfile
     /** @return number of profiled static branches. */
     std::size_t size() const { return entries_.size(); }
 
+    /** Checkpoint the accumulated counts (sorted-key encoding). */
+    void saveState(StateWriter &out) const;
+
+    /** Restore a saveState() snapshot, replacing current counts. */
+    void loadState(StateReader &in);
+
     /** @return total dynamic executions across all branches. */
     std::uint64_t totalExecutions() const;
 
@@ -124,6 +131,9 @@ class StaticConfidence : public ConfidenceEstimator
     std::uint64_t storageBits() const override;
     std::string name() const override { return "static-profile"; }
     void reset() override {}
+
+    /** The low set is profile configuration, not run state. */
+    bool checkpointable() const override { return true; }
     bool bucketsAreOrdered() const override { return true; }
 
   private:

@@ -1,5 +1,7 @@
 #include "confidence/two_level.h"
 
+#include "ckpt/state_io.h"
+
 #include "util/status.h"
 
 namespace confsim {
@@ -115,6 +117,21 @@ TwoLevelConfidence::reset()
 {
     firstTable_.reset();
     secondTable_.reset();
+}
+
+
+void
+TwoLevelConfidence::saveState(StateWriter &out) const
+{
+    firstTable_.saveState(out);
+    secondTable_.saveState(out);
+}
+
+void
+TwoLevelConfidence::loadState(StateReader &in)
+{
+    firstTable_.loadState(in);
+    secondTable_.loadState(in);
 }
 
 } // namespace confsim

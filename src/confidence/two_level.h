@@ -69,6 +69,10 @@ class TwoLevelConfidence : public ConfidenceEstimator
     std::string name() const override;
     void reset() override;
 
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
+
   private:
     std::uint64_t secondIndexOf(const BranchContext &ctx) const;
 

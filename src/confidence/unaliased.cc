@@ -1,5 +1,7 @@
 #include "confidence/unaliased.h"
 
+#include "ckpt/state_helpers.h"
+
 #include "util/bits.h"
 #include "util/status.h"
 
@@ -90,6 +92,21 @@ void
 UnaliasedCounterConfidence::reset()
 {
     counters_.clear();
+}
+
+
+void
+UnaliasedCounterConfidence::saveState(StateWriter &out) const
+{
+    saveSortedMap(out, counters_, [](StateWriter &w, std::uint32_t c) {
+        w.putU32(c);
+    });
+}
+
+void
+UnaliasedCounterConfidence::loadState(StateReader &in)
+{
+    loadMap(in, counters_, [](StateReader &r) { return r.getU32(); });
 }
 
 } // namespace confsim

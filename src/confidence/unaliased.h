@@ -47,6 +47,10 @@ class UnaliasedCounterConfidence : public ConfidenceEstimator
     std::uint64_t storageBits() const override;
     std::string name() const override;
     void reset() override;
+
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
     bool bucketsAreOrdered() const override { return true; }
 
     /** @return number of distinct contexts observed so far. */

@@ -1,5 +1,7 @@
 #include "metrics/bucket_stats.h"
 
+#include "ckpt/state_helpers.h"
+
 #include "util/status.h"
 
 namespace confsim {
@@ -110,6 +112,62 @@ EqualWeightComposite::add(const BucketStats &benchmark_stats)
     // Scale every component to the same total dynamic-branch mass.
     constexpr double kCommonMass = 1e6;
     composite_.addWeighted(benchmark_stats, kCommonMass / refs);
+}
+
+
+void
+BucketStats::saveState(StateWriter &out) const
+{
+    out.putU64(counts_.size());
+    std::uint64_t non_empty = 0;
+    for (const auto &entry : counts_)
+        if (entry.refs != 0.0 || entry.mispredicts != 0.0)
+            ++non_empty;
+    out.putU64(non_empty);
+    for (std::uint64_t bucket = 0; bucket < counts_.size(); ++bucket) {
+        const BucketCounts &entry = counts_[bucket];
+        if (entry.refs == 0.0 && entry.mispredicts == 0.0)
+            continue;
+        out.putU64(bucket);
+        out.putF64(entry.refs);
+        out.putF64(entry.mispredicts);
+    }
+}
+
+void
+BucketStats::loadState(StateReader &in)
+{
+    in.expectU64(counts_.size(), "bucket-space size");
+    counts_.assign(counts_.size(), BucketCounts{});
+    const std::uint64_t non_empty = in.getU64();
+    for (std::uint64_t i = 0; i < non_empty; ++i) {
+        const std::uint64_t bucket = in.getU64();
+        if (bucket >= counts_.size())
+            fatal("bucket id out of range in checkpoint");
+        counts_[bucket].refs = in.getF64();
+        counts_[bucket].mispredicts = in.getF64();
+    }
+}
+
+void
+SparseBucketStats::saveState(StateWriter &out) const
+{
+    saveSortedMap(out, counts_,
+                  [](StateWriter &w, const BucketCounts &entry) {
+                      w.putF64(entry.refs);
+                      w.putF64(entry.mispredicts);
+                  });
+}
+
+void
+SparseBucketStats::loadState(StateReader &in)
+{
+    loadMap(in, counts_, [](StateReader &r) {
+        BucketCounts entry;
+        entry.refs = r.getF64();
+        entry.mispredicts = r.getF64();
+        return entry;
+    });
 }
 
 } // namespace confsim

@@ -22,6 +22,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/state_io.h"
+
 namespace confsim {
 
 /** References and mispredictions attributed to one bucket. */
@@ -94,6 +96,16 @@ class BucketStats
     /** Zero all counts. */
     void clear();
 
+    /**
+     * Checkpoint the accumulated counts. Sparse encoding (only
+     * non-empty buckets) with the bucket-space size as a guard;
+     * doubles travel as bit patterns so restores are bit-exact.
+     */
+    void saveState(StateWriter &out) const;
+
+    /** Restore a saveState() snapshot into a same-sized stats. */
+    void loadState(StateReader &in);
+
   private:
     std::vector<BucketCounts> counts_;
 };
@@ -134,6 +146,12 @@ class SparseBucketStats
     std::vector<KeyedBucketCounts> nonEmpty() const;
 
     void clear() { counts_.clear(); }
+
+    /** Checkpoint the accumulated counts (sorted-key encoding). */
+    void saveState(StateWriter &out) const;
+
+    /** Restore a saveState() snapshot, replacing current counts. */
+    void loadState(StateReader &in);
 
   private:
     std::unordered_map<std::uint64_t, BucketCounts> counts_;

@@ -1,5 +1,7 @@
 #include "metrics/confidence_curve.h"
 
+#include "ckpt/state_io.h"
+
 #include <algorithm>
 
 #include "util/status.h"
@@ -167,6 +169,35 @@ ConfidenceCurve::thinnedPoints(double min_delta) const
         }
     }
     return out;
+}
+
+
+void
+ConfidenceCurve::saveState(StateWriter &out) const
+{
+    out.putU64(points_.size());
+    for (const CurvePoint &point : points_) {
+        out.putU64(point.bucket);
+        out.putF64(point.bucketRate);
+        out.putF64(point.refFraction);
+        out.putF64(point.mispredFraction);
+    }
+    out.putF64(totalRefs_);
+    out.putF64(totalMispredicts_);
+}
+
+void
+ConfidenceCurve::loadState(StateReader &in)
+{
+    points_.assign(in.getU64(), CurvePoint{});
+    for (CurvePoint &point : points_) {
+        point.bucket = in.getU64();
+        point.bucketRate = in.getF64();
+        point.refFraction = in.getF64();
+        point.mispredFraction = in.getF64();
+    }
+    totalRefs_ = in.getF64();
+    totalMispredicts_ = in.getF64();
 }
 
 } // namespace confsim

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/state_io.h"
 #include "metrics/bucket_stats.h"
 
 namespace confsim {
@@ -104,6 +105,12 @@ class ConfidenceCurve
 
     /** @return total misprediction mass. */
     double totalMispredicts() const { return totalMispredicts_; }
+
+    /** Checkpoint the curve (points + totals, bit-exact doubles). */
+    void saveState(StateWriter &out) const;
+
+    /** Restore a saveState() snapshot, replacing this curve. */
+    void loadState(StateReader &in);
 
   private:
     std::vector<CurvePoint> points_;

@@ -42,6 +42,10 @@ inline constexpr const char *kFaultInjected = "fault_injected";
 inline constexpr const char *kCorruptChunkSkipped =
     "corrupt_chunk_skipped";
 inline constexpr const char *kMetricsSnapshot = "metrics_snapshot";
+inline constexpr const char *kCheckpointWritten = "checkpoint_written";
+inline constexpr const char *kCheckpointRestored =
+    "checkpoint_restored";
+inline constexpr const char *kCheckpointCorrupt = "checkpoint_corrupt";
 
 } // namespace events
 

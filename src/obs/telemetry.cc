@@ -1,5 +1,7 @@
 #include "obs/telemetry.h"
 
+#include <cstdio>
+
 namespace confsim {
 
 Telemetry::Telemetry(TelemetryOptions options)
@@ -99,6 +101,17 @@ Telemetry::finish()
     for (auto &sink : sinks_) {
         sink->writeEvent(snapshot_event);
         sink->flush();
+        // close() publishes file-backed sinks atomically (tmp ->
+        // rename). finish() may run from the destructor, where a
+        // commit failure must not escape as an exception; the sink's
+        // temporary is already cleaned up by then.
+        try {
+            sink->close();
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "[confsim] telemetry sink close failed: %s\n",
+                         e.what());
+        }
     }
 }
 

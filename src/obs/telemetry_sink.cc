@@ -11,28 +11,31 @@ namespace confsim {
 // JSONL
 
 JsonlTelemetrySink::JsonlTelemetrySink(const std::string &path)
-    : out_(path, std::ios::trunc)
-{
-    if (!out_)
-        fatal("cannot open telemetry JSONL file: " + path);
-}
+    : out_(path)
+{}
 
 void
 JsonlTelemetrySink::writeManifest(const RunManifest &manifest)
 {
-    out_ << manifest.toJson() << '\n';
+    out_.stream() << manifest.toJson() << '\n';
 }
 
 void
 JsonlTelemetrySink::writeEvent(const TelemetryEvent &event)
 {
-    out_ << event.toJson() << '\n';
+    out_.stream() << event.toJson() << '\n';
 }
 
 void
 JsonlTelemetrySink::flush()
 {
-    out_.flush();
+    out_.stream().flush();
+}
+
+void
+JsonlTelemetrySink::close()
+{
+    out_.commit();
 }
 
 // ---------------------------------------------------------------------
@@ -59,19 +62,18 @@ csvCell(const std::string &cell)
 } // namespace
 
 CsvTelemetrySink::CsvTelemetrySink(const std::string &path)
-    : out_(path, std::ios::trunc)
+    : out_(path)
 {
-    if (!out_)
-        fatal("cannot open telemetry CSV file: " + path);
-    out_ << "t_ms,type,key,value\n";
+    out_.stream() << "t_ms,type,key,value\n";
 }
 
 void
 CsvTelemetrySink::row(double t_ms, const std::string &type,
                       const std::string &key, const std::string &value)
 {
-    out_ << formatFixed(t_ms, 3) << ',' << csvCell(type) << ','
-         << csvCell(key) << ',' << csvCell(value) << '\n';
+    out_.stream() << formatFixed(t_ms, 3) << ',' << csvCell(type)
+                  << ',' << csvCell(key) << ',' << csvCell(value)
+                  << '\n';
 }
 
 void
@@ -107,7 +109,13 @@ CsvTelemetrySink::writeEvent(const TelemetryEvent &event)
 void
 CsvTelemetrySink::flush()
 {
-    out_.flush();
+    out_.stream().flush();
+}
+
+void
+CsvTelemetrySink::close()
+{
+    out_.commit();
 }
 
 // ---------------------------------------------------------------------

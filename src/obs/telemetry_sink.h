@@ -23,12 +23,12 @@
 #ifndef CONFSIM_OBS_TELEMETRY_SINK_H
 #define CONFSIM_OBS_TELEMETRY_SINK_H
 
-#include <fstream>
 #include <memory>
 #include <string>
 
 #include "obs/event.h"
 #include "obs/run_manifest.h"
+#include "util/atomic_file.h"
 
 namespace confsim {
 
@@ -46,21 +46,31 @@ class TelemetrySink
 
     /** Flush buffered output (end of run). */
     virtual void flush() {}
+
+    /**
+     * Finalize the output (end of stream). File-backed sinks write
+     * through a `.tmp` sibling and atomically publish it here, so a
+     * crashed run leaves either the previous complete file or nothing
+     * under the final name — never a truncated log. Called once by
+     * Telemetry::finish(); events arriving after close() are dropped.
+     */
+    virtual void close() {}
 };
 
 /** JSON-lines sink: manifest object first, then one object per event. */
 class JsonlTelemetrySink : public TelemetrySink
 {
   public:
-    /** Open @p path for writing; calls fatal() on failure. */
+    /** Open the `.tmp` sibling of @p path; calls fatal() on failure. */
     explicit JsonlTelemetrySink(const std::string &path);
 
     void writeManifest(const RunManifest &manifest) override;
     void writeEvent(const TelemetryEvent &event) override;
     void flush() override;
+    void close() override;
 
   private:
-    std::ofstream out_;
+    AtomicFileWriter out_;
 };
 
 /**
@@ -72,18 +82,19 @@ class JsonlTelemetrySink : public TelemetrySink
 class CsvTelemetrySink : public TelemetrySink
 {
   public:
-    /** Open @p path for writing; calls fatal() on failure. */
+    /** Open the `.tmp` sibling of @p path; calls fatal() on failure. */
     explicit CsvTelemetrySink(const std::string &path);
 
     void writeManifest(const RunManifest &manifest) override;
     void writeEvent(const TelemetryEvent &event) override;
     void flush() override;
+    void close() override;
 
   private:
     void row(double t_ms, const std::string &type,
              const std::string &key, const std::string &value);
 
-    std::ofstream out_;
+    AtomicFileWriter out_;
 };
 
 /** Heartbeat sink for interactive/long runs; writes to stderr. */

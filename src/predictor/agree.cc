@@ -1,5 +1,7 @@
 #include "predictor/agree.h"
 
+#include "ckpt/state_helpers.h"
+
 #include "util/bits.h"
 #include "util/status.h"
 
@@ -89,6 +91,25 @@ AgreePredictor::reset()
     agreeTable_.fill(weaklyAgreeCounter(counterBits_));
     history_.reset();
     bias_.clear();
+}
+
+
+void
+AgreePredictor::saveState(StateWriter &out) const
+{
+    saveCounterTable(out, agreeTable_);
+    out.putU64(history_.value());
+    saveSortedMap(out, bias_, [](StateWriter &w, bool bias) {
+        w.putBool(bias);
+    });
+}
+
+void
+AgreePredictor::loadState(StateReader &in)
+{
+    loadCounterTable(in, agreeTable_);
+    history_.setValue(in.getU64());
+    loadMap(in, bias_, [](StateReader &r) { return r.getBool(); });
 }
 
 } // namespace confsim

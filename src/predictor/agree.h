@@ -45,6 +45,10 @@ class AgreePredictor : public BranchPredictor
     std::string name() const override;
     void reset() override;
 
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
+
     /** @return the bias bit for @p pc (first-time default: taken). */
     bool biasOf(std::uint64_t pc) const;
 

@@ -1,5 +1,7 @@
 #include "predictor/bimodal.h"
 
+#include "ckpt/state_helpers.h"
+
 #include "util/bits.h"
 
 namespace confsim {
@@ -61,6 +63,19 @@ void
 BimodalPredictor::reset()
 {
     table_.fill(weaklyTakenCounter(counterBits_));
+}
+
+
+void
+BimodalPredictor::saveState(StateWriter &out) const
+{
+    saveCounterTable(out, table_);
+}
+
+void
+BimodalPredictor::loadState(StateReader &in)
+{
+    loadCounterTable(in, table_);
 }
 
 } // namespace confsim

@@ -31,6 +31,10 @@ class BimodalPredictor : public BranchPredictor
     std::string name() const override;
     void reset() override;
 
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
+
   private:
     std::uint64_t indexOf(std::uint64_t pc) const;
 

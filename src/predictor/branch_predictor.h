@@ -15,10 +15,18 @@
 #include <cstdint>
 #include <string>
 
+#include "ckpt/serializable.h"
+
 namespace confsim {
 
-/** Abstract conditional branch direction predictor. */
-class BranchPredictor
+/**
+ * Abstract conditional branch direction predictor.
+ *
+ * Also Serializable: every concrete predictor implements
+ * saveState()/loadState() so mid-run simulation state can be
+ * checkpointed and resumed bit-exactly (see src/ckpt/).
+ */
+class BranchPredictor : public Serializable
 {
   public:
     virtual ~BranchPredictor() = default;

@@ -1,5 +1,7 @@
 #include "predictor/gselect.h"
 
+#include "ckpt/state_helpers.h"
+
 #include "util/bits.h"
 #include "util/status.h"
 
@@ -72,6 +74,21 @@ GselectPredictor::reset()
 {
     table_.fill(weaklyTakenCounter(counterBits_));
     history_.reset();
+}
+
+
+void
+GselectPredictor::saveState(StateWriter &out) const
+{
+    saveCounterTable(out, table_);
+    out.putU64(history_.value());
+}
+
+void
+GselectPredictor::loadState(StateReader &in)
+{
+    loadCounterTable(in, table_);
+    history_.setValue(in.getU64());
 }
 
 } // namespace confsim

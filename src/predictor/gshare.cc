@@ -1,5 +1,7 @@
 #include "predictor/gshare.h"
 
+#include "ckpt/state_helpers.h"
+
 #include "util/bits.h"
 #include "util/status.h"
 
@@ -84,6 +86,21 @@ GsharePredictor::reset()
 {
     table_.fill(weaklyTakenCounter(counterBits_));
     history_.reset();
+}
+
+
+void
+GsharePredictor::saveState(StateWriter &out) const
+{
+    saveCounterTable(out, table_);
+    out.putU64(history_.value());
+}
+
+void
+GsharePredictor::loadState(StateReader &in)
+{
+    loadCounterTable(in, table_);
+    history_.setValue(in.getU64());
 }
 
 } // namespace confsim

@@ -46,6 +46,10 @@ class GsharePredictor : public BranchPredictor
     std::string name() const override;
     void reset() override;
 
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
+
     /** @return the predictor's internal global history value. */
     std::uint64_t historyValue() const { return history_.value(); }
 

@@ -30,6 +30,9 @@ class HistoryRegister
     /** @return the history pattern, right-justified. */
     std::uint64_t value() const { return reg_.value(); }
 
+    /** Restore a value() snapshot (checkpoint resume). */
+    void setValue(std::uint64_t v) { reg_.set(v); }
+
     /** @return history depth in bits. */
     unsigned width() const { return reg_.width(); }
 

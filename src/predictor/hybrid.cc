@@ -1,5 +1,7 @@
 #include "predictor/hybrid.h"
 
+#include "ckpt/state_helpers.h"
+
 #include "util/status.h"
 
 namespace confsim {
@@ -69,6 +71,29 @@ HybridPredictor::reset()
     first_->reset();
     second_->reset();
     chooser_.fill(SaturatingCounter(3, 1));
+}
+
+
+bool
+HybridPredictor::checkpointable() const
+{
+    return first_->checkpointable() && second_->checkpointable();
+}
+
+void
+HybridPredictor::saveState(StateWriter &out) const
+{
+    first_->saveState(out);
+    second_->saveState(out);
+    saveCounterTable(out, chooser_);
+}
+
+void
+HybridPredictor::loadState(StateReader &in)
+{
+    first_->loadState(in);
+    second_->loadState(in);
+    loadCounterTable(in, chooser_);
 }
 
 } // namespace confsim

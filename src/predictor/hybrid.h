@@ -41,6 +41,10 @@ class HybridPredictor : public BranchPredictor
     std::string name() const override;
     void reset() override;
 
+    bool checkpointable() const override;
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
+
     /** @return which constituent the chooser currently selects at @p pc:
      *  false = first, true = second. */
     bool selectsSecond(std::uint64_t pc) const;

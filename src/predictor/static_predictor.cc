@@ -1,5 +1,7 @@
 #include "predictor/static_predictor.h"
 
+#include "ckpt/state_helpers.h"
+
 #include "util/status.h"
 
 namespace confsim {
@@ -61,6 +63,23 @@ void
 StaticPredictor::reset()
 {
     // Targets are program structure, not learned state; keep them.
+}
+
+
+void
+StaticPredictor::saveState(StateWriter &out) const
+{
+    // Targets arrive via setTarget() as the trace is consumed, so they
+    // are run state even though the policy itself never adapts.
+    saveSortedMap(out, targets_, [](StateWriter &w, std::uint64_t t) {
+        w.putU64(t);
+    });
+}
+
+void
+StaticPredictor::loadState(StateReader &in)
+{
+    loadMap(in, targets_, [](StateReader &r) { return r.getU64(); });
 }
 
 } // namespace confsim

@@ -41,6 +41,10 @@ class StaticPredictor : public BranchPredictor
     std::string name() const override;
     void reset() override;
 
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
+
   private:
     StaticPolicy policy_;
     std::unordered_map<std::uint64_t, std::uint64_t> targets_;

@@ -1,5 +1,7 @@
 #include "predictor/two_level.h"
 
+#include "ckpt/state_helpers.h"
+
 #include "util/bits.h"
 #include "util/status.h"
 
@@ -144,6 +146,29 @@ TwoLevelPredictor::reset()
         history.clear();
     for (auto &pht : phts_)
         pht.fill(weaklyTakenCounter(counterBits_));
+}
+
+
+void
+TwoLevelPredictor::saveState(StateWriter &out) const
+{
+    out.putU64(histories_.size());
+    for (const auto &history : histories_)
+        saveShiftRegister(out, history);
+    out.putU64(phts_.size());
+    for (const auto &pht : phts_)
+        saveCounterTable(out, pht);
+}
+
+void
+TwoLevelPredictor::loadState(StateReader &in)
+{
+    in.expectU64(histories_.size(), "two-level history count");
+    for (auto &history : histories_)
+        loadShiftRegister(in, history);
+    in.expectU64(phts_.size(), "two-level PHT count");
+    for (auto &pht : phts_)
+        loadCounterTable(in, pht);
 }
 
 } // namespace confsim

@@ -64,6 +64,10 @@ class TwoLevelPredictor : public BranchPredictor
     std::string name() const override;
     void reset() override;
 
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
+
   private:
     const ShiftRegister &historyFor(std::uint64_t pc) const;
     ShiftRegister &historyFor(std::uint64_t pc);

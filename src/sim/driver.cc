@@ -4,12 +4,39 @@
 #include <chrono>
 #include <limits>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/checkpoint_store.h"
 #include "obs/telemetry.h"
 #include "predictor/history_register.h"
 #include "sim/run_policy.h"
 #include "util/shift_register.h"
+#include "util/status.h"
 
 namespace confsim {
+
+namespace {
+
+/** Registry names tie state to the configuration that produced it. */
+std::string
+predictorComponentName(const BranchPredictor &predictor)
+{
+    return "predictor:" + predictor.name();
+}
+
+std::string
+estimatorComponentName(std::size_t index,
+                       const ConfidenceEstimator &estimator)
+{
+    return "estimator" + std::to_string(index) + ":" + estimator.name();
+}
+
+std::string
+statsComponentName(std::size_t index)
+{
+    return "stats" + std::to_string(index);
+}
+
+} // namespace
 
 SimulationDriver::SimulationDriver(
     BranchPredictor &predictor,
@@ -18,8 +45,88 @@ SimulationDriver::SimulationDriver(
       options_(options)
 {}
 
+void
+SimulationDriver::checkpointEvery(std::uint64_t n_branches,
+                                  CheckpointStore *store)
+{
+    if (n_branches != 0 && store == nullptr)
+        fatal("checkpointEvery: a period needs a CheckpointStore");
+    if (n_branches != 0 || store != nullptr) {
+        // Fail up front: an unaudited component would otherwise write
+        // checkpoints that resume into silently-wrong state.
+        if (!predictor_.checkpointable()) {
+            fatal("predictor '" + predictor_.name() +
+                  "' is not checkpointable");
+        }
+        for (const auto *estimator : estimators_) {
+            if (!estimator->checkpointable()) {
+                fatal("estimator '" + estimator->name() +
+                      "' is not checkpointable");
+            }
+        }
+    }
+    ckptEvery_ = n_branches;
+    ckptStore_ = store;
+}
+
 DriverResult
 SimulationDriver::run(TraceSource &source)
+{
+    return runImpl(source, nullptr);
+}
+
+DriverResult
+SimulationDriver::resume(TraceSource &source, const Checkpoint &from)
+{
+    return runImpl(source, &from);
+}
+
+void
+SimulationDriver::writeCheckpoint(TraceSource &source,
+                                  DriverResult &result,
+                                  std::uint64_t simulated,
+                                  std::uint64_t consumed,
+                                  std::uint64_t until_switch,
+                                  const HistoryRegister &bhr,
+                                  const ShiftRegister &gcir) const
+{
+    Checkpoint ckpt;
+    ckpt.label = options_.telemetryLabel;
+    ckpt.watermark = consumed;
+    ckpt.branches = simulated;
+
+    StateWriter meta;
+    meta.putU64(options_.bhrBits);
+    meta.putU64(options_.gcirBits);
+    meta.putU64(estimators_.size());
+    meta.putU64(options_.profileStatic ? 1 : 0);
+    meta.putU64(until_switch);
+    meta.putU64(bhr.value());
+    meta.putU64(gcir.value());
+    meta.putU64(result.branches);
+    meta.putU64(result.mispredicts);
+    meta.putU64(result.contextSwitches);
+    ckpt.add("driver:meta", 1, meta.take());
+
+    ckpt.addComponent(predictorComponentName(predictor_), predictor_);
+    for (std::size_t i = 0; i < estimators_.size(); ++i) {
+        ckpt.addComponent(estimatorComponentName(i, *estimators_[i]),
+                          *estimators_[i]);
+        ckpt.addState(statsComponentName(i), 1,
+                      result.estimatorStats[i]);
+    }
+    if (options_.profileStatic)
+        ckpt.addState("static_profile", 1, result.staticProfile);
+    if (source.checkpointable())
+        ckpt.addComponent("source", source);
+
+    ckptStore_->write(ckpt);
+    ++result.checkpointsWritten;
+}
+
+DriverResult
+SimulationDriver::runImpl(TraceSource &source,
+                          const Checkpoint *resume_from)
 {
     DriverResult result;
     result.estimatorStats.reserve(estimators_.size());
@@ -38,6 +145,71 @@ SimulationDriver::run(TraceSource &source)
 
     std::uint64_t simulated = 0;
     std::uint64_t until_switch = options_.contextSwitchInterval;
+
+    // Unconditional record watermark: how many records this run has
+    // consumed from the source, including non-conditional ones. This is
+    // the position a resumed run must regain before simulating, so it
+    // counts every record even when the watchdog (which has its own
+    // conditionally-incremented counter) is off.
+    std::uint64_t consumed = 0;
+
+    if (resume_from != nullptr) {
+        const CheckpointComponent *meta =
+            resume_from->find("driver:meta");
+        if (meta == nullptr)
+            fatal("checkpoint has no driver:meta component");
+        if (meta->version != 1) {
+            fatal("driver:meta is version " +
+                  std::to_string(meta->version) + ", expected 1");
+        }
+        StateReader in(meta->payload);
+        in.expectU64(options_.bhrBits, "checkpoint BHR width");
+        in.expectU64(options_.gcirBits, "checkpoint GCIR width");
+        in.expectU64(estimators_.size(), "checkpoint estimator count");
+        in.expectU64(options_.profileStatic ? 1 : 0,
+                     "checkpoint static-profile flag");
+        until_switch = in.getU64();
+        bhr.setValue(in.getU64());
+        gcir.set(in.getU64());
+        result.branches = in.getU64();
+        result.mispredicts = in.getU64();
+        result.contextSwitches = in.getU64();
+        if (!in.atEnd())
+            fatal("driver:meta has unconsumed bytes");
+
+        resume_from->restoreComponent(
+            predictorComponentName(predictor_), predictor_);
+        for (std::size_t i = 0; i < estimators_.size(); ++i) {
+            resume_from->restoreComponent(
+                estimatorComponentName(i, *estimators_[i]),
+                *estimators_[i]);
+            resume_from->restoreState(statsComponentName(i), 1,
+                                      result.estimatorStats[i]);
+        }
+        if (options_.profileStatic) {
+            resume_from->restoreState("static_profile", 1,
+                                      result.staticProfile);
+        }
+
+        simulated = resume_from->branches;
+        if (resume_from->find("source") != nullptr) {
+            resume_from->restoreComponent("source", source);
+        } else {
+            // The source saved no position (not checkpointable), so
+            // @p source must be a fresh deterministic stream: replay
+            // and discard records up to the watermark.
+            BranchRecord skipped;
+            for (std::uint64_t i = 0; i < resume_from->watermark;
+                 ++i) {
+                if (!source.next(skipped)) {
+                    fatal("trace ended after " + std::to_string(i) +
+                          " record(s), before the resume watermark " +
+                          std::to_string(resume_from->watermark));
+                }
+            }
+        }
+        consumed = resume_from->watermark;
+    }
 
     // Cooperative watchdog: amortize the clock read over a batch of
     // records so the hot loop stays hot.
@@ -66,6 +238,7 @@ SimulationDriver::run(TraceSource &source)
     const Clock::time_point run_start = Clock::now();
 
     while (source.next(record)) {
+        ++consumed;
         if (watchdog && (++records % kWatchdogStride) == 0 &&
             Clock::now() > deadline) {
             throw WatchdogTimeout(
@@ -152,6 +325,14 @@ SimulationDriver::run(TraceSource &source)
                      field("flush_estimators",
                            options_.flushEstimatorsOnSwitch)}));
             }
+        }
+
+        // Periodic checkpoint (zero cost while disabled: one compare
+        // on a member that is 0). Taken after all per-branch training,
+        // so the snapshot is exactly the state the next branch sees.
+        if (ckptEvery_ != 0 && simulated % ckptEvery_ == 0) {
+            writeCheckpoint(source, result, simulated, consumed,
+                            until_switch, bhr, gcir);
         }
     }
 

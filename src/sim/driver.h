@@ -27,6 +27,10 @@
 
 namespace confsim {
 
+class Checkpoint;
+class CheckpointStore;
+class HistoryRegister;
+class ShiftRegister;
 class Telemetry;
 
 /** Driver knobs. */
@@ -109,6 +113,9 @@ struct DriverResult
     /** Context switches modelled (DriverOptions switch interval). */
     std::uint64_t contextSwitches = 0;
 
+    /** Mid-run checkpoints written (SimulationDriver::checkpointEvery). */
+    std::uint64_t checkpointsWritten = 0;
+
     /**
      * Sampled per-estimator bucketOf+update cost in nanoseconds (same
      * order as estimatorStats). Empty unless telemetry was attached —
@@ -149,10 +156,44 @@ class SimulationDriver
      */
     DriverResult run(TraceSource &source);
 
+    /**
+     * Enable periodic checkpointing: every @p n_branches conditional
+     * branches the full simulation state (predictor, estimators,
+     * accumulated statistics, architectural registers, and — when the
+     * source supports it — trace position) is written atomically to
+     * @p store as the next generation. 0 disables. fatal() immediately
+     * if the predictor or any estimator is not checkpointable, so an
+     * unauditable configuration fails loudly up front rather than
+     * resuming wrong later.
+     */
+    void checkpointEvery(std::uint64_t n_branches,
+                         CheckpointStore *store);
+
+    /**
+     * Continue a run from @p from (a checkpoint this configuration
+     * wrote). All components are restored bit-exactly; if the source
+     * carries no saved position (a non-checkpointable source), the
+     * driver replays and discards `from.watermark` records from
+     * @p source, which must therefore be a fresh deterministic stream.
+     * fatal() on any component/version/geometry mismatch.
+     */
+    DriverResult resume(TraceSource &source, const Checkpoint &from);
+
   private:
+    DriverResult runImpl(TraceSource &source,
+                         const Checkpoint *resume_from);
+    void writeCheckpoint(TraceSource &source, DriverResult &result,
+                         std::uint64_t simulated,
+                         std::uint64_t consumed,
+                         std::uint64_t until_switch,
+                         const HistoryRegister &bhr,
+                         const ShiftRegister &gcir) const;
+
     BranchPredictor &predictor_;
     std::vector<ConfidenceEstimator *> estimators_;
     DriverOptions options_;
+    std::uint64_t ckptEvery_ = 0;
+    CheckpointStore *ckptStore_ = nullptr;
 };
 
 } // namespace confsim

@@ -5,6 +5,7 @@
 #include "trace/trace_stats.h"
 #include "util/ascii_plot.h"
 #include "util/csv.h"
+#include "util/status.h"
 #include "util/string_utils.h"
 
 namespace confsim {
@@ -19,6 +20,13 @@ ExperimentEnv::fromCli(int argc, const char *const *argv,
                   "conditional branches per benchmark");
     cli.addOption("csv-dir", ".", "directory for CSV output");
     cli.addFlag("fast", "reduced suite and short traces (smoke run)");
+    cli.addOption("checkpoint-dir", "",
+                  "write/restore run checkpoints in this directory");
+    cli.addOption("checkpoint-every", "250000",
+                  "branches between mid-run checkpoints (0 = only "
+                  "completion markers)");
+    cli.addFlag("resume",
+                "resume prior progress from --checkpoint-dir");
     cli.addOption("telemetry", "",
                   "write JSONL telemetry (manifest + events) here");
     cli.addOption("telemetry-csv", "",
@@ -36,6 +44,11 @@ ExperimentEnv::fromCli(int argc, const char *const *argv,
             std::min<std::uint64_t>(env.branchesPerBenchmark, 200'000);
     }
     env.tool = description;
+    env.checkpointDir = cli.getString("checkpoint-dir");
+    env.checkpointEvery = cli.getUnsigned("checkpoint-every");
+    env.resume = cli.getFlag("resume");
+    if (env.resume && env.checkpointDir.empty())
+        fatal("--resume requires --checkpoint-dir");
     env.telemetry.jsonlPath = cli.getString("telemetry");
     env.telemetry.csvPath = cli.getString("telemetry-csv");
     env.telemetry.progress = cli.getFlag("progress");
@@ -193,7 +206,11 @@ runSuiteExperiment(const ExperimentEnv &env,
             out.push_back(config.make());
         return out;
     };
-    return runner.run(make_predictor, make_estimators, options);
+    RunPolicy policy;
+    policy.checkpoint.directory = env.checkpointDir;
+    policy.checkpoint.everyBranches = env.checkpointEvery;
+    policy.checkpoint.resume = env.resume;
+    return runner.run(make_predictor, make_estimators, options, policy);
 }
 
 NamedCurve

@@ -49,6 +49,15 @@ struct ExperimentEnv
     std::string csvDir = ".";
     bool fullSuite = true;
 
+    /** Checkpoint directory ("" = checkpointing off). */
+    std::string checkpointDir;
+
+    /** Branches between mid-run checkpoints (--checkpoint-every). */
+    std::uint64_t checkpointEvery = 250'000;
+
+    /** Resume from checkpointDir's prior state (--resume). */
+    bool resume = false;
+
     /** Producing binary's description (the manifest "tool" field). */
     std::string tool;
 

@@ -30,10 +30,47 @@ enum class ErrorMode : std::uint8_t
     kContinueOnError = 1 //!< mark the benchmark failed; run the rest
 };
 
+/**
+ * Checkpoint/resume knobs for a suite run (see src/ckpt/). Enabled by
+ * giving a directory; each benchmark then gets its own generation-
+ * rotating CheckpointStore under it (label = benchmark name), the
+ * driver writes a checkpoint every `everyBranches` conditional
+ * branches, and a completed benchmark leaves a done-marker holding its
+ * full result. With `resume` set, SuiteRunner loads finished
+ * benchmarks from their done-markers and restarts interrupted ones
+ * from their newest intact generation (falling back one generation per
+ * corrupt file).
+ */
+struct CheckpointPolicy
+{
+    /** Checkpoint directory; "" disables the whole feature. */
+    std::string directory;
+
+    /** Conditional branches between mid-run checkpoints (0 = only
+     * the completion marker is written). */
+    std::uint64_t everyBranches = 250'000;
+
+    /** Recover prior progress from `directory` before simulating. */
+    bool resume = false;
+
+    /** Mid-run generations retained per benchmark (newest kept). */
+    unsigned keepGenerations = 2;
+
+    /** @return true iff checkpointing is configured. */
+    bool
+    enabled() const
+    {
+        return !directory.empty();
+    }
+};
+
 /** Per-suite-run fault-tolerance knobs. */
 struct RunPolicy
 {
     ErrorMode errorMode = ErrorMode::kFailFast;
+
+    /** Checkpoint/resume configuration (disabled by default). */
+    CheckpointPolicy checkpoint;
 
     /**
      * Total attempts per benchmark (>= 1). Retries target transient

@@ -6,6 +6,7 @@
 #include <future>
 #include <thread>
 
+#include "ckpt/checkpoint_store.h"
 #include "obs/telemetry.h"
 #include "trace/fault_injection.h"
 #include "trace/trace_io.h"
@@ -69,44 +70,263 @@ wireSourceTelemetry(TraceSource &source, Telemetry *telemetry,
     }
 }
 
+/**
+ * Forward checkpoint-store activity (generation writes, corrupt files
+ * skipped during recovery) into the telemetry event stream.
+ */
+void
+wireStoreTelemetry(CheckpointStore &store, Telemetry *telemetry,
+                   const std::string &benchmark)
+{
+    if (telemetry == nullptr)
+        return;
+    store.setEventHook([telemetry, benchmark](
+                           const CheckpointStoreEvent &event) {
+        if (event.kind == CheckpointStoreEvent::Kind::Written) {
+            telemetry->emit(TelemetryEvent(
+                events::kCheckpointWritten,
+                {field("benchmark", benchmark),
+                 field("generation", event.generation),
+                 field("at_branch", event.atBranch),
+                 field("bytes", event.bytes),
+                 field("path", event.path)}));
+            telemetry->registry().increment("ckpt.written");
+        } else {
+            telemetry->emit(TelemetryEvent(
+                events::kCheckpointCorrupt,
+                {field("benchmark", benchmark),
+                 field("generation", event.generation),
+                 field("error", event.detail)}));
+            telemetry->registry().increment("ckpt.corrupt");
+        }
+    });
+}
+
+/** Emit the checkpoint_restored event (generation 0 = done-marker). */
+void
+emitRestored(Telemetry *telemetry, const std::string &benchmark,
+             std::uint64_t generation, std::uint64_t at_branch)
+{
+    if (telemetry == nullptr)
+        return;
+    telemetry->emit(TelemetryEvent(
+        events::kCheckpointRestored,
+        {field("benchmark", benchmark),
+         field("generation", generation),
+         field("at_branch", at_branch)}));
+    telemetry->registry().increment("ckpt.restored");
+}
+
+/**
+ * Pack a finished benchmark's full result into a checkpoint for the
+ * store's done-marker, so a resumed suite run reuses it without
+ * re-simulating. Everything the compositing pass reads is included.
+ */
+Checkpoint
+serializeBenchmarkResult(const BenchmarkRunResult &result)
+{
+    Checkpoint ckpt;
+    ckpt.label = result.name;
+    ckpt.branches = result.branches;
+    StateWriter out;
+    out.putString(result.name);
+    out.putU64(result.branches);
+    out.putU64(result.mispredicts);
+    out.putF64(result.mispredictRate);
+    out.putF64(result.wallMs);
+    out.putU64(result.attempts);
+    out.putU64(result.estimatorNames.size());
+    for (const auto &name : result.estimatorNames)
+        out.putString(name);
+    out.putU64(result.estimatorStats.size());
+    for (const auto &stats : result.estimatorStats) {
+        out.putU64(stats.numBuckets());
+        stats.saveState(out);
+    }
+    result.staticStats.saveState(out);
+    ckpt.add("suite:result", 1, out.take());
+    return ckpt;
+}
+
+/** Unpack a serializeBenchmarkResult() done-marker; fatal() on damage. */
+BenchmarkRunResult
+deserializeBenchmarkResult(const Checkpoint &ckpt)
+{
+    const CheckpointComponent *entry = ckpt.find("suite:result");
+    if (entry == nullptr)
+        fatal("completed checkpoint has no suite:result component");
+    if (entry->version != 1) {
+        fatal("suite:result is version " +
+              std::to_string(entry->version) + ", expected 1");
+    }
+    StateReader in(entry->payload);
+    BenchmarkRunResult result;
+    result.name = in.getString();
+    result.branches = in.getU64();
+    result.mispredicts = in.getU64();
+    result.mispredictRate = in.getF64();
+    result.wallMs = in.getF64();
+    result.attempts = static_cast<unsigned>(in.getU64());
+    const std::uint64_t names = in.getU64();
+    result.estimatorNames.reserve(names);
+    for (std::uint64_t i = 0; i < names; ++i)
+        result.estimatorNames.push_back(in.getString());
+    const std::uint64_t stats_count = in.getU64();
+    result.estimatorStats.reserve(stats_count);
+    for (std::uint64_t i = 0; i < stats_count; ++i) {
+        BucketStats stats(in.getU64());
+        stats.loadState(in);
+        result.estimatorStats.push_back(std::move(stats));
+    }
+    result.staticStats.loadState(in);
+    if (!in.atEnd())
+        fatal("suite:result has unconsumed bytes");
+    return result;
+}
+
+/** The throwaway per-attempt simulation components of one benchmark. */
+struct BenchmarkParts
+{
+    std::unique_ptr<BranchPredictor> predictor;
+    std::vector<std::unique_ptr<ConfidenceEstimator>> estimators;
+    std::vector<ConfidenceEstimator *> raw;
+    std::unique_ptr<TraceSource> source;
+};
+
+/** Build fresh predictor/estimators/source for one attempt. */
+BenchmarkParts
+buildParts(const BenchmarkSuite &suite, std::size_t bench,
+           const PredictorFactory &make_predictor,
+           const EstimatorSetFactory &make_estimators,
+           const SourceWrapper &wrap_source, Telemetry *telemetry,
+           const std::string &bench_name)
+{
+    BenchmarkParts parts;
+    parts.predictor = make_predictor();
+    if (!parts.predictor)
+        fatal("predictor factory returned null");
+    parts.estimators = make_estimators();
+    parts.raw.reserve(parts.estimators.size());
+    for (auto &estimator : parts.estimators)
+        parts.raw.push_back(estimator.get());
+    parts.source = suite.makeGenerator(bench);
+    if (wrap_source) {
+        parts.source = wrap_source(bench, std::move(parts.source));
+        if (!parts.source) {
+            fatal("source wrapper returned null for benchmark '" +
+                  bench_name + "'");
+        }
+    }
+    wireSourceTelemetry(*parts.source, telemetry, bench_name);
+    return parts;
+}
+
 /** Simulate one benchmark of a suite run (one attempt). */
 BenchmarkRunResult
 runOneBenchmark(const BenchmarkSuite &suite, std::size_t bench,
                 const PredictorFactory &make_predictor,
                 const EstimatorSetFactory &make_estimators,
                 const SourceWrapper &wrap_source,
-                const DriverOptions &options)
+                const DriverOptions &options, const RunPolicy &policy)
 {
-    auto predictor = make_predictor();
-    if (!predictor)
-        fatal("predictor factory returned null");
-    auto estimators = make_estimators();
-    std::vector<ConfidenceEstimator *> raw;
-    raw.reserve(estimators.size());
-    for (auto &estimator : estimators)
-        raw.push_back(estimator.get());
-
     BenchmarkRunResult bench_result;
     bench_result.name = suite.profile(bench).name;
+    Telemetry *const telemetry = options.telemetry;
+
+    std::unique_ptr<CheckpointStore> store;
+    if (policy.checkpoint.enabled()) {
+        store = std::make_unique<CheckpointStore>(
+            policy.checkpoint.directory, bench_result.name,
+            policy.checkpoint.keepGenerations);
+        wireStoreTelemetry(*store, telemetry, bench_result.name);
+        if (policy.checkpoint.resume) {
+            if (auto done = store->loadCompleted()) {
+                try {
+                    BenchmarkRunResult restored =
+                        deserializeBenchmarkResult(*done);
+                    emitRestored(telemetry, bench_result.name, 0,
+                                 restored.branches);
+                    return restored;
+                } catch (const std::exception &e) {
+                    // The done-marker verified its CRC but does not
+                    // decode under this configuration; re-simulate.
+                    if (telemetry != nullptr) {
+                        telemetry->emit(TelemetryEvent(
+                            events::kCheckpointCorrupt,
+                            {field("benchmark", bench_result.name),
+                             field("generation", std::uint64_t{0}),
+                             field("error", e.what())}));
+                        telemetry->registry().increment(
+                            "ckpt.corrupt");
+                    }
+                }
+            }
+        }
+    }
+
+    BenchmarkParts parts =
+        buildParts(suite, bench, make_predictor, make_estimators,
+                   wrap_source, telemetry, bench_result.name);
     // Names come from this run's own instances, so the factories are
-    // invoked exactly once per benchmark attempt.
-    bench_result.estimatorNames.reserve(estimators.size());
-    for (const auto &estimator : estimators)
+    // invoked exactly once per benchmark attempt (unless a corrupt
+    // checkpoint forces a rebuild below).
+    bench_result.estimatorNames.reserve(parts.estimators.size());
+    for (const auto &estimator : parts.estimators)
         bench_result.estimatorNames.push_back(estimator->name());
 
-    std::unique_ptr<TraceSource> source = suite.makeGenerator(bench);
-    if (wrap_source) {
-        source = wrap_source(bench, std::move(source));
-        if (!source)
-            fatal("source wrapper returned null for benchmark '" +
-                  bench_result.name + "'");
-    }
-    wireSourceTelemetry(*source, options.telemetry,
-                        bench_result.name);
     DriverOptions run_options = options;
     run_options.telemetryLabel = bench_result.name;
-    SimulationDriver driver(*predictor, raw, run_options);
-    DriverResult run_result = driver.run(*source);
+
+    DriverResult run_result;
+    bool resumed = false;
+    if (store != nullptr && policy.checkpoint.resume) {
+        // Walk generations newest-first; a file that fails CRC fires a
+        // Corrupt event from the store itself, and a file that decodes
+        // but cannot be restored (e.g. config drift) is reported here.
+        // Either way recovery falls back one generation; when no
+        // generation survives, the benchmark re-runs from scratch.
+        for (const std::uint64_t gen : store->generations()) {
+            std::optional<Checkpoint> ckpt = store->load(gen);
+            if (!ckpt.has_value())
+                continue;
+            try {
+                SimulationDriver driver(*parts.predictor, parts.raw,
+                                        run_options);
+                driver.checkpointEvery(policy.checkpoint.everyBranches,
+                                       store.get());
+                run_result = driver.resume(*parts.source, *ckpt);
+                emitRestored(telemetry, bench_result.name, gen,
+                             ckpt->branches);
+                resumed = true;
+                break;
+            } catch (const WatchdogTimeout &) {
+                throw;
+            } catch (const std::exception &e) {
+                if (telemetry != nullptr) {
+                    telemetry->emit(TelemetryEvent(
+                        events::kCheckpointCorrupt,
+                        {field("benchmark", bench_result.name),
+                         field("generation", gen),
+                         field("error", e.what())}));
+                    telemetry->registry().increment("ckpt.corrupt");
+                }
+                // A failed restore may have half-mutated the
+                // components; rebuild them before the next candidate.
+                parts = buildParts(suite, bench, make_predictor,
+                                   make_estimators, wrap_source,
+                                   telemetry, bench_result.name);
+            }
+        }
+    }
+    if (!resumed) {
+        SimulationDriver driver(*parts.predictor, parts.raw,
+                                run_options);
+        if (store != nullptr) {
+            driver.checkpointEvery(policy.checkpoint.everyBranches,
+                                   store.get());
+        }
+        run_result = driver.run(*parts.source);
+    }
 
     bench_result.wallMs = run_result.wallMs;
     bench_result.branches = run_result.branches;
@@ -124,6 +344,14 @@ runOneBenchmark(const BenchmarkSuite &suite, std::size_t bench,
                 tag | pc, static_cast<double>(entry.executions),
                 static_cast<double>(entry.mispredictions));
         }
+    }
+
+    if (store != nullptr) {
+        // Mark the benchmark complete: the done-marker carries the
+        // full result, so a resumed suite run skips this benchmark
+        // entirely. Mid-run generations are then dead weight.
+        store->writeCompleted(serializeBenchmarkResult(bench_result));
+        store->removeGenerations();
     }
     return bench_result;
 }
@@ -155,7 +383,8 @@ runGuardedImpl(const BenchmarkSuite &suite, std::size_t bench,
         try {
             BenchmarkRunResult ok =
                 runOneBenchmark(suite, bench, make_predictor,
-                                make_estimators, wrap_source, options);
+                                make_estimators, wrap_source, options,
+                                policy);
             ok.attempts = attempt;
             ok.wallMs = elapsedMsSince(start);
             return ok;

@@ -1,5 +1,9 @@
 #include "trace/fault_injection.h"
 
+#include <array>
+
+#include "ckpt/state_io.h"
+
 #include "util/status.h"
 
 namespace confsim {
@@ -84,6 +88,56 @@ FaultInjectingTraceSource::reset()
     stats_ = FaultStats{};
     delivered_ = 0;
     havePending_ = false;
+}
+
+
+bool
+FaultInjectingTraceSource::checkpointable() const
+{
+    return inner_->checkpointable();
+}
+
+void
+FaultInjectingTraceSource::saveState(StateWriter &out) const
+{
+    const std::array<std::uint64_t, 4> words = rng_.stateWords();
+    for (const std::uint64_t word : words)
+        out.putU64(word);
+    out.putU64(stats_.pcFlips);
+    out.putU64(stats_.targetFlips);
+    out.putU64(stats_.takenFlips);
+    out.putU64(stats_.drops);
+    out.putU64(stats_.duplicates);
+    out.putBool(stats_.truncated);
+    out.putU64(delivered_);
+    out.putBool(havePending_);
+    out.putU64(pending_.pc);
+    out.putU64(pending_.target);
+    out.putBool(pending_.taken);
+    out.putU8(static_cast<std::uint8_t>(pending_.type));
+    inner_->saveState(out);
+}
+
+void
+FaultInjectingTraceSource::loadState(StateReader &in)
+{
+    std::array<std::uint64_t, 4> words;
+    for (std::uint64_t &word : words)
+        word = in.getU64();
+    rng_.setStateWords(words);
+    stats_.pcFlips = in.getU64();
+    stats_.targetFlips = in.getU64();
+    stats_.takenFlips = in.getU64();
+    stats_.drops = in.getU64();
+    stats_.duplicates = in.getU64();
+    stats_.truncated = in.getBool();
+    delivered_ = in.getU64();
+    havePending_ = in.getBool();
+    pending_.pc = in.getU64();
+    pending_.target = in.getU64();
+    pending_.taken = in.getBool();
+    pending_.type = static_cast<BranchType>(in.getU8());
+    inner_->loadState(in);
 }
 
 } // namespace confsim

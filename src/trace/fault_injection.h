@@ -102,6 +102,10 @@ class FaultInjectingTraceSource : public TraceSource
     /** @return records delivered since construction or last reset(). */
     std::uint64_t delivered() const { return delivered_; }
 
+    bool checkpointable() const override;
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
+
     /** Install a per-fault observer (empty = none). */
     void setEventHook(FaultEventHook hook)
     {

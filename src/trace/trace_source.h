@@ -11,12 +11,20 @@
 #ifndef CONFSIM_TRACE_TRACE_SOURCE_H
 #define CONFSIM_TRACE_TRACE_SOURCE_H
 
+#include "ckpt/serializable.h"
 #include "trace/branch_record.h"
 
 namespace confsim {
 
-/** Pull-model source of dynamic branch records. */
-class TraceSource
+/**
+ * Pull-model source of dynamic branch records.
+ *
+ * Also Serializable: sources that can snapshot their position
+ * (generators, in-memory vectors) override checkpointable() to
+ * true; the driver falls back to a record-count watermark replay
+ * for sources that cannot (e.g. streaming file readers).
+ */
+class TraceSource : public Serializable
 {
   public:
     virtual ~TraceSource() = default;

@@ -32,6 +32,22 @@ class VectorTraceSource : public TraceSource
 
     void reset() override { pos_ = 0; }
 
+    bool checkpointable() const override { return true; }
+
+    void
+    saveState(StateWriter &out) const override
+    {
+        out.putU64(records_.size());
+        out.putU64(pos_);
+    }
+
+    void
+    loadState(StateReader &in) override
+    {
+        in.expectU64(records_.size(), "vector trace length");
+        pos_ = static_cast<std::size_t>(in.getU64());
+    }
+
     /** @return the backing records (for test assertions). */
     const std::vector<BranchRecord> &records() const { return records_; }
 

@@ -1,0 +1,117 @@
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/status.h"
+
+namespace confsim {
+
+namespace {
+
+/** fsync an already-written file by path; @return false on failure. */
+bool
+syncFile(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_WRONLY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok;
+}
+
+/**
+ * fsync the directory containing @p path so the rename itself is
+ * durable. Best-effort: some filesystems reject directory fsync, and
+ * the rename's atomicity does not depend on it.
+ */
+void
+syncParentDir(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0)
+        return;
+    ::fsync(fd);
+    ::close(fd);
+}
+
+} // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmpPath_(path_ + ".tmp")
+{
+    // Create missing parent directories so `--telemetry newdir/run.jsonl`
+    // works without a manual mkdir; open() below still reports failure.
+    const auto parent = std::filesystem::path(path_).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    out_.open(tmpPath_, std::ios::binary | std::ios::trunc);
+    if (!out_)
+        fatal("cannot open " + tmpPath_ + " for writing");
+}
+
+AtomicFileWriter::~AtomicFileWriter()
+{
+    if (!committed_ && !abandoned_)
+        abandon();
+}
+
+void
+AtomicFileWriter::commit()
+{
+    if (committed_)
+        return;
+    if (abandoned_)
+        fatal("commit after abandon for " + path_);
+    out_.flush();
+    const bool stream_ok = out_.good();
+    out_.close();
+    if (!stream_ok) {
+        std::remove(tmpPath_.c_str());
+        abandoned_ = true;
+        fatal("write error on " + tmpPath_);
+    }
+    if (!syncFile(tmpPath_)) {
+        std::remove(tmpPath_.c_str());
+        abandoned_ = true;
+        fatal("fsync failed for " + tmpPath_);
+    }
+    if (std::rename(tmpPath_.c_str(), path_.c_str()) != 0) {
+        std::remove(tmpPath_.c_str());
+        abandoned_ = true;
+        fatal("rename " + tmpPath_ + " -> " + path_ + " failed");
+    }
+    syncParentDir(path_);
+    committed_ = true;
+}
+
+void
+AtomicFileWriter::abandon()
+{
+    if (committed_ || abandoned_)
+        return;
+    out_.close();
+    std::remove(tmpPath_.c_str());
+    abandoned_ = true;
+}
+
+void
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    AtomicFileWriter writer(path);
+    writer.stream().write(content.data(),
+                          static_cast<std::streamsize>(content.size()));
+    writer.commit();
+}
+
+} // namespace confsim

@@ -1,26 +1,24 @@
 #include "util/csv.h"
 
-#include "util/status.h"
+#include <cstdio>
+
 #include "util/string_utils.h"
 
 namespace confsim {
 
 CsvWriter::CsvWriter(const std::string &path)
     : out_(path)
-{
-    if (!out_)
-        fatal("cannot open CSV output file: " + path);
-}
+{}
 
 void
 CsvWriter::writeRow(const std::vector<std::string> &cells)
 {
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (i > 0)
-            out_ << ',';
-        out_ << escapeCell(cells[i]);
+            out_.stream() << ',';
+        out_.stream() << escapeCell(cells[i]);
     }
-    out_ << '\n';
+    out_.stream() << '\n';
 }
 
 void
@@ -36,13 +34,19 @@ CsvWriter::writeNumericRow(const std::vector<double> &cells, int decimals)
 void
 CsvWriter::close()
 {
-    if (out_.is_open())
-        out_.close();
+    out_.commit();
 }
 
 CsvWriter::~CsvWriter()
 {
-    close();
+    // commit() can fatal() (throw); destructors must not. A failure
+    // here leaves no temporary behind and the destination untouched.
+    try {
+        close();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "[confsim] CSV close failed: %s\n",
+                     e.what());
+    }
 }
 
 std::string

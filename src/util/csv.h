@@ -7,20 +7,25 @@
 #ifndef CONFSIM_UTIL_CSV_H
 #define CONFSIM_UTIL_CSV_H
 
-#include <fstream>
 #include <string>
 #include <vector>
+
+#include "util/atomic_file.h"
 
 namespace confsim {
 
 /**
  * Writes rows of string/number cells to a CSV file. Cells containing
  * commas, quotes, or newlines are quoted per RFC 4180.
+ *
+ * Output is crash-safe: rows accumulate in a `.tmp` sibling and the
+ * destination appears (atomically, complete) only at close(), so an
+ * interrupted run never leaves a truncated CSV under the final name.
  */
 class CsvWriter
 {
   public:
-    /** Open @p path for writing; calls fatal() if it cannot be opened. */
+    /** Open the `.tmp` sibling of @p path; fatal() on failure. */
     explicit CsvWriter(const std::string &path);
 
     /** Write a row of pre-formatted cells. */
@@ -30,7 +35,7 @@ class CsvWriter
     void writeNumericRow(const std::vector<double> &cells,
                          int decimals = 6);
 
-    /** Flush and close; also performed by the destructor. */
+    /** Publish the file atomically; also performed by the destructor. */
     void close();
 
     ~CsvWriter();
@@ -41,7 +46,7 @@ class CsvWriter
   private:
     static std::string escapeCell(const std::string &cell);
 
-    std::ofstream out_;
+    AtomicFileWriter out_;
 };
 
 } // namespace confsim

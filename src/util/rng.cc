@@ -113,6 +113,23 @@ Rng::split()
     return Rng(splitMix64(s));
 }
 
+std::array<std::uint64_t, 4>
+Rng::stateWords() const
+{
+    return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void
+Rng::setStateWords(const std::array<std::uint64_t, 4> &words)
+{
+    // The all-zero state is a fixed point of xoshiro256**; a checkpoint
+    // can never legitimately contain it.
+    if ((words[0] | words[1] | words[2] | words[3]) == 0)
+        fatal("Rng::setStateWords: all-zero state is invalid");
+    for (std::size_t i = 0; i < words.size(); ++i)
+        state_[i] = words[i];
+}
+
 ZipfSampler::ZipfSampler(std::size_t n, double s)
 {
     if (n == 0)

@@ -13,6 +13,7 @@
 #ifndef CONFSIM_UTIL_RNG_H
 #define CONFSIM_UTIL_RNG_H
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -63,6 +64,16 @@ class Rng
      * are decorrelated.
      */
     Rng split();
+
+    /**
+     * Snapshot the full generator state for checkpointing. Restoring
+     * these four words with setStateWords() reproduces the remaining
+     * output stream exactly.
+     */
+    std::array<std::uint64_t, 4> stateWords() const;
+
+    /** Restore a stateWords() snapshot. @pre not all words zero. */
+    void setStateWords(const std::array<std::uint64_t, 4> &words);
 
   private:
     std::uint64_t state_[4];

@@ -27,6 +27,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/state_io.h"
 #include "util/rng.h"
 #include "util/shift_register.h"
 
@@ -60,6 +61,9 @@ class WorkloadContext
     /** Clear the history (used by generator reset()). */
     void reset() { history_.clear(); }
 
+    /** Restore a historyValue() snapshot (checkpoint resume). */
+    void setHistory(std::uint64_t value) { history_.set(value); }
+
   private:
     ShiftRegister history_;
 };
@@ -85,6 +89,17 @@ class BranchBehavior
 
     /** Deep copy (the CFG clones behaviours on generator reset). */
     virtual std::unique_ptr<BranchBehavior> clone() const = 0;
+
+    /**
+     * Checkpoint mutable state. Most behaviours are stateless (all
+     * their variation comes from the shared Rng, which the workload
+     * generator checkpoints); loop position and pattern phase are
+     * the exceptions and override these.
+     */
+    virtual void saveState(StateWriter &out) const { (void)out; }
+
+    /** Restore a saveState() snapshot. */
+    virtual void loadState(StateReader &in) { (void)in; }
 };
 
 /** i.i.d. Bernoulli branch: taken with fixed probability. */
@@ -132,6 +147,20 @@ class LoopBehavior : public BranchBehavior
     void reset() override;
     std::unique_ptr<BranchBehavior> clone() const override;
 
+    void
+    saveState(StateWriter &out) const override
+    {
+        out.putU32(remaining_);
+        out.putBool(started_);
+    }
+
+    void
+    loadState(StateReader &in) override
+    {
+        remaining_ = in.getU32();
+        started_ = in.getBool();
+    }
+
   private:
     std::uint32_t drawTripCount(Rng &rng) const;
 
@@ -155,6 +184,18 @@ class PatternBehavior : public BranchBehavior
     bool nextOutcome(const WorkloadContext &ctx, Rng &rng) override;
     void reset() override { phase_ = 0; }
     std::unique_ptr<BranchBehavior> clone() const override;
+
+    void
+    saveState(StateWriter &out) const override
+    {
+        out.putU64(phase_);
+    }
+
+    void
+    loadState(StateReader &in) override
+    {
+        phase_ = static_cast<std::size_t>(in.getU64());
+    }
 
   private:
     std::vector<bool> pattern_;

@@ -1,5 +1,7 @@
 #include "workload/synthetic_cfg.h"
 
+#include "ckpt/state_io.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -233,6 +235,23 @@ SyntheticCfg::resetBehaviors()
 {
     for (auto &block : blocks_)
         block.behavior->reset();
+}
+
+
+void
+SyntheticCfg::saveBehaviorStates(StateWriter &out) const
+{
+    out.putU64(blocks_.size());
+    for (const CfgBlock &block : blocks_)
+        block.behavior->saveState(out);
+}
+
+void
+SyntheticCfg::loadBehaviorStates(StateReader &in)
+{
+    in.expectU64(blocks_.size(), "CFG block count");
+    for (CfgBlock &block : blocks_)
+        block.behavior->loadState(in);
 }
 
 } // namespace confsim

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/state_io.h"
 #include "util/rng.h"
 #include "workload/benchmark_profile.h"
 #include "workload/branch_behavior.h"
@@ -68,6 +69,12 @@ class SyntheticCfg
 
     /** Restore every behaviour to its initial state. */
     void resetBehaviors();
+
+    /** Checkpoint every behaviour's state (block-count guarded). */
+    void saveBehaviorStates(StateWriter &out) const;
+
+    /** Restore a saveBehaviorStates() snapshot. */
+    void loadBehaviorStates(StateReader &in);
 
     /** @return the profile the graph was generated from. */
     const BenchmarkProfile &profile() const { return profile_; }

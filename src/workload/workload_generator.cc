@@ -1,5 +1,9 @@
 #include "workload/workload_generator.h"
 
+#include <array>
+
+#include "ckpt/state_io.h"
+
 namespace confsim {
 
 namespace {
@@ -76,6 +80,35 @@ WorkloadGenerator::reset()
     currentBlock_ = 0;
     emitted_ = 0;
     entryEventPending_ = false;
+}
+
+
+void
+WorkloadGenerator::saveState(StateWriter &out) const
+{
+    const std::array<std::uint64_t, 4> words = runtimeRng_.stateWords();
+    for (const std::uint64_t word : words)
+        out.putU64(word);
+    out.putU64(context_.historyValue());
+    out.putU32(currentBlock_);
+    out.putU64(emitted_);
+    out.putBool(entryEventPending_);
+    cfg_.saveBehaviorStates(out);
+}
+
+void
+WorkloadGenerator::loadState(StateReader &in)
+{
+    std::array<std::uint64_t, 4> words;
+    for (std::uint64_t &word : words)
+        word = in.getU64();
+    runtimeRng_.setStateWords(words);
+    context_.reset();
+    context_.setHistory(in.getU64());
+    currentBlock_ = in.getU32();
+    emitted_ = in.getU64();
+    entryEventPending_ = in.getBool();
+    cfg_.loadBehaviorStates(in);
 }
 
 } // namespace confsim

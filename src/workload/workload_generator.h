@@ -43,6 +43,10 @@ class WorkloadGenerator : public TraceSource
     /** @return configured trace length in branches. */
     std::uint64_t length() const { return length_; }
 
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
+
   private:
     SyntheticCfg cfg_;
     std::uint64_t length_;

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * CSK1 container and CheckpointStore tests: serialize/deserialize
+ * round-trip, whole-file and per-component CRC detection, lenient
+ * inspection verdicts, component lookup guards, generation rotation
+ * with pruning, fall-back-one-generation recovery, done-markers, and
+ * store event hooks.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/checkpoint_store.h"
+
+namespace confsim {
+namespace {
+
+/** A trivial serializable payload for container tests. */
+struct Blob
+{
+    std::uint64_t a = 0;
+    double b = 0.0;
+
+    void
+    saveState(StateWriter &out) const
+    {
+        out.putU64(a);
+        out.putF64(b);
+    }
+
+    void
+    loadState(StateReader &in)
+    {
+        a = in.getU64();
+        b = in.getF64();
+    }
+};
+
+Checkpoint
+makeCheckpoint()
+{
+    Checkpoint ckpt;
+    ckpt.label = "groff";
+    ckpt.watermark = 123456;
+    ckpt.branches = 100000;
+    Blob blob{42, 0.25};
+    ckpt.addState("blob", 3, blob);
+    ckpt.add("raw", 1, {0xDE, 0xAD, 0xBE, 0xEF});
+    return ckpt;
+}
+
+TEST(CheckpointTest, SerializeDeserializeRoundTrip)
+{
+    const Checkpoint ckpt = makeCheckpoint();
+    const auto bytes = ckpt.serialize();
+    const Checkpoint back = Checkpoint::deserialize(bytes);
+    EXPECT_EQ(back.label, "groff");
+    EXPECT_EQ(back.watermark, 123456u);
+    EXPECT_EQ(back.branches, 100000u);
+    ASSERT_EQ(back.components().size(), 2u);
+
+    Blob blob;
+    back.restoreState("blob", 3, blob);
+    EXPECT_EQ(blob.a, 42u);
+    EXPECT_EQ(blob.b, 0.25);
+    const CheckpointComponent *raw = back.find("raw");
+    ASSERT_NE(raw, nullptr);
+    EXPECT_EQ(raw->payload.size(), 4u);
+}
+
+TEST(CheckpointTest, MagicLeadsTheFile)
+{
+    const auto bytes = makeCheckpoint().serialize();
+    ASSERT_GE(bytes.size(), 4u);
+    EXPECT_EQ(bytes[0], 'C');
+    EXPECT_EQ(bytes[1], 'S');
+    EXPECT_EQ(bytes[2], 'K');
+    EXPECT_EQ(bytes[3], '1');
+}
+
+TEST(CheckpointTest, AnySingleFlippedByteIsDetected)
+{
+    const auto bytes = makeCheckpoint().serialize();
+    // Every byte position participates in the whole-file CRC (or is
+    // the CRC itself), so flipping any one byte must be detected.
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        auto damaged = bytes;
+        damaged[i] ^= 0x40;
+        EXPECT_THROW(Checkpoint::deserialize(damaged),
+                     std::runtime_error)
+            << "undetected corruption at byte " << i;
+    }
+}
+
+TEST(CheckpointTest, TruncationIsDetected)
+{
+    const auto bytes = makeCheckpoint().serialize();
+    for (const std::size_t keep : {std::size_t{0}, std::size_t{3},
+                                   bytes.size() / 2,
+                                   bytes.size() - 1}) {
+        const std::vector<std::uint8_t> cut(bytes.begin(),
+                                            bytes.begin() + keep);
+        EXPECT_THROW(Checkpoint::deserialize(cut), std::runtime_error);
+    }
+}
+
+TEST(CheckpointTest, RestoreGuardsNameVersionAndResidue)
+{
+    const Checkpoint back =
+        Checkpoint::deserialize(makeCheckpoint().serialize());
+    Blob blob;
+    // Unknown component.
+    EXPECT_THROW(back.restoreState("missing", 1, blob),
+                 std::runtime_error);
+    // Version mismatch.
+    EXPECT_THROW(back.restoreState("blob", 2, blob),
+                 std::runtime_error);
+    // Payload not fully consumed ("raw" is 4 bytes, Blob reads 16).
+    EXPECT_THROW(back.restoreState("raw", 1, blob),
+                 std::runtime_error);
+}
+
+TEST(CheckpointTest, InspectReportsPerComponentDamage)
+{
+    const Checkpoint ckpt = makeCheckpoint();
+    auto bytes = ckpt.serialize();
+
+    const CheckpointInspection clean = inspectCheckpoint(bytes);
+    EXPECT_TRUE(clean.valid());
+    EXPECT_TRUE(clean.magicOk);
+    EXPECT_TRUE(clean.versionOk);
+    EXPECT_TRUE(clean.fileCrcOk);
+    EXPECT_TRUE(clean.structureOk);
+    EXPECT_EQ(clean.formatVersion, kCheckpointFormatVersion);
+    EXPECT_EQ(clean.label, "groff");
+    EXPECT_EQ(clean.watermark, 123456u);
+    ASSERT_EQ(clean.components.size(), 2u);
+    EXPECT_EQ(clean.components[0].name, "blob");
+    EXPECT_EQ(clean.components[0].version, 3u);
+    EXPECT_TRUE(clean.components[0].crcOk);
+    EXPECT_TRUE(clean.components[1].crcOk);
+
+    // Damage the second component's payload (the 0xDE byte): its CRC
+    // fails, the first component's still passes, and the file CRC
+    // flags the container.
+    for (std::size_t i = 0; i + 4 < bytes.size(); ++i) {
+        if (bytes[i] == 0xDE && bytes[i + 1] == 0xAD &&
+            bytes[i + 2] == 0xBE && bytes[i + 3] == 0xEF) {
+            bytes[i] ^= 0xFF;
+            break;
+        }
+    }
+    const CheckpointInspection damaged = inspectCheckpoint(bytes);
+    EXPECT_FALSE(damaged.valid());
+    EXPECT_FALSE(damaged.fileCrcOk);
+    EXPECT_TRUE(damaged.structureOk);
+    ASSERT_EQ(damaged.components.size(), 2u);
+    EXPECT_TRUE(damaged.components[0].crcOk);
+    EXPECT_FALSE(damaged.components[1].crcOk);
+}
+
+TEST(CheckpointTest, InspectToleratesGarbage)
+{
+    const std::vector<std::uint8_t> garbage = {'N', 'O', 'P', 'E', 1,
+                                               2,   3,   4,   5};
+    const CheckpointInspection info = inspectCheckpoint(garbage);
+    EXPECT_FALSE(info.valid());
+    EXPECT_FALSE(info.magicOk);
+}
+
+// ---------------------------------------------------------------------
+// CheckpointStore
+
+class CheckpointStoreTest : public ::testing::Test
+{
+  protected:
+    std::string dir_;
+
+    void
+    SetUp() override
+    {
+        dir_ = ::testing::TempDir() + "/confsim_ckpt_store_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        std::filesystem::remove_all(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    Checkpoint
+    at(std::uint64_t branches)
+    {
+        Checkpoint ckpt = makeCheckpoint();
+        ckpt.branches = branches;
+        return ckpt;
+    }
+
+    /** Flip one byte in the middle of @p path. */
+    static void
+    corruptFile(const std::string &path)
+    {
+        std::fstream file(path, std::ios::binary | std::ios::in |
+                                    std::ios::out);
+        ASSERT_TRUE(file);
+        file.seekg(0, std::ios::end);
+        const auto size = file.tellg();
+        const auto pos = static_cast<std::streamoff>(size) / 2;
+        file.seekg(pos);
+        char byte = 0;
+        file.get(byte);
+        file.seekp(pos);
+        file.put(static_cast<char>(byte ^ 0x20));
+    }
+};
+
+TEST_F(CheckpointStoreTest, GenerationsRotateAndPrune)
+{
+    CheckpointStore store(dir_, "groff", 2);
+    store.write(at(100));
+    store.write(at(200));
+    store.write(at(300));
+
+    const auto gens = store.generations();
+    ASSERT_EQ(gens.size(), 2u); // pruned to keepGenerations
+    EXPECT_EQ(gens[0], 3u);     // newest first
+    EXPECT_EQ(gens[1], 2u);
+    EXPECT_FALSE(std::filesystem::exists(store.generationPath(1)));
+
+    const auto newest = store.loadLatestValid();
+    ASSERT_TRUE(newest.has_value());
+    EXPECT_EQ(newest->branches, 300u);
+}
+
+TEST_F(CheckpointStoreTest, CorruptNewestFallsBackOneGeneration)
+{
+    CheckpointStore store(dir_, "groff", 3);
+    store.write(at(100));
+    store.write(at(200));
+    corruptFile(store.generationPath(2));
+
+    std::vector<CheckpointStoreEvent> events;
+    store.setEventHook([&events](const CheckpointStoreEvent &event) {
+        events.push_back(event);
+    });
+
+    const auto loaded = store.loadLatestValid();
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->branches, 100u); // fell back to generation 1
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, CheckpointStoreEvent::Kind::Corrupt);
+    EXPECT_EQ(events[0].generation, 2u);
+    EXPECT_FALSE(events[0].detail.empty());
+}
+
+TEST_F(CheckpointStoreTest, AllGenerationsCorruptYieldsNothing)
+{
+    CheckpointStore store(dir_, "groff", 2);
+    store.write(at(100));
+    store.write(at(200));
+    corruptFile(store.generationPath(1));
+    corruptFile(store.generationPath(2));
+    EXPECT_FALSE(store.loadLatestValid().has_value());
+}
+
+TEST_F(CheckpointStoreTest, WriteEventsCarryGenerationAndSize)
+{
+    CheckpointStore store(dir_, "groff", 2);
+    std::vector<CheckpointStoreEvent> events;
+    store.setEventHook([&events](const CheckpointStoreEvent &event) {
+        events.push_back(event);
+    });
+    store.write(at(500));
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].kind, CheckpointStoreEvent::Kind::Written);
+    EXPECT_EQ(events[0].generation, 1u);
+    EXPECT_EQ(events[0].atBranch, 500u);
+    EXPECT_GT(events[0].bytes, 0u);
+    EXPECT_EQ(events[0].path, store.generationPath(1));
+}
+
+TEST_F(CheckpointStoreTest, NewStoreContinuesGenerationSequence)
+{
+    {
+        CheckpointStore store(dir_, "groff", 2);
+        store.write(at(100));
+        store.write(at(200));
+    }
+    // A restarted process must not reuse generation numbers it could
+    // then confuse with stale files.
+    CheckpointStore reopened(dir_, "groff", 2);
+    reopened.write(at(300));
+    const auto gens = reopened.generations();
+    ASSERT_GE(gens.size(), 1u);
+    EXPECT_EQ(gens[0], 3u);
+}
+
+TEST_F(CheckpointStoreTest, DoneMarkerRoundTripsAndOutlivesPrune)
+{
+    CheckpointStore store(dir_, "groff", 2);
+    store.write(at(100));
+    store.writeCompleted(at(999));
+    store.removeGenerations();
+
+    EXPECT_TRUE(store.generations().empty());
+    const auto done = store.loadCompleted();
+    ASSERT_TRUE(done.has_value());
+    EXPECT_EQ(done->branches, 999u);
+}
+
+TEST_F(CheckpointStoreTest, CorruptDoneMarkerIsRejected)
+{
+    CheckpointStore store(dir_, "groff", 2);
+    store.writeCompleted(at(999));
+    corruptFile(store.completedPath());
+    EXPECT_FALSE(store.loadCompleted().has_value());
+}
+
+TEST_F(CheckpointStoreTest, LabelsAreIsolated)
+{
+    CheckpointStore a(dir_, "groff", 2);
+    CheckpointStore b(dir_, "jpeg", 2);
+    a.write(at(100));
+    EXPECT_EQ(a.generations().size(), 1u);
+    EXPECT_TRUE(b.generations().empty());
+}
+
+TEST_F(CheckpointStoreTest, NoTemporaryFilesSurviveWrites)
+{
+    CheckpointStore store(dir_, "groff", 2);
+    store.write(at(100));
+    store.writeCompleted(at(200));
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir_)) {
+        EXPECT_NE(entry.path().extension(), ".tmp")
+            << entry.path() << " left behind";
+    }
+}
+
+} // namespace
+} // namespace confsim

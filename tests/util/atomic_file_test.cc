@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the crash-safe AtomicFileWriter: commit visibility,
+ * abandon/destructor cleanup, overwrite atomicity, and parent-directory
+ * creation.
+ */
+
+#include "util/atomic_file.h"
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+class AtomicFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::path(::testing::TempDir()) / info->name();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    fs::path dir_;
+};
+
+TEST_F(AtomicFileTest, NothingVisibleBeforeCommit)
+{
+    const fs::path target = dir_ / "out.txt";
+    AtomicFileWriter writer(target.string());
+    writer.stream() << "payload";
+    writer.stream().flush();
+    EXPECT_FALSE(fs::exists(target));
+    EXPECT_TRUE(fs::exists(writer.tmpPath()));
+    writer.commit();
+    EXPECT_TRUE(writer.committed());
+    EXPECT_TRUE(fs::exists(target));
+    EXPECT_FALSE(fs::exists(writer.tmpPath()));
+    EXPECT_EQ(slurp(target), "payload");
+}
+
+TEST_F(AtomicFileTest, DestructionWithoutCommitLeavesNoFiles)
+{
+    const fs::path target = dir_ / "out.txt";
+    std::string tmp_path;
+    {
+        AtomicFileWriter writer(target.string());
+        writer.stream() << "half-written";
+        tmp_path = writer.tmpPath();
+    }
+    EXPECT_FALSE(fs::exists(target));
+    EXPECT_FALSE(fs::exists(tmp_path));
+}
+
+TEST_F(AtomicFileTest, AbandonedOverwriteKeepsThePreviousFile)
+{
+    const fs::path target = dir_ / "out.txt";
+    atomicWriteFile(target.string(), "generation 1");
+    {
+        AtomicFileWriter writer(target.string());
+        writer.stream() << "generation 2, interrupted";
+        writer.abandon();
+    }
+    EXPECT_EQ(slurp(target), "generation 1");
+}
+
+TEST_F(AtomicFileTest, CommittedOverwriteReplacesThePreviousFile)
+{
+    const fs::path target = dir_ / "out.txt";
+    atomicWriteFile(target.string(), "generation 1");
+    atomicWriteFile(target.string(), "generation 2");
+    EXPECT_EQ(slurp(target), "generation 2");
+    EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+}
+
+TEST_F(AtomicFileTest, CreatesMissingParentDirectories)
+{
+    const fs::path target = dir_ / "a" / "b" / "out.jsonl";
+    ASSERT_FALSE(fs::exists(target.parent_path()));
+    atomicWriteFile(target.string(), "nested");
+    EXPECT_EQ(slurp(target), "nested");
+}
+
+TEST_F(AtomicFileTest, CommitAfterAbandonThrows)
+{
+    const fs::path target = dir_ / "out.txt";
+    AtomicFileWriter writer(target.string());
+    writer.abandon();
+    EXPECT_THROW(writer.commit(), std::runtime_error);
+}
+
+} // namespace
+} // namespace confsim

@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -149,6 +151,29 @@ TEST(ZipfTest, ProbabilitiesSumToOneAndDecrease)
         total += p;
     }
     EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(RngStateTest, StateWordsRoundTripReproducesTheStream)
+{
+    Rng original(0xC5EED);
+    for (int i = 0; i < 1000; ++i) // advance past the seed state
+        (void)original.next();
+
+    const auto snapshot = original.stateWords();
+    std::vector<std::uint64_t> expected;
+    for (int i = 0; i < 256; ++i)
+        expected.push_back(original.next());
+
+    Rng restored(1); // different seed; snapshot must fully override it
+    restored.setStateWords(snapshot);
+    for (int i = 0; i < 256; ++i)
+        EXPECT_EQ(restored.next(), expected[i]) << "draw " << i;
+}
+
+TEST(RngStateTest, AllZeroStateIsRejected)
+{
+    Rng rng(7);
+    EXPECT_THROW(rng.setStateWords({0, 0, 0, 0}), std::runtime_error);
 }
 
 TEST(ZipfTest, SampleFrequenciesTrackProbabilities)

@@ -116,8 +116,10 @@ TEST_F(CsvWriterTest, NumericRows)
 
 TEST_F(CsvWriterTest, UnwritablePathIsFatal)
 {
-    EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"),
-                 std::runtime_error);
+    // The writer creates missing parent directories, so an unwritable
+    // path needs a parent that is a regular file, not a missing one.
+    std::ofstream(path_) << "not a directory";
+    EXPECT_THROW(CsvWriter(path_ + "/x.csv"), std::runtime_error);
 }
 
 } // namespace
