@@ -72,17 +72,28 @@ main(int argc, char **argv)
             {"gshare-64K", largeGshareFactory()},
         };
 
+    // All seven predictors share one decode pass per benchmark: the
+    // sweep engine broadcasts each trace batch to every configuration,
+    // bit-exact with running runSuiteExperiment() seven times.
+    std::vector<SweepExperimentConfig> sweep_configs;
+    for (const auto &[label, factory] : predictors) {
+        sweep_configs.push_back(
+            {label, factory,
+             {oneLevelCounterConfig(IndexScheme::PcXorBhr,
+                                    CounterKind::Resetting)}});
+    }
+    const SweepSuiteResult sweep =
+        runSweepSuiteExperiment(env, sweep_configs);
+
     std::printf("%-12s %10s %8s %14s %14s\n", "predictor", "mispred",
                 "@20%", "zero-bkt refs", "zero-bkt miss");
     CsvWriter csv(env.csvDir + "/ablation_predictors.csv");
     csv.writeRow({"predictor", "mispredict_rate", "coverage_at_20",
                   "zero_bucket_refs", "zero_bucket_miss"});
 
-    for (const auto &[label, factory] : predictors) {
-        const auto result = runSuiteExperiment(
-            env, factory,
-            {oneLevelCounterConfig(IndexScheme::PcXorBhr,
-                                   CounterKind::Resetting)});
+    for (std::size_t i = 0; i < sweep.perConfig.size(); ++i) {
+        const std::string &label = sweep.labels[i];
+        const SuiteRunResult &result = sweep.perConfig[i];
         const auto curve = compositeCurve(result, 0, label);
         const auto &stats = result.compositeEstimatorStats[0];
         const double zb_refs =

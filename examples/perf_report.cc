@@ -7,6 +7,8 @@
  *
  *   BENCH_<YYYY-MM-DD>.json
  *     { "schema": "confsim-bench-v1", "date": ..., build provenance,
+ *       "sweep_speedup_8cfg": <single-pass sweep vs per-config
+ *       replay at 8 configurations>,
  *       "results": [ { "name", "branches", "wall_ms",
  *                      "ns_per_branch" }, ... ] }
  *
@@ -24,6 +26,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -91,6 +94,87 @@ timeCase(const std::string &name, const BenchmarkProfile &profile,
             ? 0.0
             : result.wallMs * 1e6 / static_cast<double>(result.branches);
     return timed;
+}
+
+/** The 8-configuration matrix used for the sweep-vs-replay contest. */
+std::vector<SweepConfiguration>
+sweepMatrix()
+{
+    const std::vector<EstimatorConfig> configs = {
+        oneLevelIdealConfig(IndexScheme::Pc),
+        oneLevelIdealConfig(IndexScheme::Bhr),
+        oneLevelIdealConfig(IndexScheme::PcXorBhr),
+        oneLevelOnesCountConfig(IndexScheme::PcXorBhr),
+        oneLevelCounterConfig(IndexScheme::PcXorBhr,
+                              CounterKind::Saturating),
+        oneLevelCounterConfig(IndexScheme::PcXorBhr,
+                              CounterKind::Resetting),
+        oneLevelCounterConfig(IndexScheme::PcXorBhr,
+                              CounterKind::HalfReset),
+        twoLevelConfig(IndexScheme::PcXorBhr, SecondLevelIndex::Cir),
+    };
+    std::vector<SweepConfiguration> matrix;
+    for (const auto &config : configs) {
+        SweepConfiguration entry;
+        entry.label = config.label;
+        entry.makePredictor = largeGshareFactory();
+        entry.makeEstimators = [make = config.make] {
+            std::vector<std::unique_ptr<ConfidenceEstimator>> set;
+            set.push_back(make());
+            return set;
+        };
+        matrix.push_back(std::move(entry));
+    }
+    return matrix;
+}
+
+/**
+ * Time the same 8 configurations both ways: decoding the trace once
+ * per configuration (the pre-sweep workflow) versus one broadcast
+ * pass through the sweep engine. The ratio is the headline
+ * "sweep_speedup_8cfg" number in the JSON artifact.
+ */
+std::pair<TimedCase, TimedCase>
+timeSweepContest(const BenchmarkProfile &profile,
+                 std::uint64_t branches)
+{
+    const std::vector<SweepConfiguration> matrix = sweepMatrix();
+
+    TimedCase replay;
+    replay.name = "sweep/replay_8cfg";
+    for (const auto &config : matrix) {
+        WorkloadGenerator workload(profile, branches);
+        const auto predictor = config.makePredictor();
+        auto estimators = config.makeEstimators();
+        std::vector<ConfidenceEstimator *> raw;
+        for (const auto &estimator : estimators)
+            raw.push_back(estimator.get());
+        SimulationDriver driver(*predictor, raw, DriverOptions{});
+        const DriverResult result = driver.run(workload);
+        replay.branches = result.branches;
+        replay.wallMs += result.wallMs;
+    }
+
+    TimedCase sweep;
+    sweep.name = "sweep/single_pass_8cfg";
+    {
+        WorkloadGenerator workload(profile, branches);
+        SweepEngine engine(matrix, DriverOptions{}, SweepOptions{});
+        const SweepRunResult result = engine.run(workload);
+        sweep.branches = result.branches;
+        sweep.wallMs = result.wallMs;
+    }
+
+    // ns per branch UPDATE (branches x configs), so the two rows are
+    // directly comparable per unit of simulation work.
+    const double updates =
+        static_cast<double>(replay.branches) *
+        static_cast<double>(matrix.size());
+    if (updates > 0) {
+        replay.nsPerBranch = replay.wallMs * 1e6 / updates;
+        sweep.nsPerBranch = sweep.wallMs * 1e6 / updates;
+    }
+    return {replay, sweep};
 }
 
 } // namespace
@@ -168,6 +252,20 @@ main(int argc, char **argv)
                     results.back().wallMs);
     }
 
+    // Sweep-vs-replay contest: 8 configurations, one decoded pass.
+    const auto [replay, sweep] = timeSweepContest(profile, branches);
+    const double sweep_speedup =
+        sweep.wallMs > 0.0 ? replay.wallMs / sweep.wallMs : 0.0;
+    results.push_back(replay);
+    results.push_back(sweep);
+    std::printf("%-26s %8.2f ns/update  (%.1f ms)\n",
+                replay.name.c_str(), replay.nsPerBranch,
+                replay.wallMs);
+    std::printf("%-26s %8.2f ns/update  (%.1f ms)\n",
+                sweep.name.c_str(), sweep.nsPerBranch, sweep.wallMs);
+    std::printf("sweep speedup at 8 configurations: %.2fx\n",
+                sweep_speedup);
+
     const std::string date = todayIso();
     const std::string out_dir = cli.getString("out-dir");
     std::filesystem::create_directories(out_dir);
@@ -188,6 +286,13 @@ main(int argc, char **argv)
         << jsonString(manifest.cxxStandard) << ","
         << jsonString("benchmark") << ":" << jsonString(profile.name)
         << "," << jsonString("branches") << ":" << branches << ","
+        << jsonString("sweep_speedup_8cfg") << ":"
+        << jsonNumber(sweep_speedup) << ","
+        // Sweep speedup scales with cores (config sharding) on top of
+        // the decode-once saving, so the trajectory tooling needs the
+        // host's parallelism to compare artifacts across machines.
+        << jsonString("hardware_concurrency") << ":"
+        << std::thread::hardware_concurrency() << ","
         << jsonString("results") << ":[";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const TimedCase &timed = results[i];

@@ -46,6 +46,10 @@ inline constexpr const char *kCheckpointWritten = "checkpoint_written";
 inline constexpr const char *kCheckpointRestored =
     "checkpoint_restored";
 inline constexpr const char *kCheckpointCorrupt = "checkpoint_corrupt";
+inline constexpr const char *kSweepRunStarted = "sweep_run_started";
+inline constexpr const char *kSweepRunFinished = "sweep_run_finished";
+inline constexpr const char *kSweepConfigFinished =
+    "sweep_config_finished";
 
 } // namespace events
 

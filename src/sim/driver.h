@@ -46,6 +46,11 @@ struct DriverOptions
      * exclude it. 0 = record from the first branch (the paper runs
      * benchmarks "to their full length" and reports everything,
      * including the initial-state effects Fig. 11 studies).
+     *
+     * Warmup is purely a statistics exclusion window on the first
+     * warmupBranches simulated conditionals: it does not delay,
+     * reset, or otherwise interact with the context-switch clock
+     * below. (Pinned by tests/sim/warmup_context_switch_test.cc.)
      */
     std::uint64_t warmupBranches = 0;
 
@@ -56,6 +61,15 @@ struct DriverOptions
      * cleared. 0 = never switch. Section 5.4 motivates this knob: the
      * choice of CT initialization matters exactly because tables
      * restart after context switches.
+     *
+     * Composition with warmup, exactly: the interval counts EVERY
+     * simulated conditional branch, warmup included (the OS does not
+     * pause the scheduler while a predictor warms up), so with
+     * warmupBranches > contextSwitchInterval the first flushes land
+     * inside the warmup window. A switch fires AFTER the triggering
+     * branch has fully trained the predictor, estimators, BHR, and
+     * GCIR, and never clears accumulated statistics — only modeled
+     * hardware state. (Pinned by warmup_context_switch_test.cc.)
      */
     std::uint64_t contextSwitchInterval = 0;
 

@@ -27,6 +27,10 @@ ExperimentEnv::fromCli(int argc, const char *const *argv,
                   "completion markers)");
     cli.addFlag("resume",
                 "resume prior progress from --checkpoint-dir");
+    cli.addOption("sweep-threads", "0",
+                  "sweep worker threads (0 = hardware concurrency)");
+    cli.addOption("batch-size", "4096",
+                  "records per sweep broadcast batch");
     cli.addOption("telemetry", "",
                   "write JSONL telemetry (manifest + events) here");
     cli.addOption("telemetry-csv", "",
@@ -49,6 +53,11 @@ ExperimentEnv::fromCli(int argc, const char *const *argv,
     env.resume = cli.getFlag("resume");
     if (env.resume && env.checkpointDir.empty())
         fatal("--resume requires --checkpoint-dir");
+    env.sweepThreads =
+        static_cast<unsigned>(cli.getUnsigned("sweep-threads"));
+    env.batchSize = cli.getUnsigned("batch-size");
+    if (env.batchSize == 0)
+        fatal("--batch-size must be at least 1");
     env.telemetry.jsonlPath = cli.getString("telemetry");
     env.telemetry.csvPath = cli.getString("telemetry-csv");
     env.telemetry.progress = cli.getFlag("progress");
@@ -211,6 +220,59 @@ runSuiteExperiment(const ExperimentEnv &env,
     policy.checkpoint.everyBranches = env.checkpointEvery;
     policy.checkpoint.resume = env.resume;
     return runner.run(make_predictor, make_estimators, options, policy);
+}
+
+SweepSuiteResult
+runSweepSuiteExperiment(const ExperimentEnv &env,
+                        const std::vector<SweepExperimentConfig> &configs)
+{
+    if (configs.empty())
+        fatal("runSweepSuiteExperiment needs at least one "
+              "configuration");
+    SuiteRunner runner(env.makeSuite());
+    DriverOptions options;
+    options.bhrBits = paper::kLargeHistoryBits;
+    options.gcirBits = paper::kCirBits;
+    options.profileStatic = true;
+
+    Telemetry *const telemetry = env.telemetryContext.get();
+    if (telemetry != nullptr) {
+        // The manifest's predictor/estimator identity comes from the
+        // first configuration; the sweep_* events carry the rest.
+        telemetry->setManifest(buildManifest(
+            env, runner.suite(), configs.front().makePredictor,
+            configs.front().estimators, options));
+        options.telemetry = telemetry;
+        options.telemetrySampleStride = env.telemetry.sampleStride;
+    }
+
+    std::vector<SweepConfiguration> sweep_configs;
+    sweep_configs.reserve(configs.size());
+    for (const auto &config : configs) {
+        SweepConfiguration sweep_config;
+        sweep_config.label = config.label;
+        sweep_config.makePredictor = config.makePredictor;
+        const std::vector<EstimatorConfig> &estimators =
+            config.estimators;
+        sweep_config.makeEstimators = [estimators] {
+            std::vector<std::unique_ptr<ConfidenceEstimator>> out;
+            out.reserve(estimators.size());
+            for (const auto &estimator : estimators)
+                out.push_back(estimator.make());
+            return out;
+        };
+        sweep_configs.push_back(std::move(sweep_config));
+    }
+
+    SweepOptions sweep;
+    sweep.threads = env.sweepThreads;
+    sweep.batchSize = env.batchSize;
+
+    RunPolicy policy;
+    policy.checkpoint.directory = env.checkpointDir;
+    policy.checkpoint.everyBranches = env.checkpointEvery;
+    policy.checkpoint.resume = env.resume;
+    return runner.runSweep(sweep_configs, options, sweep, policy);
 }
 
 NamedCurve

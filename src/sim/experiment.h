@@ -25,6 +25,7 @@
 #include "obs/telemetry.h"
 #include "predictor/gshare.h"
 #include "sim/suite_runner.h"
+#include "sim/sweep_engine.h"
 #include "util/cli.h"
 
 namespace confsim {
@@ -60,6 +61,15 @@ struct ExperimentEnv
 
     /** Producing binary's description (the manifest "tool" field). */
     std::string tool;
+
+    /**
+     * Worker threads for sweep-engine runs (--sweep-threads); 0 = one
+     * per hardware thread. Thread count never changes results.
+     */
+    unsigned sweepThreads = 0;
+
+    /** Records per sweep broadcast batch (--batch-size). */
+    std::size_t batchSize = RecordBatch::kDefaultCapacity;
 
     /** Telemetry knobs (--telemetry/--telemetry-csv/--progress). */
     TelemetryOptions telemetry;
@@ -131,6 +141,26 @@ SuiteRunResult
 runSuiteExperiment(const ExperimentEnv &env,
                    const PredictorFactory &make_predictor,
                    const std::vector<EstimatorConfig> &estimators);
+
+/** One labelled (predictor, estimator set) sweep configuration. */
+struct SweepExperimentConfig
+{
+    std::string label;
+    PredictorFactory makePredictor;
+    std::vector<EstimatorConfig> estimators;
+};
+
+/**
+ * Run many configurations over the environment's suite in one decode
+ * pass per benchmark (SuiteRunner::runSweep), with static profiling
+ * enabled and the same checkpoint/telemetry wiring as
+ * runSuiteExperiment. Per-config results are bit-exact with running
+ * runSuiteExperiment once per configuration; only the wall clock
+ * differs. Sweep knobs come from env.sweepThreads / env.batchSize.
+ */
+SweepSuiteResult
+runSweepSuiteExperiment(const ExperimentEnv &env,
+                        const std::vector<SweepExperimentConfig> &configs);
 
 /** A named curve ready for reporting. */
 struct NamedCurve

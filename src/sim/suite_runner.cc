@@ -8,6 +8,7 @@
 
 #include "ckpt/checkpoint_store.h"
 #include "obs/telemetry.h"
+#include "sim/sweep_engine.h"
 #include "trace/fault_injection.h"
 #include "trace/trace_io.h"
 #include "util/status.h"
@@ -466,6 +467,68 @@ runGuarded(const BenchmarkSuite &suite, std::size_t bench,
     return bench_result;
 }
 
+/**
+ * Fill a suite result's composites (Section 1.2 equal-weight) from its
+ * per-benchmark entries: the per-estimator equal-weight curves, the
+ * re-weighted static profile, the composite misprediction rate, and
+ * the degraded flag. Shared by the sequential and sweep paths so both
+ * composite identically. @return the survivor count.
+ */
+std::size_t
+computeComposites(SuiteRunResult &result, bool profile_static,
+                  std::size_t suite_size)
+{
+    double rate_sum = 0.0;
+    std::size_t survivors = 0;
+    for (const auto &bench_result : result.perBenchmark) {
+        if (!bench_result.failed()) {
+            rate_sum += bench_result.mispredictRate;
+            ++survivors;
+        }
+    }
+    result.degraded = survivors != suite_size;
+
+    // Composites are equal-weight over the surviving subset.
+    const BenchmarkRunResult *first_ok = nullptr;
+    for (const auto &bench_result : result.perBenchmark) {
+        if (!bench_result.failed()) {
+            first_ok = &bench_result;
+            break;
+        }
+    }
+    if (first_ok == nullptr)
+        return survivors;
+
+    result.estimatorNames = first_ok->estimatorNames;
+    const std::size_t num_estimators = result.estimatorNames.size();
+    for (std::size_t e = 0; e < num_estimators; ++e) {
+        EqualWeightComposite composite(
+            first_ok->estimatorStats[e].numBuckets());
+        for (const auto &bench_result : result.perBenchmark) {
+            if (!bench_result.failed())
+                composite.add(bench_result.estimatorStats[e]);
+        }
+        result.compositeEstimatorStats.push_back(composite.result());
+    }
+
+    if (profile_static) {
+        constexpr double kCommonMass = 1e6;
+        for (const auto &bench_result : result.perBenchmark) {
+            if (bench_result.failed())
+                continue;
+            const double refs = bench_result.staticStats.totalRefs();
+            if (refs > 0.0) {
+                result.compositeStaticStats.addWeighted(
+                    bench_result.staticStats, kCommonMass / refs);
+            }
+        }
+    }
+
+    result.compositeMispredictRate =
+        rate_sum / static_cast<double>(survivors);
+    return survivors;
+}
+
 } // namespace
 
 SuiteRunResult
@@ -553,57 +616,11 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
         }
     }
 
-    double rate_sum = 0.0;
-    std::size_t survivors = 0;
-    for (auto &bench_result : bench_results) {
-        if (!bench_result.failed()) {
-            rate_sum += bench_result.mispredictRate;
-            ++survivors;
-        }
+    for (auto &bench_result : bench_results)
         result.perBenchmark.push_back(std::move(bench_result));
-    }
-    result.degraded = survivors != suite_.size();
-
-    // Composites are equal-weight over the surviving subset.
-    const BenchmarkRunResult *first_ok = nullptr;
-    for (const auto &bench_result : result.perBenchmark) {
-        if (!bench_result.failed()) {
-            first_ok = &bench_result;
-            break;
-        }
-    }
-    if (first_ok != nullptr) {
-        result.estimatorNames = first_ok->estimatorNames;
-        const std::size_t num_estimators =
-            result.estimatorNames.size();
-        for (std::size_t e = 0; e < num_estimators; ++e) {
-            EqualWeightComposite composite(
-                first_ok->estimatorStats[e].numBuckets());
-            for (const auto &bench_result : result.perBenchmark) {
-                if (!bench_result.failed())
-                    composite.add(bench_result.estimatorStats[e]);
-            }
-            result.compositeEstimatorStats.push_back(
-                composite.result());
-        }
-
-        if (options.profileStatic) {
-            constexpr double kCommonMass = 1e6;
-            for (const auto &bench_result : result.perBenchmark) {
-                if (bench_result.failed())
-                    continue;
-                const double refs =
-                    bench_result.staticStats.totalRefs();
-                if (refs > 0.0) {
-                    result.compositeStaticStats.addWeighted(
-                        bench_result.staticStats, kCommonMass / refs);
-                }
-            }
-        }
-
-        result.compositeMispredictRate =
-            rate_sum / static_cast<double>(survivors);
-    }
+    const std::size_t survivors =
+        computeComposites(result, options.profileStatic,
+                          suite_.size());
 
     result.wallMs = elapsedMsSince(suite_start);
     if (telemetry != nullptr) {
@@ -619,6 +636,213 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
              field("survivors",
                    static_cast<std::uint64_t>(survivors))}));
         telemetry->registry().observe("suite.wall_ms", result.wallMs);
+    }
+    return result;
+}
+
+SweepSuiteResult
+SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
+                      DriverOptions options, SweepOptions sweep,
+                      RunPolicy policy) const
+{
+    if (configs.empty())
+        fatal("runSweep needs at least one configuration");
+    if (policy.watchdogMs != 0)
+        options.wallClockLimitMs = policy.watchdogMs;
+    const bool fail_fast = policy.errorMode == ErrorMode::kFailFast;
+    Telemetry *const telemetry = options.telemetry;
+    const auto sweep_start = std::chrono::steady_clock::now();
+
+    SweepSuiteResult result;
+    result.labels.reserve(configs.size());
+    for (const auto &config : configs)
+        result.labels.push_back(config.label);
+    result.perConfig.resize(configs.size());
+
+    // Benchmarks run sequentially: the parallelism budget goes to the
+    // configuration shards inside each benchmark's sweep pass, which
+    // is where the single-decode win is.
+    for (std::size_t bench = 0; bench < suite_.size(); ++bench) {
+        const std::string bench_name = suite_.profile(bench).name;
+        DriverOptions run_options = options;
+        run_options.telemetryLabel = bench_name;
+
+        std::unique_ptr<CheckpointStore> store;
+        if (policy.checkpoint.enabled()) {
+            // A distinct store label keeps sweep generations from
+            // colliding with sequential-run checkpoints of the same
+            // benchmark in a shared directory (the formats differ).
+            store = std::make_unique<CheckpointStore>(
+                policy.checkpoint.directory, bench_name + "-sweep",
+                policy.checkpoint.keepGenerations);
+            wireStoreTelemetry(*store, telemetry, bench_name);
+        }
+
+        const auto build_source = [&] {
+            std::unique_ptr<TraceSource> source =
+                suite_.makeGenerator(bench);
+            if (sourceWrapper_) {
+                source = sourceWrapper_(bench, std::move(source));
+                if (!source) {
+                    fatal("source wrapper returned null for "
+                          "benchmark '" +
+                          bench_name + "'");
+                }
+            }
+            wireSourceTelemetry(*source, telemetry, bench_name);
+            return source;
+        };
+
+        std::string error;
+        SweepRunResult bench_sweep;
+        const unsigned max_attempts = std::max(1u, policy.maxAttempts);
+        for (unsigned attempt = 1; attempt <= max_attempts;
+             ++attempt) {
+            error.clear();
+            try {
+                SweepEngine engine(configs, run_options, sweep);
+                if (store != nullptr) {
+                    engine.checkpointEvery(
+                        policy.checkpoint.everyBranches, store.get());
+                }
+                std::unique_ptr<TraceSource> source = build_source();
+                bool resumed = false;
+                if (store != nullptr && policy.checkpoint.resume) {
+                    // Newest valid generation wins; a generation that
+                    // decodes but does not restore under this
+                    // configuration falls back one generation (the
+                    // engine rebuilds its states on every attempt, so
+                    // only the source needs refreshing here).
+                    for (const std::uint64_t gen :
+                         store->generations()) {
+                        std::optional<Checkpoint> ckpt =
+                            store->load(gen);
+                        if (!ckpt.has_value())
+                            continue;
+                        try {
+                            bench_sweep =
+                                engine.resume(*source, *ckpt);
+                            emitRestored(telemetry, bench_name, gen,
+                                         ckpt->branches);
+                            resumed = true;
+                            break;
+                        } catch (const WatchdogTimeout &) {
+                            throw;
+                        } catch (const std::exception &e) {
+                            if (telemetry != nullptr) {
+                                telemetry->emit(TelemetryEvent(
+                                    events::kCheckpointCorrupt,
+                                    {field("benchmark", bench_name),
+                                     field("generation", gen),
+                                     field("error", e.what())}));
+                                telemetry->registry().increment(
+                                    "ckpt.corrupt");
+                            }
+                            source = build_source();
+                        }
+                    }
+                }
+                if (!resumed)
+                    bench_sweep = engine.run(*source);
+                break;
+            } catch (const WatchdogTimeout &e) {
+                error = e.what();
+                if (telemetry != nullptr) {
+                    telemetry->emit(TelemetryEvent(
+                        events::kWatchdogTimeout,
+                        {field("benchmark", bench_name),
+                         field("attempt",
+                               static_cast<std::uint64_t>(attempt)),
+                         field("error", error)}));
+                    telemetry->registry().increment(
+                        "suite.watchdog_timeouts");
+                }
+                break; // terminal: re-running a blown budget loses too
+            } catch (const std::exception &e) {
+                error = e.what();
+            } catch (...) {
+                error = "unknown exception";
+            }
+            if (telemetry != nullptr && !error.empty() &&
+                attempt < max_attempts) {
+                telemetry->emit(TelemetryEvent(
+                    events::kBenchmarkRetry,
+                    {field("benchmark", bench_name),
+                     field("attempt",
+                           static_cast<std::uint64_t>(attempt)),
+                     field("error", error)}));
+                telemetry->registry().increment("suite.retries");
+            }
+        }
+
+        if (!error.empty()) {
+            if (fail_fast) {
+                if (telemetry != nullptr)
+                    telemetry->finish();
+                fatal("benchmark '" + bench_name +
+                      "' failed: " + error);
+            }
+            // Every configuration consumed the same pass, so the
+            // benchmark is failed for all of them.
+            for (auto &config_result : result.perConfig) {
+                BenchmarkRunResult failed;
+                failed.name = bench_name;
+                failed.error = error;
+                config_result.perBenchmark.push_back(
+                    std::move(failed));
+            }
+            continue;
+        }
+
+        if (store != nullptr) {
+            // The benchmark finished; its mid-run generations are dead
+            // weight (the sweep path keeps no done-markers — results
+            // live in the returned SweepSuiteResult only).
+            store->removeGenerations();
+        }
+
+        const std::uint64_t tag = static_cast<std::uint64_t>(bench)
+                                  << 48;
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            SweepConfigResult &config_result =
+                bench_sweep.perConfig[c];
+            BenchmarkRunResult bench_result;
+            bench_result.name = bench_name;
+            bench_result.branches = config_result.branches;
+            bench_result.mispredicts = config_result.mispredicts;
+            bench_result.mispredictRate =
+                config_result.mispredictRate();
+            bench_result.estimatorStats =
+                std::move(config_result.estimatorStats);
+            bench_result.estimatorNames =
+                std::move(config_result.estimatorNames);
+            // The pass is shared, so per-config wall attribution is
+            // the whole pass (sweeps amortize, they don't itemize).
+            bench_result.wallMs = bench_sweep.wallMs;
+            if (options.profileStatic) {
+                // Re-key per-PC entries exactly as run() does.
+                for (const auto &[pc, entry] :
+                     config_result.staticProfile.entries()) {
+                    bench_result.staticStats.recordAggregate(
+                        tag | pc,
+                        static_cast<double>(entry.executions),
+                        static_cast<double>(entry.mispredictions));
+                }
+            }
+            result.perConfig[c].perBenchmark.push_back(
+                std::move(bench_result));
+        }
+    }
+
+    for (auto &config_result : result.perConfig) {
+        computeComposites(config_result, options.profileStatic,
+                          suite_.size());
+        config_result.wallMs = elapsedMsSince(sweep_start);
+    }
+    result.wallMs = elapsedMsSince(sweep_start);
+    if (telemetry != nullptr) {
+        telemetry->registry().observe("sweep.suite_wall_ms",
+                                      result.wallMs);
     }
     return result;
 }

@@ -123,6 +123,34 @@ using EstimatorSetFactory =
 using SourceWrapper = std::function<std::unique_ptr<TraceSource>(
     std::size_t bench, std::unique_ptr<TraceSource> inner)>;
 
+struct SweepConfiguration;
+struct SweepOptions;
+
+/**
+ * Results of a multi-configuration sweep over a suite: one full
+ * SuiteRunResult per attached configuration (configuration order
+ * preserved), produced from a single decode pass per benchmark. Each
+ * per-config result is bit-exact with what SuiteRunner::run would have
+ * produced for that configuration alone (see sim/sweep_engine.h).
+ */
+struct SweepSuiteResult
+{
+    std::vector<SuiteRunResult> perConfig;
+    std::vector<std::string> labels; //!< configuration labels
+    double wallMs = 0.0; //!< wall time of the whole sweep
+
+    /** @return true iff any configuration's result is degraded. */
+    bool
+    degraded() const
+    {
+        for (const auto &config : perConfig) {
+            if (config.degraded)
+                return true;
+        }
+        return false;
+    }
+};
+
 /** Runs configurations across a benchmark suite. */
 class SuiteRunner
 {
@@ -152,6 +180,33 @@ class SuiteRunner
                        const EstimatorSetFactory &make_estimators,
                        DriverOptions options = {},
                        RunPolicy policy = {}) const;
+
+    /**
+     * Run many configurations over the suite in one decode pass per
+     * benchmark (sim/sweep_engine.h). Benchmarks execute sequentially;
+     * within each benchmark the configurations shard across the sweep
+     * engine's thread pool, so the trace is generated/decoded exactly
+     * once regardless of configuration count. Results are bit-exact
+     * with run() called once per configuration.
+     *
+     * Error isolation matches run() at benchmark granularity: a
+     * failure anywhere in a benchmark's sweep marks that benchmark
+     * failed for every configuration (all configurations consumed the
+     * same pass). Checkpointing, when enabled, snapshots the whole
+     * sweep per benchmark; resume restores from the newest valid
+     * generation (sweep stores keep no done-markers — a finished
+     * benchmark simply leaves no generations behind).
+     *
+     * @param configs Attached configurations (factories follow the
+     *        same thread-safety rule as run()).
+     * @param options Driver knobs shared by all configurations.
+     * @param sweep Sweep thread/batch tuning knobs.
+     * @param policy Fault-tolerance policy (see run()).
+     */
+    SweepSuiteResult
+    runSweep(const std::vector<SweepConfiguration> &configs,
+             DriverOptions options, SweepOptions sweep,
+             RunPolicy policy = {}) const;
 
     /**
      * Install a trace-source decorator applied to every benchmark's

@@ -1,0 +1,617 @@
+#include "sim/sweep_engine.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/checkpoint_store.h"
+#include "obs/telemetry.h"
+#include "predictor/history_register.h"
+#include "sim/run_policy.h"
+#include "util/running_stats.h"
+#include "util/shift_register.h"
+#include "util/status.h"
+
+namespace confsim {
+
+namespace {
+
+std::string
+cfgPrefix(std::size_t config)
+{
+    return "cfg" + std::to_string(config) + ":";
+}
+
+} // namespace
+
+/**
+ * Everything one configuration owns: its predictor, estimator bank,
+ * private replicas of the architectural context registers, and its
+ * accumulating result. One worker shard touches one ConfigState at a
+ * time, so no field needs synchronization.
+ */
+struct SweepEngine::ConfigState
+{
+    ConfigState(const DriverOptions &options)
+        : bhr(options.bhrBits), gcir(options.gcirBits, 0)
+    {
+        ctx.bhrBits = options.bhrBits;
+        ctx.gcirBits = options.gcirBits;
+        until_switch = options.contextSwitchInterval;
+    }
+
+    std::unique_ptr<BranchPredictor> predictor;
+    std::vector<std::unique_ptr<ConfidenceEstimator>> owned;
+    std::vector<ConfidenceEstimator *> estimators;
+
+    HistoryRegister bhr;
+    ShiftRegister gcir;
+    BranchContext ctx;
+    std::uint64_t simulated = 0;
+    std::uint64_t until_switch = 0;
+
+    SweepConfigResult result;
+
+    /**
+     * Replay @p batch through this configuration. This is the
+     * sequential driver's record loop verbatim (see
+     * SimulationDriver::runImpl) minus the driver-owned concerns the
+     * engine handles at batch granularity instead: the watchdog, the
+     * checkpoint cadence, and telemetry sampling. Any change here must
+     * keep tests/integration/sweep_differential_test.cc green.
+     */
+    void
+    replay(const RecordBatch &batch, const DriverOptions &options)
+    {
+        for (const BranchRecord &record : batch) {
+            if (!record.isConditional())
+                continue;
+
+            ctx.pc = record.pc;
+            ctx.bhr = bhr.value();
+            ctx.gcir = gcir.value();
+
+            const bool predicted = predictor->predict(record.pc);
+            const bool correct = (predicted == record.taken);
+            const bool recording =
+                simulated >= options.warmupBranches;
+
+            if (recording) {
+                ++result.branches;
+                if (!correct)
+                    ++result.mispredicts;
+            }
+
+            for (std::size_t i = 0; i < estimators.size(); ++i) {
+                const std::uint64_t bucket =
+                    estimators[i]->bucketOf(ctx);
+                if (recording)
+                    result.estimatorStats[i].record(bucket, !correct);
+                estimators[i]->update(ctx, correct, record.taken);
+            }
+
+            if (options.profileStatic && recording) {
+                result.staticProfile.record(record.pc, !correct,
+                                            record.taken);
+            }
+
+            predictor->update(record.pc, record.taken);
+            bhr.recordOutcome(record.taken);
+            gcir.shiftIn(!correct);
+            ++simulated;
+
+            if (options.contextSwitchInterval != 0 &&
+                --until_switch == 0) {
+                until_switch = options.contextSwitchInterval;
+                if (options.flushPredictorOnSwitch)
+                    predictor->reset();
+                if (options.flushEstimatorsOnSwitch) {
+                    for (auto *estimator : estimators)
+                        estimator->reset();
+                }
+                bhr.reset();
+                gcir.clear();
+                ++result.contextSwitches;
+            }
+        }
+    }
+};
+
+namespace {
+
+/**
+ * Persistent worker pool broadcasting one batch per generation.
+ * Configurations are split into contiguous shards, one per worker; the
+ * main thread publishes a batch, bumps the generation, and waits for
+ * every shard to finish before touching any ConfigState again (which
+ * is what makes batch-boundary checkpoints race-free).
+ */
+class ShardPool
+{
+  public:
+    ShardPool(std::vector<std::unique_ptr<SweepEngine::ConfigState>>
+                  &states,
+              const DriverOptions &options, unsigned workers)
+        : states_(states), options_(options),
+          errors_(workers)
+    {
+        const std::size_t configs = states_.size();
+        threads_.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) {
+            // Contiguous shard [begin, end) for worker w.
+            const std::size_t begin = configs * w / workers;
+            const std::size_t end = configs * (w + 1) / workers;
+            threads_.emplace_back(
+                [this, w, begin, end] { workerMain(w, begin, end); });
+        }
+    }
+
+    ~ShardPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cvWork_.notify_all();
+        for (auto &thread : threads_)
+            thread.join();
+    }
+
+    /** Run @p batch through every shard; blocks until all finish. */
+    void
+    broadcast(const RecordBatch &batch)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            batch_ = &batch;
+            remaining_ = threads_.size();
+            ++generation_;
+        }
+        cvWork_.notify_all();
+        std::unique_lock<std::mutex> lock(mu_);
+        cvDone_.wait(lock, [this] { return remaining_ == 0; });
+        for (auto &error : errors_) {
+            if (error) {
+                const std::exception_ptr raised =
+                    std::exchange(error, nullptr);
+                std::rethrow_exception(raised);
+            }
+        }
+    }
+
+  private:
+    void
+    workerMain(unsigned index, std::size_t begin, std::size_t end)
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            const RecordBatch *batch = nullptr;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                cvWork_.wait(lock, [this, seen] {
+                    return stop_ || generation_ != seen;
+                });
+                if (stop_)
+                    return;
+                seen = generation_;
+                batch = batch_;
+            }
+            try {
+                for (std::size_t c = begin; c < end; ++c)
+                    states_[c]->replay(*batch, options_);
+            } catch (...) {
+                errors_[index] = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (--remaining_ == 0)
+                    cvDone_.notify_all();
+            }
+        }
+    }
+
+    std::vector<std::unique_ptr<SweepEngine::ConfigState>> &states_;
+    const DriverOptions &options_;
+    std::vector<std::exception_ptr> errors_;
+    std::vector<std::thread> threads_;
+
+    std::mutex mu_;
+    std::condition_variable cvWork_, cvDone_;
+    const RecordBatch *batch_ = nullptr;
+    std::uint64_t generation_ = 0;
+    std::size_t remaining_ = 0;
+    bool stop_ = false;
+};
+
+unsigned
+resolveThreads(unsigned requested, std::size_t configs)
+{
+    // CONFSIM_SEQUENTIAL forces single-threaded operation everywhere
+    // (same escape hatch SuiteRunner honours) — results are identical
+    // either way, this only aids debugging under a debugger/sanitizer.
+    if (std::getenv("CONFSIM_SEQUENTIAL") != nullptr)
+        return 1;
+    unsigned threads = requested;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    if (static_cast<std::size_t>(threads) > configs)
+        threads = static_cast<unsigned>(configs);
+    return threads < 1 ? 1 : threads;
+}
+
+} // namespace
+
+SweepEngine::SweepEngine(std::vector<SweepConfiguration> configs,
+                         DriverOptions driver, SweepOptions sweep)
+    : configs_(std::move(configs)), driver_(driver), sweep_(sweep)
+{
+    if (configs_.empty())
+        fatal("SweepEngine needs at least one configuration");
+    for (const auto &config : configs_) {
+        if (!config.makePredictor || !config.makeEstimators) {
+            fatal("sweep configuration '" + config.label +
+                  "' is missing a factory");
+        }
+    }
+}
+
+SweepEngine::~SweepEngine() = default;
+
+void
+SweepEngine::checkpointEvery(std::uint64_t n_branches,
+                             CheckpointStore *store)
+{
+    if (n_branches != 0 && store == nullptr)
+        fatal("checkpointEvery: a period needs a CheckpointStore");
+    ckptEvery_ = n_branches;
+    ckptStore_ = store;
+}
+
+SweepRunResult
+SweepEngine::run(TraceSource &source)
+{
+    return runImpl(source, nullptr);
+}
+
+SweepRunResult
+SweepEngine::resume(TraceSource &source, const Checkpoint &from)
+{
+    return runImpl(source, &from);
+}
+
+void
+SweepEngine::writeCheckpoint(TraceSource &source,
+                             SweepRunResult &result,
+                             std::uint64_t consumed,
+                             std::uint64_t simulated)
+{
+    Checkpoint ckpt;
+    ckpt.label = driver_.telemetryLabel;
+    ckpt.watermark = consumed;
+    ckpt.branches = simulated;
+
+    StateWriter meta;
+    meta.putU64(driver_.bhrBits);
+    meta.putU64(driver_.gcirBits);
+    meta.putU64(configs_.size());
+    meta.putU64(driver_.profileStatic ? 1 : 0);
+    ckpt.add("sweep:meta", 1, meta.take());
+
+    for (std::size_t c = 0; c < states_.size(); ++c) {
+        ConfigState &state = *states_[c];
+        const std::string prefix = cfgPrefix(c);
+
+        StateWriter cfg;
+        cfg.putString(configs_[c].label);
+        cfg.putU64(state.estimators.size());
+        cfg.putU64(state.until_switch);
+        cfg.putU64(state.bhr.value());
+        cfg.putU64(state.gcir.value());
+        cfg.putU64(state.result.branches);
+        cfg.putU64(state.result.mispredicts);
+        cfg.putU64(state.result.contextSwitches);
+        ckpt.add(prefix + "meta", 1, cfg.take());
+
+        ckpt.addComponent(prefix + "predictor:" +
+                              state.predictor->name(),
+                          *state.predictor);
+        for (std::size_t i = 0; i < state.estimators.size(); ++i) {
+            ckpt.addComponent(prefix + "estimator" +
+                                  std::to_string(i) + ":" +
+                                  state.estimators[i]->name(),
+                              *state.estimators[i]);
+            ckpt.addState(prefix + "stats" + std::to_string(i), 1,
+                          state.result.estimatorStats[i]);
+        }
+        if (driver_.profileStatic) {
+            ckpt.addState(prefix + "static_profile", 1,
+                          state.result.staticProfile);
+        }
+    }
+    if (source.checkpointable())
+        ckpt.addComponent("source", source);
+
+    ckptStore_->write(ckpt);
+    ++result.checkpointsWritten;
+}
+
+SweepRunResult
+SweepEngine::runImpl(TraceSource &source,
+                     const Checkpoint *resume_from)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point run_start = Clock::now();
+
+    SweepRunResult result;
+
+    // Build every configuration's private state from its factories.
+    states_.clear();
+    states_.reserve(configs_.size());
+    for (const auto &config : configs_) {
+        auto state = std::make_unique<ConfigState>(driver_);
+        state->predictor = config.makePredictor();
+        if (state->predictor == nullptr) {
+            fatal("sweep configuration '" + config.label +
+                  "' produced a null predictor");
+        }
+        state->owned = config.makeEstimators();
+        state->estimators.reserve(state->owned.size());
+        state->result.label = config.label;
+        for (const auto &estimator : state->owned) {
+            state->estimators.push_back(estimator.get());
+            state->result.estimatorStats.emplace_back(
+                estimator->numBuckets());
+            state->result.estimatorNames.push_back(estimator->name());
+        }
+        states_.push_back(std::move(state));
+    }
+
+    if (ckptEvery_ != 0) {
+        // Same up-front audit the sequential driver performs: an
+        // unauditable configuration must fail loudly, not resume wrong.
+        for (const auto &state : states_) {
+            if (!state->predictor->checkpointable()) {
+                fatal("predictor '" + state->predictor->name() +
+                      "' is not checkpointable");
+            }
+            for (const auto *estimator : state->estimators) {
+                if (!estimator->checkpointable()) {
+                    fatal("estimator '" + estimator->name() +
+                          "' is not checkpointable");
+                }
+            }
+        }
+    }
+
+    std::uint64_t simulated = 0; // conditional branches, shared cursor
+    std::uint64_t consumed = 0;  // all records, shared cursor
+
+    if (resume_from != nullptr) {
+        const CheckpointComponent *meta =
+            resume_from->find("sweep:meta");
+        if (meta == nullptr)
+            fatal("checkpoint has no sweep:meta component");
+        if (meta->version != 1) {
+            fatal("sweep:meta is version " +
+                  std::to_string(meta->version) + ", expected 1");
+        }
+        StateReader in(meta->payload);
+        in.expectU64(driver_.bhrBits, "checkpoint BHR width");
+        in.expectU64(driver_.gcirBits, "checkpoint GCIR width");
+        in.expectU64(configs_.size(), "checkpoint config count");
+        in.expectU64(driver_.profileStatic ? 1 : 0,
+                     "checkpoint static-profile flag");
+        if (!in.atEnd())
+            fatal("sweep:meta has unconsumed bytes");
+
+        for (std::size_t c = 0; c < states_.size(); ++c) {
+            ConfigState &state = *states_[c];
+            const std::string prefix = cfgPrefix(c);
+            const CheckpointComponent *cfg_meta =
+                resume_from->find(prefix + "meta");
+            if (cfg_meta == nullptr)
+                fatal("checkpoint has no " + prefix +
+                      "meta component");
+            if (cfg_meta->version != 1) {
+                fatal(prefix + "meta is version " +
+                      std::to_string(cfg_meta->version) +
+                      ", expected 1");
+            }
+            StateReader cfg(cfg_meta->payload);
+            const std::string label = cfg.getString();
+            if (label != configs_[c].label) {
+                fatal("checkpoint config " + std::to_string(c) +
+                      " is '" + label + "', expected '" +
+                      configs_[c].label + "'");
+            }
+            cfg.expectU64(state.estimators.size(),
+                          "checkpoint estimator count");
+            state.until_switch = cfg.getU64();
+            state.bhr.setValue(cfg.getU64());
+            state.gcir.set(cfg.getU64());
+            state.result.branches = cfg.getU64();
+            state.result.mispredicts = cfg.getU64();
+            state.result.contextSwitches = cfg.getU64();
+            if (!cfg.atEnd())
+                fatal(prefix + "meta has unconsumed bytes");
+
+            resume_from->restoreComponent(
+                prefix + "predictor:" + state.predictor->name(),
+                *state.predictor);
+            for (std::size_t i = 0; i < state.estimators.size();
+                 ++i) {
+                resume_from->restoreComponent(
+                    prefix + "estimator" + std::to_string(i) + ":" +
+                        state.estimators[i]->name(),
+                    *state.estimators[i]);
+                resume_from->restoreState(
+                    prefix + "stats" + std::to_string(i), 1,
+                    state.result.estimatorStats[i]);
+            }
+            if (driver_.profileStatic) {
+                resume_from->restoreState(
+                    prefix + "static_profile", 1,
+                    state.result.staticProfile);
+            }
+            state.simulated = resume_from->branches;
+        }
+
+        simulated = resume_from->branches;
+        if (resume_from->find("source") != nullptr) {
+            resume_from->restoreComponent("source", source);
+        } else {
+            BranchRecord skipped;
+            for (std::uint64_t i = 0; i < resume_from->watermark;
+                 ++i) {
+                if (!source.next(skipped)) {
+                    fatal("trace ended after " + std::to_string(i) +
+                          " record(s), before the resume watermark " +
+                          std::to_string(resume_from->watermark));
+                }
+            }
+        }
+        consumed = resume_from->watermark;
+    }
+
+    const unsigned threads =
+        resolveThreads(sweep_.threads, configs_.size());
+
+    Telemetry *const telemetry = driver_.telemetry;
+    if (telemetry != nullptr) {
+        telemetry->emit(TelemetryEvent(
+            events::kSweepRunStarted,
+            {field("benchmark", driver_.telemetryLabel),
+             field("configs",
+                   static_cast<std::uint64_t>(configs_.size())),
+             field("threads", static_cast<std::uint64_t>(threads)),
+             field("batch_size",
+                   static_cast<std::uint64_t>(sweep_.batchSize)),
+             field("resumed", resume_from != nullptr)}));
+    }
+
+    const bool watchdog = driver_.wallClockLimitMs != 0;
+    const Clock::time_point deadline =
+        watchdog ? Clock::now() + std::chrono::milliseconds(
+                                      driver_.wallClockLimitMs)
+                 : Clock::time_point{};
+
+    // Checkpoint cadence: first batch boundary at or after each
+    // multiple of ckptEvery_ simulated branches.
+    std::uint64_t next_ckpt =
+        ckptEvery_ == 0
+            ? 0
+            : (simulated / ckptEvery_ + 1) * ckptEvery_;
+
+    RecordBatch batch(sweep_.batchSize);
+    RunningStats batch_ns;
+
+    // Workers only exist for multi-threaded runs; T == 1 replays every
+    // configuration inline on this thread (identical results, no pool).
+    std::unique_ptr<ShardPool> pool;
+    if (threads > 1)
+        pool = std::make_unique<ShardPool>(states_, driver_, threads);
+
+    while (batch.refill(source) != 0) {
+        const Clock::time_point t0 = Clock::now();
+        if (pool != nullptr) {
+            pool->broadcast(batch);
+        } else {
+            for (auto &state : states_)
+                state->replay(batch, driver_);
+        }
+        batch_ns.add(std::chrono::duration<double, std::nano>(
+                         Clock::now() - t0)
+                         .count());
+
+        consumed += batch.size();
+        simulated += batch.conditionals();
+        ++result.batches;
+
+        if (watchdog && Clock::now() > deadline) {
+            throw WatchdogTimeout(
+                "sweep exceeded its wall-clock budget of " +
+                std::to_string(driver_.wallClockLimitMs) +
+                " ms after " + std::to_string(consumed) +
+                " records");
+        }
+
+        if (ckptEvery_ != 0 && simulated >= next_ckpt) {
+            writeCheckpoint(source, result, consumed, simulated);
+            next_ckpt = (simulated / ckptEvery_ + 1) * ckptEvery_;
+        }
+    }
+
+    // The pool must be quiescent before results are harvested.
+    pool.reset();
+
+    result.records = consumed;
+    result.branches = simulated;
+    // The states themselves (predictors, estimators, history
+    // replicas) stay alive until the next run() or destruction, so
+    // callers holding component pointers from the factories can still
+    // inspect or serialize the final trained state.
+    result.perConfig.reserve(states_.size());
+    for (auto &state : states_)
+        result.perConfig.push_back(std::move(state->result));
+
+    result.wallMs = std::chrono::duration<double, std::milli>(
+                        Clock::now() - run_start)
+                        .count();
+
+    if (telemetry != nullptr) {
+        for (const auto &config : result.perConfig) {
+            telemetry->emit(TelemetryEvent(
+                events::kSweepConfigFinished,
+                {field("benchmark", driver_.telemetryLabel),
+                 field("config", config.label),
+                 field("branches", config.branches),
+                 field("mispredicts", config.mispredicts),
+                 field("mispredict_rate", config.mispredictRate()),
+                 field("context_switches", config.contextSwitches)}));
+        }
+
+        const std::uint64_t branch_updates =
+            simulated * result.perConfig.size();
+        const double ns_per_update =
+            branch_updates == 0 ? 0.0
+                                : result.wallMs * 1e6 /
+                                      static_cast<double>(
+                                          branch_updates);
+        telemetry->emit(TelemetryEvent(
+            events::kSweepRunFinished,
+            {field("benchmark", driver_.telemetryLabel),
+             field("configs",
+                   static_cast<std::uint64_t>(
+                       result.perConfig.size())),
+             field("threads", static_cast<std::uint64_t>(threads)),
+             field("records", result.records),
+             field("branches", result.branches),
+             field("batches", result.batches),
+             field("wall_ms", result.wallMs),
+             field("ns_per_branch_update", ns_per_update),
+             field("checkpoints_written",
+                   result.checkpointsWritten)}));
+
+        MetricsRegistry &registry = telemetry->registry();
+        registry.increment("sweep.runs");
+        registry.increment("sweep.records", result.records);
+        registry.increment("sweep.branches", result.branches);
+        registry.increment("sweep.batches", result.batches);
+        registry.observe("sweep.configs_per_pass",
+                         static_cast<double>(result.perConfig.size()));
+        registry.observe("sweep.wall_ms", result.wallMs);
+        registry.mergeStats("sweep.batch_ns", batch_ns);
+    }
+
+    return result;
+}
+
+} // namespace confsim

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Single-pass multi-configuration sweep engine.
+ *
+ * The paper's figures are design-space sweeps: many (predictor x
+ * estimator x geometry) configurations evaluated over the same
+ * benchmark traces. Replaying the trace once per configuration makes
+ * sweep cost grow linearly with configuration count even though the
+ * expensive part — decoding or generating the trace — is identical
+ * every time. The SweepEngine decodes each trace exactly once, buffers
+ * records into cache-friendly fixed-size batches (trace/record_batch.h)
+ * and broadcasts every batch to N attached configurations.
+ *
+ * Configurations are sharded across a pool of persistent worker
+ * threads. Each configuration owns private replicas of the
+ * architectural context registers (BHR and global CIR) and its own
+ * predictor, estimator bank, bucket statistics, and static profile, so
+ * per-configuration simulation is exactly the sequential Driver's
+ * record loop — results are bit-exact with running SimulationDriver
+ * once per configuration (the contract
+ * tests/integration/sweep_differential_test.cc enforces for every
+ * estimator family). Thread count and batch size only change wall
+ * time, never results.
+ *
+ * Differences from the sequential driver, by design:
+ *  - per-branch estimator update-cost sampling is not performed (the
+ *    engine reports batch-level sweep.batch_ns instead);
+ *  - context_switch_flush telemetry events are not emitted per flush
+ *    (the per-config flush *count* is still reported);
+ *  - checkpoints snapshot the whole sweep — shared trace cursor plus
+ *    every configuration's state — and are taken at the first batch
+ *    boundary at or after each checkpointEvery() multiple, not at the
+ *    exact branch. Resume is bit-exact from either cadence.
+ */
+
+#ifndef CONFSIM_SIM_SWEEP_ENGINE_H
+#define CONFSIM_SIM_SWEEP_ENGINE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/driver.h"
+#include "sim/suite_runner.h"
+#include "trace/record_batch.h"
+
+namespace confsim {
+
+class Checkpoint;
+class CheckpointStore;
+
+/** One attached (predictor, estimator set) configuration. */
+struct SweepConfiguration
+{
+    /** Label used in results, telemetry, and checkpoint components. */
+    std::string label;
+
+    /** Fresh-predictor factory (invoked once per run()). */
+    PredictorFactory makePredictor;
+
+    /** Fresh-estimator-set factory (invoked once per run()). */
+    EstimatorSetFactory makeEstimators;
+};
+
+/** Sweep-engine knobs (simulation semantics come from DriverOptions). */
+struct SweepOptions
+{
+    /**
+     * Worker threads to shard configurations across; 0 = one per
+     * hardware thread, capped at the configuration count. 1 runs
+     * inline on the calling thread. Thread count never changes
+     * results.
+     */
+    unsigned threads = 0;
+
+    /** Records per broadcast batch (see RecordBatch). */
+    std::size_t batchSize = RecordBatch::kDefaultCapacity;
+};
+
+/**
+ * Everything one configuration produced — the same quantities a
+ * sequential DriverResult carries, per attached configuration.
+ */
+struct SweepConfigResult
+{
+    std::string label;
+    std::uint64_t branches = 0;    //!< recorded conditional branches
+    std::uint64_t mispredicts = 0; //!< predictor misses (recorded)
+    std::uint64_t contextSwitches = 0;
+    std::vector<BucketStats> estimatorStats;
+    std::vector<std::string> estimatorNames;
+    StaticBranchProfile staticProfile;
+
+    /** @return overall misprediction rate. */
+    double
+    mispredictRate() const
+    {
+        return branches == 0
+                   ? 0.0
+                   : static_cast<double>(mispredicts) /
+                         static_cast<double>(branches);
+    }
+};
+
+/** Results of one sweep pass over one trace. */
+struct SweepRunResult
+{
+    /** Per-configuration results (configuration order preserved). */
+    std::vector<SweepConfigResult> perConfig;
+
+    std::uint64_t records = 0;  //!< records consumed from the source
+    std::uint64_t branches = 0; //!< conditional branches simulated
+    std::uint64_t batches = 0;  //!< broadcast batches processed
+    double wallMs = 0.0;        //!< wall time of the run() call
+    std::uint64_t checkpointsWritten = 0;
+};
+
+/** Runs N configurations over a trace decoded exactly once. */
+class SweepEngine
+{
+  public:
+    /** Per-configuration private state (opaque; defined in the .cc). */
+    struct ConfigState;
+
+    /**
+     * @param configs Attached configurations (>= 1).
+     * @param driver Simulation knobs shared by every configuration
+     *        (BHR/GCIR widths, warmup, context-switch modelling,
+     *        static profiling, telemetry).
+     * @param sweep Thread/batch tuning knobs.
+     */
+    SweepEngine(std::vector<SweepConfiguration> configs,
+                DriverOptions driver = {}, SweepOptions sweep = {});
+
+    ~SweepEngine();
+
+    SweepEngine(const SweepEngine &) = delete;
+    SweepEngine &operator=(const SweepEngine &) = delete;
+
+    /** Consume @p source to exhaustion, feeding every configuration. */
+    SweepRunResult run(TraceSource &source);
+
+    /**
+     * Continue a sweep from @p from (a checkpoint this engine's
+     * configuration list wrote). The shared cursor is restored into
+     * @p source when the checkpoint carries one; otherwise @p source
+     * must be a fresh deterministic stream and the engine replays and
+     * discards `from.watermark` records. fatal() on any configuration
+     * mismatch.
+     */
+    SweepRunResult resume(TraceSource &source, const Checkpoint &from);
+
+    /**
+     * Enable sweep checkpointing: at the first batch boundary at or
+     * after every @p n_branches simulated conditional branches, the
+     * shared trace cursor plus every configuration's full state is
+     * written atomically to @p store as the next generation. 0
+     * disables. fatal() at run() time if any configuration is not
+     * checkpointable.
+     */
+    void checkpointEvery(std::uint64_t n_branches,
+                         CheckpointStore *store);
+
+    /** @return the number of attached configurations. */
+    std::size_t numConfigs() const { return configs_.size(); }
+
+  private:
+    SweepRunResult runImpl(TraceSource &source,
+                           const Checkpoint *resume_from);
+    void writeCheckpoint(TraceSource &source, SweepRunResult &result,
+                         std::uint64_t consumed,
+                         std::uint64_t simulated);
+
+    std::vector<SweepConfiguration> configs_;
+    DriverOptions driver_;
+    SweepOptions sweep_;
+    std::uint64_t ckptEvery_ = 0;
+    CheckpointStore *ckptStore_ = nullptr;
+    std::vector<std::unique_ptr<ConfigState>> states_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_SIM_SWEEP_ENGINE_H
