@@ -9,6 +9,8 @@
  *     { "schema": "confsim-bench-v1", "date": ..., build provenance,
  *       "sweep_speedup_8cfg": <single-pass sweep vs per-config
  *       replay at 8 configurations>,
+ *       "sweep_pipeline_speedup": <decode-ahead pipelined sweep vs
+ *       the synchronous-refill sweep on the same pass>,
  *       "results": [ { "name", "branches", "wall_ms",
  *                      "ns_per_branch" }, ... ] }
  *
@@ -128,19 +130,30 @@ sweepMatrix()
     return matrix;
 }
 
+/** The three-way sweep contest rows. */
+struct SweepContest
+{
+    TimedCase replay;    //!< one sequential driver run per config
+    TimedCase singlePass; //!< sweep, synchronous refill (decodeAhead 1)
+    TimedCase pipelined; //!< sweep with the decode-ahead ring
+};
+
 /**
- * Time the same 8 configurations both ways: decoding the trace once
- * per configuration (the pre-sweep workflow) versus one broadcast
- * pass through the sweep engine. The ratio is the headline
- * "sweep_speedup_8cfg" number in the JSON artifact.
+ * Time the same 8 configurations three ways: decoding the trace once
+ * per configuration (the pre-sweep workflow), one broadcast pass with
+ * synchronous refill between batches, and one broadcast pass with the
+ * decode-ahead ring. replay/single_pass is the headline
+ * "sweep_speedup_8cfg"; single_pass/pipelined is
+ * "sweep_pipeline_speedup".
  */
-std::pair<TimedCase, TimedCase>
+SweepContest
 timeSweepContest(const BenchmarkProfile &profile,
                  std::uint64_t branches)
 {
     const std::vector<SweepConfiguration> matrix = sweepMatrix();
+    SweepContest contest;
 
-    TimedCase replay;
+    TimedCase &replay = contest.replay;
     replay.name = "sweep/replay_8cfg";
     for (const auto &config : matrix) {
         WorkloadGenerator workload(profile, branches);
@@ -155,26 +168,36 @@ timeSweepContest(const BenchmarkProfile &profile,
         replay.wallMs += result.wallMs;
     }
 
-    TimedCase sweep;
-    sweep.name = "sweep/single_pass_8cfg";
-    {
+    const auto time_sweep = [&](const char *name,
+                                std::size_t decode_ahead) {
+        TimedCase timed;
+        timed.name = name;
         WorkloadGenerator workload(profile, branches);
-        SweepEngine engine(matrix, DriverOptions{}, SweepOptions{});
+        SweepOptions sweep;
+        sweep.decodeAhead = decode_ahead;
+        SweepEngine engine(matrix, DriverOptions{}, sweep);
         const SweepRunResult result = engine.run(workload);
-        sweep.branches = result.branches;
-        sweep.wallMs = result.wallMs;
-    }
+        timed.branches = result.branches;
+        timed.wallMs = result.wallMs;
+        return timed;
+    };
+    contest.singlePass = time_sweep("sweep/single_pass_8cfg", 1);
+    contest.pipelined = time_sweep(
+        "sweep/pipelined_8cfg", SweepOptions::kDefaultDecodeAhead);
 
-    // ns per branch UPDATE (branches x configs), so the two rows are
+    // ns per branch UPDATE (branches x configs), so the rows are
     // directly comparable per unit of simulation work.
     const double updates =
         static_cast<double>(replay.branches) *
         static_cast<double>(matrix.size());
     if (updates > 0) {
         replay.nsPerBranch = replay.wallMs * 1e6 / updates;
-        sweep.nsPerBranch = sweep.wallMs * 1e6 / updates;
+        contest.singlePass.nsPerBranch =
+            contest.singlePass.wallMs * 1e6 / updates;
+        contest.pipelined.nsPerBranch =
+            contest.pipelined.wallMs * 1e6 / updates;
     }
-    return {replay, sweep};
+    return contest;
 }
 
 } // namespace
@@ -252,19 +275,27 @@ main(int argc, char **argv)
                     results.back().wallMs);
     }
 
-    // Sweep-vs-replay contest: 8 configurations, one decoded pass.
-    const auto [replay, sweep] = timeSweepContest(profile, branches);
+    // Sweep contest: 8 configurations — per-config replay, one
+    // decoded pass (synchronous refill), one pipelined pass.
+    const SweepContest contest = timeSweepContest(profile, branches);
     const double sweep_speedup =
-        sweep.wallMs > 0.0 ? replay.wallMs / sweep.wallMs : 0.0;
-    results.push_back(replay);
-    results.push_back(sweep);
-    std::printf("%-26s %8.2f ns/update  (%.1f ms)\n",
-                replay.name.c_str(), replay.nsPerBranch,
-                replay.wallMs);
-    std::printf("%-26s %8.2f ns/update  (%.1f ms)\n",
-                sweep.name.c_str(), sweep.nsPerBranch, sweep.wallMs);
+        contest.singlePass.wallMs > 0.0
+            ? contest.replay.wallMs / contest.singlePass.wallMs
+            : 0.0;
+    const double pipeline_speedup =
+        contest.pipelined.wallMs > 0.0
+            ? contest.singlePass.wallMs / contest.pipelined.wallMs
+            : 0.0;
+    for (const TimedCase &row :
+         {contest.replay, contest.singlePass, contest.pipelined}) {
+        results.push_back(row);
+        std::printf("%-26s %8.2f ns/update  (%.1f ms)\n",
+                    row.name.c_str(), row.nsPerBranch, row.wallMs);
+    }
     std::printf("sweep speedup at 8 configurations: %.2fx\n",
                 sweep_speedup);
+    std::printf("decode-ahead pipelining speedup: %.2fx\n",
+                pipeline_speedup);
 
     const std::string date = todayIso();
     const std::string out_dir = cli.getString("out-dir");
@@ -288,6 +319,11 @@ main(int argc, char **argv)
         << "," << jsonString("branches") << ":" << branches << ","
         << jsonString("sweep_speedup_8cfg") << ":"
         << jsonNumber(sweep_speedup) << ","
+        // Pipelined (decode-ahead) engine vs the synchronous-refill
+        // engine on the same 8-config pass; ~1.0 on single-core
+        // hosts, > 1 wherever decode can hide behind replay.
+        << jsonString("sweep_pipeline_speedup") << ":"
+        << jsonNumber(pipeline_speedup) << ","
         // Sweep speedup scales with cores (config sharding) on top of
         // the decode-once saving, so the trajectory tooling needs the
         // host's parallelism to compare artifacts across machines.

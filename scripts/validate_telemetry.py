@@ -70,12 +70,13 @@ EVENT_REQUIRED_FIELDS = {
     "checkpoint_restored": ["benchmark", "generation", "at_branch"],
     "checkpoint_corrupt": ["benchmark", "generation", "error"],
     "sweep_run_started": [
-        "benchmark", "configs", "threads", "batch_size", "resumed",
+        "benchmark", "configs", "threads", "batch_size",
+        "decode_ahead", "resumed",
     ],
     "sweep_run_finished": [
         "benchmark", "configs", "threads", "records", "branches",
-        "batches", "wall_ms", "ns_per_branch_update",
-        "checkpoints_written",
+        "batches", "wall_ms", "decode_stall_ms",
+        "ns_per_branch_update", "checkpoints_written",
     ],
     "sweep_config_finished": [
         "benchmark", "config", "branches", "mispredicts",

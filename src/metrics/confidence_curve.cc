@@ -91,6 +91,12 @@ ConfidenceCurve::mispredCoverageAt(double ref_fraction) const
 double
 ConfidenceCurve::refFractionForCoverage(double mispred_fraction) const
 {
+    // Mirror mispredCoverageAt: an empty curve recorded nothing, so
+    // no branch fraction is needed for any coverage target (reading
+    // in either direction returns 0 on empty).
+    if (points_.empty())
+        return 0.0;
+
     double prev_x = 0.0;
     double prev_y = 0.0;
     for (const auto &point : points_) {

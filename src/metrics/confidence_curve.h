@@ -67,7 +67,8 @@ class ConfidenceCurve
     /**
      * The smallest ref fraction whose low-confidence set covers at
      * least @p mispred_fraction of mispredictions (inverse reading).
-     * @return 1.0 if the coverage is never reached.
+     * @return 1.0 if the coverage is never reached; 0.0 on an empty
+     *         curve (symmetric with mispredCoverageAt).
      */
     double refFractionForCoverage(double mispred_fraction) const;
 

@@ -31,6 +31,12 @@ ExperimentEnv::fromCli(int argc, const char *const *argv,
                   "sweep worker threads (0 = hardware concurrency)");
     cli.addOption("batch-size", "4096",
                   "records per sweep broadcast batch");
+    cli.addOption("decode-ahead", "3",
+                  "sweep decode-ahead ring depth (1 = synchronous "
+                  "refill)");
+    cli.addOption("bench-parallel", "0",
+                  "concurrent benchmark sweep passes (0 = auto-size "
+                  "to the worker pool)");
     cli.addOption("telemetry", "",
                   "write JSONL telemetry (manifest + events) here");
     cli.addOption("telemetry-csv", "",
@@ -58,6 +64,11 @@ ExperimentEnv::fromCli(int argc, const char *const *argv,
     env.batchSize = cli.getUnsigned("batch-size");
     if (env.batchSize == 0)
         fatal("--batch-size must be at least 1");
+    env.decodeAhead = cli.getUnsigned("decode-ahead");
+    if (env.decodeAhead == 0)
+        fatal("--decode-ahead must be at least 1");
+    env.benchParallel =
+        static_cast<unsigned>(cli.getUnsigned("bench-parallel"));
     env.telemetry.jsonlPath = cli.getString("telemetry");
     env.telemetry.csvPath = cli.getString("telemetry-csv");
     env.telemetry.progress = cli.getFlag("progress");
@@ -267,6 +278,8 @@ runSweepSuiteExperiment(const ExperimentEnv &env,
     SweepOptions sweep;
     sweep.threads = env.sweepThreads;
     sweep.batchSize = env.batchSize;
+    sweep.decodeAhead = env.decodeAhead;
+    sweep.benchParallel = env.benchParallel;
 
     RunPolicy policy;
     policy.checkpoint.directory = env.checkpointDir;

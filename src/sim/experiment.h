@@ -71,6 +71,19 @@ struct ExperimentEnv
     /** Records per sweep broadcast batch (--batch-size). */
     std::size_t batchSize = RecordBatch::kDefaultCapacity;
 
+    /**
+     * Sweep decode-ahead ring depth (--decode-ahead); 1 = refill
+     * synchronously between broadcasts, >= 2 = decode batches ahead
+     * on a producer thread. Never changes results.
+     */
+    std::size_t decodeAhead = SweepOptions::kDefaultDecodeAhead;
+
+    /**
+     * Concurrent benchmark sweep passes (--bench-parallel); 0 =
+     * auto-size to the worker pool. Never changes results.
+     */
+    unsigned benchParallel = 0;
+
     /** Telemetry knobs (--telemetry/--telemetry-csv/--progress). */
     TelemetryOptions telemetry;
 
@@ -156,7 +169,8 @@ struct SweepExperimentConfig
  * enabled and the same checkpoint/telemetry wiring as
  * runSuiteExperiment. Per-config results are bit-exact with running
  * runSuiteExperiment once per configuration; only the wall clock
- * differs. Sweep knobs come from env.sweepThreads / env.batchSize.
+ * differs. Sweep knobs come from env.sweepThreads / env.batchSize /
+ * env.decodeAhead / env.benchParallel.
  */
 SweepSuiteResult
 runSweepSuiteExperiment(const ExperimentEnv &env,

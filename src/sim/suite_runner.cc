@@ -1,6 +1,7 @@
 #include "sim/suite_runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <future>
@@ -28,6 +29,56 @@ elapsedMsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+/**
+ * Size runSweep's shared worker pool. Unlike a lone engine's thread
+ * resolution this is NOT capped at the configuration count: surplus
+ * workers serve other benchmarks' concurrent sweep passes, which is
+ * what fixes the under-subscription when configs < hardware threads.
+ */
+unsigned
+resolveSweepPoolWorkers(unsigned requested)
+{
+    if (std::getenv("CONFSIM_SEQUENTIAL") != nullptr)
+        return 1;
+    unsigned workers = requested;
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    return workers;
+}
+
+/**
+ * How many benchmarks' sweep passes run concurrently. 0 auto-sizes:
+ * enough slots that `slots * shards_per_benchmark` covers the pool.
+ * CONFSIM_BENCH_PARALLEL overrides, CONFSIM_SEQUENTIAL forces 1.
+ */
+unsigned
+resolveBenchParallel(unsigned requested, unsigned pool_workers,
+                     std::size_t configs, std::size_t benchmarks)
+{
+    if (std::getenv("CONFSIM_SEQUENTIAL") != nullptr)
+        return 1;
+    if (const char *env = std::getenv("CONFSIM_BENCH_PARALLEL")) {
+        char *end = nullptr;
+        const long value = std::strtol(env, &end, 10);
+        if (end != env && value >= 1)
+            requested = static_cast<unsigned>(value);
+    }
+    unsigned slots = requested;
+    if (slots == 0) {
+        const unsigned per_bench = std::max(
+            1u, std::min(pool_workers,
+                         static_cast<unsigned>(configs)));
+        slots = std::max(1u, pool_workers / per_bench);
+    }
+    if (benchmarks != 0 &&
+        static_cast<std::size_t>(slots) > benchmarks)
+        slots = static_cast<unsigned>(benchmarks);
+    return std::max(1u, slots);
 }
 
 /**
@@ -659,10 +710,37 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
         result.labels.push_back(config.label);
     result.perConfig.resize(configs.size());
 
-    // Benchmarks run sequentially: the parallelism budget goes to the
-    // configuration shards inside each benchmark's sweep pass, which
-    // is where the single-decode win is.
-    for (std::size_t bench = 0; bench < suite_.size(); ++bench) {
+    // One globally sized worker pool is shared by every benchmark's
+    // sweep pass. Each pass shards its configurations over at most
+    // min(pool, configs) workers; when that leaves workers idle,
+    // additional benchmarks run their passes concurrently on the
+    // same pool (bench_slots > 1) instead of leaving cores idle.
+    const unsigned pool_workers =
+        resolveSweepPoolWorkers(sweep.threads);
+    std::unique_ptr<SweepWorkerPool> pool;
+    SweepOptions engine_sweep = sweep;
+    engine_sweep.pool = nullptr; // runSweep owns the shared pool
+    if (pool_workers > 1) {
+        pool = std::make_unique<SweepWorkerPool>(pool_workers);
+        engine_sweep.pool = pool.get();
+    }
+    const unsigned bench_slots = resolveBenchParallel(
+        sweep.benchParallel, pool_workers, configs.size(),
+        suite_.size());
+
+    // Phase 1: every benchmark's sweep pass produces an outcome —
+    // either a SweepRunResult or an error string. Error isolation,
+    // retries, watchdog handling, and checkpoint/resume are all
+    // per-benchmark, so outcomes are independent and may be computed
+    // concurrently; merging (phase 2) stays in suite order.
+    struct BenchOutcome
+    {
+        std::string error;
+        SweepRunResult sweep;
+    };
+    std::vector<BenchOutcome> outcomes(suite_.size());
+
+    const auto run_bench = [&](std::size_t bench) {
         const std::string bench_name = suite_.profile(bench).name;
         DriverOptions run_options = options;
         run_options.telemetryLabel = bench_name;
@@ -693,14 +771,15 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
             return source;
         };
 
-        std::string error;
-        SweepRunResult bench_sweep;
+        std::string &error = outcomes[bench].error;
+        SweepRunResult &bench_sweep = outcomes[bench].sweep;
         const unsigned max_attempts = std::max(1u, policy.maxAttempts);
         for (unsigned attempt = 1; attempt <= max_attempts;
              ++attempt) {
             error.clear();
             try {
-                SweepEngine engine(configs, run_options, sweep);
+                SweepEngine engine(configs, run_options,
+                                   engine_sweep);
                 if (store != nullptr) {
                     engine.checkpointEvery(
                         policy.checkpoint.everyBranches, store.get());
@@ -775,32 +854,92 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
             }
         }
 
-        if (!error.empty()) {
+        if (error.empty() && store != nullptr) {
+            // The benchmark finished; its mid-run generations are dead
+            // weight (the sweep path keeps no done-markers — results
+            // live in the returned SweepSuiteResult only).
+            store->removeGenerations();
+        }
+    };
+
+    if (bench_slots <= 1) {
+        for (std::size_t bench = 0; bench < suite_.size(); ++bench) {
+            run_bench(bench);
+            // Fail-fast: nothing after the first failure will be
+            // merged, so don't spend time simulating it.
+            if (fail_fast && !outcomes[bench].error.empty())
+                break;
+        }
+    } else {
+        // Benchmark pipelining: bench_slots scheduler threads pull
+        // benchmark indices; the replay work itself still runs on the
+        // shared pool. Exceptions escaping a pass (e.g. a fatal store
+        // failure) become that benchmark's error, mirroring what the
+        // sequential path would surface.
+        std::atomic<std::size_t> next{0};
+        const auto pump = [&] {
+            for (;;) {
+                const std::size_t bench =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (bench >= suite_.size())
+                    return;
+                try {
+                    run_bench(bench);
+                } catch (const std::exception &e) {
+                    outcomes[bench].error = e.what();
+                } catch (...) {
+                    outcomes[bench].error = "unknown exception";
+                }
+            }
+        };
+        std::vector<std::thread> schedulers;
+        const unsigned spawned = std::min<unsigned>(
+            bench_slots, static_cast<unsigned>(suite_.size()));
+        schedulers.reserve(spawned);
+        for (unsigned s = 0; s < spawned; ++s)
+            schedulers.emplace_back(pump);
+        for (auto &thread : schedulers)
+            thread.join();
+    }
+
+    // Phase 2: merge outcomes in suite order — identical output
+    // ordering and fail-fast semantics at any bench_slots value.
+    for (std::size_t bench = 0; bench < suite_.size(); ++bench) {
+        const std::string bench_name = suite_.profile(bench).name;
+        BenchOutcome &outcome = outcomes[bench];
+
+        if (!outcome.error.empty()) {
             if (fail_fast) {
                 if (telemetry != nullptr)
                     telemetry->finish();
                 fatal("benchmark '" + bench_name +
-                      "' failed: " + error);
+                      "' failed: " + outcome.error);
             }
             // Every configuration consumed the same pass, so the
             // benchmark is failed for all of them.
             for (auto &config_result : result.perConfig) {
                 BenchmarkRunResult failed;
                 failed.name = bench_name;
-                failed.error = error;
+                failed.error = outcome.error;
                 config_result.perBenchmark.push_back(
                     std::move(failed));
             }
             continue;
         }
 
-        if (store != nullptr) {
-            // The benchmark finished; its mid-run generations are dead
-            // weight (the sweep path keeps no done-markers — results
-            // live in the returned SweepSuiteResult only).
-            store->removeGenerations();
+        SweepRunResult &bench_sweep = outcome.sweep;
+        // The pass is shared across configurations; attribute an
+        // equal share of its wall time to each so that summing over
+        // configurations recovers (not multiplies) the real cost.
+        // The un-divided pass time is observed once per benchmark as
+        // sweep.bench_wall_ms (see docs/performance.md).
+        const double wall_share =
+            bench_sweep.wallMs /
+            static_cast<double>(configs.size());
+        if (telemetry != nullptr) {
+            telemetry->registry().observe("sweep.bench_wall_ms",
+                                          bench_sweep.wallMs);
         }
-
         const std::uint64_t tag = static_cast<std::uint64_t>(bench)
                                   << 48;
         for (std::size_t c = 0; c < configs.size(); ++c) {
@@ -816,9 +955,7 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
                 std::move(config_result.estimatorStats);
             bench_result.estimatorNames =
                 std::move(config_result.estimatorNames);
-            // The pass is shared, so per-config wall attribution is
-            // the whole pass (sweeps amortize, they don't itemize).
-            bench_result.wallMs = bench_sweep.wallMs;
+            bench_result.wallMs = wall_share;
             if (options.profileStatic) {
                 // Re-key per-PC entries exactly as run() does.
                 for (const auto &[pc, entry] :
@@ -841,8 +978,16 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
     }
     result.wallMs = elapsedMsSince(sweep_start);
     if (telemetry != nullptr) {
-        telemetry->registry().observe("sweep.suite_wall_ms",
-                                      result.wallMs);
+        MetricsRegistry &registry = telemetry->registry();
+        registry.observe("sweep.suite_wall_ms", result.wallMs);
+        registry.setGauge("sweep.pool_workers",
+                          static_cast<double>(pool_workers));
+        registry.setGauge("sweep.bench_parallel",
+                          static_cast<double>(bench_slots));
+        if (pool != nullptr) {
+            registry.mergeStats("sweep.pool_occupancy",
+                                pool->occupancyStats());
+        }
     }
     return result;
 }

@@ -183,11 +183,21 @@ class SuiteRunner
 
     /**
      * Run many configurations over the suite in one decode pass per
-     * benchmark (sim/sweep_engine.h). Benchmarks execute sequentially;
-     * within each benchmark the configurations shard across the sweep
-     * engine's thread pool, so the trace is generated/decoded exactly
-     * once regardless of configuration count. Results are bit-exact
-     * with run() called once per configuration.
+     * benchmark (sim/sweep_engine.h). Within each benchmark the
+     * configurations shard across a worker pool, so the trace is
+     * generated/decoded exactly once regardless of configuration
+     * count. The pool is shared and globally sized (never capped at
+     * the configuration count): when a benchmark's pass cannot use
+     * every worker, additional benchmarks' passes run concurrently
+     * on the same pool (SweepOptions::benchParallel slots; decode
+     * runs ahead of replay per SweepOptions::decodeAhead). Results —
+     * including output order and composites — are bit-exact with
+     * run() called once per configuration at any knob setting.
+     *
+     * Per-configuration BenchmarkRunResult::wallMs carries an equal
+     * 1/numConfigs share of the shared pass's wall time (so sums over
+     * configurations recover the real cost); the whole-pass time is
+     * observed once per benchmark as the sweep.bench_wall_ms metric.
      *
      * Error isolation matches run() at benchmark granularity: a
      * failure anywhere in a benchmark's sweep marks that benchmark
@@ -200,7 +210,9 @@ class SuiteRunner
      * @param configs Attached configurations (factories follow the
      *        same thread-safety rule as run()).
      * @param options Driver knobs shared by all configurations.
-     * @param sweep Sweep thread/batch tuning knobs.
+     * @param sweep Sweep thread/batch/pipelining tuning knobs
+     *        (SweepOptions::pool is ignored here — runSweep owns the
+     *        shared pool).
      * @param policy Fault-tolerance policy (see run()).
      */
     SweepSuiteResult

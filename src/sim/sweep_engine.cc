@@ -122,109 +122,284 @@ struct SweepEngine::ConfigState
     }
 };
 
+SweepWorkerPool::SweepWorkerPool(unsigned workers)
+{
+    threads_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        threads_.emplace_back([this] { workerMain(); });
+}
+
+SweepWorkerPool::~SweepWorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cvWork_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+void
+SweepWorkerPool::runAll(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return;
+    if (threads_.empty()) {
+        for (auto &task : tasks)
+            task();
+        return;
+    }
+    WaitGroup group;
+    group.remaining = tasks.size();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto &task : tasks)
+            queue_.push_back(Task{std::move(task), &group});
+    }
+    cvWork_.notify_all();
+    std::unique_lock<std::mutex> lock(group.mu);
+    group.cv.wait(lock, [&group] { return group.remaining == 0; });
+    if (group.error)
+        std::rethrow_exception(group.error);
+}
+
+RunningStats
+SweepWorkerPool::occupancyStats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return occupancy_;
+}
+
+void
+SweepWorkerPool::workerMain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        cvWork_.wait(lock,
+                     [this] { return stop_ || !queue_.empty(); });
+        if (stop_)
+            return;
+        Task task = std::move(queue_.front());
+        queue_.pop_front();
+        ++busy_;
+        occupancy_.add(static_cast<double>(busy_));
+        lock.unlock();
+
+        std::exception_ptr raised;
+        try {
+            task.fn();
+        } catch (...) {
+            raised = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> done(task.group->mu);
+            if (raised && !task.group->error)
+                task.group->error = raised;
+            if (--task.group->remaining == 0)
+                task.group->cv.notify_all();
+        }
+
+        lock.lock();
+        --busy_;
+    }
+}
+
 namespace {
 
 /**
- * Persistent worker pool broadcasting one batch per generation.
- * Configurations are split into contiguous shards, one per worker; the
- * main thread publishes a batch, bumps the generation, and waits for
- * every shard to finish before touching any ConfigState again (which
- * is what makes batch-boundary checkpoints race-free).
+ * Decode-ahead batch ring. A producer thread refills slots from the
+ * TraceSource while the consumer (the engine's broadcast loop) drains
+ * them in order, so replay never waits on decode unless the ring runs
+ * dry.
+ *
+ * The producer owns the shared cursors (records consumed, branches
+ * simulated) and computes the checkpoint cadence with the exact
+ * arithmetic the synchronous loop uses, so checkpoints land on the
+ * same batch boundaries at any depth. A slot that crosses a
+ * checkpoint multiple is flagged checkpointDue and the producer
+ * *blocks before touching the source again* until the consumer has
+ * written the checkpoint — the source is therefore quiescent and
+ * positioned exactly at the checkpointed record when it is
+ * serialized (or when its watermark is recorded), which is what makes
+ * pipelined checkpoint/resume bit-exact.
+ *
+ * A decode error is published in order as an error slot: the consumer
+ * replays every batch decoded before it, then rethrows — identical
+ * observable behaviour to the synchronous loop.
  */
-class ShardPool
+class DecodeAheadRing
 {
   public:
-    ShardPool(std::vector<std::unique_ptr<SweepEngine::ConfigState>>
-                  &states,
-              const DriverOptions &options, unsigned workers)
-        : states_(states), options_(options),
-          errors_(workers)
+    struct Slot
     {
-        const std::size_t configs = states_.size();
-        threads_.reserve(workers);
-        for (unsigned w = 0; w < workers; ++w) {
-            // Contiguous shard [begin, end) for worker w.
-            const std::size_t begin = configs * w / workers;
-            const std::size_t end = configs * (w + 1) / workers;
-            threads_.emplace_back(
-                [this, w, begin, end] { workerMain(w, begin, end); });
+        RecordBatch batch;
+        std::uint64_t consumedAfter = 0;
+        std::uint64_t simulatedAfter = 0;
+        bool checkpointDue = false;
+        std::exception_ptr error;
+    };
+
+    DecodeAheadRing(TraceSource &source, std::size_t depth,
+                    std::size_t batch_size, std::uint64_t consumed,
+                    std::uint64_t simulated, std::uint64_t ckpt_every)
+        : source_(source), ckptEvery_(ckpt_every),
+          consumed_(consumed), simulated_(simulated)
+    {
+        nextCkpt_ = ckptEvery_ == 0
+                        ? 0
+                        : (simulated_ / ckptEvery_ + 1) * ckptEvery_;
+        slots_.reserve(depth);
+        for (std::size_t i = 0; i < depth; ++i) {
+            Slot slot;
+            slot.batch = RecordBatch(batch_size);
+            slots_.push_back(std::move(slot));
         }
+        producer_ = std::thread([this] { producerMain(); });
     }
 
-    ~ShardPool()
+    ~DecodeAheadRing()
     {
         {
             std::lock_guard<std::mutex> lock(mu_);
             stop_ = true;
         }
-        cvWork_.notify_all();
-        for (auto &thread : threads_)
-            thread.join();
+        cvFree_.notify_all();
+        cvFilled_.notify_all();
+        cvCkpt_.notify_all();
+        producer_.join();
     }
 
-    /** Run @p batch through every shard; blocks until all finish. */
-    void
-    broadcast(const RecordBatch &batch)
+    /**
+     * @return the next filled slot in decode order, or nullptr at end
+     * of stream. Blocks while the ring is empty; rethrows a producer
+     * decode error at its in-order position.
+     */
+    Slot *
+    next()
     {
+        std::unique_lock<std::mutex> lock(mu_);
+        cvFilled_.wait(lock,
+                       [this] { return filled_ != 0 || done_; });
+        if (filled_ == 0)
+            return nullptr;
+        Slot &slot = slots_[tail_ % slots_.size()];
+        if (slot.error)
+            std::rethrow_exception(slot.error);
+        return &slot;
+    }
+
+    /**
+     * Return the slot obtained from next() to the free list. If it
+     * was checkpointDue the caller must have written the checkpoint;
+     * this unblocks the producer.
+     */
+    void
+    release(Slot &slot)
+    {
+        bool due = false;
         {
             std::lock_guard<std::mutex> lock(mu_);
-            batch_ = &batch;
-            remaining_ = threads_.size();
-            ++generation_;
+            // The producer may reuse the slot the moment it is freed,
+            // so read its flag before publishing the free slot.
+            due = slot.checkpointDue;
+            ++tail_;
+            --filled_;
+            if (due)
+                ckptPending_ = false;
         }
-        cvWork_.notify_all();
-        std::unique_lock<std::mutex> lock(mu_);
-        cvDone_.wait(lock, [this] { return remaining_ == 0; });
-        for (auto &error : errors_) {
-            if (error) {
-                const std::exception_ptr raised =
-                    std::exchange(error, nullptr);
-                std::rethrow_exception(raised);
-            }
-        }
+        cvFree_.notify_one();
+        if (due)
+            cvCkpt_.notify_one();
     }
 
   private:
     void
-    workerMain(unsigned index, std::size_t begin, std::size_t end)
+    producerMain()
     {
-        std::uint64_t seen = 0;
         for (;;) {
-            const RecordBatch *batch = nullptr;
             {
                 std::unique_lock<std::mutex> lock(mu_);
-                cvWork_.wait(lock, [this, seen] {
-                    return stop_ || generation_ != seen;
+                cvFree_.wait(lock, [this] {
+                    return stop_ || filled_ != slots_.size();
                 });
                 if (stop_)
                     return;
-                seen = generation_;
-                batch = batch_;
             }
+            // Only this thread touches head_ and the slot until it is
+            // published under the mutex below.
+            Slot &slot = slots_[head_ % slots_.size()];
+            slot.checkpointDue = false;
+            slot.error = nullptr;
+
+            std::size_t got = 0;
             try {
-                for (std::size_t c = begin; c < end; ++c)
-                    states_[c]->replay(*batch, options_);
+                got = slot.batch.refill(source_);
             } catch (...) {
-                errors_[index] = std::current_exception();
+                slot.error = std::current_exception();
+                slot.batch.clear();
             }
-            {
+            if (got == 0 && !slot.error) {
                 std::lock_guard<std::mutex> lock(mu_);
-                if (--remaining_ == 0)
-                    cvDone_.notify_all();
+                done_ = true;
+                cvFilled_.notify_all();
+                return;
+            }
+
+            bool due = false;
+            if (!slot.error) {
+                consumed_ += slot.batch.size();
+                simulated_ += slot.batch.conditionals();
+                slot.consumedAfter = consumed_;
+                slot.simulatedAfter = simulated_;
+                if (ckptEvery_ != 0 && simulated_ >= nextCkpt_) {
+                    slot.checkpointDue = due = true;
+                    nextCkpt_ =
+                        (simulated_ / ckptEvery_ + 1) * ckptEvery_;
+                }
+            }
+
+            std::unique_lock<std::mutex> lock(mu_);
+            ++head_;
+            ++filled_;
+            if (due)
+                ckptPending_ = true;
+            cvFilled_.notify_one();
+            if (slot.error) {
+                // Nothing after an error can be decoded coherently;
+                // park until destruction.
+                done_ = true;
+                return;
+            }
+            if (due) {
+                // Pipeline barrier: the source must stay untouched at
+                // exactly `consumed_` records until the checkpoint
+                // containing it has been written.
+                cvCkpt_.wait(lock, [this] {
+                    return stop_ || !ckptPending_;
+                });
+                if (stop_)
+                    return;
             }
         }
     }
 
-    std::vector<std::unique_ptr<SweepEngine::ConfigState>> &states_;
-    const DriverOptions &options_;
-    std::vector<std::exception_ptr> errors_;
-    std::vector<std::thread> threads_;
+    TraceSource &source_;
+    const std::uint64_t ckptEvery_;
+    std::uint64_t consumed_;
+    std::uint64_t simulated_;
+    std::uint64_t nextCkpt_ = 0;
+
+    std::vector<Slot> slots_;
+    std::thread producer_;
 
     std::mutex mu_;
-    std::condition_variable cvWork_, cvDone_;
-    const RecordBatch *batch_ = nullptr;
-    std::uint64_t generation_ = 0;
-    std::size_t remaining_ = 0;
+    std::condition_variable cvFilled_, cvFree_, cvCkpt_;
+    std::size_t head_ = 0;   //!< slots produced
+    std::size_t tail_ = 0;   //!< slots released
+    std::size_t filled_ = 0; //!< produced, not yet released
+    bool ckptPending_ = false;
+    bool done_ = false;
     bool stop_ = false;
 };
 
@@ -242,9 +417,29 @@ resolveThreads(unsigned requested, std::size_t configs)
         if (threads == 0)
             threads = 1;
     }
+    // A lone engine can't use more workers than it has configurations
+    // (per-config replay is serial by the bit-exactness contract).
+    // When more cores than configs are available, SuiteRunner::runSweep
+    // recovers the surplus by pipelining benchmarks on a shared,
+    // globally sized pool instead of capping here.
     if (static_cast<std::size_t>(threads) > configs)
         threads = static_cast<unsigned>(configs);
     return threads < 1 ? 1 : threads;
+}
+
+std::size_t
+resolveDecodeAhead(std::size_t requested)
+{
+    if (std::getenv("CONFSIM_SEQUENTIAL") != nullptr)
+        return 1;
+    if (const char *env = std::getenv("CONFSIM_DECODE_AHEAD")) {
+        char *end = nullptr;
+        const long value = std::strtol(env, &end, 10);
+        if (end != env && value >= 1)
+            return static_cast<std::size_t>(value);
+    }
+    return requested == 0 ? SweepOptions::kDefaultDecodeAhead
+                          : requested;
 }
 
 } // namespace
@@ -481,8 +676,27 @@ SweepEngine::runImpl(TraceSource &source,
         consumed = resume_from->watermark;
     }
 
-    const unsigned threads =
-        resolveThreads(sweep_.threads, configs_.size());
+    // Parallelism: a shared pool (if provided) or an engine-owned one.
+    // Either way shards never exceed the configuration count — a batch
+    // is split into min(workers, configs) contiguous config ranges.
+    SweepWorkerPool *pool = sweep_.pool;
+    std::unique_ptr<SweepWorkerPool> owned_pool;
+    if (pool == nullptr) {
+        const unsigned threads =
+            resolveThreads(sweep_.threads, configs_.size());
+        if (threads > 1) {
+            owned_pool = std::make_unique<SweepWorkerPool>(threads);
+            pool = owned_pool.get();
+        }
+    }
+    const std::size_t shard_count =
+        pool == nullptr
+            ? 1
+            : std::max<std::size_t>(
+                  1, std::min<std::size_t>(pool->workers(),
+                                           states_.size()));
+    const std::size_t decode_ahead =
+        resolveDecodeAhead(sweep_.decodeAhead);
 
     Telemetry *const telemetry = driver_.telemetry;
     if (telemetry != nullptr) {
@@ -491,9 +705,12 @@ SweepEngine::runImpl(TraceSource &source,
             {field("benchmark", driver_.telemetryLabel),
              field("configs",
                    static_cast<std::uint64_t>(configs_.size())),
-             field("threads", static_cast<std::uint64_t>(threads)),
+             field("threads",
+                   static_cast<std::uint64_t>(shard_count)),
              field("batch_size",
                    static_cast<std::uint64_t>(sweep_.batchSize)),
+             field("decode_ahead",
+                   static_cast<std::uint64_t>(decode_ahead)),
              field("resumed", resume_from != nullptr)}));
     }
 
@@ -503,54 +720,119 @@ SweepEngine::runImpl(TraceSource &source,
                                       driver_.wallClockLimitMs)
                  : Clock::time_point{};
 
-    // Checkpoint cadence: first batch boundary at or after each
-    // multiple of ckptEvery_ simulated branches.
-    std::uint64_t next_ckpt =
-        ckptEvery_ == 0
-            ? 0
-            : (simulated / ckptEvery_ + 1) * ckptEvery_;
-
-    RecordBatch batch(sweep_.batchSize);
     RunningStats batch_ns;
+    RunningStats stall_ns;
 
-    // Workers only exist for multi-threaded runs; T == 1 replays every
-    // configuration inline on this thread (identical results, no pool).
-    std::unique_ptr<ShardPool> pool;
-    if (threads > 1)
-        pool = std::make_unique<ShardPool>(states_, driver_, threads);
-
-    while (batch.refill(source) != 0) {
-        const Clock::time_point t0 = Clock::now();
-        if (pool != nullptr) {
-            pool->broadcast(batch);
-        } else {
+    // Contiguous config shards, one task per shard per batch. runAll
+    // blocks until every shard finishes, so the states are quiescent
+    // between batches (which keeps batch-boundary checkpoints
+    // race-free) regardless of who owns the pool.
+    std::vector<std::pair<std::size_t, std::size_t>> shards;
+    shards.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+        shards.emplace_back(states_.size() * s / shard_count,
+                            states_.size() * (s + 1) / shard_count);
+    }
+    const auto broadcast = [&](const RecordBatch &batch) {
+        if (pool == nullptr || shard_count <= 1) {
             for (auto &state : states_)
                 state->replay(batch, driver_);
+            return;
         }
-        batch_ns.add(std::chrono::duration<double, std::nano>(
-                         Clock::now() - t0)
-                         .count());
-
-        consumed += batch.size();
-        simulated += batch.conditionals();
-        ++result.batches;
-
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(shards.size());
+        for (const auto &[begin, end] : shards) {
+            tasks.push_back([this, &batch, begin = begin,
+                             end = end] {
+                for (std::size_t c = begin; c < end; ++c)
+                    states_[c]->replay(batch, driver_);
+            });
+        }
+        pool->runAll(std::move(tasks));
+    };
+    const auto checkWatchdog = [&](std::uint64_t at_records) {
         if (watchdog && Clock::now() > deadline) {
             throw WatchdogTimeout(
                 "sweep exceeded its wall-clock budget of " +
                 std::to_string(driver_.wallClockLimitMs) +
-                " ms after " + std::to_string(consumed) +
+                " ms after " + std::to_string(at_records) +
                 " records");
         }
+    };
 
-        if (ckptEvery_ != 0 && simulated >= next_ckpt) {
-            writeCheckpoint(source, result, consumed, simulated);
-            next_ckpt = (simulated / ckptEvery_ + 1) * ckptEvery_;
+    if (decode_ahead >= 2) {
+        // Pipelined: a producer thread keeps the ring topped up while
+        // shards replay; the ring owns cursor bookkeeping and flags
+        // checkpoint boundaries (see DecodeAheadRing).
+        DecodeAheadRing ring(source, decode_ahead, sweep_.batchSize,
+                             consumed, simulated, ckptEvery_);
+        for (;;) {
+            const Clock::time_point w0 = Clock::now();
+            DecodeAheadRing::Slot *slot = ring.next();
+            stall_ns.add(std::chrono::duration<double, std::nano>(
+                             Clock::now() - w0)
+                             .count());
+            if (slot == nullptr)
+                break;
+
+            const Clock::time_point t0 = Clock::now();
+            broadcast(slot->batch);
+            batch_ns.add(std::chrono::duration<double, std::nano>(
+                             Clock::now() - t0)
+                             .count());
+
+            consumed = slot->consumedAfter;
+            simulated = slot->simulatedAfter;
+            ++result.batches;
+
+            checkWatchdog(consumed);
+            if (slot->checkpointDue)
+                writeCheckpoint(source, result, consumed, simulated);
+            ring.release(*slot);
+        }
+    } else {
+        // Synchronous refill between broadcasts (decodeAhead == 1).
+        // Checkpoint cadence: first batch boundary at or after each
+        // multiple of ckptEvery_ simulated branches.
+        std::uint64_t next_ckpt =
+            ckptEvery_ == 0
+                ? 0
+                : (simulated / ckptEvery_ + 1) * ckptEvery_;
+
+        RecordBatch batch(sweep_.batchSize);
+        for (;;) {
+            const Clock::time_point w0 = Clock::now();
+            const std::size_t got = batch.refill(source);
+            stall_ns.add(std::chrono::duration<double, std::nano>(
+                             Clock::now() - w0)
+                             .count());
+            if (got == 0)
+                break;
+
+            const Clock::time_point t0 = Clock::now();
+            broadcast(batch);
+            batch_ns.add(std::chrono::duration<double, std::nano>(
+                             Clock::now() - t0)
+                             .count());
+
+            consumed += batch.size();
+            simulated += batch.conditionals();
+            ++result.batches;
+
+            checkWatchdog(consumed);
+            if (ckptEvery_ != 0 && simulated >= next_ckpt) {
+                writeCheckpoint(source, result, consumed, simulated);
+                next_ckpt = (simulated / ckptEvery_ + 1) * ckptEvery_;
+            }
         }
     }
 
-    // The pool must be quiescent before results are harvested.
-    pool.reset();
+    // Harvest the engine-owned pool's occupancy before retiring it;
+    // a shared pool's occupancy is reported by its owner instead.
+    RunningStats owned_occupancy;
+    if (owned_pool != nullptr)
+        owned_occupancy = owned_pool->occupancyStats();
+    owned_pool.reset();
 
     result.records = consumed;
     result.branches = simulated;
@@ -565,6 +847,11 @@ SweepEngine::runImpl(TraceSource &source,
     result.wallMs = std::chrono::duration<double, std::milli>(
                         Clock::now() - run_start)
                         .count();
+    result.decodeStallMs =
+        stall_ns.count() == 0
+            ? 0.0
+            : stall_ns.mean() * static_cast<double>(stall_ns.count()) *
+                  1e-6;
 
     if (telemetry != nullptr) {
         for (const auto &config : result.perConfig) {
@@ -591,11 +878,13 @@ SweepEngine::runImpl(TraceSource &source,
              field("configs",
                    static_cast<std::uint64_t>(
                        result.perConfig.size())),
-             field("threads", static_cast<std::uint64_t>(threads)),
+             field("threads",
+                   static_cast<std::uint64_t>(shard_count)),
              field("records", result.records),
              field("branches", result.branches),
              field("batches", result.batches),
              field("wall_ms", result.wallMs),
+             field("decode_stall_ms", result.decodeStallMs),
              field("ns_per_branch_update", ns_per_update),
              field("checkpoints_written",
                    result.checkpointsWritten)}));
@@ -609,6 +898,11 @@ SweepEngine::runImpl(TraceSource &source,
                          static_cast<double>(result.perConfig.size()));
         registry.observe("sweep.wall_ms", result.wallMs);
         registry.mergeStats("sweep.batch_ns", batch_ns);
+        registry.mergeStats("sweep.decode_stall_ns", stall_ns);
+        if (owned_occupancy.count() != 0) {
+            registry.mergeStats("sweep.pool_occupancy",
+                                owned_occupancy);
+        }
     }
 
     return result;

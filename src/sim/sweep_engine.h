@@ -22,6 +22,20 @@
  * estimator family). Thread count and batch size only change wall
  * time, never results.
  *
+ * Two pipelining layers overlap the remaining serial phases, both
+ * pure performance knobs that never change results:
+ *  - **Decode-ahead**: a small ring of batches is refilled by a
+ *    dedicated producer thread while worker shards replay the
+ *    previous batch, so workers never wait on TraceSource::next.
+ *    Checkpoints act as pipeline barriers — the producer pauses with
+ *    the source quiescent exactly at the checkpointed record, so
+ *    serialized cursors (and watermark replay) are identical to the
+ *    synchronous engine's.
+ *  - **Shared worker pool**: engines can share one globally sized
+ *    SweepWorkerPool, letting SuiteRunner::runSweep() pipeline
+ *    multiple benchmarks' sweep passes concurrently instead of
+ *    leaving cores idle whenever configs < hardware threads.
+ *
  * Differences from the sequential driver, by design:
  *  - per-branch estimator update-cost sampling is not performed (the
  *    engine reports batch-level sweep.batch_ns instead);
@@ -36,19 +50,90 @@
 #ifndef CONFSIM_SIM_SWEEP_ENGINE_H
 #define CONFSIM_SIM_SWEEP_ENGINE_H
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/driver.h"
 #include "sim/suite_runner.h"
 #include "trace/record_batch.h"
+#include "util/running_stats.h"
 
 namespace confsim {
 
 class Checkpoint;
 class CheckpointStore;
+
+/**
+ * A generic shared pool of persistent worker threads. Callers submit
+ * a group of closures with runAll(), which blocks until every closure
+ * has run and rethrows the first captured exception. Multiple callers
+ * (e.g. several SweepEngines pipelining different benchmarks) may
+ * submit concurrently; tasks interleave on the same workers, and each
+ * caller waits only for its own group.
+ *
+ * Occupancy is sampled at every task start (busy workers including
+ * the starting one) into a RunningStats, so telemetry can report how
+ * well a globally sized pool was utilised.
+ */
+class SweepWorkerPool
+{
+  public:
+    /** Spawn @p workers persistent threads (0 runs tasks inline). */
+    explicit SweepWorkerPool(unsigned workers);
+    ~SweepWorkerPool();
+
+    SweepWorkerPool(const SweepWorkerPool &) = delete;
+    SweepWorkerPool &operator=(const SweepWorkerPool &) = delete;
+
+    /** @return the number of worker threads. */
+    unsigned
+    workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /**
+     * Run every task on the pool; blocks until all complete. The
+     * first exception any task raises is rethrown here (after every
+     * task in the group has finished).
+     */
+    void runAll(std::vector<std::function<void()>> tasks);
+
+    /** @return busy-worker samples taken at each task start. */
+    RunningStats occupancyStats() const;
+
+  private:
+    /** Completion latch for one runAll() group. */
+    struct WaitGroup
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        std::size_t remaining = 0;
+        std::exception_ptr error;
+    };
+    struct Task
+    {
+        std::function<void()> fn;
+        WaitGroup *group;
+    };
+
+    void workerMain();
+
+    mutable std::mutex mu_;
+    std::condition_variable cvWork_;
+    std::deque<Task> queue_;
+    bool stop_ = false;
+    unsigned busy_ = 0;
+    RunningStats occupancy_;
+    std::vector<std::thread> threads_;
+};
 
 /** One attached (predictor, estimator set) configuration. */
 struct SweepConfiguration
@@ -70,12 +155,44 @@ struct SweepOptions
      * Worker threads to shard configurations across; 0 = one per
      * hardware thread, capped at the configuration count. 1 runs
      * inline on the calling thread. Thread count never changes
-     * results.
+     * results. Ignored when @ref pool is set (the shared pool's size
+     * governs; shards are still capped at the configuration count).
      */
     unsigned threads = 0;
 
     /** Records per broadcast batch (see RecordBatch). */
     std::size_t batchSize = RecordBatch::kDefaultCapacity;
+
+    /**
+     * Decode-ahead ring depth: how many batches may be decoded ahead
+     * of the one being replayed. >= 2 runs a producer thread that
+     * refills batches while workers replay (the default); 1 refills
+     * synchronously between broadcasts (the pre-pipelining engine);
+     * 0 = default depth. Pure performance knob — results, checkpoint
+     * cadence, and resume behaviour are bit-identical at any depth.
+     * CONFSIM_DECODE_AHEAD overrides, CONFSIM_SEQUENTIAL forces 1.
+     */
+    std::size_t decodeAhead = kDefaultDecodeAhead;
+
+    /**
+     * SuiteRunner::runSweep() only: how many benchmarks' sweep passes
+     * may run concurrently on the shared pool. 0 sizes automatically
+     * (pool workers / shards per benchmark). 1 runs benchmarks
+     * sequentially. Never changes results; per-benchmark error
+     * isolation and suite-order merging are preserved.
+     * CONFSIM_BENCH_PARALLEL overrides, CONFSIM_SEQUENTIAL forces 1.
+     */
+    unsigned benchParallel = 0;
+
+    /**
+     * Optional shared worker pool (non-owning). When set, the engine
+     * broadcasts batches through it instead of creating a private
+     * pool, so several engines can share globally sized parallelism.
+     * The pool must outlive every run()/resume() call.
+     */
+    SweepWorkerPool *pool = nullptr;
+
+    static constexpr std::size_t kDefaultDecodeAhead = 3;
 };
 
 /**
@@ -113,6 +230,10 @@ struct SweepRunResult
     std::uint64_t branches = 0; //!< conditional branches simulated
     std::uint64_t batches = 0;  //!< broadcast batches processed
     double wallMs = 0.0;        //!< wall time of the run() call
+    /** Total time the replay side waited on trace decode. With
+     *  decode-ahead this is genuine pipeline stall; at depth 1 it is
+     *  the full (serial) refill time. */
+    double decodeStallMs = 0.0;
     std::uint64_t checkpointsWritten = 0;
 };
 

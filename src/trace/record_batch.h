@@ -8,7 +8,10 @@
  * a fixed-capacity, contiguous buffer of BranchRecords that one
  * refill() drains from the source and every configuration then replays
  * independently (read-only, so concurrent replay from worker shards
- * needs no synchronization).
+ * needs no synchronization). The engine's decode-ahead mode keeps a
+ * small ring of these batches: a producer thread refills slots while
+ * workers replay earlier ones — each batch still has exactly one
+ * writer at a time.
  *
  * The batch size trades decode amortization against cache footprint:
  * a batch should comfortably fit in L2 together with one
@@ -61,6 +64,14 @@ class RecordBatch
             ++size_;
         }
         return size_;
+    }
+
+    /** Discard buffered records (e.g. after a failed refill). */
+    void
+    clear()
+    {
+        size_ = 0;
+        conditionals_ = 0;
     }
 
     /** @return records buffered by the last refill(). */

@@ -15,8 +15,13 @@ namespace {
 class SignalIoTest : public ::testing::Test
 {
   protected:
-    std::string path_ =
-        ::testing::TempDir() + "/confsim_signal_test.txt";
+    // Unique per test so the cases can run concurrently under
+    // `ctest -j` without clobbering each other's file.
+    std::string path_ = ::testing::TempDir() + "/confsim_signal_" +
+                        ::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name() +
+                        ".txt";
 
     void TearDown() override { std::remove(path_.c_str()); }
 };

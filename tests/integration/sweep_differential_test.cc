@@ -470,6 +470,267 @@ TEST(SweepDifferential, CheckpointResumeIsBitExact)
     }
 }
 
+TEST(SweepDifferential, DecodeAheadDepthNeverChangesResults)
+{
+    const Family family = allFamilies()[6]; // two_level
+    DriverOptions options;
+    options.profileStatic = true;
+    const SequentialRun reference = runSequential(family, options);
+
+    for (const std::size_t depth :
+         {std::size_t{1}, std::size_t{2}, std::size_t{3},
+          std::size_t{5}}) {
+        SweepOptions sweep;
+        sweep.threads = 2;
+        sweep.batchSize = 777; // not a divisor of the trace length
+        sweep.decodeAhead = depth;
+        SweepEngine engine(familyConfigs({family, family}), options,
+                           sweep);
+        auto source = freshSource();
+        const SweepRunResult result = engine.run(*source);
+        ASSERT_EQ(result.perConfig.size(), 2u);
+        for (std::size_t c = 0; c < 2; ++c) {
+            expectIdentical(reference.result, result.perConfig[c],
+                            "decode-ahead " + std::to_string(depth) +
+                                " config " + std::to_string(c));
+        }
+    }
+}
+
+TEST(SweepDifferential, SharedPoolWithSurplusWorkersBitExact)
+{
+    // More pool workers than configurations: the engine must cap its
+    // shards at the config count and leave the surplus workers idle
+    // (they exist to serve other benchmarks' concurrent passes), with
+    // results identical to a lone engine.
+    const std::vector<Family> families = {allFamilies()[2],
+                                          allFamilies()[4],
+                                          allFamilies()[8]};
+    DriverOptions options;
+    options.profileStatic = true;
+
+    SweepWorkerPool pool(6);
+    SweepOptions sweep;
+    sweep.pool = &pool;
+    sweep.decodeAhead = 3;
+
+    // Two engines sharing one pool back to back, as runSweep does.
+    for (int pass = 0; pass < 2; ++pass) {
+        SweepEngine engine(familyConfigs(families), options, sweep);
+        auto source = freshSource();
+        const SweepRunResult result = engine.run(*source);
+        ASSERT_EQ(result.perConfig.size(), families.size());
+        for (std::size_t c = 0; c < families.size(); ++c) {
+            const SequentialRun reference =
+                runSequential(families[c], options);
+            expectIdentical(reference.result, result.perConfig[c],
+                            families[c].label + " (shared pool pass " +
+                                std::to_string(pass) + ")");
+        }
+    }
+    EXPECT_GT(pool.occupancyStats().count(), 0u);
+}
+
+TEST(SweepDifferential, CheckpointResumeWithDecodeAheadBitExact)
+{
+    // Checkpoints written by the pipelined engine (producer paused at
+    // the checkpoint barrier) must resume bit-exactly — including
+    // when the resuming engine uses a *different* decode-ahead depth.
+    const std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) /
+        "sweep_resume_decode_ahead";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    const std::vector<Family> families = {allFamilies()[1],
+                                          allFamilies()[5]};
+    DriverOptions options;
+    options.profileStatic = true;
+
+    // Reference: synchronous-refill engine, uninterrupted.
+    SweepOptions sync_sweep;
+    sync_sweep.threads = 2;
+    sync_sweep.decodeAhead = 1;
+    SweepEngine reference_engine(familyConfigs(families), options,
+                                 sync_sweep);
+    auto reference_source = freshSource();
+    const SweepRunResult reference =
+        reference_engine.run(*reference_source);
+
+    // Checkpoint cadence must be depth-independent too: count the
+    // synchronous engine's generations, then the pipelined engine's.
+    CheckpointStore sync_store(dir.string(), "sweep-sync", 4);
+    SweepEngine sync_ckpt_engine(familyConfigs(families), options,
+                                 sync_sweep);
+    sync_ckpt_engine.checkpointEvery(20'000, &sync_store);
+    auto sync_ckpt_source = freshSource();
+    const SweepRunResult sync_ckpt =
+        sync_ckpt_engine.run(*sync_ckpt_source);
+
+    SweepOptions ring_sweep;
+    ring_sweep.threads = 2;
+    ring_sweep.decodeAhead = 3;
+    CheckpointStore store(dir.string(), "sweep-ring", 4);
+    SweepEngine first_engine(familyConfigs(families), options,
+                             ring_sweep);
+    first_engine.checkpointEvery(20'000, &store);
+    auto first_source = freshSource();
+    const SweepRunResult first = first_engine.run(*first_source);
+    ASSERT_GT(first.checkpointsWritten, 0u);
+    EXPECT_EQ(first.checkpointsWritten, sync_ckpt.checkpointsWritten);
+
+    const auto ckpt = store.loadLatestValid();
+    ASSERT_TRUE(ckpt.has_value());
+    SweepOptions resume_sweep;
+    resume_sweep.threads = 2;
+    resume_sweep.decodeAhead = 2; // differs from the writing engine
+    SweepEngine resumed_engine(familyConfigs(families), options,
+                               resume_sweep);
+    auto resumed_source = freshSource();
+    const SweepRunResult resumed =
+        resumed_engine.resume(*resumed_source, *ckpt);
+
+    ASSERT_EQ(reference.perConfig.size(), resumed.perConfig.size());
+    for (std::size_t c = 0; c < reference.perConfig.size(); ++c) {
+        const SweepConfigResult &expected = reference.perConfig[c];
+        const SweepConfigResult &actual = resumed.perConfig[c];
+        SCOPED_TRACE(families[c].label);
+        EXPECT_EQ(expected.branches, actual.branches);
+        EXPECT_EQ(expected.mispredicts, actual.mispredicts);
+        EXPECT_EQ(expected.contextSwitches, actual.contextSwitches);
+        ASSERT_EQ(expected.estimatorStats.size(),
+                  actual.estimatorStats.size());
+        for (std::size_t e = 0; e < expected.estimatorStats.size();
+             ++e) {
+            const BucketStats &eb = expected.estimatorStats[e];
+            const BucketStats &ab = actual.estimatorStats[e];
+            ASSERT_EQ(eb.numBuckets(), ab.numBuckets());
+            for (std::uint64_t b = 0; b < eb.numBuckets(); ++b) {
+                EXPECT_EQ(eb[b].refs, ab[b].refs);
+                EXPECT_EQ(eb[b].mispredicts, ab[b].mispredicts);
+            }
+        }
+    }
+}
+
+/** Exact comparison of two SweepSuiteResults (ignores wall times). */
+void
+expectSuiteResultsIdentical(const SweepSuiteResult &expected,
+                            const SweepSuiteResult &actual)
+{
+    ASSERT_EQ(expected.perConfig.size(), actual.perConfig.size());
+    ASSERT_EQ(expected.labels, actual.labels);
+    for (std::size_t c = 0; c < expected.perConfig.size(); ++c) {
+        SCOPED_TRACE("config " + expected.labels[c]);
+        const SuiteRunResult &ec = expected.perConfig[c];
+        const SuiteRunResult &ac = actual.perConfig[c];
+        ASSERT_EQ(ec.perBenchmark.size(), ac.perBenchmark.size());
+        for (std::size_t b = 0; b < ec.perBenchmark.size(); ++b) {
+            const BenchmarkRunResult &eb = ec.perBenchmark[b];
+            const BenchmarkRunResult &ab = ac.perBenchmark[b];
+            EXPECT_EQ(eb.name, ab.name);
+            EXPECT_EQ(eb.error, ab.error);
+            EXPECT_EQ(eb.branches, ab.branches);
+            EXPECT_EQ(eb.mispredicts, ab.mispredicts);
+            EXPECT_EQ(eb.mispredictRate, ab.mispredictRate);
+            EXPECT_EQ(eb.staticStats.totalRefs(),
+                      ab.staticStats.totalRefs());
+            EXPECT_EQ(eb.staticStats.totalMispredicts(),
+                      ab.staticStats.totalMispredicts());
+            ASSERT_EQ(eb.estimatorStats.size(),
+                      ab.estimatorStats.size());
+            for (std::size_t e = 0; e < eb.estimatorStats.size();
+                 ++e) {
+                const BucketStats &es = eb.estimatorStats[e];
+                const BucketStats &as = ab.estimatorStats[e];
+                ASSERT_EQ(es.numBuckets(), as.numBuckets());
+                for (std::uint64_t bucket = 0;
+                     bucket < es.numBuckets(); ++bucket) {
+                    EXPECT_EQ(es[bucket].refs, as[bucket].refs);
+                    EXPECT_EQ(es[bucket].mispredicts,
+                              as[bucket].mispredicts);
+                }
+            }
+        }
+        EXPECT_EQ(ec.compositeMispredictRate,
+                  ac.compositeMispredictRate);
+        EXPECT_EQ(ec.degraded, ac.degraded);
+        ASSERT_EQ(ec.compositeEstimatorStats.size(),
+                  ac.compositeEstimatorStats.size());
+        for (std::size_t e = 0;
+             e < ec.compositeEstimatorStats.size(); ++e) {
+            const BucketStats &es = ec.compositeEstimatorStats[e];
+            const BucketStats &as = ac.compositeEstimatorStats[e];
+            ASSERT_EQ(es.numBuckets(), as.numBuckets());
+            for (std::uint64_t bucket = 0; bucket < es.numBuckets();
+                 ++bucket) {
+                EXPECT_EQ(es[bucket].refs, as[bucket].refs);
+                EXPECT_EQ(es[bucket].mispredicts,
+                          as[bucket].mispredicts);
+            }
+        }
+        EXPECT_EQ(ec.compositeStaticStats.totalRefs(),
+                  ac.compositeStaticStats.totalRefs());
+    }
+}
+
+TEST(SweepDifferential, BenchParallelScheduleNeverChangesResults)
+{
+    // Concurrent benchmark passes on a shared pool vs strictly
+    // sequential single-threaded passes: identical outputs, identical
+    // suite ordering, identical composites.
+    const std::vector<Family> families = {allFamilies()[4],
+                                          allFamilies()[9]};
+    DriverOptions options;
+    options.profileStatic = true;
+    SuiteRunner runner(BenchmarkSuite::ibsSmall(20'000));
+
+    SweepOptions sequential;
+    sequential.threads = 1;
+    sequential.decodeAhead = 1;
+    sequential.benchParallel = 1;
+    const SweepSuiteResult reference = runner.runSweep(
+        familyConfigs(families), options, sequential, RunPolicy{});
+
+    for (const unsigned slots : {2u, 3u}) {
+        SweepOptions pipelined;
+        pipelined.threads = 4;
+        pipelined.decodeAhead = 3;
+        pipelined.benchParallel = slots;
+        const SweepSuiteResult result = runner.runSweep(
+            familyConfigs(families), options, pipelined, RunPolicy{});
+        SCOPED_TRACE("bench-parallel " + std::to_string(slots));
+        expectSuiteResultsIdentical(reference, result);
+    }
+}
+
+TEST(SweepDifferential, SweepWallTimeIsSharedEquallyAcrossConfigs)
+{
+    // The pass is shared: each config's per-benchmark wallMs must be
+    // an equal 1/numConfigs share, so summing over configs recovers
+    // the pass cost instead of multiplying it.
+    const std::vector<Family> families = {allFamilies()[0],
+                                          allFamilies()[3],
+                                          allFamilies()[7]};
+    SuiteRunner runner(BenchmarkSuite::ibsSmall(10'000));
+    const SweepSuiteResult swept = runner.runSweep(
+        familyConfigs(families), DriverOptions{}, SweepOptions{},
+        RunPolicy{});
+    ASSERT_EQ(swept.perConfig.size(), families.size());
+    const std::size_t benches = swept.perConfig[0].perBenchmark.size();
+    ASSERT_GT(benches, 0u);
+    for (std::size_t b = 0; b < benches; ++b) {
+        const double share =
+            swept.perConfig[0].perBenchmark[b].wallMs;
+        EXPECT_GE(share, 0.0);
+        for (std::size_t c = 1; c < families.size(); ++c) {
+            EXPECT_EQ(share,
+                      swept.perConfig[c].perBenchmark[b].wallMs)
+                << "benchmark " << b << " config " << c;
+        }
+    }
+}
+
 TEST(SweepDifferential, SuiteRunnerSweepMatchesSequentialRun)
 {
     // The full SuiteRunner integration: per-benchmark results AND the

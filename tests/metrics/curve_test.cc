@@ -142,6 +142,40 @@ TEST(CurveTest, EmptyStatsGiveEmptyCurve)
     EXPECT_DOUBLE_EQ(curve.mispredCoverageAt(0.5), 0.0);
 }
 
+TEST(CurveTest, EmptyCurveReadsZeroInBothDirections)
+{
+    // An empty curve recorded nothing, so both readings must agree:
+    // no coverage is achieved (forward) and no branch fraction is
+    // needed for any target (inverse) — refFractionForCoverage used
+    // to fall through to 1.0 here.
+    const ConfidenceCurve curve =
+        ConfidenceCurve::fromBucketStats(BucketStats(4));
+    for (const double x : {0.0, 0.2, 0.5, 1.0}) {
+        EXPECT_DOUBLE_EQ(curve.mispredCoverageAt(x), 0.0) << x;
+        EXPECT_DOUBLE_EQ(curve.refFractionForCoverage(x), 0.0) << x;
+    }
+}
+
+TEST(CurveTest, SinglePointCurveReadsBothDirections)
+{
+    // One populated bucket collapses the curve to the single point
+    // (1, 1); both directions interpolate linearly from (0, 0).
+    BucketStats stats(4);
+    for (int i = 0; i < 100; ++i)
+        stats.record(2, i < 25);
+    const auto curve = ConfidenceCurve::fromBucketStats(stats);
+    ASSERT_EQ(curve.points().size(), 1u);
+    EXPECT_NEAR(curve.points()[0].refFraction, 1.0, 1e-12);
+    EXPECT_NEAR(curve.points()[0].mispredFraction, 1.0, 1e-12);
+
+    EXPECT_NEAR(curve.mispredCoverageAt(0.5), 0.5, 1e-12);
+    EXPECT_NEAR(curve.mispredCoverageAt(1.0), 1.0, 1e-12);
+    EXPECT_NEAR(curve.refFractionForCoverage(0.5), 0.5, 1e-12);
+    EXPECT_NEAR(curve.refFractionForCoverage(1.0), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(curve.mispredCoverageAt(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(curve.refFractionForCoverage(0.0), 0.0);
+}
+
 TEST(CurveTest, ThinningKeepsEndpointsAndSpacing)
 {
     BucketStats stats(100);

@@ -3,6 +3,7 @@
 #include "sim/suite_runner.h"
 
 #include <atomic>
+#include <cmath>
 
 #include <gtest/gtest.h>
 
@@ -189,6 +190,37 @@ TEST(SuiteRunnerTest, ContinueOnErrorIsolatesTheFailure)
                 1.0);
     ASSERT_EQ(result.estimatorNames.size(), 1u);
     EXPECT_EQ(result.estimatorNames[0], "1lvl-PCxorBHR-reset16-4096");
+}
+
+TEST(SuiteRunnerTest, AllBenchmarksFailingGivesEmptyComposites)
+{
+    // When every benchmark fails under continue-on-error the composite
+    // pass has zero survivors; it must report a clean degenerate
+    // result (zero rate, empty composites), never NaN from a 0/0.
+    SuiteRunner runner(BenchmarkSuite::ibsSubset({"jpeg", "real_gcc"},
+                                                 5000));
+    runner.setSourceWrapper(
+        [](std::size_t, std::unique_ptr<TraceSource> inner)
+            -> std::unique_ptr<TraceSource> {
+            FaultSpec spec;
+            spec.failAfter = 500;
+            return std::make_unique<FaultInjectingTraceSource>(
+                std::move(inner), spec);
+        });
+    const auto result =
+        runner.run(smallPredictor(), smallEstimators(), {},
+                   RunPolicy::continueOnError());
+
+    ASSERT_EQ(result.perBenchmark.size(), 2u);
+    EXPECT_TRUE(result.perBenchmark[0].failed());
+    EXPECT_TRUE(result.perBenchmark[1].failed());
+    EXPECT_TRUE(result.degraded);
+    EXPECT_EQ(result.failedBenchmarks(), 2u);
+    EXPECT_FALSE(std::isnan(result.compositeMispredictRate));
+    EXPECT_DOUBLE_EQ(result.compositeMispredictRate, 0.0);
+    EXPECT_TRUE(result.estimatorNames.empty());
+    EXPECT_TRUE(result.compositeEstimatorStats.empty());
+    EXPECT_EQ(result.compositeStaticStats.size(), 0u);
 }
 
 TEST(SuiteRunnerTest, ContinueOnErrorWithoutFailuresIsNotDegraded)

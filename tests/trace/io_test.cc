@@ -18,7 +18,14 @@ namespace {
 class TraceIoTest : public ::testing::Test
 {
   protected:
-    std::string path_ = ::testing::TempDir() + "/confsim_io_test.cbt";
+    // Unique per test: the cases run concurrently under `ctest -j`,
+    // so a path shared across the fixture lets one case truncate a
+    // file another is reading.
+    std::string path_ = ::testing::TempDir() + "/confsim_io_" +
+                        ::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name() +
+                        ".cbt";
 
     void TearDown() override { std::remove(path_.c_str()); }
 

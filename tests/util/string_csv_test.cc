@@ -72,7 +72,14 @@ TEST(StringUtilsTest, ParseDouble)
 class CsvWriterTest : public ::testing::Test
 {
   protected:
-    std::string path_ = ::testing::TempDir() + "/confsim_csv_test.csv";
+    // Unique per test: the cases run concurrently under `ctest -j`,
+    // and a shared path lets UnwritablePathIsFatal clobber a file
+    // another case is reading.
+    std::string path_ = ::testing::TempDir() + "/confsim_csv_" +
+                        ::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name() +
+                        ".csv";
 
     std::string
     readBack()
