@@ -30,7 +30,7 @@
 #include "metrics/confidence_curve.h"
 #include "predictor/gshare.h"
 #include "sim/driver.h"
-#include "trace/fault_injection.h"
+#include "fault/fault_injection.h"
 #include "util/cli.h"
 #include "workload/workload_generator.h"
 

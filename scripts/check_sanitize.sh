@@ -1,21 +1,47 @@
 #!/usr/bin/env bash
-# Build and run the tier-1 test suite under ASan + UBSan so the trace
-# I/O error paths and the suite-runner fault handling are exercised
-# with memory checking. Usage: scripts/check_sanitize.sh [ctest args].
+# Build and run tests under a sanitizer.
+#
+# Usage: scripts/check_sanitize.sh [address|thread] [ctest args]
+#
+#   address (default)  ASan + UBSan over the full tier-1 suite — the
+#                      trace I/O error paths and suite-runner fault
+#                      handling with memory checking.
+#   thread             TSan over the concurrency-heavy suites: the
+#                      sweep differential harness and the chaos tests,
+#                      so fault injection, cancellation, and fail-fast
+#                      teardown are checked for data races.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=build-sanitize
+MODE=address
+if [[ $# -gt 0 && ( "$1" == "address" || "$1" == "thread" ) ]]; then
+    MODE="$1"
+    shift
+fi
+
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
+if [[ "$MODE" == "thread" ]]; then
+    BUILD_DIR=build-tsan
+else
+    BUILD_DIR=build-sanitize
+fi
+
 cmake -B "$BUILD_DIR" -S . \
-    -DCONFSIM_SANITIZE=ON \
+    -DCONFSIM_SANITIZE="$MODE" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 # halt_on_error so a sanitizer report fails the ctest run loudly.
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+if [[ "$MODE" == "thread" && $# -eq 0 ]]; then
+    # Default TSan scope: the tests that actually exercise threads.
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
+        -R 'SweepDifferential|Chaos'
+else
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
+fi

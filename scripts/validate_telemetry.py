@@ -60,7 +60,15 @@ EVENT_REQUIRED_FIELDS = {
     "estimator_update_cost": [
         "benchmark", "estimator", "samples", "mean_ns",
     ],
-    "fault_injected": ["benchmark", "kind", "record"],
+    # fault_injected comes in two shapes, dispatched on "kind" in
+    # validate_event: trace-source injection carries the record index,
+    # plan-based injection (kind "plan.<site>", fault/fault_plan.h)
+    # carries the action/config/occurrence that fired.
+    "fault_injected": ["benchmark", "kind"],
+    "sweep_config_failed": [
+        "benchmark", "config", "at_branch", "category", "error",
+    ],
+    "checkpoint_write_failed": ["benchmark", "at_branch", "error"],
     "corrupt_chunk_skipped": [
         "benchmark", "what", "chunk", "dropped_records",
     ],
@@ -129,6 +137,17 @@ def validate_event(path, lineno, obj):
         if key not in obj:
             fail(path, lineno,
                  f"event '{obj['type']}' is missing field '{key}'")
+    if obj["type"] == "fault_injected":
+        kind = obj.get("kind")
+        if isinstance(kind, str) and kind.startswith("plan."):
+            extra = ("action", "config", "occurrence")
+        else:
+            extra = ("record",)
+        for key in extra:
+            if key not in obj:
+                fail(path, lineno,
+                     f"fault_injected (kind {kind!r}) is missing "
+                     f"field '{key}'")
 
 
 def validate_jsonl(path):

@@ -4,6 +4,7 @@
 
 #include "util/atomic_file.h"
 #include "util/crc32.h"
+#include "util/error.h"
 #include "util/status.h"
 
 namespace confsim {
@@ -65,7 +66,7 @@ walk(const std::vector<std::uint8_t> &bytes, Checkpoint *out,
     const std::size_t kFooter = sizeof(std::uint32_t);
     if (bytes.size() < sizeof kCheckpointMagic + kFooter) {
         if (strict)
-            fatal("checkpoint file too small (" +
+            fatal(ErrorCategory::kCheckpoint, "checkpoint file too small (" +
                   std::to_string(bytes.size()) + " bytes)");
         return info;
     }
@@ -74,7 +75,7 @@ walk(const std::vector<std::uint8_t> &bytes, Checkpoint *out,
                                sizeof kCheckpointMagic) == 0;
     if (!info.magicOk) {
         if (strict)
-            fatal("checkpoint magic mismatch (not a CSK1 file)");
+            fatal(ErrorCategory::kCheckpoint, "checkpoint magic mismatch (not a CSK1 file)");
         return info;
     }
 
@@ -87,7 +88,7 @@ walk(const std::vector<std::uint8_t> &bytes, Checkpoint *out,
         (static_cast<std::uint32_t>(bytes[body + 3]) << 24);
     info.fileCrcOk = crc32(bytes.data(), body) == stored_crc;
     if (strict && !info.fileCrcOk)
-        fatal("checkpoint file CRC mismatch");
+        fatal(ErrorCategory::kCheckpoint, "checkpoint file CRC mismatch");
 
     try {
         StateReader in(bytes.data(), body);
@@ -97,7 +98,7 @@ walk(const std::vector<std::uint8_t> &bytes, Checkpoint *out,
         info.formatVersion = in.getU32();
         info.versionOk = info.formatVersion == kCheckpointFormatVersion;
         if (strict && !info.versionOk)
-            fatal("checkpoint format version " +
+            fatal(ErrorCategory::kCheckpoint, "checkpoint format version " +
                   std::to_string(info.formatVersion) +
                   " is not supported (expected " +
                   std::to_string(kCheckpointFormatVersion) + ")");
@@ -111,7 +112,7 @@ walk(const std::vector<std::uint8_t> &bytes, Checkpoint *out,
             entry.version = in.getU32();
             entry.size = in.getU64();
             if (entry.size > in.remaining())
-                fatal("checkpoint component '" + entry.name +
+                fatal(ErrorCategory::kCheckpoint, "checkpoint component '" + entry.name +
                       "' overruns the file");
             std::vector<std::uint8_t> payload(
                 static_cast<std::size_t>(entry.size));
@@ -121,14 +122,14 @@ walk(const std::vector<std::uint8_t> &bytes, Checkpoint *out,
             entry.crcOk =
                 crc32(payload.data(), payload.size()) == payload_crc;
             if (strict && !entry.crcOk)
-                fatal("checkpoint component '" + entry.name +
+                fatal(ErrorCategory::kCheckpoint, "checkpoint component '" + entry.name +
                       "' CRC mismatch");
             info.components.push_back(entry);
             if (out != nullptr)
                 out->add(entry.name, entry.version, std::move(payload));
         }
         if (!in.atEnd())
-            fatal("checkpoint has trailing garbage");
+            fatal(ErrorCategory::kCheckpoint, "checkpoint has trailing garbage");
         info.structureOk = true;
         if (out != nullptr) {
             out->label = info.label;
@@ -174,12 +175,12 @@ readFileBytes(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        fatal("cannot open " + path + " for reading");
+        fatal(ErrorCategory::kCheckpoint, "cannot open " + path + " for reading");
     std::vector<std::uint8_t> bytes(
         (std::istreambuf_iterator<char>(in)),
         std::istreambuf_iterator<char>());
     if (in.bad())
-        fatal("read error on " + path);
+        fatal(ErrorCategory::kCheckpoint, "read error on " + path);
     return bytes;
 }
 

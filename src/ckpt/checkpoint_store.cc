@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "fault/fault_plan.h"
+#include "util/error.h"
 #include "util/status.h"
 
 namespace confsim {
@@ -28,12 +30,15 @@ CheckpointStore::CheckpointStore(std::string directory, std::string label,
       keepGenerations_(keepGenerations == 0 ? 1 : keepGenerations)
 {
     if (directory_.empty())
-        fatal("checkpoint directory must not be empty");
+        fatal(ErrorCategory::kConfig,
+              "checkpoint directory must not be empty");
     std::error_code ec;
     std::filesystem::create_directories(directory_, ec);
     if (ec)
-        fatal("cannot create checkpoint directory " + directory_ + ": " +
+        fatal(ErrorCategory::kResource,
+              "cannot create checkpoint directory " + directory_ + ": " +
               ec.message());
+    removeOrphanedTemporaries();
     const std::vector<std::uint64_t> existing = generations();
     if (!existing.empty())
         nextGeneration_ = existing.front() + 1;
@@ -95,8 +100,35 @@ CheckpointStore::generations() const
 }
 
 void
+CheckpointStore::removeOrphanedTemporaries()
+{
+    // A writer killed between open() and rename() leaves a stale
+    // `<label>*.ckpt.tmp` sibling behind. It is never a valid
+    // checkpoint (rename is what publishes one), so reclaim the space
+    // when a store reopens the directory.
+    const std::string prefix = label_ + ".";
+    const std::string suffix = ".ckpt.tmp";
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(directory_, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() <= prefix.size() + suffix.size())
+            continue;
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        std::remove(entry.path().string().c_str());
+    }
+}
+
+void
 CheckpointStore::write(const Checkpoint &ckpt)
 {
+    FaultInjector &injector = FaultInjector::instance();
+    if (injector.armed())
+        injector.fire(FaultSite::kCheckpointWrite, label_);
     const std::uint64_t generation = nextGeneration_++;
     const std::string path = generationPath(generation);
     writeCheckpointFile(path, ckpt);
@@ -151,6 +183,9 @@ CheckpointStore::loadLatestValid()
 void
 CheckpointStore::writeCompleted(const Checkpoint &ckpt)
 {
+    FaultInjector &injector = FaultInjector::instance();
+    if (injector.armed())
+        injector.fire(FaultSite::kCheckpointWrite, label_);
     writeCheckpointFile(completedPath(), ckpt);
 
     CheckpointStoreEvent event;

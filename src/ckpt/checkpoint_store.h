@@ -106,6 +106,7 @@ class CheckpointStore
     std::optional<Checkpoint> loadPath(const std::string &path,
                                        std::uint64_t generation);
     void emit(const CheckpointStoreEvent &event) const;
+    void removeOrphanedTemporaries();
 
     std::string directory_;
     std::string label_;

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "util/error.h"
 #include "util/status.h"
 
 namespace confsim {
@@ -151,7 +152,7 @@ class StateReader
     {
         const std::uint64_t got = getU64();
         if (got != expected)
-            fatal(std::string("checkpoint state mismatch for ") + what +
+            fatal(ErrorCategory::kCheckpoint, std::string("checkpoint state mismatch for ") + what +
                   ": stored " + std::to_string(got) + ", expected " +
                   std::to_string(expected));
     }
@@ -163,7 +164,7 @@ class StateReader
     void need(std::size_t n) const
     {
         if (size_ - pos_ < n)
-            fatal("checkpoint payload truncated: wanted " +
+            fatal(ErrorCategory::kCheckpoint, "checkpoint payload truncated: wanted " +
                   std::to_string(n) + " byte(s), " +
                   std::to_string(size_ - pos_) + " left");
     }

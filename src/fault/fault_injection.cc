@@ -1,9 +1,10 @@
-#include "trace/fault_injection.h"
+#include "fault/fault_injection.h"
 
 #include <array>
 
 #include "ckpt/state_io.h"
 
+#include "util/error.h"
 #include "util/status.h"
 
 namespace confsim {
@@ -19,7 +20,7 @@ FaultInjectingTraceSource::FaultInjectingTraceSource(
       rng_(spec.seed)
 {
     if (!inner_)
-        fatal("FaultInjectingTraceSource: null inner source");
+        fatal(ErrorCategory::kConfig, "FaultInjectingTraceSource: null inner source");
 }
 
 bool
@@ -35,7 +36,7 @@ FaultInjectingTraceSource::next(BranchRecord &record)
     if (spec_.failAfter != 0 && delivered_ >= spec_.failAfter) {
         if (hook_)
             hook_("hard_fail", delivered_);
-        fatal("injected fault: trace stream corrupt after " +
+        fatal(ErrorCategory::kTrace, "injected fault: trace stream corrupt after " +
               std::to_string(delivered_) + " records");
     }
     for (;;) {

@@ -16,8 +16,8 @@
  * estimators degrade when the branch stream itself is corrupted.
  */
 
-#ifndef CONFSIM_TRACE_FAULT_INJECTION_H
-#define CONFSIM_TRACE_FAULT_INJECTION_H
+#ifndef CONFSIM_FAULT_FAULT_INJECTION_H
+#define CONFSIM_FAULT_FAULT_INJECTION_H
 
 #include <cstdint>
 #include <functional>
@@ -135,4 +135,4 @@ class FaultInjectingTraceSource : public TraceSource
 
 } // namespace confsim
 
-#endif // CONFSIM_TRACE_FAULT_INJECTION_H
+#endif // CONFSIM_FAULT_FAULT_INJECTION_H

@@ -1,0 +1,308 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace confsim {
+
+namespace {
+
+/** Split @p text on @p sep, dropping empty pieces. */
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t end = text.find(sep, start);
+        const std::string piece =
+            text.substr(start, end == std::string::npos ? std::string::npos
+                                                        : end - start);
+        if (!piece.empty())
+            out.push_back(piece);
+        if (end == std::string::npos)
+            break;
+        start = end + 1;
+    }
+    return out;
+}
+
+std::uint64_t
+parseCount(const std::string &rule, const std::string &value)
+{
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        fatal(ErrorCategory::kConfig,
+              "fault plan rule '" + rule + "': bad number '" + value + "'");
+    return static_cast<std::uint64_t>(parsed);
+}
+
+FaultAction
+parseAction(const std::string &rule, const std::string &name)
+{
+    if (name == "throw")
+        return FaultAction::kThrow;
+    if (name == "fail")
+        return FaultAction::kFail;
+    if (name == "crash")
+        return FaultAction::kCrash;
+    if (name == "enospc")
+        return FaultAction::kEnospc;
+    if (name == "hang")
+        return FaultAction::kHang;
+    fatal(ErrorCategory::kConfig,
+          "fault plan rule '" + rule + "': unknown action '" + name +
+              "' (expected throw|fail|crash|enospc|hang)");
+}
+
+/** Parse `site:trigger[:action]` into a FaultRule. */
+FaultRule
+parseRule(const std::string &text)
+{
+    const std::vector<std::string> parts = split(text, ':');
+    if (parts.size() < 2 || parts.size() > 3)
+        fatal(ErrorCategory::kConfig,
+              "fault plan rule '" + text +
+                  "': expected site:trigger[:action]");
+
+    FaultRule rule;
+    const std::string &site = parts[0];
+    if (site == "decode")
+        rule.site = FaultSite::kDecodeBatch;
+    else if (site == "shard")
+        rule.site = FaultSite::kShardReplay;
+    else if (site == "ckpt")
+        rule.site = FaultSite::kCheckpointWrite;
+    else if (site == "sink")
+        rule.site = FaultSite::kSinkFlush;
+    else
+        fatal(ErrorCategory::kConfig,
+              "fault plan rule '" + text + "': unknown site '" + site +
+                  "' (expected decode|shard|ckpt|sink)");
+
+    bool sawCfg = false;
+    for (const std::string &kv : split(parts[1], ',')) {
+        const std::size_t eq = kv.find('=');
+        const std::string name = kv.substr(0, eq);
+        const std::string value =
+            eq == std::string::npos ? std::string() : kv.substr(eq + 1);
+        if (name == "batch" && rule.site == FaultSite::kDecodeBatch) {
+            rule.at = parseCount(text, value);
+        } else if (name == "batch" &&
+                   rule.site == FaultSite::kShardReplay) {
+            rule.at = parseCount(text, value);
+        } else if (name == "cfg" && rule.site == FaultSite::kShardReplay) {
+            rule.key = parseCount(text, value);
+            sawCfg = true;
+        } else if (name == "write" &&
+                   rule.site == FaultSite::kCheckpointWrite) {
+            rule.at = parseCount(text, value);
+        } else if (name == "flush" && rule.site == FaultSite::kSinkFlush) {
+            rule.at = value.empty() ? 1 : parseCount(text, value);
+        } else {
+            fatal(ErrorCategory::kConfig,
+                  "fault plan rule '" + text + "': unknown trigger key '" +
+                      name + "' for site '" + site + "'");
+        }
+    }
+    if (rule.site == FaultSite::kShardReplay && !sawCfg)
+        fatal(ErrorCategory::kConfig,
+              "fault plan rule '" + text + "': shard rules require cfg=N");
+    if (rule.at == 0)
+        fatal(ErrorCategory::kConfig,
+              "fault plan rule '" + text +
+                  "': occurrence counts are 1-based, got 0");
+
+    rule.action = parts.size() == 3 ? parseAction(text, parts[2])
+                                    : FaultAction::kThrow;
+    return rule;
+}
+
+std::string
+counterKey(FaultSite site, const std::string &scope, std::uint64_t key)
+{
+    return std::string(toString(site)) + '\x1f' + scope + '\x1f' +
+           std::to_string(key);
+}
+
+[[noreturn]] void
+raiseFault(const FaultHit &hit)
+{
+    const std::string where = std::string(toString(hit.site)) +
+                              " (scope '" + hit.scope + "', occurrence " +
+                              std::to_string(hit.occurrence) + ")";
+    switch (hit.action) {
+    case FaultAction::kEnospc:
+        throw Error(ErrorCategory::kResource,
+                    "injected fault: no space left on device (ENOSPC) at " +
+                        where);
+    case FaultAction::kCrash:
+        throw Error(ErrorCategory::kInternal,
+                    "injected fault: simulated crash at " + where);
+    default:
+        break;
+    }
+    ErrorCategory category = ErrorCategory::kInternal;
+    switch (hit.site) {
+    case FaultSite::kDecodeBatch:
+        category = ErrorCategory::kTrace;
+        break;
+    case FaultSite::kCheckpointWrite:
+        category = ErrorCategory::kCheckpoint;
+        break;
+    case FaultSite::kSinkFlush:
+        category = ErrorCategory::kResource;
+        break;
+    case FaultSite::kShardReplay:
+        category = ErrorCategory::kInternal;
+        break;
+    }
+    throw Error(category, "injected fault: failure at " + where);
+}
+
+} // namespace
+
+const char *
+toString(FaultSite site)
+{
+    switch (site) {
+    case FaultSite::kDecodeBatch: return "decode";
+    case FaultSite::kShardReplay: return "shard";
+    case FaultSite::kCheckpointWrite: return "ckpt";
+    case FaultSite::kSinkFlush: return "sink";
+    }
+    return "unknown";
+}
+
+const char *
+toString(FaultAction action)
+{
+    switch (action) {
+    case FaultAction::kNone: return "none";
+    case FaultAction::kThrow: return "throw";
+    case FaultAction::kFail: return "fail";
+    case FaultAction::kCrash: return "crash";
+    case FaultAction::kEnospc: return "enospc";
+    case FaultAction::kHang: return "hang";
+    }
+    return "unknown";
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    plan.spec_ = spec;
+    for (const std::string &rule : split(spec, ';'))
+        plan.rules_.push_back(parseRule(rule));
+    return plan;
+}
+
+FaultInjector &
+FaultInjector::instance()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::install(FaultPlan plan)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_ = plan.rules();
+    counters_.clear();
+    hits_.clear();
+    armed_.store(!pending_.empty(), std::memory_order_relaxed);
+}
+
+void
+FaultInjector::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.clear();
+    counters_.clear();
+    hits_.clear();
+    observer_ = nullptr;
+    armed_.store(false, std::memory_order_relaxed);
+}
+
+void
+FaultInjector::setObserver(FaultObserver observer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    observer_ = std::move(observer);
+}
+
+std::uint64_t
+FaultInjector::injectedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_.size();
+}
+
+std::vector<FaultHit>
+FaultInjector::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+FaultAction
+FaultInjector::fire(FaultSite site, const std::string &scope,
+                    std::uint64_t key)
+{
+    FaultHit hit;
+    FaultObserver observer;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (pending_.empty())
+            return FaultAction::kNone;
+        const std::uint64_t count = ++counters_[counterKey(site, scope, key)];
+        const auto match =
+            std::find_if(pending_.begin(), pending_.end(),
+                         [&](const FaultRule &rule) {
+                             return rule.site == site && rule.at == count &&
+                                    (rule.key == FaultRule::kAnyKey ||
+                                     rule.key == key);
+                         });
+        if (match == pending_.end())
+            return FaultAction::kNone;
+        hit.site = site;
+        hit.action = match->action;
+        hit.scope = scope;
+        hit.key = key;
+        hit.occurrence = count;
+        pending_.erase(match);
+        hits_.push_back(hit);
+        if (pending_.empty())
+            armed_.store(false, std::memory_order_relaxed);
+        observer = observer_;
+    }
+    if (observer)
+        observer(hit);
+    if (hit.action == FaultAction::kHang || hit.action == FaultAction::kNone)
+        return hit.action;
+    raiseFault(hit);
+}
+
+ScopedFaultPlan::ScopedFaultPlan(const std::string &spec,
+                                 FaultObserver observer)
+    : ScopedFaultPlan(FaultPlan::parse(spec), std::move(observer))
+{}
+
+ScopedFaultPlan::ScopedFaultPlan(FaultPlan plan, FaultObserver observer)
+{
+    FaultInjector &injector = FaultInjector::instance();
+    injector.install(std::move(plan));
+    injector.setObserver(std::move(observer));
+}
+
+ScopedFaultPlan::~ScopedFaultPlan()
+{
+    FaultInjector::instance().clear();
+}
+
+} // namespace confsim

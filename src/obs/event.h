@@ -50,6 +50,9 @@ inline constexpr const char *kSweepRunStarted = "sweep_run_started";
 inline constexpr const char *kSweepRunFinished = "sweep_run_finished";
 inline constexpr const char *kSweepConfigFinished =
     "sweep_config_finished";
+inline constexpr const char *kSweepConfigFailed = "sweep_config_failed";
+inline constexpr const char *kCheckpointWriteFailed =
+    "checkpoint_write_failed";
 
 } // namespace events
 

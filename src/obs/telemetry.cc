@@ -99,17 +99,19 @@ Telemetry::finish()
     std::lock_guard<std::mutex> lock(mutex_);
     snapshot_event.tMs = elapsedMs();
     for (auto &sink : sinks_) {
-        sink->writeEvent(snapshot_event);
-        sink->flush();
-        // close() publishes file-backed sinks atomically (tmp ->
-        // rename). finish() may run from the destructor, where a
-        // commit failure must not escape as an exception; the sink's
-        // temporary is already cleaned up by then.
+        // A failing sink degrades observability, never the simulation:
+        // flush/close failures (ENOSPC, injected sink faults) are
+        // reported to stderr and the remaining sinks still get their
+        // chance to publish. close() publishes file-backed sinks
+        // atomically (tmp -> rename); finish() may also run from the
+        // destructor, where a failure must not escape as an exception.
         try {
+            sink->writeEvent(snapshot_event);
+            sink->flush();
             sink->close();
         } catch (const std::exception &e) {
             std::fprintf(stderr,
-                         "[confsim] telemetry sink close failed: %s\n",
+                         "[confsim] telemetry sink flush/close failed: %s\n",
                          e.what());
         }
     }

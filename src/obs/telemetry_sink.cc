@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "fault/fault_plan.h"
 #include "util/status.h"
 #include "util/string_utils.h"
 
@@ -29,6 +30,9 @@ JsonlTelemetrySink::writeEvent(const TelemetryEvent &event)
 void
 JsonlTelemetrySink::flush()
 {
+    FaultInjector &injector = FaultInjector::instance();
+    if (injector.armed())
+        injector.fire(FaultSite::kSinkFlush, out_.path());
     out_.stream().flush();
 }
 
@@ -109,6 +113,9 @@ CsvTelemetrySink::writeEvent(const TelemetryEvent &event)
 void
 CsvTelemetrySink::flush()
 {
+    FaultInjector &injector = FaultInjector::instance();
+    if (injector.armed())
+        injector.fire(FaultSite::kSinkFlush, out_.path());
     out_.stream().flush();
 }
 

@@ -9,6 +9,7 @@
 #include "obs/telemetry.h"
 #include "predictor/history_register.h"
 #include "sim/run_policy.h"
+#include "util/error.h"
 #include "util/shift_register.h"
 #include "util/status.h"
 
@@ -50,17 +51,17 @@ SimulationDriver::checkpointEvery(std::uint64_t n_branches,
                                   CheckpointStore *store)
 {
     if (n_branches != 0 && store == nullptr)
-        fatal("checkpointEvery: a period needs a CheckpointStore");
+        fatal(ErrorCategory::kConfig, "checkpointEvery: a period needs a CheckpointStore");
     if (n_branches != 0 || store != nullptr) {
         // Fail up front: an unaudited component would otherwise write
         // checkpoints that resume into silently-wrong state.
         if (!predictor_.checkpointable()) {
-            fatal("predictor '" + predictor_.name() +
+            fatal(ErrorCategory::kConfig, "predictor '" + predictor_.name() +
                   "' is not checkpointable");
         }
         for (const auto *estimator : estimators_) {
             if (!estimator->checkpointable()) {
-                fatal("estimator '" + estimator->name() +
+                fatal(ErrorCategory::kConfig, "estimator '" + estimator->name() +
                       "' is not checkpointable");
             }
         }
@@ -120,7 +121,26 @@ SimulationDriver::writeCheckpoint(TraceSource &source,
     if (source.checkpointable())
         ckpt.addComponent("source", source);
 
-    ckptStore_->write(ckpt);
+    // A failed periodic write (ENOSPC, failed fsync, injected fault)
+    // degrades checkpoint freshness, not the simulation: the atomic
+    // writer never publishes a partial file, so the previous
+    // generation stays loadable and the run carries on. Cancellation
+    // still propagates — it comes from the token, not the disk.
+    try {
+        ckptStore_->write(ckpt);
+    } catch (const std::exception &e) {
+        if (categoryOf(e) == ErrorCategory::kCancelled)
+            throw;
+        if (options_.telemetry != nullptr) {
+            options_.telemetry->registry().increment("ckpt.write_failed");
+            options_.telemetry->emit(TelemetryEvent(
+                events::kCheckpointWriteFailed,
+                {field("benchmark", options_.telemetryLabel),
+                 field("at_branch", ckpt.branches),
+                 field("error", std::string(e.what()))}));
+        }
+        return;
+    }
     ++result.checkpointsWritten;
 }
 
@@ -157,9 +177,9 @@ SimulationDriver::runImpl(TraceSource &source,
         const CheckpointComponent *meta =
             resume_from->find("driver:meta");
         if (meta == nullptr)
-            fatal("checkpoint has no driver:meta component");
+            fatal(ErrorCategory::kCheckpoint, "checkpoint has no driver:meta component");
         if (meta->version != 1) {
-            fatal("driver:meta is version " +
+            fatal(ErrorCategory::kCheckpoint, "driver:meta is version " +
                   std::to_string(meta->version) + ", expected 1");
         }
         StateReader in(meta->payload);
@@ -175,7 +195,7 @@ SimulationDriver::runImpl(TraceSource &source,
         result.mispredicts = in.getU64();
         result.contextSwitches = in.getU64();
         if (!in.atEnd())
-            fatal("driver:meta has unconsumed bytes");
+            fatal(ErrorCategory::kCheckpoint, "driver:meta has unconsumed bytes");
 
         resume_from->restoreComponent(
             predictorComponentName(predictor_), predictor_);
@@ -202,7 +222,7 @@ SimulationDriver::runImpl(TraceSource &source,
             for (std::uint64_t i = 0; i < resume_from->watermark;
                  ++i) {
                 if (!source.next(skipped)) {
-                    fatal("trace ended after " + std::to_string(i) +
+                    fatal(ErrorCategory::kTrace, "trace ended after " + std::to_string(i) +
                           " record(s), before the resume watermark " +
                           std::to_string(resume_from->watermark));
                 }
@@ -215,9 +235,11 @@ SimulationDriver::runImpl(TraceSource &source,
     // records so the hot loop stays hot.
     using Clock = std::chrono::steady_clock;
     constexpr std::uint64_t kWatchdogStride = 8192;
-    const bool watchdog = options_.wallClockLimitMs != 0;
+    const CancellationToken *const cancel = options_.cancel;
+    const bool hasLimit = options_.wallClockLimitMs != 0;
+    const bool watchdog = hasLimit || cancel != nullptr;
     const Clock::time_point deadline =
-        watchdog ? Clock::now() + std::chrono::milliseconds(
+        hasLimit ? Clock::now() + std::chrono::milliseconds(
                                       options_.wallClockLimitMs)
                  : Clock::time_point{};
     std::uint64_t records = 0;
@@ -239,12 +261,15 @@ SimulationDriver::runImpl(TraceSource &source,
 
     while (source.next(record)) {
         ++consumed;
-        if (watchdog && (++records % kWatchdogStride) == 0 &&
-            Clock::now() > deadline) {
-            throw WatchdogTimeout(
-                "benchmark exceeded its wall-clock budget of " +
-                std::to_string(options_.wallClockLimitMs) +
-                " ms after " + std::to_string(records) + " records");
+        if (watchdog && (++records % kWatchdogStride) == 0) {
+            if (cancel != nullptr)
+                cancel->throwIfCancelled("benchmark run");
+            if (hasLimit && Clock::now() > deadline) {
+                throw WatchdogTimeout(
+                    "benchmark exceeded its wall-clock budget of " +
+                    std::to_string(options_.wallClockLimitMs) +
+                    " ms after " + std::to_string(records) + " records");
+            }
         }
         if (!record.isConditional())
             continue;

@@ -23,6 +23,7 @@
 #include "metrics/bucket_stats.h"
 #include "predictor/branch_predictor.h"
 #include "trace/trace_source.h"
+#include "util/cancellation.h"
 #include "util/running_stats.h"
 
 namespace confsim {
@@ -87,6 +88,15 @@ struct DriverOptions
      * fires on a run that finishes in time, so results are unaffected.
      */
     std::uint64_t wallClockLimitMs = 0;
+
+    /**
+     * Optional cooperative cancellation (util/cancellation.h); null =
+     * never cancelled. Polled at the same amortized stride as the
+     * watchdog; when cancelled the run throws Error{kCancelled} so
+     * fail-fast teardown and suite deadlines unwind in-flight work
+     * cleanly. The token must outlive the run.
+     */
+    const CancellationToken *cancel = nullptr;
 
     /**
      * Observability hook (obs/telemetry.h); null = telemetry off, in

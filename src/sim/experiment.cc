@@ -1,7 +1,9 @@
 #include "sim/experiment.h"
 
 #include <cstdio>
+#include <cstdlib>
 
+#include "fault/fault_plan.h"
 #include "trace/trace_stats.h"
 #include "util/ascii_plot.h"
 #include "util/csv.h"
@@ -9,6 +11,49 @@
 #include "util/string_utils.h"
 
 namespace confsim {
+
+namespace {
+
+/**
+ * Arm the process-wide FaultInjector with @p spec and wire its
+ * observer into telemetry: every injected fault increments the
+ * fault.injected.<site> counter and appends a fault_injected event.
+ * Sink-flush hits only count — they fire inside Telemetry::finish with
+ * its (non-recursive) mutex held, so emitting an event from the
+ * observer would self-deadlock. A stderr line keeps CI logs readable
+ * even when telemetry is off.
+ */
+void
+installFaultPlan(const std::string &spec,
+                 std::shared_ptr<Telemetry> telemetry)
+{
+    FaultInjector::instance().install(FaultPlan::parse(spec));
+    FaultInjector::instance().setObserver([telemetry](
+                                              const FaultHit &hit) {
+        std::fprintf(
+            stderr,
+            "[confsim] fault injected: %s %s (scope '%s', "
+            "occurrence %llu)\n",
+            toString(hit.site), toString(hit.action),
+            hit.scope.c_str(),
+            static_cast<unsigned long long>(hit.occurrence));
+        if (telemetry == nullptr)
+            return;
+        telemetry->registry().increment(
+            std::string("fault.injected.") + toString(hit.site));
+        if (hit.site == FaultSite::kSinkFlush)
+            return;
+        telemetry->emit(TelemetryEvent(
+            events::kFaultInjected,
+            {field("benchmark", hit.scope),
+             field("kind", std::string("plan.") + toString(hit.site)),
+             field("action", toString(hit.action)),
+             field("config", hit.key),
+             field("occurrence", hit.occurrence)}));
+    });
+}
+
+} // namespace
 
 bool
 ExperimentEnv::fromCli(int argc, const char *const *argv,
@@ -37,6 +82,17 @@ ExperimentEnv::fromCli(int argc, const char *const *argv,
     cli.addOption("bench-parallel", "0",
                   "concurrent benchmark sweep passes (0 = auto-size "
                   "to the worker pool)");
+    cli.addOption("fault-plan", "",
+                  "deterministic fault schedule, e.g. "
+                  "'ckpt:write=1:enospc;shard:cfg=2:throw' (env "
+                  "CONFSIM_FAULT_PLAN when unset; see "
+                  "fault/fault_plan.h)");
+    cli.addOption("retry-backoff-ms", "0",
+                  "base exponential backoff between benchmark "
+                  "retries (0 = retry immediately)");
+    cli.addOption("deadline-ms", "0",
+                  "suite wall-clock budget; in-flight work is "
+                  "cancelled cooperatively on expiry (0 = unlimited)");
     cli.addOption("telemetry", "",
                   "write JSONL telemetry (manifest + events) here");
     cli.addOption("telemetry-csv", "",
@@ -58,23 +114,34 @@ ExperimentEnv::fromCli(int argc, const char *const *argv,
     env.checkpointEvery = cli.getUnsigned("checkpoint-every");
     env.resume = cli.getFlag("resume");
     if (env.resume && env.checkpointDir.empty())
-        fatal("--resume requires --checkpoint-dir");
+        fatal(ErrorCategory::kConfig,
+              "--resume requires --checkpoint-dir");
     env.sweepThreads =
         static_cast<unsigned>(cli.getUnsigned("sweep-threads"));
     env.batchSize = cli.getUnsigned("batch-size");
     if (env.batchSize == 0)
-        fatal("--batch-size must be at least 1");
+        fatal(ErrorCategory::kConfig, "--batch-size must be at least 1");
     env.decodeAhead = cli.getUnsigned("decode-ahead");
     if (env.decodeAhead == 0)
-        fatal("--decode-ahead must be at least 1");
+        fatal(ErrorCategory::kConfig,
+              "--decode-ahead must be at least 1");
     env.benchParallel =
         static_cast<unsigned>(cli.getUnsigned("bench-parallel"));
+    env.retryBackoffMs = cli.getUnsigned("retry-backoff-ms");
+    env.deadlineMs = cli.getUnsigned("deadline-ms");
+    env.faultPlan = cli.getString("fault-plan");
+    if (env.faultPlan.empty()) {
+        if (const char *plan = std::getenv("CONFSIM_FAULT_PLAN"))
+            env.faultPlan = plan;
+    }
     env.telemetry.jsonlPath = cli.getString("telemetry");
     env.telemetry.csvPath = cli.getString("telemetry-csv");
     env.telemetry.progress = cli.getFlag("progress");
     env.telemetry.heartbeatEveryBenchmarks =
         static_cast<unsigned>(cli.getUnsigned("heartbeat"));
     env.telemetryContext = Telemetry::fromOptions(env.telemetry);
+    if (!env.faultPlan.empty())
+        installFaultPlan(env.faultPlan, env.telemetryContext);
     return true;
 }
 
@@ -230,6 +297,8 @@ runSuiteExperiment(const ExperimentEnv &env,
     policy.checkpoint.directory = env.checkpointDir;
     policy.checkpoint.everyBranches = env.checkpointEvery;
     policy.checkpoint.resume = env.resume;
+    policy.retryBackoffMs = env.retryBackoffMs;
+    policy.deadlineMs = env.deadlineMs;
     return runner.run(make_predictor, make_estimators, options, policy);
 }
 
@@ -238,7 +307,8 @@ runSweepSuiteExperiment(const ExperimentEnv &env,
                         const std::vector<SweepExperimentConfig> &configs)
 {
     if (configs.empty())
-        fatal("runSweepSuiteExperiment needs at least one "
+        fatal(ErrorCategory::kConfig,
+              "runSweepSuiteExperiment needs at least one "
               "configuration");
     SuiteRunner runner(env.makeSuite());
     DriverOptions options;
@@ -285,6 +355,8 @@ runSweepSuiteExperiment(const ExperimentEnv &env,
     policy.checkpoint.directory = env.checkpointDir;
     policy.checkpoint.everyBranches = env.checkpointEvery;
     policy.checkpoint.resume = env.resume;
+    policy.retryBackoffMs = env.retryBackoffMs;
+    policy.deadlineMs = env.deadlineMs;
     return runner.runSweep(sweep_configs, options, sweep, policy);
 }
 

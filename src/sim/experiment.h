@@ -84,6 +84,28 @@ struct ExperimentEnv
      */
     unsigned benchParallel = 0;
 
+    /**
+     * Deterministic fault schedule (--fault-plan, or the
+     * CONFSIM_FAULT_PLAN environment variable when the flag is not
+     * given); "" = no faults. Grammar in fault/fault_plan.h.
+     * fromCli() arms the process-wide FaultInjector with the parsed
+     * plan and wires an observer that counts fault.injected.<site>
+     * and emits fault_injected telemetry events.
+     */
+    std::string faultPlan;
+
+    /**
+     * Base exponential retry backoff in milliseconds
+     * (--retry-backoff-ms); see RunPolicy::retryBackoffMs.
+     */
+    std::uint64_t retryBackoffMs = 0;
+
+    /**
+     * Suite wall-clock budget in milliseconds (--deadline-ms, 0 =
+     * unlimited); see RunPolicy::deadlineMs.
+     */
+    std::uint64_t deadlineMs = 0;
+
     /** Telemetry knobs (--telemetry/--telemetry-csv/--progress). */
     TelemetryOptions telemetry;
 

@@ -21,6 +21,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/cancellation.h"
+#include "util/error.h"
+
 namespace confsim {
 
 /** What a benchmark failure does to the rest of the suite run. */
@@ -89,6 +92,36 @@ struct RunPolicy
      */
     std::uint64_t watchdogMs = 0;
 
+    /**
+     * Base delay for exponential retry backoff in milliseconds
+     * (0 = retry immediately, the pre-backoff behavior). Attempt k
+     * sleeps ~retryBackoffMs * 2^(k-1), with deterministic ±25% jitter
+     * seeded from the benchmark name so concurrent retries decorrelate
+     * without making runs irreproducible. Retries are category-aware:
+     * errors whose Error::retryable() is false (timeout, cancellation,
+     * bad configuration) fail immediately regardless of maxAttempts.
+     */
+    std::uint64_t retryBackoffMs = 0;
+
+    /**
+     * Suite-level wall-clock budget in milliseconds (0 = none). Once
+     * exhausted, in-flight benchmarks are cancelled cooperatively, no
+     * further benchmarks or retries start, and the unrun benchmarks
+     * are marked failed/cancelled (continue-on-error) or the run
+     * throws (fail-fast). Per-benchmark watchdog budgets are clipped
+     * to the remaining suite budget.
+     */
+    std::uint64_t deadlineMs = 0;
+
+    /**
+     * Optional external cancellation. When set, the suite runner (and
+     * every driver/sweep it starts) polls the token cooperatively and
+     * unwinds with Error{kCancelled} after cancel(). The token must
+     * outlive the run. Owned by the caller; never cancelled by the
+     * library.
+     */
+    const CancellationToken *cancel = nullptr;
+
     /** The default: any benchmark failure aborts the run. */
     static RunPolicy
     failFast()
@@ -107,15 +140,16 @@ struct RunPolicy
 };
 
 /**
- * Thrown by SimulationDriver when a run exceeds its wall-clock budget
- * (DriverOptions::wallClockLimitMs). A distinct type so SuiteRunner
- * can exempt timeouts from retry.
+ * Thrown by SimulationDriver (and sweep shards) when a run exceeds its
+ * wall-clock budget (DriverOptions::wallClockLimitMs). A distinct type
+ * so SuiteRunner can exempt timeouts from retry; an Error with
+ * category kTimeout so policy code can also dispatch on the taxonomy.
  */
-class WatchdogTimeout : public std::runtime_error
+class WatchdogTimeout : public Error
 {
   public:
     explicit WatchdogTimeout(const std::string &message)
-        : std::runtime_error(message)
+        : Error(ErrorCategory::kTimeout, message)
     {}
 };
 

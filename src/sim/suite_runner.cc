@@ -4,14 +4,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <functional>
 #include <future>
 #include <thread>
 
 #include "ckpt/checkpoint_store.h"
 #include "obs/telemetry.h"
 #include "sim/sweep_engine.h"
-#include "trace/fault_injection.h"
+#include "fault/fault_injection.h"
 #include "trace/trace_io.h"
+#include "util/cancellation.h"
+#include "util/error.h"
 #include "util/status.h"
 
 namespace confsim {
@@ -29,6 +32,97 @@ elapsedMsSince(std::chrono::steady_clock::time_point start)
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - start)
         .count();
+}
+
+/**
+ * Shared cancellation/deadline state for one suite run. The token is
+ * chained to the policy's external token (never mutated by us), so
+ * cancel() here — fail-fast teardown — propagates to every benchmark's
+ * driver/sweep poll site without touching the caller's object.
+ */
+struct SuiteContext
+{
+    CancellationToken token;
+    std::chrono::steady_clock::time_point start;
+    std::uint64_t deadlineMs = 0;
+
+    explicit SuiteContext(const RunPolicy &policy)
+        : token(policy.cancel),
+          start(std::chrono::steady_clock::now()),
+          deadlineMs(policy.deadlineMs)
+    {}
+
+    bool hasDeadline() const { return deadlineMs != 0; }
+
+    /** Remaining suite budget in ms; 0 when exhausted. Only meaningful
+     *  when hasDeadline(). */
+    std::uint64_t
+    remainingMs() const
+    {
+        const double used = elapsedMsSince(start);
+        if (used >= static_cast<double>(deadlineMs))
+            return 0;
+        return deadlineMs - static_cast<std::uint64_t>(used);
+    }
+
+    /** Clip one attempt's per-benchmark watchdog to the remaining suite
+     *  budget, so deadline expiry surfaces as a cooperative
+     *  WatchdogTimeout inside the record loop rather than needing a
+     *  reaper thread. */
+    std::uint64_t
+    clipWatchdogMs(std::uint64_t watchdog_ms) const
+    {
+        if (!hasDeadline())
+            return watchdog_ms;
+        const std::uint64_t remaining = remainingMs();
+        if (watchdog_ms == 0)
+            return remaining;
+        return std::min(watchdog_ms, remaining);
+    }
+};
+
+/**
+ * Deterministic backoff before retry attempt @p attempt + 1 of the
+ * benchmark named @p name: retryBackoffMs * 2^(attempt-1), jittered
+ * into [0.75x, 1.25x] with a seed derived from the name and attempt so
+ * concurrent retries decorrelate without making runs irreproducible.
+ */
+std::uint64_t
+backoffDelayMs(std::uint64_t base, unsigned attempt,
+               const std::string &name)
+{
+    if (base == 0)
+        return 0;
+    const unsigned shift = std::min(attempt - 1, 16u);
+    const std::uint64_t exponential = base << shift;
+    const std::uint64_t seed =
+        std::hash<std::string>{}(name) ^
+        (0x9e3779b97f4a7c15ULL * (attempt + 1));
+    const std::uint64_t span = exponential / 2;
+    const std::uint64_t low = exponential - exponential / 4;
+    return low + (span == 0 ? 0 : seed % (span + 1));
+}
+
+/**
+ * Sleep the category-aware retry backoff, capped by the remaining
+ * suite budget and interruptible by cancellation. @return false when
+ * the caller should stop retrying (cancelled, or budget exhausted).
+ */
+bool
+sleepBeforeRetry(const RunPolicy &policy, const SuiteContext &ctx,
+                 unsigned attempt, const std::string &name)
+{
+    std::uint64_t delay =
+        backoffDelayMs(policy.retryBackoffMs, attempt, name);
+    if (ctx.hasDeadline()) {
+        const std::uint64_t remaining = ctx.remainingMs();
+        if (remaining == 0)
+            return false;
+        delay = std::min(delay, remaining);
+    }
+    if (delay == 0)
+        return !ctx.token.cancelled();
+    return interruptibleSleepMs(&ctx.token, delay);
 }
 
 /**
@@ -205,11 +299,14 @@ BenchmarkRunResult
 deserializeBenchmarkResult(const Checkpoint &ckpt)
 {
     const CheckpointComponent *entry = ckpt.find("suite:result");
-    if (entry == nullptr)
-        fatal("completed checkpoint has no suite:result component");
+    if (entry == nullptr) {
+        fatal(ErrorCategory::kCheckpoint,
+              "completed checkpoint has no suite:result component");
+    }
     if (entry->version != 1) {
-        fatal("suite:result is version " +
-              std::to_string(entry->version) + ", expected 1");
+        fatal(ErrorCategory::kCheckpoint,
+              "suite:result is version " +
+                  std::to_string(entry->version) + ", expected 1");
     }
     StateReader in(entry->payload);
     BenchmarkRunResult result;
@@ -231,8 +328,10 @@ deserializeBenchmarkResult(const Checkpoint &ckpt)
         result.estimatorStats.push_back(std::move(stats));
     }
     result.staticStats.loadState(in);
-    if (!in.atEnd())
-        fatal("suite:result has unconsumed bytes");
+    if (!in.atEnd()) {
+        fatal(ErrorCategory::kCheckpoint,
+              "suite:result has unconsumed bytes");
+    }
     return result;
 }
 
@@ -256,7 +355,7 @@ buildParts(const BenchmarkSuite &suite, std::size_t bench,
     BenchmarkParts parts;
     parts.predictor = make_predictor();
     if (!parts.predictor)
-        fatal("predictor factory returned null");
+        fatal(ErrorCategory::kConfig, "predictor factory returned null");
     parts.estimators = make_estimators();
     parts.raw.reserve(parts.estimators.size());
     for (auto &estimator : parts.estimators)
@@ -265,8 +364,9 @@ buildParts(const BenchmarkSuite &suite, std::size_t bench,
     if (wrap_source) {
         parts.source = wrap_source(bench, std::move(parts.source));
         if (!parts.source) {
-            fatal("source wrapper returned null for benchmark '" +
-                  bench_name + "'");
+            fatal(ErrorCategory::kConfig,
+                  "source wrapper returned null for benchmark '" +
+                      bench_name + "'");
         }
     }
     wireSourceTelemetry(*parts.source, telemetry, bench_name);
@@ -410,16 +510,19 @@ runOneBenchmark(const BenchmarkSuite &suite, std::size_t bench,
 
 /**
  * Run one benchmark under the policy: exceptions become the result's
- * error field, transient failures get bounded retries, and watchdog
- * timeouts are terminal (re-running a blown budget just blows it
- * again). Never throws, so a failure cannot wedge the worker pool.
+ * error field, transient failures get bounded retries with exponential
+ * backoff, and terminal categories — watchdog timeouts, cancellation,
+ * configuration errors (Error::retryable() == false) — fail
+ * immediately regardless of maxAttempts. Never throws, so a failure
+ * cannot wedge the worker pool.
  */
 BenchmarkRunResult
 runGuardedImpl(const BenchmarkSuite &suite, std::size_t bench,
                const PredictorFactory &make_predictor,
                const EstimatorSetFactory &make_estimators,
                const SourceWrapper &wrap_source,
-               const DriverOptions &options, const RunPolicy &policy)
+               const DriverOptions &options, const RunPolicy &policy,
+               const SuiteContext &ctx)
 {
     Telemetry *const telemetry = options.telemetry;
     const std::string bench_name = suite.profile(bench).name;
@@ -432,11 +535,29 @@ runGuardedImpl(const BenchmarkSuite &suite, std::size_t bench,
     const unsigned max_attempts = std::max(1u, policy.maxAttempts);
     BenchmarkRunResult failed;
     for (unsigned attempt = 1; attempt <= max_attempts; ++attempt) {
+        // A benchmark the suite deadline beat to the start line is
+        // marked cancelled without consuming a simulation attempt.
+        if (ctx.hasDeadline() && ctx.remainingMs() == 0) {
+            failed = BenchmarkRunResult{};
+            failed.name = bench_name;
+            failed.error = "suite deadline of " +
+                           std::to_string(ctx.deadlineMs) +
+                           " ms exhausted";
+            failed.errorCategory = ErrorCategory::kCancelled;
+            failed.cancelled = true;
+            failed.attempts = attempt;
+            break;
+        }
+        DriverOptions attempt_options = options;
+        attempt_options.cancel = &ctx.token;
+        attempt_options.wallClockLimitMs =
+            ctx.clipWatchdogMs(options.wallClockLimitMs);
+        bool retryable = false;
         try {
             BenchmarkRunResult ok =
                 runOneBenchmark(suite, bench, make_predictor,
-                                make_estimators, wrap_source, options,
-                                policy);
+                                make_estimators, wrap_source,
+                                attempt_options, policy);
             ok.attempts = attempt;
             ok.wallMs = elapsedMsSince(start);
             return ok;
@@ -444,6 +565,7 @@ runGuardedImpl(const BenchmarkSuite &suite, std::size_t bench,
             failed = BenchmarkRunResult{};
             failed.name = bench_name;
             failed.error = e.what();
+            failed.errorCategory = ErrorCategory::kTimeout;
             failed.attempts = attempt;
             failed.wallMs = elapsedMsSince(start);
             if (telemetry != nullptr) {
@@ -461,20 +583,32 @@ runGuardedImpl(const BenchmarkSuite &suite, std::size_t bench,
             failed = BenchmarkRunResult{};
             failed.name = bench_name;
             failed.error = e.what();
+            failed.errorCategory = categoryOf(e);
+            failed.cancelled =
+                failed.errorCategory == ErrorCategory::kCancelled;
             failed.attempts = attempt;
+            retryable = isRetryable(e);
         } catch (...) {
             failed = BenchmarkRunResult{};
             failed.name = bench_name;
             failed.error = "unknown exception";
             failed.attempts = attempt;
+            retryable = true;
         }
-        if (telemetry != nullptr && attempt < max_attempts) {
-            telemetry->emit(TelemetryEvent(
-                events::kBenchmarkRetry,
-                {field("benchmark", bench_name),
-                 field("attempt", static_cast<std::uint64_t>(attempt)),
-                 field("error", failed.error)}));
-            telemetry->registry().increment("suite.retries");
+        if (!retryable)
+            break;
+        if (attempt < max_attempts) {
+            if (telemetry != nullptr) {
+                telemetry->emit(TelemetryEvent(
+                    events::kBenchmarkRetry,
+                    {field("benchmark", bench_name),
+                     field("attempt",
+                           static_cast<std::uint64_t>(attempt)),
+                     field("error", failed.error)}));
+                telemetry->registry().increment("suite.retries");
+            }
+            if (!sleepBeforeRetry(policy, ctx, attempt, bench_name))
+                break; // cancelled (or budget gone) mid-backoff
         }
     }
     failed.wallMs = elapsedMsSince(start);
@@ -493,11 +627,12 @@ runGuarded(const BenchmarkSuite &suite, std::size_t bench,
            const PredictorFactory &make_predictor,
            const EstimatorSetFactory &make_estimators,
            const SourceWrapper &wrap_source,
-           const DriverOptions &options, const RunPolicy &policy)
+           const DriverOptions &options, const RunPolicy &policy,
+           const SuiteContext &ctx)
 {
     BenchmarkRunResult bench_result =
         runGuardedImpl(suite, bench, make_predictor, make_estimators,
-                       wrap_source, options, policy);
+                       wrap_source, options, policy, ctx);
     if (Telemetry *const telemetry = options.telemetry) {
         telemetry->emit(TelemetryEvent(
             events::kBenchmarkFinished,
@@ -508,7 +643,11 @@ runGuarded(const BenchmarkSuite &suite, std::size_t bench,
              field("branches", bench_result.branches),
              field("mispredicts", bench_result.mispredicts),
              field("mispredict_rate", bench_result.mispredictRate),
-             field("error", bench_result.error)}));
+             field("error", bench_result.error),
+             field("error_category",
+                   bench_result.failed()
+                       ? toString(bench_result.errorCategory)
+                       : "")}));
         MetricsRegistry &registry = telemetry->registry();
         registry.increment("suite.benchmarks");
         registry.observe("suite.bench_wall_ms", bench_result.wallMs);
@@ -591,6 +730,7 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
     if (policy.watchdogMs != 0)
         options.wallClockLimitMs = policy.watchdogMs;
     const bool fail_fast = policy.errorMode == ErrorMode::kFailFast;
+    SuiteContext ctx(policy);
 
     // Benchmarks are independent; fan them out. Results are collected
     // in suite order, so output is identical to a sequential run —
@@ -622,7 +762,7 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
             bench_results[bench] =
                 runGuarded(suite_, bench, make_predictor,
                            make_estimators, sourceWrapper_, options,
-                           policy);
+                           policy, ctx);
             if (fail_fast && bench_results[bench].failed())
                 break; // the loud rethrow below picks this up
         }
@@ -632,9 +772,17 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
         for (std::size_t bench = 0; bench < suite_.size(); ++bench) {
             futures.push_back(std::async(
                 std::launch::async, [&, bench] {
-                    return runGuarded(suite_, bench, make_predictor,
-                                      make_estimators, sourceWrapper_,
-                                      options, policy);
+                    BenchmarkRunResult bench_result = runGuarded(
+                        suite_, bench, make_predictor, make_estimators,
+                        sourceWrapper_, options, policy, ctx);
+                    // Fail-fast teardown: cancel the run token so
+                    // sibling benchmarks unwind at their next
+                    // cooperative poll instead of simulating to
+                    // completion only to be discarded.
+                    if (fail_fast && bench_result.failed() &&
+                        !bench_result.cancelled)
+                        ctx.token.cancel();
+                    return bench_result;
                 }));
         }
         for (std::size_t bench = 0; bench < suite_.size(); ++bench)
@@ -642,28 +790,46 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
     }
 
     if (fail_fast) {
+        // Surface the root cause: the first non-cancelled failure in
+        // suite order. Cancelled entries are teardown collateral (or,
+        // when every failure is a cancellation, an external cancel /
+        // suite deadline — then the first of those is the cause).
+        const BenchmarkRunResult *culprit = nullptr;
         for (const auto &bench_result : bench_results) {
-            if (bench_result.failed()) {
-                if (telemetry != nullptr) {
-                    std::uint64_t failures = 0;
-                    for (const auto &other : bench_results)
-                        failures += other.failed() ? 1 : 0;
-                    telemetry->emit(TelemetryEvent(
-                        events::kSuiteRunFinished,
-                        {field("wall_ms", elapsedMsSince(suite_start)),
-                         field("degraded", true),
-                         field("failed_benchmarks", failures),
-                         field("survivors", std::uint64_t{0}),
-                         field("error", bench_result.error)}));
-                    // Flush now: if the caller doesn't catch the
-                    // fatal() exception, std::terminate skips
-                    // unwinding and buffered sink tails (including
-                    // the event above) would be lost.
-                    telemetry->finish();
-                }
-                fatal("benchmark '" + bench_result.name +
-                      "' failed: " + bench_result.error);
+            if (bench_result.failed() && !bench_result.cancelled) {
+                culprit = &bench_result;
+                break;
             }
+        }
+        if (culprit == nullptr) {
+            for (const auto &bench_result : bench_results) {
+                if (bench_result.failed()) {
+                    culprit = &bench_result;
+                    break;
+                }
+            }
+        }
+        if (culprit != nullptr) {
+            if (telemetry != nullptr) {
+                std::uint64_t failures = 0;
+                for (const auto &other : bench_results)
+                    failures += other.failed() ? 1 : 0;
+                telemetry->emit(TelemetryEvent(
+                    events::kSuiteRunFinished,
+                    {field("wall_ms", elapsedMsSince(suite_start)),
+                     field("degraded", true),
+                     field("failed_benchmarks", failures),
+                     field("survivors", std::uint64_t{0}),
+                     field("error", culprit->error)}));
+                // Flush now: if the caller doesn't catch the
+                // fatal() exception, std::terminate skips
+                // unwinding and buffered sink tails (including
+                // the event above) would be lost.
+                telemetry->finish();
+            }
+            fatal(culprit->errorCategory,
+                  "benchmark '" + culprit->name +
+                      "' failed: " + culprit->error);
         }
     }
 
@@ -696,11 +862,14 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
                       DriverOptions options, SweepOptions sweep,
                       RunPolicy policy) const
 {
-    if (configs.empty())
-        fatal("runSweep needs at least one configuration");
+    if (configs.empty()) {
+        fatal(ErrorCategory::kConfig,
+              "runSweep needs at least one configuration");
+    }
     if (policy.watchdogMs != 0)
         options.wallClockLimitMs = policy.watchdogMs;
     const bool fail_fast = policy.errorMode == ErrorMode::kFailFast;
+    SuiteContext ctx(policy);
     Telemetry *const telemetry = options.telemetry;
     const auto sweep_start = std::chrono::steady_clock::now();
 
@@ -720,6 +889,10 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
     std::unique_ptr<SweepWorkerPool> pool;
     SweepOptions engine_sweep = sweep;
     engine_sweep.pool = nullptr; // runSweep owns the shared pool
+    // Continue-on-error isolates failures at configuration granularity
+    // too: one configuration's fault freezes only that configuration
+    // while the rest of the pass stays bit-exact (sweep_engine.h).
+    engine_sweep.isolateConfigFailures = !fail_fast;
     if (pool_workers > 1) {
         pool = std::make_unique<SweepWorkerPool>(pool_workers);
         engine_sweep.pool = pool.get();
@@ -736,6 +909,8 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
     struct BenchOutcome
     {
         std::string error;
+        ErrorCategory category = ErrorCategory::kInternal;
+        bool cancelled = false;
         SweepRunResult sweep;
     };
     std::vector<BenchOutcome> outcomes(suite_.size());
@@ -744,6 +919,7 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
         const std::string bench_name = suite_.profile(bench).name;
         DriverOptions run_options = options;
         run_options.telemetryLabel = bench_name;
+        run_options.cancel = &ctx.token;
 
         std::unique_ptr<CheckpointStore> store;
         if (policy.checkpoint.enabled()) {
@@ -762,21 +938,44 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
             if (sourceWrapper_) {
                 source = sourceWrapper_(bench, std::move(source));
                 if (!source) {
-                    fatal("source wrapper returned null for "
+                    fatal(ErrorCategory::kConfig,
+                          "source wrapper returned null for "
                           "benchmark '" +
-                          bench_name + "'");
+                              bench_name + "'");
                 }
             }
             wireSourceTelemetry(*source, telemetry, bench_name);
             return source;
         };
 
-        std::string &error = outcomes[bench].error;
-        SweepRunResult &bench_sweep = outcomes[bench].sweep;
+        BenchOutcome &outcome = outcomes[bench];
+        std::string &error = outcome.error;
+        SweepRunResult &bench_sweep = outcome.sweep;
         const unsigned max_attempts = std::max(1u, policy.maxAttempts);
         for (unsigned attempt = 1; attempt <= max_attempts;
              ++attempt) {
+            // Cancelled (fail-fast teardown, external token) or
+            // deadline-starved benchmarks stop before simulating.
+            if (ctx.token.cancelled()) {
+                error = "sweep pass cancelled";
+                outcome.category = ErrorCategory::kCancelled;
+                outcome.cancelled = true;
+                break;
+            }
+            if (ctx.hasDeadline() && ctx.remainingMs() == 0) {
+                error = "suite deadline of " +
+                        std::to_string(ctx.deadlineMs) +
+                        " ms exhausted";
+                outcome.category = ErrorCategory::kCancelled;
+                outcome.cancelled = true;
+                break;
+            }
+            run_options.wallClockLimitMs =
+                ctx.clipWatchdogMs(options.wallClockLimitMs);
             error.clear();
+            outcome.category = ErrorCategory::kInternal;
+            outcome.cancelled = false;
+            bool retryable = false;
             try {
                 SweepEngine engine(configs, run_options,
                                    engine_sweep);
@@ -826,6 +1025,7 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
                 break;
             } catch (const WatchdogTimeout &e) {
                 error = e.what();
+                outcome.category = ErrorCategory::kTimeout;
                 if (telemetry != nullptr) {
                     telemetry->emit(TelemetryEvent(
                         events::kWatchdogTimeout,
@@ -839,18 +1039,29 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
                 break; // terminal: re-running a blown budget loses too
             } catch (const std::exception &e) {
                 error = e.what();
+                outcome.category = categoryOf(e);
+                outcome.cancelled =
+                    outcome.category == ErrorCategory::kCancelled;
+                retryable = isRetryable(e);
             } catch (...) {
                 error = "unknown exception";
+                retryable = true;
             }
-            if (telemetry != nullptr && !error.empty() &&
-                attempt < max_attempts) {
-                telemetry->emit(TelemetryEvent(
-                    events::kBenchmarkRetry,
-                    {field("benchmark", bench_name),
-                     field("attempt",
-                           static_cast<std::uint64_t>(attempt)),
-                     field("error", error)}));
-                telemetry->registry().increment("suite.retries");
+            if (!retryable)
+                break;
+            if (attempt < max_attempts) {
+                if (telemetry != nullptr) {
+                    telemetry->emit(TelemetryEvent(
+                        events::kBenchmarkRetry,
+                        {field("benchmark", bench_name),
+                         field("attempt",
+                               static_cast<std::uint64_t>(attempt)),
+                         field("error", error)}));
+                    telemetry->registry().increment("suite.retries");
+                }
+                if (!sleepBeforeRetry(policy, ctx, attempt,
+                                      bench_name))
+                    break; // cancelled mid-backoff
             }
         }
 
@@ -887,9 +1098,19 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
                     run_bench(bench);
                 } catch (const std::exception &e) {
                     outcomes[bench].error = e.what();
+                    outcomes[bench].category = categoryOf(e);
+                    outcomes[bench].cancelled =
+                        outcomes[bench].category ==
+                        ErrorCategory::kCancelled;
                 } catch (...) {
                     outcomes[bench].error = "unknown exception";
                 }
+                // Fail-fast teardown: the first real failure cancels
+                // the run token so sibling passes (and queued ones)
+                // unwind instead of simulating doomed work.
+                if (fail_fast && !outcomes[bench].error.empty() &&
+                    !outcomes[bench].cancelled)
+                    ctx.token.cancel();
             }
         };
         std::vector<std::thread> schedulers;
@@ -902,6 +1123,37 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
             thread.join();
     }
 
+    // Fail-fast surfaces the root cause: the first non-cancelled
+    // failure in suite order (cancelled entries are teardown
+    // collateral; when every failure is a cancellation — external
+    // cancel or suite deadline — the first of those is the cause).
+    if (fail_fast) {
+        const BenchOutcome *culprit = nullptr;
+        std::size_t culprit_bench = 0;
+        for (std::size_t bench = 0;
+             bench < suite_.size() && culprit == nullptr; ++bench) {
+            if (!outcomes[bench].error.empty() &&
+                !outcomes[bench].cancelled) {
+                culprit = &outcomes[bench];
+                culprit_bench = bench;
+            }
+        }
+        for (std::size_t bench = 0;
+             bench < suite_.size() && culprit == nullptr; ++bench) {
+            if (!outcomes[bench].error.empty()) {
+                culprit = &outcomes[bench];
+                culprit_bench = bench;
+            }
+        }
+        if (culprit != nullptr) {
+            if (telemetry != nullptr)
+                telemetry->finish();
+            fatal(culprit->category,
+                  "benchmark '" + suite_.profile(culprit_bench).name +
+                      "' failed: " + culprit->error);
+        }
+    }
+
     // Phase 2: merge outcomes in suite order — identical output
     // ordering and fail-fast semantics at any bench_slots value.
     for (std::size_t bench = 0; bench < suite_.size(); ++bench) {
@@ -909,18 +1161,14 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
         BenchOutcome &outcome = outcomes[bench];
 
         if (!outcome.error.empty()) {
-            if (fail_fast) {
-                if (telemetry != nullptr)
-                    telemetry->finish();
-                fatal("benchmark '" + bench_name +
-                      "' failed: " + outcome.error);
-            }
             // Every configuration consumed the same pass, so the
             // benchmark is failed for all of them.
             for (auto &config_result : result.perConfig) {
                 BenchmarkRunResult failed;
                 failed.name = bench_name;
                 failed.error = outcome.error;
+                failed.errorCategory = outcome.category;
+                failed.cancelled = outcome.cancelled;
                 config_result.perBenchmark.push_back(
                     std::move(failed));
             }
@@ -947,6 +1195,16 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
                 bench_sweep.perConfig[c];
             BenchmarkRunResult bench_result;
             bench_result.name = bench_name;
+            if (config_result.failed()) {
+                // Isolated per-config failure: only this
+                // configuration's composite degrades; the other
+                // configurations' results from the same pass are
+                // bit-exact and merged normally below.
+                bench_result.error = config_result.error;
+                result.perConfig[c].perBenchmark.push_back(
+                    std::move(bench_result));
+                continue;
+            }
             bench_result.branches = config_result.branches;
             bench_result.mispredicts = config_result.mispredicts;
             bench_result.mispredictRate =

@@ -48,6 +48,19 @@ struct BenchmarkRunResult
     /** Why this benchmark failed; empty on success. */
     std::string error;
 
+    /** Taxonomy category of `error` (meaningful only when failed()). */
+    ErrorCategory errorCategory = ErrorCategory::kInternal;
+
+    /**
+     * True when the failure was a cooperative cancellation — external
+     * CancellationToken, fail-fast sibling teardown, or the suite
+     * deadline budget expiring before this benchmark started — rather
+     * than a fault of the benchmark itself. Fail-fast reporting skips
+     * cancelled entries so the error it surfaces is always the root
+     * cause, not the teardown it triggered.
+     */
+    bool cancelled = false;
+
     /**
      * Attempts consumed: 1 when the benchmark succeeded (or failed
      * terminally) on the first try, > 1 only when RunPolicy retries

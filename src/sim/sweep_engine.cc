@@ -1,5 +1,6 @@
 #include "sim/sweep_engine.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
@@ -10,9 +11,12 @@
 
 #include "ckpt/checkpoint.h"
 #include "ckpt/checkpoint_store.h"
+#include "fault/fault_plan.h"
 #include "obs/telemetry.h"
 #include "predictor/history_register.h"
 #include "sim/run_policy.h"
+#include "util/cancellation.h"
+#include "util/error.h"
 #include "util/running_stats.h"
 #include "util/shift_register.h"
 #include "util/status.h"
@@ -26,6 +30,64 @@ cfgPrefix(std::size_t config)
 {
     return "cfg" + std::to_string(config) + ":";
 }
+
+/**
+ * Cooperative unwinding inside worker shards: carries the pass's
+ * cancellation token and wall-clock deadline into the per-record replay
+ * loop, so a hung or cancelled configuration unwinds from inside the
+ * shard (satellite of the pass-granularity check the consumer loop
+ * performs between batches). Pure control flow — checking never
+ * perturbs simulation results.
+ */
+struct ReplayGuard
+{
+    using Clock = std::chrono::steady_clock;
+
+    const CancellationToken *cancel = nullptr;
+    bool hasDeadline = false;
+    Clock::time_point deadline{};
+    std::uint64_t limitMs = 0;
+
+    bool
+    active() const
+    {
+        return cancel != nullptr || hasDeadline;
+    }
+
+    void
+    checkNow(std::uint64_t at_records) const
+    {
+        if (cancel != nullptr)
+            cancel->throwIfCancelled("sweep shard");
+        if (hasDeadline && Clock::now() > deadline) {
+            throw WatchdogTimeout(
+                "sweep exceeded its wall-clock budget of " +
+                std::to_string(limitMs) + " ms after " +
+                std::to_string(at_records) + " records");
+        }
+    }
+
+    /**
+     * Injected hang: park until the watchdog or cancellation unwinds
+     * this shard. A 30 s safety cap turns a hang nobody is set up to
+     * interrupt into a timeout instead of a wedged test run.
+     */
+    [[noreturn]] void
+    park() const
+    {
+        const Clock::time_point cap =
+            Clock::now() + std::chrono::seconds(30);
+        for (;;) {
+            checkNow(0);
+            if (Clock::now() > cap) {
+                throw WatchdogTimeout(
+                    "injected hang exceeded its 30 s safety cap with "
+                    "no watchdog or cancellation configured");
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    }
+};
 
 } // namespace
 
@@ -54,6 +116,7 @@ struct SweepEngine::ConfigState
     BranchContext ctx;
     std::uint64_t simulated = 0;
     std::uint64_t until_switch = 0;
+    std::uint64_t guardTick = 0;
 
     SweepConfigResult result;
 
@@ -66,9 +129,17 @@ struct SweepEngine::ConfigState
      * keep tests/integration/sweep_differential_test.cc green.
      */
     void
-    replay(const RecordBatch &batch, const DriverOptions &options)
+    replay(const RecordBatch &batch, const DriverOptions &options,
+           const ReplayGuard &guard)
     {
+        // Amortize the guard over a stride of records (same idea as
+        // the sequential driver's watchdog stride) so the hot loop
+        // stays hot when neither a deadline nor a token is set.
+        constexpr std::uint64_t kGuardStride = 4096;
+        const bool guarded = guard.active();
         for (const BranchRecord &record : batch) {
+            if (guarded && (++guardTick % kGuardStride) == 0)
+                guard.checkNow(simulated);
             if (!record.isConditional())
                 continue;
 
@@ -141,17 +212,22 @@ SweepWorkerPool::~SweepWorkerPool()
 }
 
 void
-SweepWorkerPool::runAll(std::vector<std::function<void()>> tasks)
+SweepWorkerPool::runAll(std::vector<std::function<void()>> tasks,
+                        const CancellationToken *cancel)
 {
     if (tasks.empty())
         return;
     if (threads_.empty()) {
-        for (auto &task : tasks)
+        for (auto &task : tasks) {
+            if (cancel != nullptr)
+                cancel->throwIfCancelled("sweep task group");
             task();
+        }
         return;
     }
     WaitGroup group;
     group.remaining = tasks.size();
+    group.cancel = cancel;
     {
         std::lock_guard<std::mutex> lock(mu_);
         for (auto &task : tasks)
@@ -188,6 +264,10 @@ SweepWorkerPool::workerMain()
 
         std::exception_ptr raised;
         try {
+            // Skip tasks whose group was cancelled while they sat in
+            // the queue; running tasks unwind via their own checks.
+            if (task.group->cancel != nullptr)
+                task.group->cancel->throwIfCancelled("sweep task group");
             task.fn();
         } catch (...) {
             raised = std::current_exception();
@@ -242,9 +322,11 @@ class DecodeAheadRing
 
     DecodeAheadRing(TraceSource &source, std::size_t depth,
                     std::size_t batch_size, std::uint64_t consumed,
-                    std::uint64_t simulated, std::uint64_t ckpt_every)
-        : source_(source), ckptEvery_(ckpt_every),
-          consumed_(consumed), simulated_(simulated)
+                    std::uint64_t simulated, std::uint64_t ckpt_every,
+                    std::string scope,
+                    const CancellationToken *cancel)
+        : source_(source), ckptEvery_(ckpt_every), scope_(std::move(scope)),
+          cancel_(cancel), consumed_(consumed), simulated_(simulated)
     {
         nextCkpt_ = ckptEvery_ == 0
                         ? 0
@@ -334,6 +416,14 @@ class DecodeAheadRing
 
             std::size_t got = 0;
             try {
+                // Cancellation and injected decode faults surface as
+                // in-order error slots — identical observable behavior
+                // to the synchronous refill loop hitting them.
+                if (cancel_ != nullptr)
+                    cancel_->throwIfCancelled("sweep decode");
+                FaultInjector &injector = FaultInjector::instance();
+                if (injector.armed())
+                    injector.fire(FaultSite::kDecodeBatch, scope_);
                 got = slot.batch.refill(source_);
             } catch (...) {
                 slot.error = std::current_exception();
@@ -386,6 +476,8 @@ class DecodeAheadRing
 
     TraceSource &source_;
     const std::uint64_t ckptEvery_;
+    const std::string scope_;
+    const CancellationToken *const cancel_;
     std::uint64_t consumed_;
     std::uint64_t simulated_;
     std::uint64_t nextCkpt_ = 0;
@@ -449,10 +541,10 @@ SweepEngine::SweepEngine(std::vector<SweepConfiguration> configs,
     : configs_(std::move(configs)), driver_(driver), sweep_(sweep)
 {
     if (configs_.empty())
-        fatal("SweepEngine needs at least one configuration");
+        fatal(ErrorCategory::kConfig, "SweepEngine needs at least one configuration");
     for (const auto &config : configs_) {
         if (!config.makePredictor || !config.makeEstimators) {
-            fatal("sweep configuration '" + config.label +
+            fatal(ErrorCategory::kConfig, "sweep configuration '" + config.label +
                   "' is missing a factory");
         }
     }
@@ -465,7 +557,7 @@ SweepEngine::checkpointEvery(std::uint64_t n_branches,
                              CheckpointStore *store)
 {
     if (n_branches != 0 && store == nullptr)
-        fatal("checkpointEvery: a period needs a CheckpointStore");
+        fatal(ErrorCategory::kConfig, "checkpointEvery: a period needs a CheckpointStore");
     ckptEvery_ = n_branches;
     ckptStore_ = store;
 }
@@ -534,7 +626,26 @@ SweepEngine::writeCheckpoint(TraceSource &source,
     if (source.checkpointable())
         ckpt.addComponent("source", source);
 
-    ckptStore_->write(ckpt);
+    // Same degradation contract as the sequential driver: a failed
+    // periodic write (ENOSPC, failed fsync, injected fault) loses
+    // checkpoint freshness, not the sweep — the atomic writer never
+    // publishes a partial file, so the previous generation remains
+    // loadable and resumable. Cancellation still propagates.
+    try {
+        ckptStore_->write(ckpt);
+    } catch (const std::exception &e) {
+        if (categoryOf(e) == ErrorCategory::kCancelled)
+            throw;
+        if (driver_.telemetry != nullptr) {
+            driver_.telemetry->registry().increment("ckpt.write_failed");
+            driver_.telemetry->emit(TelemetryEvent(
+                events::kCheckpointWriteFailed,
+                {field("benchmark", driver_.telemetryLabel),
+                 field("at_branch", ckpt.branches),
+                 field("error", std::string(e.what()))}));
+        }
+        return;
+    }
     ++result.checkpointsWritten;
 }
 
@@ -554,7 +665,7 @@ SweepEngine::runImpl(TraceSource &source,
         auto state = std::make_unique<ConfigState>(driver_);
         state->predictor = config.makePredictor();
         if (state->predictor == nullptr) {
-            fatal("sweep configuration '" + config.label +
+            fatal(ErrorCategory::kConfig, "sweep configuration '" + config.label +
                   "' produced a null predictor");
         }
         state->owned = config.makeEstimators();
@@ -574,12 +685,12 @@ SweepEngine::runImpl(TraceSource &source,
         // unauditable configuration must fail loudly, not resume wrong.
         for (const auto &state : states_) {
             if (!state->predictor->checkpointable()) {
-                fatal("predictor '" + state->predictor->name() +
+                fatal(ErrorCategory::kConfig, "predictor '" + state->predictor->name() +
                       "' is not checkpointable");
             }
             for (const auto *estimator : state->estimators) {
                 if (!estimator->checkpointable()) {
-                    fatal("estimator '" + estimator->name() +
+                    fatal(ErrorCategory::kConfig, "estimator '" + estimator->name() +
                           "' is not checkpointable");
                 }
             }
@@ -593,9 +704,9 @@ SweepEngine::runImpl(TraceSource &source,
         const CheckpointComponent *meta =
             resume_from->find("sweep:meta");
         if (meta == nullptr)
-            fatal("checkpoint has no sweep:meta component");
+            fatal(ErrorCategory::kCheckpoint, "checkpoint has no sweep:meta component");
         if (meta->version != 1) {
-            fatal("sweep:meta is version " +
+            fatal(ErrorCategory::kCheckpoint, "sweep:meta is version " +
                   std::to_string(meta->version) + ", expected 1");
         }
         StateReader in(meta->payload);
@@ -605,7 +716,7 @@ SweepEngine::runImpl(TraceSource &source,
         in.expectU64(driver_.profileStatic ? 1 : 0,
                      "checkpoint static-profile flag");
         if (!in.atEnd())
-            fatal("sweep:meta has unconsumed bytes");
+            fatal(ErrorCategory::kCheckpoint, "sweep:meta has unconsumed bytes");
 
         for (std::size_t c = 0; c < states_.size(); ++c) {
             ConfigState &state = *states_[c];
@@ -613,17 +724,17 @@ SweepEngine::runImpl(TraceSource &source,
             const CheckpointComponent *cfg_meta =
                 resume_from->find(prefix + "meta");
             if (cfg_meta == nullptr)
-                fatal("checkpoint has no " + prefix +
+                fatal(ErrorCategory::kCheckpoint, "checkpoint has no " + prefix +
                       "meta component");
             if (cfg_meta->version != 1) {
-                fatal(prefix + "meta is version " +
+                fatal(ErrorCategory::kCheckpoint, prefix + "meta is version " +
                       std::to_string(cfg_meta->version) +
                       ", expected 1");
             }
             StateReader cfg(cfg_meta->payload);
             const std::string label = cfg.getString();
             if (label != configs_[c].label) {
-                fatal("checkpoint config " + std::to_string(c) +
+                fatal(ErrorCategory::kCheckpoint, "checkpoint config " + std::to_string(c) +
                       " is '" + label + "', expected '" +
                       configs_[c].label + "'");
             }
@@ -636,7 +747,7 @@ SweepEngine::runImpl(TraceSource &source,
             state.result.mispredicts = cfg.getU64();
             state.result.contextSwitches = cfg.getU64();
             if (!cfg.atEnd())
-                fatal(prefix + "meta has unconsumed bytes");
+                fatal(ErrorCategory::kCheckpoint, prefix + "meta has unconsumed bytes");
 
             resume_from->restoreComponent(
                 prefix + "predictor:" + state.predictor->name(),
@@ -667,7 +778,7 @@ SweepEngine::runImpl(TraceSource &source,
             for (std::uint64_t i = 0; i < resume_from->watermark;
                  ++i) {
                 if (!source.next(skipped)) {
-                    fatal("trace ended after " + std::to_string(i) +
+                    fatal(ErrorCategory::kTrace, "trace ended after " + std::to_string(i) +
                           " record(s), before the resume watermark " +
                           std::to_string(resume_from->watermark));
                 }
@@ -714,14 +825,65 @@ SweepEngine::runImpl(TraceSource &source,
              field("resumed", resume_from != nullptr)}));
     }
 
-    const bool watchdog = driver_.wallClockLimitMs != 0;
-    const Clock::time_point deadline =
-        watchdog ? Clock::now() + std::chrono::milliseconds(
-                                      driver_.wallClockLimitMs)
-                 : Clock::time_point{};
+    // One guard for the whole pass: the consumer loop checks it at
+    // batch granularity, worker shards at record granularity, and the
+    // producer before every refill — so watchdog expiry or a cancel()
+    // unwinds the pipeline from whichever stage notices first.
+    ReplayGuard guard;
+    guard.cancel = driver_.cancel;
+    guard.limitMs = driver_.wallClockLimitMs;
+    guard.hasDeadline = driver_.wallClockLimitMs != 0;
+    if (guard.hasDeadline) {
+        guard.deadline = Clock::now() + std::chrono::milliseconds(
+                                            driver_.wallClockLimitMs);
+    }
 
     RunningStats batch_ns;
     RunningStats stall_ns;
+
+    const bool isolate = sweep_.isolateConfigFailures;
+    std::atomic<bool> config_failed{false};
+
+    // Shard-level fault isolation: a configuration whose replay (or
+    // injected fault) throws a retryable/internal error is marked
+    // failed and skipped from then on; the remaining configurations
+    // never see a perturbed replay order, so their results stay
+    // bit-exact. Timeouts and cancellation always fail the pass.
+    const auto replayConfig = [&](std::size_t c,
+                                  const RecordBatch &batch) {
+        ConfigState &state = *states_[c];
+        if (state.result.failed())
+            return;
+        try {
+            FaultInjector &injector = FaultInjector::instance();
+            if (injector.armed() &&
+                injector.fire(FaultSite::kShardReplay,
+                              driver_.telemetryLabel,
+                              c) == FaultAction::kHang) {
+                guard.park();
+            }
+            state.replay(batch, driver_, guard);
+        } catch (const std::exception &e) {
+            const ErrorCategory category = categoryOf(e);
+            if (!isolate || category == ErrorCategory::kTimeout ||
+                category == ErrorCategory::kCancelled) {
+                throw;
+            }
+            state.result.error = e.what();
+            config_failed.store(true, std::memory_order_relaxed);
+            if (driver_.telemetry != nullptr) {
+                driver_.telemetry->registry().increment(
+                    "sweep.config_failed");
+                driver_.telemetry->emit(TelemetryEvent(
+                    events::kSweepConfigFailed,
+                    {field("benchmark", driver_.telemetryLabel),
+                     field("config", configs_[c].label),
+                     field("at_branch", state.simulated),
+                     field("category", std::string(toString(category))),
+                     field("error", std::string(e.what()))}));
+            }
+        }
+    };
 
     // Contiguous config shards, one task per shard per batch. runAll
     // blocks until every shard finishes, so the states are quiescent
@@ -735,29 +897,22 @@ SweepEngine::runImpl(TraceSource &source,
     }
     const auto broadcast = [&](const RecordBatch &batch) {
         if (pool == nullptr || shard_count <= 1) {
-            for (auto &state : states_)
-                state->replay(batch, driver_);
+            for (std::size_t c = 0; c < states_.size(); ++c)
+                replayConfig(c, batch);
             return;
         }
         std::vector<std::function<void()>> tasks;
         tasks.reserve(shards.size());
         for (const auto &[begin, end] : shards) {
-            tasks.push_back([this, &batch, begin = begin,
-                             end = end] {
+            tasks.push_back([&, begin = begin, end = end] {
                 for (std::size_t c = begin; c < end; ++c)
-                    states_[c]->replay(batch, driver_);
+                    replayConfig(c, batch);
             });
         }
-        pool->runAll(std::move(tasks));
+        pool->runAll(std::move(tasks), guard.cancel);
     };
     const auto checkWatchdog = [&](std::uint64_t at_records) {
-        if (watchdog && Clock::now() > deadline) {
-            throw WatchdogTimeout(
-                "sweep exceeded its wall-clock budget of " +
-                std::to_string(driver_.wallClockLimitMs) +
-                " ms after " + std::to_string(at_records) +
-                " records");
-        }
+        guard.checkNow(at_records);
     };
 
     if (decode_ahead >= 2) {
@@ -765,7 +920,8 @@ SweepEngine::runImpl(TraceSource &source,
         // shards replay; the ring owns cursor bookkeeping and flags
         // checkpoint boundaries (see DecodeAheadRing).
         DecodeAheadRing ring(source, decode_ahead, sweep_.batchSize,
-                             consumed, simulated, ckptEvery_);
+                             consumed, simulated, ckptEvery_,
+                             driver_.telemetryLabel, guard.cancel);
         for (;;) {
             const Clock::time_point w0 = Clock::now();
             DecodeAheadRing::Slot *slot = ring.next();
@@ -786,7 +942,13 @@ SweepEngine::runImpl(TraceSource &source,
             ++result.batches;
 
             checkWatchdog(consumed);
-            if (slot->checkpointDue)
+            // Once any configuration has failed, later checkpoints
+            // would freeze a mixed-health sweep; skip them so every
+            // published generation snapshots a fully healthy pass and
+            // resuming any of them is bit-exact. The slot must still
+            // be released to unblock the producer's barrier.
+            if (slot->checkpointDue &&
+                !config_failed.load(std::memory_order_relaxed))
                 writeCheckpoint(source, result, consumed, simulated);
             ring.release(*slot);
         }
@@ -802,6 +964,12 @@ SweepEngine::runImpl(TraceSource &source,
         RecordBatch batch(sweep_.batchSize);
         for (;;) {
             const Clock::time_point w0 = Clock::now();
+            {
+                FaultInjector &injector = FaultInjector::instance();
+                if (injector.armed())
+                    injector.fire(FaultSite::kDecodeBatch,
+                                  driver_.telemetryLabel);
+            }
             const std::size_t got = batch.refill(source);
             stall_ns.add(std::chrono::duration<double, std::nano>(
                              Clock::now() - w0)
@@ -821,7 +989,9 @@ SweepEngine::runImpl(TraceSource &source,
 
             checkWatchdog(consumed);
             if (ckptEvery_ != 0 && simulated >= next_ckpt) {
-                writeCheckpoint(source, result, consumed, simulated);
+                if (!config_failed.load(std::memory_order_relaxed))
+                    writeCheckpoint(source, result, consumed,
+                                    simulated);
                 next_ckpt = (simulated / ckptEvery_ + 1) * ckptEvery_;
             }
         }
@@ -855,6 +1025,8 @@ SweepEngine::runImpl(TraceSource &source,
 
     if (telemetry != nullptr) {
         for (const auto &config : result.perConfig) {
+            if (config.failed())
+                continue; // its sweep_config_failed event already fired
             telemetry->emit(TelemetryEvent(
                 events::kSweepConfigFinished,
                 {field("benchmark", driver_.telemetryLabel),

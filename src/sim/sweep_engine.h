@@ -102,9 +102,14 @@ class SweepWorkerPool
     /**
      * Run every task on the pool; blocks until all complete. The
      * first exception any task raises is rethrown here (after every
-     * task in the group has finished).
+     * task in the group has finished). When @p cancel is set and
+     * becomes cancelled, tasks not yet started are skipped (recorded
+     * as one Error{kCancelled}) so a fail-fast teardown never waits
+     * on a deep queue; tasks already running unwind via their own
+     * cooperative checks.
      */
-    void runAll(std::vector<std::function<void()>> tasks);
+    void runAll(std::vector<std::function<void()>> tasks,
+                const CancellationToken *cancel = nullptr);
 
     /** @return busy-worker samples taken at each task start. */
     RunningStats occupancyStats() const;
@@ -117,6 +122,7 @@ class SweepWorkerPool
         std::condition_variable cv;
         std::size_t remaining = 0;
         std::exception_ptr error;
+        const CancellationToken *cancel = nullptr;
     };
     struct Task
     {
@@ -192,6 +198,19 @@ struct SweepOptions
      */
     SweepWorkerPool *pool = nullptr;
 
+    /**
+     * Per-configuration failure isolation. When set, a configuration
+     * whose replay throws a retryable/internal error is marked failed
+     * (SweepConfigResult::error) and dropped from subsequent batches
+     * while the surviving configurations continue bit-exactly; the
+     * engine also stops writing further sweep checkpoints (previously
+     * written generations stay valid and resumable). Watchdog
+     * timeouts and cancellation always fail the whole pass.
+     * SuiteRunner::runSweep() sets this for kContinueOnError
+     * policies, mirroring benchmark-level isolation.
+     */
+    bool isolateConfigFailures = false;
+
     static constexpr std::size_t kDefaultDecodeAhead = 3;
 };
 
@@ -208,6 +227,17 @@ struct SweepConfigResult
     std::vector<BucketStats> estimatorStats;
     std::vector<std::string> estimatorNames;
     StaticBranchProfile staticProfile;
+
+    /**
+     * Empty on success. With SweepOptions::isolateConfigFailures set,
+     * a failed configuration carries its error here (counts frozen at
+     * the last completed batch) while the other configurations'
+     * results remain bit-exact and trustworthy.
+     */
+    std::string error;
+
+    /** @return true when this configuration failed mid-sweep. */
+    bool failed() const { return !error.empty(); }
 
     /** @return overall misprediction rate. */
     double

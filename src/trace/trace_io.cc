@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "util/crc32.h"
+#include "util/error.h"
 #include "util/status.h"
 
 namespace confsim {
@@ -36,7 +37,7 @@ TraceWriter::TraceWriter(const std::string &path, TraceFormat format)
     : out_(path, std::ios::binary), path_(path), format_(format)
 {
     if (!out_)
-        fatal("cannot open trace file for writing: " + path);
+        fatal(ErrorCategory::kTrace, "cannot open trace file for writing: " + path);
     const auto &magic =
         format_ == TraceFormat::kCbt1 ? kMagic1 : kMagic2;
     out_.write(magic.data(), magic.size());
@@ -98,7 +99,7 @@ void
 TraceWriter::finish()
 {
     if (finished_)
-        fatal("TraceWriter::finish called twice for " + path_);
+        fatal(ErrorCategory::kTrace, "TraceWriter::finish called twice for " + path_);
     finishImpl();
 }
 
@@ -114,7 +115,7 @@ TraceWriter::finishImpl()
         writeLe32(out_, crc32(&count_, sizeof(count_)));
     out_.close();
     if (!out_)
-        fatal("error finalizing trace file: " + path_);
+        fatal(ErrorCategory::kTrace, "error finalizing trace file: " + path_);
 }
 
 TraceWriter::~TraceWriter()
@@ -152,7 +153,7 @@ TraceFileReader::TraceFileReader(const std::string &path,
     : in_(path, std::ios::binary), path_(path), mode_(mode)
 {
     if (!in_)
-        fatal("cannot open trace file: " + path);
+        fatal(ErrorCategory::kTrace, "cannot open trace file: " + path);
     readHeader();
 }
 
@@ -162,26 +163,26 @@ TraceFileReader::readHeader()
     std::array<char, 4> magic{};
     in_.read(magic.data(), magic.size());
     if (!in_)
-        fatal("not a CBT trace file (short header): " + path_);
+        fatal(ErrorCategory::kTrace, "not a CBT trace file (short header): " + path_);
     if (magic == kMagic1) {
         format_ = TraceFormat::kCbt1;
     } else if (magic == kMagic2) {
         format_ = TraceFormat::kCbt2;
     } else {
-        fatal("not a CBT1/CBT2 trace file: " + path_);
+        fatal(ErrorCategory::kTrace, "not a CBT1/CBT2 trace file: " + path_);
     }
     in_.read(reinterpret_cast<char *>(&count_), sizeof(count_));
     if (!in_)
-        fatal("truncated trace header: " + path_);
+        fatal(ErrorCategory::kTrace, "truncated trace header: " + path_);
     if (format_ == TraceFormat::kCbt2) {
         std::uint32_t header_crc = 0;
         in_.read(reinterpret_cast<char *>(&header_crc),
                  sizeof(header_crc));
         if (!in_)
-            fatal("truncated trace header: " + path_);
+            fatal(ErrorCategory::kTrace, "truncated trace header: " + path_);
         if (crc32(&count_, sizeof(count_)) != header_crc) {
             if (mode_ == RecoveryMode::kStrict) {
-                fatal("corrupt trace header (record-count CRC "
+                fatal(ErrorCategory::kTrace, "corrupt trace header (record-count CRC "
                       "mismatch): " + path_);
             }
             // Recoverable: read what the chunks hold and account for
@@ -194,7 +195,7 @@ TraceFileReader::readHeader()
 void
 TraceFileReader::corrupt(const std::string &what)
 {
-    fatal(what + " (chunk " + std::to_string(chunkIndex_) +
+    fatal(ErrorCategory::kTrace, what + " (chunk " + std::to_string(chunkIndex_) +
           ", record " + std::to_string(produced_) + ") in " + path_);
 }
 
@@ -229,7 +230,7 @@ TraceFileReader::nextCbt1(BranchRecord &record)
         pc_word + static_cast<std::uint64_t>(target_delta);
     const int flags = in_.get();
     if (flags < 0) {
-        fatal("truncated trace record " + std::to_string(produced_) +
+        fatal(ErrorCategory::kTrace, "truncated trace record " + std::to_string(produced_) +
               " in " + path_);
     }
     record.pc = pc_word << 2;
@@ -256,7 +257,7 @@ TraceFileReader::nextCbt2(BranchRecord &record)
             exhausted_ = true;
             if (mode_ == RecoveryMode::kStrict &&
                 produced_ != count_) {
-                fatal("trace record count mismatch: header promises " +
+                fatal(ErrorCategory::kTrace, "trace record count mismatch: header promises " +
                       std::to_string(count_) + ", file contains " +
                       std::to_string(produced_) + ": " + path_);
             }
@@ -455,11 +456,11 @@ TraceFileReader::readVarintStream()
     for (;;) {
         const int byte = in_.get();
         if (byte < 0) {
-            fatal("truncated varint in record " +
+            fatal(ErrorCategory::kTrace, "truncated varint in record " +
                   std::to_string(produced_) + " of " + path_);
         }
         if (++bytes > 10) {
-            fatal("overlong varint (> 10 bytes) in record " +
+            fatal(ErrorCategory::kTrace, "overlong varint (> 10 bytes) in record " +
                   std::to_string(produced_) + " of " + path_);
         }
         value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
@@ -474,7 +475,7 @@ TextTraceReader::TextTraceReader(const std::string &path)
     : in_(path), path_(path)
 {
     if (!in_)
-        fatal("cannot open text trace file: " + path);
+        fatal(ErrorCategory::kTrace, "cannot open text trace file: " + path);
 }
 
 bool
@@ -489,7 +490,7 @@ TextTraceReader::next(BranchRecord &record)
             continue;
 
         const auto bad = [this]() -> bool {
-            fatal("malformed text trace line " +
+            fatal(ErrorCategory::kTrace, "malformed text trace line " +
                   std::to_string(lineNumber_) + " in " + path_);
         };
 
@@ -544,7 +545,7 @@ writeTextTrace(TraceSource &source, const std::string &path)
 {
     std::ofstream out(path);
     if (!out)
-        fatal("cannot open text trace for writing: " + path);
+        fatal(ErrorCategory::kTrace, "cannot open text trace for writing: " + path);
     BranchRecord record;
     std::uint64_t n = 0;
     while (source.next(record)) {

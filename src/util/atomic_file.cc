@@ -1,28 +1,41 @@
 #include "util/atomic_file.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <system_error>
 
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "util/error.h"
 #include "util/status.h"
 
 namespace confsim {
 
 namespace {
 
-/** fsync an already-written file by path; @return false on failure. */
-bool
+/** ": <strerror>" suffix for the current errno, empty when unset. */
+std::string
+errnoDetail(int err)
+{
+    if (err == 0)
+        return std::string();
+    return std::string(": ") + std::strerror(err) + " (errno " +
+           std::to_string(err) + ")";
+}
+
+/** fsync an already-written file by path; @return 0 or the errno. */
+int
 syncFile(const std::string &path)
 {
     const int fd = ::open(path.c_str(), O_WRONLY);
     if (fd < 0)
-        return false;
-    const bool ok = ::fsync(fd) == 0;
+        return errno;
+    const int err = ::fsync(fd) == 0 ? 0 : errno;
     ::close(fd);
-    return ok;
+    return err;
 }
 
 /**
@@ -55,9 +68,12 @@ AtomicFileWriter::AtomicFileWriter(std::string path)
         std::error_code ec;
         std::filesystem::create_directories(parent, ec);
     }
+    errno = 0;
     out_.open(tmpPath_, std::ios::binary | std::ios::trunc);
     if (!out_)
-        fatal("cannot open " + tmpPath_ + " for writing");
+        fatal(ErrorCategory::kResource, "cannot open " + tmpPath_ +
+                                            " for writing" +
+                                            errnoDetail(errno));
 }
 
 AtomicFileWriter::~AtomicFileWriter()
@@ -72,24 +88,32 @@ AtomicFileWriter::commit()
     if (committed_)
         return;
     if (abandoned_)
-        fatal("commit after abandon for " + path_);
+        fatal(ErrorCategory::kInternal, "commit after abandon for " + path_);
+    errno = 0;
     out_.flush();
     const bool stream_ok = out_.good();
+    const int flush_errno = stream_ok ? 0 : errno;
     out_.close();
     if (!stream_ok) {
         std::remove(tmpPath_.c_str());
         abandoned_ = true;
-        fatal("write error on " + tmpPath_);
+        fatal(ErrorCategory::kResource,
+              "write error on " + tmpPath_ + errnoDetail(flush_errno));
     }
-    if (!syncFile(tmpPath_)) {
+    if (const int err = syncFile(tmpPath_); err != 0) {
         std::remove(tmpPath_.c_str());
         abandoned_ = true;
-        fatal("fsync failed for " + tmpPath_);
+        fatal(ErrorCategory::kResource,
+              "fsync failed for " + tmpPath_ + errnoDetail(err));
     }
+    errno = 0;
     if (std::rename(tmpPath_.c_str(), path_.c_str()) != 0) {
+        const int err = errno;
         std::remove(tmpPath_.c_str());
         abandoned_ = true;
-        fatal("rename " + tmpPath_ + " -> " + path_ + " failed");
+        fatal(ErrorCategory::kResource, "rename " + tmpPath_ + " -> " +
+                                            path_ + " failed" +
+                                            errnoDetail(err));
     }
     syncParentDir(path_);
     committed_ = true;

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cooperative cancellation. A CancellationToken is a shared flag that
+ * long-running loops (sequential driver, sweep shards, decode-ahead
+ * producer, worker pool queues) poll at a coarse stride; cancel() makes
+ * every poller unwind promptly with Error{kCancelled}.
+ *
+ * Tokens can be chained: a child constructed with a parent pointer
+ * reports cancelled when either itself or the parent is cancelled. The
+ * suite runner uses this to layer fail-fast/deadline teardown on top of
+ * a caller-provided external token without ever mutating the caller's
+ * object.
+ */
+
+#ifndef CONFSIM_UTIL_CANCELLATION_H
+#define CONFSIM_UTIL_CANCELLATION_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "util/error.h"
+
+namespace confsim {
+
+class CancellationToken
+{
+  public:
+    CancellationToken() = default;
+
+    /** Chained token: cancelled when this or @p parent is cancelled.
+     *  @p parent may be null and must outlive this token. */
+    explicit CancellationToken(const CancellationToken *parent)
+        : parent_(parent)
+    {}
+
+    CancellationToken(const CancellationToken &) = delete;
+    CancellationToken &operator=(const CancellationToken &) = delete;
+
+    void
+    cancel() noexcept
+    {
+        cancelled_.store(true, std::memory_order_release);
+    }
+
+    bool
+    cancelled() const noexcept
+    {
+        if (cancelled_.load(std::memory_order_acquire))
+            return true;
+        return parent_ != nullptr && parent_->cancelled();
+    }
+
+    /** Throw Error{kCancelled} when cancelled; @p what names the work
+     *  being abandoned ("sweep shard", "benchmark gcc"). */
+    void
+    throwIfCancelled(const std::string &what) const
+    {
+        if (cancelled())
+            throw Error(ErrorCategory::kCancelled,
+                        what + " cancelled");
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    const CancellationToken *parent_ = nullptr;
+};
+
+/**
+ * Sleep for @p ms, waking early if @p cancel (nullable) is cancelled.
+ * Used by retry backoff so fail-fast teardown is never stuck behind a
+ * backoff sleep. @return false when the sleep was interrupted.
+ */
+inline bool
+interruptibleSleepMs(const CancellationToken *cancel, std::uint64_t ms)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline = Clock::now() + std::chrono::milliseconds(ms);
+    while (Clock::now() < deadline) {
+        if (cancel != nullptr && cancel->cancelled())
+            return false;
+        const auto remaining = deadline - Clock::now();
+        const auto slice = std::chrono::milliseconds(10);
+        std::this_thread::sleep_for(remaining < slice ? remaining : slice);
+    }
+    return true;
+}
+
+} // namespace confsim
+
+#endif // CONFSIM_UTIL_CANCELLATION_H

@@ -33,7 +33,7 @@
 #include "predictor/static_predictor.h"
 #include "predictor/two_level.h"
 #include "sim/driver.h"
-#include "trace/fault_injection.h"
+#include "fault/fault_injection.h"
 #include "trace/vector_trace_source.h"
 #include "workload/workload_generator.h"
 

@@ -29,7 +29,7 @@
 #include "predictor/gshare.h"
 #include "predictor/hybrid.h"
 #include "sim/suite_runner.h"
-#include "trace/fault_injection.h"
+#include "fault/fault_injection.h"
 
 namespace confsim {
 namespace {

@@ -19,7 +19,7 @@
 #include "obs/telemetry.h"
 #include "predictor/gshare.h"
 #include "sim/suite_runner.h"
-#include "trace/fault_injection.h"
+#include "fault/fault_injection.h"
 #include "trace/trace_io.h"
 
 namespace confsim {

@@ -9,7 +9,7 @@
 
 #include "confidence/one_level.h"
 #include "predictor/gshare.h"
-#include "trace/fault_injection.h"
+#include "fault/fault_injection.h"
 
 namespace confsim {
 namespace {

@@ -1,6 +1,6 @@
 /** @file Unit tests for the fault-injecting trace decorator. */
 
-#include "trace/fault_injection.h"
+#include "fault/fault_injection.h"
 
 #include <gtest/gtest.h>
 
