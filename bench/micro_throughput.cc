@@ -9,6 +9,7 @@
 
 #include "confidence/one_level.h"
 #include "confidence/two_level.h"
+#include "obs/span.h"
 #include "predictor/bimodal.h"
 #include "predictor/gshare.h"
 #include "predictor/history_register.h"
@@ -138,6 +139,22 @@ BM_TwoLevel(benchmark::State &state)
     });
 }
 BENCHMARK(BM_TwoLevel);
+
+void
+BM_ScopedSpanDisabled(benchmark::State &state)
+{
+    // The null-facade contract: with no tracer attached, a ScopedSpan
+    // must cost a null test and nothing else (no clock reads, no
+    // allocation) — this bounds the overhead instrumented hot paths
+    // pay when --trace-out is absent.
+    SpanTracer *tracer = nullptr;
+    for (auto _ : state) {
+        ScopedSpan span(tracer, "bench.disabled");
+        benchmark::DoNotOptimize(tracer);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScopedSpanDisabled);
 
 void
 BM_FullDriver(benchmark::State &state)

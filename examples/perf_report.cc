@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/span.h"
 #include "obs/telemetry.h"
 #include "sim/experiment.h"
 #include "trace/trace_stats.h"
@@ -136,6 +137,11 @@ struct SweepContest
     TimedCase replay;    //!< one sequential driver run per config
     TimedCase singlePass; //!< sweep, synchronous refill (decodeAhead 1)
     TimedCase pipelined; //!< sweep with the decode-ahead ring
+
+    /** Pipeline-occupancy summary of the pipelined pass. */
+    double shardBusyFrac = 0.0;
+    double barrierWaitMs = 0.0;
+    double decodeStallMs = 0.0;
 };
 
 /**
@@ -148,7 +154,7 @@ struct SweepContest
  */
 SweepContest
 timeSweepContest(const BenchmarkProfile &profile,
-                 std::uint64_t branches)
+                 std::uint64_t branches, SpanTracer *spans)
 {
     const std::vector<SweepConfiguration> matrix = sweepMatrix();
     SweepContest contest;
@@ -169,21 +175,34 @@ timeSweepContest(const BenchmarkProfile &profile,
     }
 
     const auto time_sweep = [&](const char *name,
-                                std::size_t decode_ahead) {
+                                std::size_t decode_ahead,
+                                SpanTracer *pass_spans,
+                                SweepContest *occupancy) {
         TimedCase timed;
         timed.name = name;
         WorkloadGenerator workload(profile, branches);
+        DriverOptions driver_options;
+        driver_options.spans = pass_spans;
         SweepOptions sweep;
         sweep.decodeAhead = decode_ahead;
-        SweepEngine engine(matrix, DriverOptions{}, sweep);
+        SweepEngine engine(matrix, driver_options, sweep);
         const SweepRunResult result = engine.run(workload);
         timed.branches = result.branches;
         timed.wallMs = result.wallMs;
+        if (occupancy != nullptr) {
+            occupancy->shardBusyFrac = result.shardBusyFrac;
+            occupancy->barrierWaitMs = result.barrierWaitMs;
+            occupancy->decodeStallMs = result.decodeStallMs;
+        }
         return timed;
     };
-    contest.singlePass = time_sweep("sweep/single_pass_8cfg", 1);
-    contest.pipelined = time_sweep(
-        "sweep/pipelined_8cfg", SweepOptions::kDefaultDecodeAhead);
+    contest.singlePass =
+        time_sweep("sweep/single_pass_8cfg", 1, nullptr, nullptr);
+    // Only the pipelined pass is traced: it is the pass whose
+    // producer/shard/barrier interleaving the trace is meant to show.
+    contest.pipelined =
+        time_sweep("sweep/pipelined_8cfg",
+                   SweepOptions::kDefaultDecodeAhead, spans, &contest);
 
     // ns per branch UPDATE (branches x configs), so the rows are
     // directly comparable per unit of simulation work.
@@ -214,6 +233,9 @@ main(int argc, char **argv)
     cli.addFlag("fast", "short traces (CI smoke run)");
     cli.addOption("telemetry", "",
                   "write JSONL telemetry (manifest + events) here");
+    cli.addOption("trace-out", "",
+                  "write a Chrome/Perfetto trace-event JSON of the "
+                  "pipelined sweep pass here");
     if (!cli.parse(argc, argv))
         return 0;
 
@@ -277,7 +299,13 @@ main(int argc, char **argv)
 
     // Sweep contest: 8 configurations — per-config replay, one
     // decoded pass (synchronous refill), one pipelined pass.
-    const SweepContest contest = timeSweepContest(profile, branches);
+    SpanTracerOptions span_options;
+    span_options.path = cli.getString("trace-out");
+    const auto spans = SpanTracer::fromOptions(span_options);
+    const SweepContest contest =
+        timeSweepContest(profile, branches, spans.get());
+    if (spans)
+        publishSpanSummary(spans->finish(), telemetry.get());
     const double sweep_speedup =
         contest.singlePass.wallMs > 0.0
             ? contest.replay.wallMs / contest.singlePass.wallMs
@@ -324,6 +352,16 @@ main(int argc, char **argv)
         // hosts, > 1 wherever decode can hide behind replay.
         << jsonString("sweep_pipeline_speedup") << ":"
         << jsonNumber(pipeline_speedup) << ","
+        // Pipeline-occupancy summary of the pipelined pass: how busy
+        // the replay shards were (1.0 = fully hidden decode), how long
+        // replay waited at checkpoint barriers, and how much decode
+        // latency the ring failed to hide.
+        << jsonString("sweep_shard_busy_frac") << ":"
+        << jsonNumber(contest.shardBusyFrac) << ","
+        << jsonString("sweep_barrier_wait_ms") << ":"
+        << jsonNumber(contest.barrierWaitMs) << ","
+        << jsonString("sweep_decode_stall_ms") << ":"
+        << jsonNumber(contest.decodeStallMs) << ","
         // Sweep speedup scales with cores (config sharding) on top of
         // the decode-once saving, so the trajectory tooling needs the
         // host's parallelism to compare artifacts across machines.

@@ -20,6 +20,8 @@
 #include "confidence/binary_signal.h"
 #include "confidence/one_level.h"
 #include "metrics/confidence_curve.h"
+#include "obs/branch_profiler.h"
+#include "obs/span.h"
 #include "obs/telemetry.h"
 #include "predictor/gshare.h"
 #include "sim/driver.h"
@@ -39,6 +41,11 @@ main(int argc, char **argv)
     cli.addOption("branches", "1000000", "trace length");
     cli.addOption("telemetry", "",
                   "write JSONL telemetry (manifest + events) here");
+    cli.addOption("trace-out", "",
+                  "write a Chrome/Perfetto trace-event JSON here");
+    cli.addOption("branch-profile", "",
+                  "write the per-branch attribution profile here "
+                  "(CSV, or JSONL when the path ends in .jsonl)");
     cli.addFlag("progress", "announce the run on stderr");
     if (!cli.parse(argc, argv))
         return 0;
@@ -60,7 +67,16 @@ main(int argc, char **argv)
     telemetry_options.progress = cli.getFlag("progress");
     const auto telemetry = Telemetry::fromOptions(telemetry_options);
 
+    // Optional span tracing and branch attribution, same null-facade
+    // contract as telemetry: off (and free) unless a path is given.
+    SpanTracerOptions span_options;
+    span_options.path = cli.getString("trace-out");
+    const auto spans = SpanTracer::fromOptions(span_options);
+    const std::string profile_path = cli.getString("branch-profile");
+
     DriverOptions options;
+    options.spans = spans.get();
+    options.profileBranches = !profile_path.empty();
     if (telemetry) {
         RunManifest manifest = RunManifest::withBuildInfo();
         manifest.tool = "quickstart";
@@ -82,6 +98,11 @@ main(int argc, char **argv)
     // 3. Simulate.
     SimulationDriver driver(predictor, {&confidence}, options);
     const DriverResult result = driver.run(workload);
+
+    publishBranchProfile(result.branchProfile, profile_path, {},
+                         telemetry.get());
+    if (spans)
+        publishSpanSummary(spans->finish(), telemetry.get());
 
     std::printf("benchmark      : %s\n", profile.name.c_str());
     std::printf("branches       : %llu\n",

@@ -91,6 +91,10 @@ EVENT_REQUIRED_FIELDS = {
         "mispredict_rate", "context_switches",
     ],
     "metrics_snapshot": [],
+    "span_summary": ["path", "events", "threads", "dropped"],
+    "branch_profile_written": [
+        "path", "format", "branches", "executions", "mispredictions",
+    ],
 }
 
 MANIFEST_REQUIRED = [
@@ -148,6 +152,38 @@ def validate_event(path, lineno, obj):
                 fail(path, lineno,
                      f"fault_injected (kind {kind!r}) is missing "
                      f"field '{key}'")
+    if obj["type"] == "sweep_run_finished":
+        busy = obj.get("shard_busy_frac")
+        if busy is not None and (
+                not isinstance(busy, (int, float)) or
+                not 0.0 <= busy <= 1.0):
+            fail(path, lineno,
+                 f"sweep_run_finished 'shard_busy_frac' must be a "
+                 f"number in [0, 1], got {busy!r}")
+        wait = obj.get("barrier_wait_ms")
+        if wait is not None and (
+                not isinstance(wait, (int, float)) or wait < 0):
+            fail(path, lineno,
+                 f"sweep_run_finished 'barrier_wait_ms' must be a "
+                 f"non-negative number, got {wait!r}")
+    if obj["type"] == "metrics_snapshot":
+        # The snapshot is flat: metric names are field keys. The sweep
+        # occupancy metrics, when present, have hard ranges.
+        busy = obj.get("sweep.shard_busy_frac")
+        if busy is not None and (
+                not isinstance(busy, (int, float)) or
+                not 0.0 <= busy <= 1.0):
+            fail(path, lineno,
+                 f"metric 'sweep.shard_busy_frac' must be in [0, 1], "
+                 f"got {busy!r}")
+        for key in ("sweep.barrier_wait_ns.count",
+                    "sweep.barrier_wait_ns.mean"):
+            value = obj.get(key)
+            if value is not None and (
+                    not isinstance(value, (int, float)) or value < 0):
+                fail(path, lineno,
+                     f"metric '{key}' must be a non-negative number, "
+                     f"got {value!r}")
 
 
 def validate_jsonl(path):

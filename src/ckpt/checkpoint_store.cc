@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "fault/fault_plan.h"
+#include "obs/span.h"
 #include "util/error.h"
 #include "util/status.h"
 
@@ -126,6 +127,7 @@ CheckpointStore::removeOrphanedTemporaries()
 void
 CheckpointStore::write(const Checkpoint &ckpt)
 {
+    ScopedSpan span(spans_, "ckpt.store_write");
     FaultInjector &injector = FaultInjector::instance();
     if (injector.armed())
         injector.fire(FaultSite::kCheckpointWrite, label_);
@@ -183,6 +185,7 @@ CheckpointStore::loadLatestValid()
 void
 CheckpointStore::writeCompleted(const Checkpoint &ckpt)
 {
+    ScopedSpan span(spans_, "ckpt.store_write");
     FaultInjector &injector = FaultInjector::instance();
     if (injector.armed())
         injector.fire(FaultSite::kCheckpointWrite, label_);

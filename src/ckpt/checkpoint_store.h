@@ -32,6 +32,8 @@
 
 namespace confsim {
 
+class SpanTracer;
+
 /** What a CheckpointStore just did (for telemetry forwarding). */
 struct CheckpointStoreEvent
 {
@@ -65,6 +67,13 @@ class CheckpointStore
 
     /** Observe writes and corruption; replaces any previous hook. */
     void setEventHook(CheckpointStoreHook hook);
+
+    /**
+     * Trace serialization + atomic-write time as "ckpt.store_write"
+     * spans (obs/span.h); null (the default) disables. The tracer
+     * must outlive the store's write calls.
+     */
+    void setSpanTracer(SpanTracer *spans) { spans_ = spans; }
 
     /**
      * Atomically write @p ckpt as the next generation, then prune
@@ -113,6 +122,7 @@ class CheckpointStore
     unsigned keepGenerations_;
     std::uint64_t nextGeneration_ = 1;
     CheckpointStoreHook hook_;
+    SpanTracer *spans_ = nullptr;
 };
 
 } // namespace confsim

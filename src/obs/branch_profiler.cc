@@ -1,0 +1,375 @@
+#include "obs/branch_profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/event.h"
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
+#include "obs/telemetry.h"
+#include "util/atomic_file.h"
+#include "util/status.h"
+
+namespace confsim {
+
+namespace {
+
+constexpr std::size_t kMaxUnorderedCells = 64;
+constexpr std::uint64_t kPcMask = (std::uint64_t{1} << 48) - 1;
+
+std::string
+formatPc(std::uint64_t pc)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(pc & kPcMask));
+    return buf;
+}
+
+std::string
+benchOf(std::uint64_t pc, const std::vector<std::string> &benchNames)
+{
+    if (benchNames.empty())
+        return "";
+    const std::uint64_t index = pc >> 48;
+    return index < benchNames.size() ? benchNames[index] : "";
+}
+
+} // namespace
+
+void
+BranchProfile::configure(
+    const BranchProfileOptions &options,
+    std::vector<BranchProfileEstimatorInfo> estimators)
+{
+    if (options.capacity == 0)
+        fatal("branch profile capacity must be >= 1");
+    options_ = options;
+    estimatorInfos_ = std::move(estimators);
+    estimatorStates_.clear();
+    calibration_.clear();
+    for (const auto &info : estimatorInfos_) {
+        EstimatorState state;
+        state.ordered = info.ordered;
+        state.saturatedBucket =
+            info.numBuckets == 0 ? 0 : info.numBuckets - 1;
+        state.invMaxBucket =
+            info.numBuckets > 1
+                ? 1.0 / static_cast<double>(info.numBuckets - 1)
+                : 0.0;
+        estimatorStates_.push_back(state);
+        const std::size_t cells =
+            info.ordered
+                ? std::max<std::size_t>(options_.reliabilityBins, 1)
+                : std::min(std::max<std::size_t>(info.numBuckets, 1),
+                           kMaxUnorderedCells);
+        calibration_.emplace_back(cells);
+    }
+    entries_.reserve(options_.capacity + 1);
+    configured_ = true;
+}
+
+void
+BranchProfile::onBucket(std::size_t estimator, std::uint64_t bucket,
+                        bool correct)
+{
+    const EstimatorState &state = estimatorStates_[estimator];
+    auto &cells = calibration_[estimator];
+    double confidence = 0.0;
+    std::size_t cell;
+    if (state.ordered) {
+        confidence = static_cast<double>(bucket) * state.invMaxBucket;
+        cell = std::min(
+            static_cast<std::size_t>(confidence *
+                                     static_cast<double>(cells.size())),
+            cells.size() - 1);
+    } else {
+        cell = std::min(static_cast<std::size_t>(bucket),
+                        cells.size() - 1);
+    }
+    CalibrationBin &bin = cells[cell];
+    ++bin.predictions;
+    bin.correct += correct ? 1 : 0;
+    bin.confidenceSum += confidence;
+    if (estimator == 0) {
+        pendingConfidence_ = confidence;
+        pendingLow_ = state.ordered ? bucket < state.saturatedBucket
+                                    : bucket == 0;
+    }
+}
+
+BranchProfile::PcEntry &
+BranchProfile::entryFor(std::uint64_t pc)
+{
+    auto it = entries_.find(pc);
+    if (it != entries_.end())
+        return it->second;
+    if (entries_.size() >= options_.capacity)
+        evictColdest();
+    return entries_[pc];
+}
+
+void
+BranchProfile::evictColdest()
+{
+    // Fold out the coldest ~1/8 of tracked entries (by executions) so
+    // eviction is amortized, never per-branch. Their counts move into
+    // the evicted aggregate — totals stay exact.
+    std::size_t toEvict =
+        std::max<std::size_t>(options_.capacity / 8, 1);
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> order;
+    order.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        order.emplace_back(entry.second.executions, entry.first);
+    std::sort(order.begin(), order.end());
+    toEvict = std::min(toEvict, order.size());
+    for (std::size_t i = 0; i < toEvict; ++i) {
+        auto it = entries_.find(order[i].second);
+        evicted_.merge(it->second);
+        entries_.erase(it);
+        ++evictedPcs_;
+    }
+}
+
+void
+BranchProfile::onBranch(std::uint64_t pc, bool mispredicted)
+{
+    ++totalExecutions_;
+    totalMispredictions_ += mispredicted ? 1 : 0;
+    PcEntry &entry = entryFor(pc);
+    ++entry.executions;
+    entry.mispredictions += mispredicted ? 1 : 0;
+    entry.lowConfidence += pendingLow_ ? 1 : 0;
+    entry.confidenceSum += pendingConfidence_;
+}
+
+void
+BranchProfile::mergeFrom(const BranchProfile &other,
+                         std::uint64_t tagBase)
+{
+    if (!configured_ && other.configured_)
+        configure(other.options_, other.estimatorInfos_);
+    for (const auto &entry : other.entries_) {
+        PcEntry &mine = entryFor(tagBase | entry.first);
+        mine.merge(entry.second);
+    }
+    evicted_.merge(other.evicted_);
+    evictedPcs_ += other.evictedPcs_;
+    totalExecutions_ += other.totalExecutions_;
+    totalMispredictions_ += other.totalMispredictions_;
+    const std::size_t families =
+        std::min(calibration_.size(), other.calibration_.size());
+    for (std::size_t i = 0; i < families; ++i) {
+        auto &mine = calibration_[i];
+        const auto &theirs = other.calibration_[i];
+        const std::size_t cells = std::min(mine.size(), theirs.size());
+        for (std::size_t c = 0; c < cells; ++c) {
+            mine[c].predictions += theirs[c].predictions;
+            mine[c].correct += theirs[c].correct;
+            mine[c].confidenceSum += theirs[c].confidenceSum;
+        }
+    }
+}
+
+std::vector<std::pair<std::uint64_t, BranchProfile::PcEntry>>
+BranchProfile::topByMispredictions(std::size_t n) const
+{
+    std::vector<std::pair<std::uint64_t, PcEntry>> out(
+        entries_.begin(), entries_.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.mispredictions !=
+                      b.second.mispredictions)
+                      return a.second.mispredictions >
+                             b.second.mispredictions;
+                  return a.first < b.first;
+              });
+    if (out.size() > n)
+        out.resize(n);
+    return out;
+}
+
+namespace {
+
+/** Row shape shared by the CSV and JSONL exporters. */
+struct ProfileRow
+{
+    std::string kind;
+    std::string benchmark;
+    std::string pc;
+    std::string estimator;
+    std::int64_t bin = -1; //!< -1 = not applicable
+    std::uint64_t executions = 0;
+    std::uint64_t mispredictions = 0;
+    double mispredictRate = 0.0;
+    std::uint64_t lowConfidence = 0;
+    double meanConfidence = 0.0;
+    std::uint64_t predictions = 0;
+    std::uint64_t correct = 0;
+    double accuracy = 0.0;
+};
+
+} // namespace
+
+static std::vector<ProfileRow>
+buildRows(const BranchProfile &profile,
+          const std::vector<std::string> &benchNames)
+{
+    std::vector<ProfileRow> rows;
+    const auto ranked =
+        profile.topByMispredictions(profile.entries().size());
+    for (const auto &entry : ranked) {
+        ProfileRow row;
+        row.kind = "branch";
+        row.benchmark = benchOf(entry.first, benchNames);
+        row.pc = formatPc(entry.first);
+        row.executions = entry.second.executions;
+        row.mispredictions = entry.second.mispredictions;
+        row.mispredictRate =
+            entry.second.executions == 0
+                ? 0.0
+                : static_cast<double>(entry.second.mispredictions) /
+                      static_cast<double>(entry.second.executions);
+        row.lowConfidence = entry.second.lowConfidence;
+        row.meanConfidence =
+            entry.second.executions == 0
+                ? 0.0
+                : entry.second.confidenceSum /
+                      static_cast<double>(entry.second.executions);
+        rows.push_back(std::move(row));
+    }
+    {
+        ProfileRow row;
+        row.kind = "evicted";
+        row.pc = std::to_string(profile.evictedPcs());
+        row.executions = profile.evicted().executions;
+        row.mispredictions = profile.evicted().mispredictions;
+        row.mispredictRate =
+            row.executions == 0
+                ? 0.0
+                : static_cast<double>(row.mispredictions) /
+                      static_cast<double>(row.executions);
+        row.lowConfidence = profile.evicted().lowConfidence;
+        rows.push_back(std::move(row));
+    }
+    for (std::size_t i = 0; i < profile.estimators().size(); ++i) {
+        const auto &cells = profile.calibration(i);
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            ProfileRow row;
+            row.kind = "calibration";
+            row.estimator = profile.estimators()[i].name;
+            row.bin = static_cast<std::int64_t>(c);
+            row.predictions = cells[c].predictions;
+            row.correct = cells[c].correct;
+            row.accuracy = cells[c].accuracy();
+            row.meanConfidence = cells[c].meanConfidence();
+            rows.push_back(std::move(row));
+        }
+    }
+    {
+        ProfileRow row;
+        row.kind = "total";
+        row.executions = profile.totalExecutions();
+        row.mispredictions = profile.totalMispredictions();
+        row.mispredictRate =
+            row.executions == 0
+                ? 0.0
+                : static_cast<double>(row.mispredictions) /
+                      static_cast<double>(row.executions);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void
+BranchProfile::writeCsv(const std::string &path,
+                        const std::vector<std::string> &benchNames) const
+{
+    AtomicFileWriter writer(path);
+    std::ostream &out = writer.stream();
+    out << "kind,benchmark,pc,estimator,bin,executions,mispredictions,"
+           "mispredict_rate,low_confidence,mean_confidence,predictions,"
+           "correct,accuracy\n";
+    for (const ProfileRow &row : buildRows(*this, benchNames)) {
+        out << row.kind << ',' << row.benchmark << ',' << row.pc << ','
+            << row.estimator << ',';
+        if (row.bin >= 0)
+            out << row.bin;
+        out << ',' << row.executions << ',' << row.mispredictions << ','
+            << jsonNumber(row.mispredictRate) << ',' << row.lowConfidence
+            << ',' << jsonNumber(row.meanConfidence) << ','
+            << row.predictions << ',' << row.correct << ','
+            << jsonNumber(row.accuracy) << '\n';
+    }
+    writer.commit();
+}
+
+void
+BranchProfile::writeJsonl(
+    const std::string &path,
+    const std::vector<std::string> &benchNames) const
+{
+    AtomicFileWriter writer(path);
+    std::ostream &out = writer.stream();
+    for (const ProfileRow &row : buildRows(*this, benchNames)) {
+        out << "{\"type\":" << jsonString(row.kind);
+        if (row.kind == "branch")
+            out << ",\"benchmark\":" << jsonString(row.benchmark)
+                << ",\"pc\":" << jsonString(row.pc);
+        if (row.kind == "evicted")
+            out << ",\"evicted_pcs\":" << row.pc;
+        if (row.kind == "calibration")
+            out << ",\"estimator\":" << jsonString(row.estimator)
+                << ",\"bin\":" << row.bin
+                << ",\"predictions\":" << row.predictions
+                << ",\"correct\":" << row.correct
+                << ",\"accuracy\":" << jsonNumber(row.accuracy)
+                << ",\"mean_confidence\":"
+                << jsonNumber(row.meanConfidence) << "}\n";
+        if (row.kind == "calibration")
+            continue;
+        out << ",\"executions\":" << row.executions
+            << ",\"mispredictions\":" << row.mispredictions
+            << ",\"mispredict_rate\":" << jsonNumber(row.mispredictRate)
+            << ",\"low_confidence\":" << row.lowConfidence
+            << ",\"mean_confidence\":" << jsonNumber(row.meanConfidence)
+            << "}\n";
+    }
+    writer.commit();
+}
+
+void
+publishBranchProfile(const BranchProfile &profile,
+                     const std::string &path,
+                     const std::vector<std::string> &benchNames,
+                     Telemetry *telemetry)
+{
+    if (path.empty())
+        return;
+    const std::string suffix = ".jsonl";
+    const bool jsonl =
+        path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+    if (jsonl)
+        profile.writeJsonl(path, benchNames);
+    else
+        profile.writeCsv(path, benchNames);
+    if (telemetry == nullptr)
+        return;
+    telemetry->emit(TelemetryEvent(
+        events::kBranchProfileWritten,
+        {field("path", path), field("format", jsonl ? "jsonl" : "csv"),
+         field("branches",
+               static_cast<std::uint64_t>(profile.entries().size())),
+         field("executions", profile.totalExecutions()),
+         field("mispredictions", profile.totalMispredictions())}));
+    MetricsRegistry &registry = telemetry->registry();
+    registry.increment("profile.files_written");
+    registry.setGauge("profile.tracked_pcs",
+                      static_cast<double>(profile.entries().size()));
+    registry.setGauge("profile.evicted_pcs",
+                      static_cast<double>(profile.evictedPcs()));
+}
+
+} // namespace confsim

@@ -26,7 +26,17 @@
 
 namespace confsim {
 
-/** A point-in-time copy of everything a registry holds. */
+/**
+ * A point-in-time copy of everything a registry holds.
+ *
+ * Ordering contract: every vector — counters, gauges, stats, *and*
+ * histograms — is sorted by name, ascending, byte-wise
+ * (std::string::operator<). snapshot() builds each from a std::map
+ * walk, so consumers (the metrics_snapshot telemetry event, CSV
+ * exports, tests diffing two snapshots) may rely on deterministic,
+ * insertion-order-independent output. Pinned by
+ * `MetricsRegistryTest.SnapshotIsNameSortedIncludingHistograms`.
+ */
 struct MetricsSnapshot
 {
     std::vector<std::pair<std::string, std::uint64_t>> counters;

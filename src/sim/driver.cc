@@ -6,6 +6,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "ckpt/checkpoint_store.h"
+#include "obs/span.h"
 #include "obs/telemetry.h"
 #include "predictor/history_register.h"
 #include "sim/run_policy.h"
@@ -91,6 +92,7 @@ SimulationDriver::writeCheckpoint(TraceSource &source,
                                   const HistoryRegister &bhr,
                                   const ShiftRegister &gcir) const
 {
+    ScopedSpan span(options_.spans, "ckpt.write");
     Checkpoint ckpt;
     ckpt.label = options_.telemetryLabel;
     ckpt.watermark = consumed;
@@ -152,6 +154,23 @@ SimulationDriver::runImpl(TraceSource &source,
     result.estimatorStats.reserve(estimators_.size());
     for (const auto *estimator : estimators_)
         result.estimatorStats.emplace_back(estimator->numBuckets());
+
+    // Per-branch attribution: observation only (PC, mispredict flag,
+    // and the bucket the loop already computed), so results are
+    // bit-identical whether the profile is on or off.
+    BranchProfile *profile = nullptr;
+    if (options_.profileBranches) {
+        std::vector<BranchProfileEstimatorInfo> infos;
+        infos.reserve(estimators_.size());
+        for (const auto *estimator : estimators_) {
+            infos.push_back({estimator->name(),
+                             estimator->numBuckets(),
+                             estimator->bucketsAreOrdered()});
+        }
+        result.branchProfile.configure(options_.branchProfile,
+                                       std::move(infos));
+        profile = &result.branchProfile;
+    }
 
     // Architectural context registers, maintained by the driver so all
     // estimators see identical history regardless of predictor type.
@@ -258,6 +277,7 @@ SimulationDriver::runImpl(TraceSource &source,
     if (telemetry != nullptr)
         result.estimatorUpdateNs.resize(estimators_.size());
     const Clock::time_point run_start = Clock::now();
+    ScopedSpan run_span(options_.spans, "driver.run");
 
     while (source.next(record)) {
         ++consumed;
@@ -304,6 +324,8 @@ SimulationDriver::runImpl(TraceSource &source,
                     std::chrono::duration<double, std::nano>(
                         Clock::now() - t0)
                         .count());
+                if (profile != nullptr && recording)
+                    profile->onBucket(i, bucket, correct);
             }
         } else {
             for (std::size_t i = 0; i < estimators_.size(); ++i) {
@@ -312,6 +334,8 @@ SimulationDriver::runImpl(TraceSource &source,
                 if (recording)
                     result.estimatorStats[i].record(bucket, !correct);
                 estimators_[i]->update(ctx, correct, record.taken);
+                if (profile != nullptr && recording)
+                    profile->onBucket(i, bucket, correct);
             }
         }
 
@@ -319,6 +343,8 @@ SimulationDriver::runImpl(TraceSource &source,
             result.staticProfile.record(record.pc, !correct,
                                         record.taken);
         }
+        if (profile != nullptr && recording)
+            profile->onBranch(record.pc, !correct);
 
         // Predictor and architectural history train on the outcome.
         predictor_.update(record.pc, record.taken);

@@ -21,6 +21,7 @@
 #include "confidence/confidence_estimator.h"
 #include "confidence/static_confidence.h"
 #include "metrics/bucket_stats.h"
+#include "obs/branch_profiler.h"
 #include "predictor/branch_predictor.h"
 #include "trace/trace_source.h"
 #include "util/cancellation.h"
@@ -32,6 +33,7 @@ class Checkpoint;
 class CheckpointStore;
 class HistoryRegister;
 class ShiftRegister;
+class SpanTracer;
 class Telemetry;
 
 /** Driver knobs. */
@@ -112,6 +114,27 @@ struct DriverOptions
     std::string telemetryLabel;
 
     /**
+     * Execution-span tracer (obs/span.h); null = tracing off, at the
+     * cost of one null test per instrumented scope. The driver itself
+     * emits only coarse spans (whole-run, checkpoint writes); the
+     * sweep engine adds per-batch pipeline spans.
+     */
+    SpanTracer *spans = nullptr;
+
+    /**
+     * Collect the per-static-branch attribution profile
+     * (obs/branch_profiler.h): per-PC mispredictions, low-confidence
+     * volume, and per-estimator calibration. Observation-only — never
+     * perturbs simulation state, so results are bit-identical with
+     * the flag on or off (pinned by
+     * tests/integration/branch_profile_test.cc).
+     */
+    bool profileBranches = false;
+
+    /** Capacity/bin knobs for the branch profile when enabled. */
+    BranchProfileOptions branchProfile;
+
+    /**
      * Estimator update cost is timed on one branch in every this many
      * (amortizes the two clock reads; 0 is treated as every branch).
      * Only consulted when telemetry is attached.
@@ -130,6 +153,9 @@ struct DriverResult
 
     /** Per-static-branch profile (when enabled). */
     StaticBranchProfile staticProfile;
+
+    /** Per-branch attribution (DriverOptions::profileBranches). */
+    BranchProfile branchProfile;
 
     /** Wall time of the run() call in milliseconds. */
     double wallMs = 0.0;

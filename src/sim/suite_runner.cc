@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "ckpt/checkpoint_store.h"
+#include "obs/span.h"
 #include "obs/telemetry.h"
 #include "sim/sweep_engine.h"
 #include "fault/fault_injection.h"
@@ -110,7 +111,8 @@ backoffDelayMs(std::uint64_t base, unsigned attempt,
  */
 bool
 sleepBeforeRetry(const RunPolicy &policy, const SuiteContext &ctx,
-                 unsigned attempt, const std::string &name)
+                 unsigned attempt, const std::string &name,
+                 SpanTracer *spans)
 {
     std::uint64_t delay =
         backoffDelayMs(policy.retryBackoffMs, attempt, name);
@@ -122,6 +124,7 @@ sleepBeforeRetry(const RunPolicy &policy, const SuiteContext &ctx,
     }
     if (delay == 0)
         return !ctx.token.cancelled();
+    ScopedSpan span(spans, "retry.backoff");
     return interruptibleSleepMs(&ctx.token, delay);
 }
 
@@ -391,6 +394,7 @@ runOneBenchmark(const BenchmarkSuite &suite, std::size_t bench,
             policy.checkpoint.directory, bench_result.name,
             policy.checkpoint.keepGenerations);
         wireStoreTelemetry(*store, telemetry, bench_result.name);
+        store->setSpanTracer(options.spans);
         if (policy.checkpoint.resume) {
             if (auto done = store->loadCompleted()) {
                 try {
@@ -485,6 +489,7 @@ runOneBenchmark(const BenchmarkSuite &suite, std::size_t bench,
     bench_result.mispredicts = run_result.mispredicts;
     bench_result.mispredictRate = run_result.mispredictRate();
     bench_result.estimatorStats = std::move(run_result.estimatorStats);
+    bench_result.branchProfile = std::move(run_result.branchProfile);
 
     if (options.profileStatic) {
         // Re-key per-PC entries so distinct benchmarks never alias.
@@ -526,6 +531,8 @@ runGuardedImpl(const BenchmarkSuite &suite, std::size_t bench,
 {
     Telemetry *const telemetry = options.telemetry;
     const std::string bench_name = suite.profile(bench).name;
+    const std::string span_name = "bench:" + bench_name;
+    ScopedSpan bench_span(options.spans, span_name.c_str());
     const auto start = std::chrono::steady_clock::now();
     if (telemetry != nullptr) {
         telemetry->emit(
@@ -607,7 +614,8 @@ runGuardedImpl(const BenchmarkSuite &suite, std::size_t bench,
                      field("error", failed.error)}));
                 telemetry->registry().increment("suite.retries");
             }
-            if (!sleepBeforeRetry(policy, ctx, attempt, bench_name))
+            if (!sleepBeforeRetry(policy, ctx, attempt, bench_name,
+                                  options.spans))
                 break; // cancelled (or budget gone) mid-backoff
         }
     }
@@ -839,6 +847,21 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
         computeComposites(result, options.profileStatic,
                           suite_.size());
 
+    if (options.profileBranches) {
+        // Re-key per-PC entries with the same (bench << 48) tag the
+        // static composite uses, so totals are exact sums over the
+        // surviving benchmarks.
+        for (std::size_t bench = 0; bench < result.perBenchmark.size();
+             ++bench) {
+            const auto &bench_result = result.perBenchmark[bench];
+            if (!bench_result.failed()) {
+                result.branchProfile.mergeFrom(
+                    bench_result.branchProfile,
+                    static_cast<std::uint64_t>(bench) << 48);
+            }
+        }
+    }
+
     result.wallMs = elapsedMsSince(suite_start);
     if (telemetry != nullptr) {
         telemetry->emit(TelemetryEvent(
@@ -917,6 +940,8 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
 
     const auto run_bench = [&](std::size_t bench) {
         const std::string bench_name = suite_.profile(bench).name;
+        const std::string span_name = "bench:" + bench_name;
+        ScopedSpan bench_span(options.spans, span_name.c_str());
         DriverOptions run_options = options;
         run_options.telemetryLabel = bench_name;
         run_options.cancel = &ctx.token;
@@ -930,6 +955,7 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
                 policy.checkpoint.directory, bench_name + "-sweep",
                 policy.checkpoint.keepGenerations);
             wireStoreTelemetry(*store, telemetry, bench_name);
+            store->setSpanTracer(options.spans);
         }
 
         const auto build_source = [&] {
@@ -1060,7 +1086,7 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
                     telemetry->registry().increment("suite.retries");
                 }
                 if (!sleepBeforeRetry(policy, ctx, attempt,
-                                      bench_name))
+                                      bench_name, options.spans))
                     break; // cancelled mid-backoff
             }
         }
@@ -1213,7 +1239,13 @@ SuiteRunner::runSweep(const std::vector<SweepConfiguration> &configs,
                 std::move(config_result.estimatorStats);
             bench_result.estimatorNames =
                 std::move(config_result.estimatorNames);
+            bench_result.branchProfile =
+                std::move(config_result.branchProfile);
             bench_result.wallMs = wall_share;
+            if (options.profileBranches) {
+                result.perConfig[c].branchProfile.mergeFrom(
+                    bench_result.branchProfile, tag);
+            }
             if (options.profileStatic) {
                 // Re-key per-PC entries exactly as run() does.
                 for (const auto &[pc, entry] :

@@ -42,6 +42,12 @@ struct BenchmarkRunResult
     std::vector<BucketStats> estimatorStats;
     SparseBucketStats staticStats; //!< per-PC (when profiling enabled)
 
+    /** Per-branch attribution profile (untagged PCs; empty unless
+     *  DriverOptions::profileBranches). Not carried in checkpoint
+     *  done-markers — a resumed, already-completed benchmark reports
+     *  an empty profile. */
+    BranchProfile branchProfile;
+
     /** Estimator names, from this run's own estimator instances. */
     std::vector<std::string> estimatorNames;
 
@@ -93,6 +99,15 @@ struct SuiteRunResult
      * benchmarks stays a distinct static branch.
      */
     SparseBucketStats compositeStaticStats;
+
+    /**
+     * Suite-merged per-branch attribution profile (when
+     * DriverOptions::profileBranches). Keys are
+     * (benchmark index << 48) | pc — the same tagging scheme as
+     * compositeStaticStats — so its totals are the exact sums of the
+     * surviving benchmarks' counts.
+     */
+    BranchProfile branchProfile;
 
     /** Equal-weight composite misprediction rate (over survivors). */
     double compositeMispredictRate = 0.0;

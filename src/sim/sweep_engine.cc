@@ -12,6 +12,7 @@
 #include "ckpt/checkpoint.h"
 #include "ckpt/checkpoint_store.h"
 #include "fault/fault_plan.h"
+#include "obs/span.h"
 #include "obs/telemetry.h"
 #include "predictor/history_register.h"
 #include "sim/run_policy.h"
@@ -137,6 +138,11 @@ struct SweepEngine::ConfigState
         // stays hot when neither a deadline nor a token is set.
         constexpr std::uint64_t kGuardStride = 4096;
         const bool guarded = guard.active();
+        // Attribution profile (observation only — same hook points,
+        // same values, as the sequential driver's loop).
+        BranchProfile *const profile =
+            result.branchProfile.enabled() ? &result.branchProfile
+                                           : nullptr;
         for (const BranchRecord &record : batch) {
             if (guarded && (++guardTick % kGuardStride) == 0)
                 guard.checkNow(simulated);
@@ -164,12 +170,16 @@ struct SweepEngine::ConfigState
                 if (recording)
                     result.estimatorStats[i].record(bucket, !correct);
                 estimators[i]->update(ctx, correct, record.taken);
+                if (profile != nullptr && recording)
+                    profile->onBucket(i, bucket, correct);
             }
 
             if (options.profileStatic && recording) {
                 result.staticProfile.record(record.pc, !correct,
                                             record.taken);
             }
+            if (profile != nullptr && recording)
+                profile->onBranch(record.pc, !correct);
 
             predictor->update(record.pc, record.taken);
             bhr.recordOutcome(record.taken);
@@ -245,6 +255,13 @@ SweepWorkerPool::occupancyStats() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return occupancy_;
+}
+
+unsigned
+SweepWorkerPool::busyNow() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return busy_;
 }
 
 void
@@ -324,9 +341,11 @@ class DecodeAheadRing
                     std::size_t batch_size, std::uint64_t consumed,
                     std::uint64_t simulated, std::uint64_t ckpt_every,
                     std::string scope,
-                    const CancellationToken *cancel)
+                    const CancellationToken *cancel,
+                    SpanTracer *spans)
         : source_(source), ckptEvery_(ckpt_every), scope_(std::move(scope)),
-          cancel_(cancel), consumed_(consumed), simulated_(simulated)
+          cancel_(cancel), spans_(spans), consumed_(consumed),
+          simulated_(simulated)
     {
         nextCkpt_ = ckptEvery_ == 0
                         ? 0
@@ -395,10 +414,20 @@ class DecodeAheadRing
             cvCkpt_.notify_one();
     }
 
+    /** @return producer time spent parked at checkpoint barriers. */
+    RunningStats
+    barrierWaitStats()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return barrierWaitNs_;
+    }
+
   private:
     void
     producerMain()
     {
+        if (spans_ != nullptr)
+            spans_->setCurrentThreadName("decode-producer");
         for (;;) {
             {
                 std::unique_lock<std::mutex> lock(mu_);
@@ -419,6 +448,7 @@ class DecodeAheadRing
                 // Cancellation and injected decode faults surface as
                 // in-order error slots — identical observable behavior
                 // to the synchronous refill loop hitting them.
+                ScopedSpan refill_span(spans_, "decode.refill");
                 if (cancel_ != nullptr)
                     cancel_->throwIfCancelled("sweep decode");
                 FaultInjector &injector = FaultInjector::instance();
@@ -454,6 +484,11 @@ class DecodeAheadRing
             ++filled_;
             if (due)
                 ckptPending_ = true;
+            if (spans_ != nullptr) {
+                spans_->counter(
+                    "decode_ring.filled",
+                    static_cast<std::uint64_t>(filled_));
+            }
             cvFilled_.notify_one();
             if (slot.error) {
                 // Nothing after an error can be decoded coherently;
@@ -465,9 +500,17 @@ class DecodeAheadRing
                 // Pipeline barrier: the source must stay untouched at
                 // exactly `consumed_` records until the checkpoint
                 // containing it has been written.
+                ScopedSpan barrier_span(spans_,
+                                        "decode.barrier_wait");
+                const std::chrono::steady_clock::time_point b0 =
+                    std::chrono::steady_clock::now();
                 cvCkpt_.wait(lock, [this] {
                     return stop_ || !ckptPending_;
                 });
+                barrierWaitNs_.add(
+                    std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - b0)
+                        .count());
                 if (stop_)
                     return;
             }
@@ -478,9 +521,11 @@ class DecodeAheadRing
     const std::uint64_t ckptEvery_;
     const std::string scope_;
     const CancellationToken *const cancel_;
+    SpanTracer *const spans_;
     std::uint64_t consumed_;
     std::uint64_t simulated_;
     std::uint64_t nextCkpt_ = 0;
+    RunningStats barrierWaitNs_; //!< guarded by mu_
 
     std::vector<Slot> slots_;
     std::thread producer_;
@@ -580,6 +625,7 @@ SweepEngine::writeCheckpoint(TraceSource &source,
                              std::uint64_t consumed,
                              std::uint64_t simulated)
 {
+    ScopedSpan span(driver_.spans, "ckpt.write");
     Checkpoint ckpt;
     ckpt.label = driver_.telemetryLabel;
     ckpt.watermark = consumed;
@@ -676,6 +722,17 @@ SweepEngine::runImpl(TraceSource &source,
             state->result.estimatorStats.emplace_back(
                 estimator->numBuckets());
             state->result.estimatorNames.push_back(estimator->name());
+        }
+        if (driver_.profileBranches) {
+            std::vector<BranchProfileEstimatorInfo> infos;
+            infos.reserve(state->owned.size());
+            for (const auto &estimator : state->owned) {
+                infos.push_back({estimator->name(),
+                                 estimator->numBuckets(),
+                                 estimator->bucketsAreOrdered()});
+            }
+            state->result.branchProfile.configure(
+                driver_.branchProfile, std::move(infos));
         }
         states_.push_back(std::move(state));
     }
@@ -895,18 +952,47 @@ SweepEngine::runImpl(TraceSource &source,
         shards.emplace_back(states_.size() * s / shard_count,
                             states_.size() * (s + 1) / shard_count);
     }
+    // Per-shard replay time, one slot per shard. Each task writes
+    // only its own slot and runAll() is a barrier between batches, so
+    // no synchronization is needed; the sum over slots against
+    // wall x shards is the pipeline-occupancy headline.
+    SpanTracer *const spans = driver_.spans;
+    std::vector<std::uint64_t> shard_busy_ns(shard_count, 0);
     const auto broadcast = [&](const RecordBatch &batch) {
         if (pool == nullptr || shard_count <= 1) {
-            for (std::size_t c = 0; c < states_.size(); ++c)
-                replayConfig(c, batch);
+            const Clock::time_point s0 = Clock::now();
+            {
+                ScopedSpan replay_span(spans, "shard.replay");
+                for (std::size_t c = 0; c < states_.size(); ++c)
+                    replayConfig(c, batch);
+            }
+            shard_busy_ns[0] += static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - s0)
+                    .count());
             return;
         }
         std::vector<std::function<void()>> tasks;
         tasks.reserve(shards.size());
-        for (const auto &[begin, end] : shards) {
-            tasks.push_back([&, begin = begin, end = end] {
-                for (std::size_t c = begin; c < end; ++c)
-                    replayConfig(c, batch);
+        for (std::size_t s = 0; s < shards.size(); ++s) {
+            tasks.push_back([&, s, begin = shards[s].first,
+                             end = shards[s].second] {
+                if (spans != nullptr) {
+                    spans->setCurrentThreadName("sweep-worker");
+                    spans->counter(
+                        "sweep.pool_occupancy",
+                        static_cast<std::uint64_t>(pool->busyNow()));
+                }
+                const Clock::time_point s0 = Clock::now();
+                {
+                    ScopedSpan replay_span(spans, "shard.replay");
+                    for (std::size_t c = begin; c < end; ++c)
+                        replayConfig(c, batch);
+                }
+                shard_busy_ns[s] += static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(Clock::now() - s0)
+                        .count());
             });
         }
         pool->runAll(std::move(tasks), guard.cancel);
@@ -915,13 +1001,15 @@ SweepEngine::runImpl(TraceSource &source,
         guard.checkNow(at_records);
     };
 
+    RunningStats barrier_wait_ns;
     if (decode_ahead >= 2) {
         // Pipelined: a producer thread keeps the ring topped up while
         // shards replay; the ring owns cursor bookkeeping and flags
         // checkpoint boundaries (see DecodeAheadRing).
         DecodeAheadRing ring(source, decode_ahead, sweep_.batchSize,
                              consumed, simulated, ckptEvery_,
-                             driver_.telemetryLabel, guard.cancel);
+                             driver_.telemetryLabel, guard.cancel,
+                             spans);
         for (;;) {
             const Clock::time_point w0 = Clock::now();
             DecodeAheadRing::Slot *slot = ring.next();
@@ -952,6 +1040,7 @@ SweepEngine::runImpl(TraceSource &source,
                 writeCheckpoint(source, result, consumed, simulated);
             ring.release(*slot);
         }
+        barrier_wait_ns = ring.barrierWaitStats();
     } else {
         // Synchronous refill between broadcasts (decodeAhead == 1).
         // Checkpoint cadence: first batch boundary at or after each
@@ -1022,6 +1111,20 @@ SweepEngine::runImpl(TraceSource &source,
             ? 0.0
             : stall_ns.mean() * static_cast<double>(stall_ns.count()) *
                   1e-6;
+    result.barrierWaitMs =
+        barrier_wait_ns.count() == 0
+            ? 0.0
+            : barrier_wait_ns.mean() *
+                  static_cast<double>(barrier_wait_ns.count()) * 1e-6;
+    std::uint64_t busy_total_ns = 0;
+    for (const std::uint64_t ns : shard_busy_ns)
+        busy_total_ns += ns;
+    const double wall_ns = result.wallMs * 1e6;
+    result.shardBusyFrac =
+        wall_ns <= 0.0
+            ? 0.0
+            : static_cast<double>(busy_total_ns) /
+                  (wall_ns * static_cast<double>(shard_count));
 
     if (telemetry != nullptr) {
         for (const auto &config : result.perConfig) {
@@ -1057,6 +1160,8 @@ SweepEngine::runImpl(TraceSource &source,
              field("batches", result.batches),
              field("wall_ms", result.wallMs),
              field("decode_stall_ms", result.decodeStallMs),
+             field("shard_busy_frac", result.shardBusyFrac),
+             field("barrier_wait_ms", result.barrierWaitMs),
              field("ns_per_branch_update", ns_per_update),
              field("checkpoints_written",
                    result.checkpointsWritten)}));
@@ -1071,6 +1176,12 @@ SweepEngine::runImpl(TraceSource &source,
         registry.observe("sweep.wall_ms", result.wallMs);
         registry.mergeStats("sweep.batch_ns", batch_ns);
         registry.mergeStats("sweep.decode_stall_ns", stall_ns);
+        registry.setGauge("sweep.shard_busy_frac",
+                          result.shardBusyFrac);
+        if (barrier_wait_ns.count() != 0) {
+            registry.mergeStats("sweep.barrier_wait_ns",
+                                barrier_wait_ns);
+        }
         if (owned_occupancy.count() != 0) {
             registry.mergeStats("sweep.pool_occupancy",
                                 owned_occupancy);

@@ -114,6 +114,9 @@ class SweepWorkerPool
     /** @return busy-worker samples taken at each task start. */
     RunningStats occupancyStats() const;
 
+    /** @return workers currently running a task (point-in-time). */
+    unsigned busyNow() const;
+
   private:
     /** Completion latch for one runAll() group. */
     struct WaitGroup
@@ -229,6 +232,14 @@ struct SweepConfigResult
     StaticBranchProfile staticProfile;
 
     /**
+     * Per-branch attribution profile
+     * (DriverOptions::profileBranches). Collected by the replica's
+     * own replay loop, so it matches a sequential driver run of the
+     * same configuration entry for entry.
+     */
+    BranchProfile branchProfile;
+
+    /**
      * Empty on success. With SweepOptions::isolateConfigFailures set,
      * a failed configuration carries its error here (counts frozen at
      * the last completed batch) while the other configurations'
@@ -265,6 +276,18 @@ struct SweepRunResult
      *  the full (serial) refill time. */
     double decodeStallMs = 0.0;
     std::uint64_t checkpointsWritten = 0;
+
+    /**
+     * Fraction of (wall time x shards) the worker shards spent
+     * replaying batches — the pipeline-occupancy headline. 1.0 means
+     * every shard was busy for the whole pass; the gap is barrier
+     * wait, decode stall, and checkpoint serialization.
+     */
+    double shardBusyFrac = 0.0;
+
+    /** Total time the decode producer spent parked at checkpoint
+     *  barriers (0 without decode-ahead or checkpointing). */
+    double barrierWaitMs = 0.0;
 };
 
 /** Runs N configurations over a trace decoded exactly once. */

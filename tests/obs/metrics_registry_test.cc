@@ -76,6 +76,37 @@ TEST(MetricsRegistryTest, SnapshotIsNameSorted)
     ASSERT_EQ(snap.histograms.size(), 1u);
 }
 
+TEST(MetricsRegistryTest, SnapshotIsNameSortedIncludingHistograms)
+{
+    // Pins the ordering contract documented on snapshot(): every
+    // section — histograms included — is sorted by name, ascending,
+    // byte-wise, regardless of insertion order.
+    MetricsRegistry registry;
+    for (const char *name : {"z.hist", "a.hist", "m.hist", "Z.hist"})
+        registry.observeHistogram(name, 0.5, 0.0, 1.0, 4);
+    registry.increment("b.counter");
+    registry.increment("B.counter");
+    registry.setGauge("g2", 1.0);
+    registry.setGauge("g10", 2.0);
+    registry.observe("s.b", 1.0);
+    registry.observe("s.a", 1.0);
+
+    const MetricsSnapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.histograms.size(), 4u);
+    EXPECT_EQ(snap.histograms[0].first, "Z.hist"); // 'Z' < 'a'
+    EXPECT_EQ(snap.histograms[1].first, "a.hist");
+    EXPECT_EQ(snap.histograms[2].first, "m.hist");
+    EXPECT_EQ(snap.histograms[3].first, "z.hist");
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].first, "B.counter");
+    ASSERT_EQ(snap.gauges.size(), 2u);
+    EXPECT_EQ(snap.gauges[0].first, "g10"); // byte-wise: '1' < '2'
+    EXPECT_EQ(snap.gauges[1].first, "g2");
+    ASSERT_EQ(snap.stats.size(), 2u);
+    EXPECT_EQ(snap.stats[0].first, "s.a");
+    EXPECT_EQ(snap.stats[1].first, "s.b");
+}
+
 TEST(MetricsRegistryTest, ConcurrentIncrementsAreNotLost)
 {
     MetricsRegistry registry;
