@@ -39,6 +39,7 @@
 #include "trace/trace_stats.h"
 #include "util/atomic_file.h"
 #include "util/cli.h"
+#include "util/signal_cancellation.h"
 #include "util/status.h"
 #include "workload/workload_generator.h"
 
@@ -72,7 +73,7 @@ TimedCase
 timeCase(const std::string &name, const BenchmarkProfile &profile,
          std::uint64_t branches,
          const std::vector<EstimatorConfig> &configs,
-         Telemetry *telemetry)
+         Telemetry *telemetry, const CancellationToken *cancel)
 {
     WorkloadGenerator workload(profile, branches);
     const auto predictor = largeGshareFactory()();
@@ -85,6 +86,7 @@ timeCase(const std::string &name, const BenchmarkProfile &profile,
     DriverOptions options;
     options.telemetry = telemetry;
     options.telemetryLabel = name;
+    options.cancel = cancel;
     SimulationDriver driver(*predictor, raw, options);
     const DriverResult result = driver.run(workload);
 
@@ -154,7 +156,8 @@ struct SweepContest
  */
 SweepContest
 timeSweepContest(const BenchmarkProfile &profile,
-                 std::uint64_t branches, SpanTracer *spans)
+                 std::uint64_t branches, SpanTracer *spans,
+                 const CancellationToken *cancel)
 {
     const std::vector<SweepConfiguration> matrix = sweepMatrix();
     SweepContest contest;
@@ -168,7 +171,9 @@ timeSweepContest(const BenchmarkProfile &profile,
         std::vector<ConfidenceEstimator *> raw;
         for (const auto &estimator : estimators)
             raw.push_back(estimator.get());
-        SimulationDriver driver(*predictor, raw, DriverOptions{});
+        DriverOptions replay_options;
+        replay_options.cancel = cancel;
+        SimulationDriver driver(*predictor, raw, replay_options);
         const DriverResult result = driver.run(workload);
         replay.branches = result.branches;
         replay.wallMs += result.wallMs;
@@ -183,6 +188,7 @@ timeSweepContest(const BenchmarkProfile &profile,
         WorkloadGenerator workload(profile, branches);
         DriverOptions driver_options;
         driver_options.spans = pass_spans;
+        driver_options.cancel = cancel;
         SweepOptions sweep;
         sweep.decodeAhead = decode_ahead;
         SweepEngine engine(matrix, driver_options, sweep);
@@ -266,6 +272,13 @@ main(int argc, char **argv)
     if (telemetry)
         telemetry->setManifest(manifest);
 
+    // Ctrl-C / SIGTERM cancel the timing runs cooperatively: the
+    // driver unwinds with Error{kCancelled}, telemetry is flushed,
+    // and the process exits 128+signo with no partial BENCH artifact
+    // (the AtomicFileWriter below never opens).
+    CancellationToken root;
+    installSignalCancellation(root);
+
     const std::vector<
         std::pair<std::string, std::vector<EstimatorConfig>>>
         cases = {
@@ -288,22 +301,33 @@ main(int argc, char **argv)
         };
 
     std::vector<TimedCase> results;
-    for (const auto &[name, configs] : cases) {
-        results.push_back(timeCase(name, profile, branches, configs,
-                                   telemetry.get()));
-        std::printf("%-26s %8.2f ns/branch  (%.1f ms)\n",
-                    results.back().name.c_str(),
-                    results.back().nsPerBranch,
-                    results.back().wallMs);
-    }
-
-    // Sweep contest: 8 configurations — per-config replay, one
-    // decoded pass (synchronous refill), one pipelined pass.
     SpanTracerOptions span_options;
     span_options.path = cli.getString("trace-out");
     const auto spans = SpanTracer::fromOptions(span_options);
-    const SweepContest contest =
-        timeSweepContest(profile, branches, spans.get());
+    SweepContest contest;
+    try {
+        for (const auto &[name, configs] : cases) {
+            results.push_back(timeCase(name, profile, branches,
+                                       configs, telemetry.get(),
+                                       &root));
+            std::printf("%-26s %8.2f ns/branch  (%.1f ms)\n",
+                        results.back().name.c_str(),
+                        results.back().nsPerBranch,
+                        results.back().wallMs);
+        }
+
+        // Sweep contest: 8 configurations — per-config replay, one
+        // decoded pass (synchronous refill), one pipelined pass.
+        contest = timeSweepContest(profile, branches, spans.get(),
+                                   &root);
+    } catch (const Error &e) {
+        if (e.category() != ErrorCategory::kCancelled)
+            throw;
+        if (telemetry)
+            telemetry->finish();
+        std::fprintf(stderr, "perf_report: %s\n", e.what());
+        return exitCodeForSignal(lastCancellationSignal());
+    }
     if (spans)
         publishSpanSummary(spans->finish(), telemetry.get());
     const double sweep_speedup =

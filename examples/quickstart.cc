@@ -27,6 +27,7 @@
 #include "sim/driver.h"
 #include "trace/trace_stats.h"
 #include "util/cli.h"
+#include "util/signal_cancellation.h"
 #include "workload/workload_generator.h"
 
 using namespace confsim;
@@ -74,7 +75,15 @@ main(int argc, char **argv)
     const auto spans = SpanTracer::fromOptions(span_options);
     const std::string profile_path = cli.getString("branch-profile");
 
+    // Ctrl-C / SIGTERM cancel the run cooperatively: the driver
+    // unwinds with Error{kCancelled}, telemetry and span sinks are
+    // flushed, and the process exits 128+signo instead of dying
+    // mid-write.
+    CancellationToken root;
+    installSignalCancellation(root);
+
     DriverOptions options;
+    options.cancel = &root;
     options.spans = spans.get();
     options.profileBranches = !profile_path.empty();
     if (telemetry) {
@@ -97,7 +106,19 @@ main(int argc, char **argv)
 
     // 3. Simulate.
     SimulationDriver driver(predictor, {&confidence}, options);
-    const DriverResult result = driver.run(workload);
+    DriverResult result;
+    try {
+        result = driver.run(workload);
+    } catch (const Error &e) {
+        if (e.category() != ErrorCategory::kCancelled)
+            throw;
+        if (telemetry)
+            telemetry->finish();
+        if (spans)
+            publishSpanSummary(spans->finish(), telemetry.get());
+        std::fprintf(stderr, "quickstart: %s\n", e.what());
+        return exitCodeForSignal(lastCancellationSignal());
+    }
 
     publishBranchProfile(result.branchProfile, profile_path, {},
                          telemetry.get());

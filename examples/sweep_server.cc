@@ -1,0 +1,347 @@
+/**
+ * @file
+ * The sweep job server: SweepService behind the NDJSON job protocol
+ * (serve/job_protocol.h), one request per line in, one response per
+ * line out.
+ *
+ * Transports:
+ *   (default)         stdin -> stdout
+ *   --requests FILE   read every request from FILE, answer on stdout,
+ *                     then drain per --drain-mode and exit (the
+ *                     scriptable/CI mode)
+ *   --socket PATH     AF_UNIX stream socket; clients are served one
+ *                     at a time, each until it disconnects
+ *
+ * SIGINT/SIGTERM route through a root CancellationToken
+ * (util/signal_cancellation.h): the server stops admitting, drains
+ * per --drain-mode (in-flight jobs finish, cancel, or checkpoint),
+ * flushes telemetry, and exits 0 — the graceful-drain contract the
+ * serve-chaos CI job pins. Blocking reads are poll(2)-gated with a
+ * short tick so a signal is never waiting behind a quiet socket.
+ *
+ * Examples:
+ *   echo '{"op":"submit","configs":["ones"],"branches":50000}' |
+ *       sweep_server --job-dir /tmp/jobs --telemetry /tmp/serve.jsonl
+ *   sweep_server --socket /tmp/confsim.sock --job-slots 4 &
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "fault/fault_plan.h"
+#include "obs/telemetry.h"
+#include "serve/job_protocol.h"
+#include "serve/sweep_service.h"
+#include "util/cli.h"
+#include "util/signal_cancellation.h"
+
+using namespace confsim;
+
+namespace {
+
+/** Millisecond tick between cancellation checks on quiet inputs. */
+constexpr int kPollTickMs = 100;
+
+/** Write one response line to @p fd (best-effort on EPIPE). */
+void
+writeLine(int fd, const std::string &response)
+{
+    std::string line = response + "\n";
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::write(fd, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // client went away; the service keeps running
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+/**
+ * Read lines from @p fd until EOF or cancellation, feeding each to
+ * @p handle (which returns false to stop, i.e. on "quit").
+ * @return false when the loop should stop serving entirely.
+ */
+template <typename Handler>
+bool
+serveStream(int fd, const CancellationToken &cancel, Handler &&handle)
+{
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+        if (cancel.cancelled())
+            return false;
+        struct pollfd pfd = {};
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, kPollTickMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue; // signal: loop re-checks the token
+            return false;
+        }
+        if (ready == 0)
+            continue;
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return true; // this stream failed; keep serving others
+        }
+        if (n == 0)
+            return true; // EOF
+        buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (;;) {
+            const std::size_t eol = buffer.find('\n', start);
+            if (eol == std::string::npos)
+                break;
+            std::string line = buffer.substr(start, eol - start);
+            start = eol + 1;
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            if (!handle(line))
+                return false;
+        }
+        buffer.erase(0, start);
+    }
+}
+
+/** Handle one request line against @p service; response to @p fd.
+ *  @return false when the server should stop ("quit"). */
+bool
+handleRequest(SweepService &service, DrainMode drainMode,
+              const std::string &line, int fd)
+{
+    ProtocolRequest request;
+    try {
+        request = parseProtocolRequest(line);
+    } catch (const std::exception &e) {
+        writeLine(fd, protocolError("parse", e.what(),
+                                    categoryOf(e)));
+        return true;
+    }
+    try {
+        switch (request.op) {
+        case ProtocolRequest::Op::kSubmit:
+            writeLine(fd, protocolSubmitOk(
+                              service.submit(std::move(request.spec))));
+            return true;
+        case ProtocolRequest::Op::kStatus:
+            if (request.hasId)
+                writeLine(fd, protocolJobStatus(
+                                  "status",
+                                  service.status(request.id)));
+            else
+                writeLine(fd, protocolServiceStatus(
+                                  service.serviceStatus()));
+            return true;
+        case ProtocolRequest::Op::kWait:
+            writeLine(fd, protocolJobStatus(
+                              "wait", service.wait(request.id)));
+            return true;
+        case ProtocolRequest::Op::kCancel:
+            if (!service.cancelJob(request.id)) {
+                writeLine(fd,
+                          protocolError("cancel",
+                                        "job is unknown or already "
+                                        "terminal",
+                                        ErrorCategory::kConfig));
+            } else {
+                writeLine(fd, protocolOk("cancel"));
+            }
+            return true;
+        case ProtocolRequest::Op::kDrain:
+            service.drain(request.drainMode);
+            writeLine(fd, protocolOk("drain"));
+            return true;
+        case ProtocolRequest::Op::kQuit:
+            service.drain(drainMode);
+            writeLine(fd, protocolOk("quit"));
+            return false;
+        }
+    } catch (const std::exception &e) {
+        writeLine(fd, protocolError(request.opName, e.what(),
+                                    categoryOf(e)));
+    }
+    return true;
+}
+
+int
+serveSocket(SweepService &service, DrainMode drainMode,
+            const CancellationToken &cancel, const std::string &path)
+{
+    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0) {
+        std::fprintf(stderr, "sweep_server: socket: %s\n",
+                     std::strerror(errno));
+        return 1;
+    }
+    ::unlink(path.c_str());
+    struct sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        std::fprintf(stderr, "sweep_server: socket path too long\n");
+        ::close(listener);
+        return 1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof addr.sun_path - 1);
+    if (::bind(listener, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listener, 8) != 0) {
+        std::fprintf(stderr, "sweep_server: bind/listen %s: %s\n",
+                     path.c_str(), std::strerror(errno));
+        ::close(listener);
+        return 1;
+    }
+    std::fprintf(stderr, "sweep_server: listening on %s\n",
+                 path.c_str());
+
+    bool serving = true;
+    while (serving && !cancel.cancelled()) {
+        struct pollfd pfd = {};
+        pfd.fd = listener;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, kPollTickMs);
+        if (ready < 0 && errno != EINTR)
+            break;
+        if (ready <= 0)
+            continue;
+        const int client = ::accept(listener, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        serving = serveStream(client, cancel,
+                              [&](const std::string &line) {
+                                  return handleRequest(service,
+                                                       drainMode,
+                                                       line, client);
+                              });
+        ::close(client);
+    }
+    ::close(listener);
+    ::unlink(path.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("confsim sweep job server (NDJSON protocol)");
+    cli.addOption("socket", "",
+                  "serve on this AF_UNIX socket path instead of stdin");
+    cli.addOption("requests", "",
+                  "read requests from this file, then drain and exit");
+    cli.addOption("job-dir", "",
+                  "root for per-job checkpoint/telemetry directories");
+    cli.addOption("queue-depth", "16",
+                  "max queued jobs before submits shed (resource)");
+    cli.addOption("tenant-inflight", "2",
+                  "max running jobs per tenant (0 = uncapped)");
+    cli.addOption("job-slots", "2", "concurrent job slots");
+    cli.addOption("pool-workers", "0",
+                  "shared sweep pool threads (0 = hardware)");
+    cli.addOption("telemetry", "",
+                  "write service JSONL telemetry (serve.* metrics, "
+                  "job_* events) here");
+    cli.addOption("drain-mode", "wait",
+                  "what signal/EOF/quit drain does with admitted "
+                  "jobs: wait, cancel, or checkpoint");
+    cli.addOption("fault-plan", "",
+                  "deterministic fault schedule (fault/fault_plan.h "
+                  "grammar) for chaos drills");
+    cli.addFlag("progress", "announce service telemetry on stderr");
+    if (!cli.parse(argc, argv))
+        return 0;
+
+    CancellationToken root;
+    installSignalCancellation(root);
+
+    DrainMode drainMode = DrainMode::kWait;
+    const std::string drainFlag = cli.getString("drain-mode");
+    if (drainFlag == "cancel")
+        drainMode = DrainMode::kCancel;
+    else if (drainFlag == "checkpoint")
+        drainMode = DrainMode::kCheckpoint;
+    else if (drainFlag != "wait")
+        fatal(ErrorCategory::kConfig,
+              "--drain-mode must be wait, cancel, or checkpoint");
+
+    ScopedFaultPlan faults(cli.getString("fault-plan"));
+
+    TelemetryOptions telemetryOptions;
+    telemetryOptions.jsonlPath = cli.getString("telemetry");
+    telemetryOptions.progress = cli.getFlag("progress");
+    const auto telemetry = Telemetry::fromOptions(telemetryOptions);
+
+    ServiceOptions options;
+    options.queueDepth = cli.getUnsigned("queue-depth");
+    options.tenantMaxInFlight =
+        static_cast<unsigned>(cli.getUnsigned("tenant-inflight"));
+    options.jobSlots =
+        static_cast<unsigned>(cli.getUnsigned("job-slots"));
+    options.poolWorkers =
+        static_cast<unsigned>(cli.getUnsigned("pool-workers"));
+    options.jobDir = cli.getString("job-dir");
+    options.telemetry = telemetry.get();
+    options.cancel = &root;
+    SweepService service(options);
+
+    int exitCode = 0;
+    const std::string requestsPath = cli.getString("requests");
+    const std::string socketPath = cli.getString("socket");
+    if (!requestsPath.empty()) {
+        std::FILE *file = std::fopen(requestsPath.c_str(), "r");
+        if (file == nullptr) {
+            std::fprintf(stderr, "sweep_server: cannot open %s\n",
+                         requestsPath.c_str());
+            return 1;
+        }
+        char line[65536];
+        while (!root.cancelled() &&
+               std::fgets(line, sizeof line, file) != nullptr) {
+            std::string text(line);
+            while (!text.empty() && (text.back() == '\n' ||
+                                     text.back() == '\r'))
+                text.pop_back();
+            if (text.empty())
+                continue;
+            if (!handleRequest(service, drainMode, text,
+                               STDOUT_FILENO))
+                break;
+        }
+        std::fclose(file);
+    } else if (!socketPath.empty()) {
+        exitCode = serveSocket(service, drainMode, root, socketPath);
+    } else {
+        serveStream(STDIN_FILENO, root,
+                    [&](const std::string &text) {
+                        return handleRequest(service, drainMode,
+                                             text, STDOUT_FILENO);
+                    });
+    }
+
+    // Whatever ended the serving loop — EOF, quit, SIGTERM, a socket
+    // error — the exit path is the same graceful drain. A successful
+    // drain exits 0 even on a signal: the contract is "SIGTERM means
+    // finish cleanly", not "SIGTERM means report an interruption".
+    service.drain(drainMode);
+    if (telemetry)
+        telemetry->finish();
+    return exitCode;
+}

@@ -103,18 +103,24 @@ class Checkpoint
                  T &object) const
     {
         const CheckpointComponent *entry = find(name);
-        if (entry == nullptr)
-            fatal("checkpoint has no component '" + name + "'");
-        if (entry->version != version)
-            fatal("checkpoint component '" + name + "' is version " +
-                  std::to_string(entry->version) + ", expected " +
-                  std::to_string(version));
+        if (entry == nullptr) {
+            fatal(ErrorCategory::kCheckpoint,
+                  "checkpoint has no component '" + name + "'");
+        }
+        if (entry->version != version) {
+            fatal(ErrorCategory::kCheckpoint,
+                  "checkpoint component '" + name + "' is version " +
+                      std::to_string(entry->version) + ", expected " +
+                      std::to_string(version));
+        }
         StateReader reader(entry->payload);
         object.loadState(reader);
-        if (!reader.atEnd())
-            fatal("checkpoint component '" + name + "' has " +
-                  std::to_string(reader.remaining()) +
-                  " unconsumed byte(s)");
+        if (!reader.atEnd()) {
+            fatal(ErrorCategory::kCheckpoint,
+                  "checkpoint component '" + name + "' has " +
+                      std::to_string(reader.remaining()) +
+                      " unconsumed byte(s)");
+        }
     }
 
     /** restoreState() using the component's own stateVersion(). */

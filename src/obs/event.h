@@ -56,6 +56,12 @@ inline constexpr const char *kCheckpointWriteFailed =
 inline constexpr const char *kSpanSummary = "span_summary";
 inline constexpr const char *kBranchProfileWritten =
     "branch_profile_written";
+inline constexpr const char *kJobAdmitted = "job_admitted";
+inline constexpr const char *kJobRejected = "job_rejected";
+inline constexpr const char *kJobStarted = "job_started";
+inline constexpr const char *kJobFinished = "job_finished";
+inline constexpr const char *kJobFailed = "job_failed";
+inline constexpr const char *kServiceDrained = "service_drained";
 
 } // namespace events
 
