@@ -5,7 +5,8 @@
  * confidence hardware; this harness fixes the paper's recommended
  * confidence hardware (PC^BHR-indexed resetting counters) and varies
  * the predictor across the substrate library:
- * bimodal, gshare, gselect, agree, GAg, and the McFarling hybrid.
+ * bimodal, gshare, gselect, agree, GAg, the McFarling hybrid, TAGE,
+ * and the perceptron.
  *
  * For each: the composite misprediction rate, the coverage at the 20%
  * operating point, and the zero-bucket occupancy. The interesting
@@ -69,12 +70,14 @@ main(int argc, char **argv)
                      std::make_unique<GsharePredictor>(4096, 12),
                      4096);
              }},
+            {"tage", tageFactory()},
+            {"perceptron", perceptronFactory()},
             {"gshare-64K", largeGshareFactory()},
         };
 
-    // All seven predictors share one decode pass per benchmark: the
+    // All nine predictors share one decode pass per benchmark: the
     // sweep engine broadcasts each trace batch to every configuration,
-    // bit-exact with running runSuiteExperiment() seven times.
+    // bit-exact with running runSuiteExperiment() nine times.
     std::vector<SweepExperimentConfig> sweep_configs;
     for (const auto &[label, factory] : predictors) {
         sweep_configs.push_back(

@@ -5,6 +5,11 @@
  * method with ideal reduction — plus the per-benchmark table for the
  * whole suite so the best/worst claim is auditable.
  *
+ * Extended past the paper: the figure also carries the same two
+ * benchmarks under TAGE provider confidence and perceptron margin
+ * confidence, so the per-benchmark spread of the modern built-in
+ * signals is visible next to the 1996 CIR estimator's.
+ *
  * Paper observations: considerable variation between benchmarks; the
  * zero buckets hold similar *fractions of mispredictions* but very
  * different *numbers of branches*.
@@ -30,8 +35,14 @@ main(int argc, char **argv)
     const std::vector<EstimatorConfig> configs = {
         oneLevelIdealConfig(IndexScheme::PcXorBhr),
     };
-    const auto result =
-        runSuiteExperiment(env, largeGshareFactory(), configs);
+    const std::vector<SweepExperimentConfig> sweep_configs = {
+        {"gshare+CIR", largeGshareFactory(), configs},
+        {"tage", tageFactory(), {tageProviderConfig()}},
+        {"perceptron", perceptronFactory(), {perceptronMarginConfig()}},
+    };
+    const SweepSuiteResult sweep =
+        runSweepSuiteExperiment(env, sweep_configs);
+    const SuiteRunResult &result = sweep.perConfig[0];
     printMispredictionRates(result);
 
     // Per-benchmark curve summary.
@@ -50,6 +61,19 @@ main(int argc, char **argv)
                         stats.totalMispredicts());
         if (bench.name == "jpeg" || bench.name == "real_gcc")
             figure_curves.push_back({bench.name, curve});
+    }
+
+    // The same two benchmarks under the native confidence signals.
+    const char *const kNativeTags[] = {"tage", "perc"};
+    for (std::size_t c = 1; c < sweep.perConfig.size(); ++c) {
+        for (const auto &bench : sweep.perConfig[c].perBenchmark) {
+            if (bench.name != "jpeg" && bench.name != "real_gcc")
+                continue;
+            figure_curves.push_back(
+                {bench.name + "-" + kNativeTags[c - 1],
+                 ConfidenceCurve::fromBucketStats(
+                     bench.estimatorStats[0])});
+        }
     }
 
     std::printf("\n");

@@ -7,8 +7,8 @@
  *
  *   BENCH_<YYYY-MM-DD>.json
  *     { "schema": "confsim-bench-v1", "date": ..., build provenance,
- *       "sweep_speedup_8cfg": <single-pass sweep vs per-config
- *       replay at 8 configurations>,
+ *       "sweep_speedup_10cfg": <single-pass sweep vs per-config
+ *       replay at 10 configurations>,
  *       "sweep_pipeline_speedup": <decode-ahead pipelined sweep vs
  *       the synchronous-refill sweep on the same pass>,
  *       "results": [ { "name", "branches", "wall_ms",
@@ -101,7 +101,7 @@ timeCase(const std::string &name, const BenchmarkProfile &profile,
     return timed;
 }
 
-/** The 8-configuration matrix used for the sweep-vs-replay contest. */
+/** The 10-configuration matrix used for the sweep-vs-replay contest. */
 std::vector<SweepConfiguration>
 sweepMatrix()
 {
@@ -130,6 +130,25 @@ sweepMatrix()
         };
         matrix.push_back(std::move(entry));
     }
+    // The native-confidence families carry their own (heavier)
+    // predictors, so the contest also tracks TAGE/perceptron
+    // ns-per-branch over time.
+    const std::vector<std::pair<PredictorFactory, EstimatorConfig>>
+        native = {
+            {tageFactory(), tageProviderConfig()},
+            {perceptronFactory(), perceptronMarginConfig()},
+        };
+    for (const auto &[factory, config] : native) {
+        SweepConfiguration entry;
+        entry.label = config.label;
+        entry.makePredictor = factory;
+        entry.makeEstimators = [make = config.make] {
+            std::vector<std::unique_ptr<ConfidenceEstimator>> set;
+            set.push_back(make());
+            return set;
+        };
+        matrix.push_back(std::move(entry));
+    }
     return matrix;
 }
 
@@ -147,11 +166,11 @@ struct SweepContest
 };
 
 /**
- * Time the same 8 configurations three ways: decoding the trace once
+ * Time the same 10 configurations three ways: decoding the trace once
  * per configuration (the pre-sweep workflow), one broadcast pass with
  * synchronous refill between batches, and one broadcast pass with the
  * decode-ahead ring. replay/single_pass is the headline
- * "sweep_speedup_8cfg"; single_pass/pipelined is
+ * "sweep_speedup_10cfg"; single_pass/pipelined is
  * "sweep_pipeline_speedup".
  */
 SweepContest
@@ -163,7 +182,7 @@ timeSweepContest(const BenchmarkProfile &profile,
     SweepContest contest;
 
     TimedCase &replay = contest.replay;
-    replay.name = "sweep/replay_8cfg";
+    replay.name = "sweep/replay_10cfg";
     for (const auto &config : matrix) {
         WorkloadGenerator workload(profile, branches);
         const auto predictor = config.makePredictor();
@@ -203,11 +222,11 @@ timeSweepContest(const BenchmarkProfile &profile,
         return timed;
     };
     contest.singlePass =
-        time_sweep("sweep/single_pass_8cfg", 1, nullptr, nullptr);
+        time_sweep("sweep/single_pass_10cfg", 1, nullptr, nullptr);
     // Only the pipelined pass is traced: it is the pass whose
     // producer/shard/barrier interleaving the trace is meant to show.
     contest.pipelined =
-        time_sweep("sweep/pipelined_8cfg",
+        time_sweep("sweep/pipelined_10cfg",
                    SweepOptions::kDefaultDecodeAhead, spans, &contest);
 
     // ns per branch UPDATE (branches x configs), so the rows are
@@ -316,7 +335,7 @@ main(int argc, char **argv)
                         results.back().wallMs);
         }
 
-        // Sweep contest: 8 configurations — per-config replay, one
+        // Sweep contest: 10 configurations — per-config replay, one
         // decoded pass (synchronous refill), one pipelined pass.
         contest = timeSweepContest(profile, branches, spans.get(),
                                    &root);
@@ -344,7 +363,7 @@ main(int argc, char **argv)
         std::printf("%-26s %8.2f ns/update  (%.1f ms)\n",
                     row.name.c_str(), row.nsPerBranch, row.wallMs);
     }
-    std::printf("sweep speedup at 8 configurations: %.2fx\n",
+    std::printf("sweep speedup at 10 configurations: %.2fx\n",
                 sweep_speedup);
     std::printf("decode-ahead pipelining speedup: %.2fx\n",
                 pipeline_speedup);
@@ -369,10 +388,10 @@ main(int argc, char **argv)
         << jsonString(manifest.cxxStandard) << ","
         << jsonString("benchmark") << ":" << jsonString(profile.name)
         << "," << jsonString("branches") << ":" << branches << ","
-        << jsonString("sweep_speedup_8cfg") << ":"
+        << jsonString("sweep_speedup_10cfg") << ":"
         << jsonNumber(sweep_speedup) << ","
         // Pipelined (decode-ahead) engine vs the synchronous-refill
-        // engine on the same 8-config pass; ~1.0 on single-core
+        // engine on the same 10-config pass; ~1.0 on single-core
         // hosts, > 1 wherever decode can hide behind replay.
         << jsonString("sweep_pipeline_speedup") << ":"
         << jsonNumber(pipeline_speedup) << ","

@@ -19,11 +19,15 @@
 
 #include "confidence/binary_signal.h"
 #include "confidence/one_level.h"
+#include "confidence/perceptron_margin.h"
+#include "confidence/tage_confidence.h"
 #include "metrics/confidence_curve.h"
 #include "obs/branch_profiler.h"
 #include "obs/span.h"
 #include "obs/telemetry.h"
 #include "predictor/gshare.h"
+#include "predictor/perceptron.h"
+#include "predictor/tage.h"
 #include "sim/driver.h"
 #include "trace/trace_stats.h"
 #include "util/cli.h"
@@ -47,6 +51,9 @@ main(int argc, char **argv)
     cli.addOption("branch-profile", "",
                   "write the per-branch attribution profile here "
                   "(CSV, or JSONL when the path ends in .jsonl)");
+    cli.addFlag("compare-native",
+                "also run TAGE and perceptron with their built-in "
+                "confidence and compare against the CIR estimator");
     cli.addFlag("progress", "announce the run on stderr");
     if (!cli.parse(argc, argv))
         return 0;
@@ -169,5 +176,41 @@ main(int argc, char **argv)
                 "mispredictions\n",
                 100.0 * low_refs / stats.totalRefs(),
                 100.0 * low_misses / stats.totalMispredicts());
+
+    // 5. Optional: the same trace under the modern predictors' native
+    // confidence signals, reported at the paper's 20% operating point
+    // (cov = mispredictions captured by the 20%-of-branches low set,
+    // pvn = P(mispredict | flagged low) at that point).
+    if (cli.getFlag("compare-native")) {
+        std::printf("\nCIR vs native confidence (20%% low set):\n");
+        std::printf("  %-22s %6s %6s %6s\n", "signal", "rate", "cov",
+                    "pvn");
+        const auto report = [](const char *label,
+                               const DriverResult &run) {
+            const auto c =
+                ConfidenceCurve::fromBucketStats(run.estimatorStats[0]);
+            const double cov = c.mispredCoverageAt(0.2);
+            const double pvn =
+                cov * run.mispredictRate() / 0.2;
+            std::printf("  %-22s %5.2f%% %5.1f%% %5.1f%%\n", label,
+                        100.0 * run.mispredictRate(), 100.0 * cov,
+                        100.0 * pvn);
+        };
+        report("gshare + CIR counter", result);
+
+        WorkloadGenerator tage_trace(profile,
+                                     cli.getUnsigned("branches"));
+        TagePredictor tage;
+        TageProviderConfidence tage_conf;
+        SimulationDriver tage_driver(tage, {&tage_conf});
+        report("TAGE provider", tage_driver.run(tage_trace));
+
+        WorkloadGenerator perc_trace(profile,
+                                     cli.getUnsigned("branches"));
+        PerceptronPredictor perceptron;
+        PerceptronMarginConfidence perc_conf;
+        SimulationDriver perc_driver(perceptron, {&perc_conf});
+        report("perceptron margin", perc_driver.run(perc_trace));
+    }
     return 0;
 }

@@ -9,7 +9,9 @@
 #   thread             TSan over the concurrency-heavy suites: the
 #                      sweep differential harness and the chaos tests,
 #                      so fault injection, cancellation, and fail-fast
-#                      teardown are checked for data races.
+#                      teardown are checked for data races — plus the
+#                      TAGE/perceptron predictor shard, whose shadow
+#                      replicas ride every sweep shard.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,9 +41,11 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
 
 if [[ "$MODE" == "thread" && $# -eq 0 ]]; then
-    # Default TSan scope: the tests that actually exercise threads.
+    # Default TSan scope: the tests that actually exercise threads,
+    # plus the predictor property wall (TAGE/perceptron state is
+    # replicated into every sweep shard).
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" \
-        -R 'SweepDifferential|Chaos'
+        -R 'SweepDifferential|Chaos|Tage|Perceptron'
 else
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
 fi

@@ -1,0 +1,83 @@
+#include "confidence/perceptron_margin.h"
+
+#include "util/status.h"
+
+namespace confsim {
+
+PerceptronMarginConfidence::PerceptronMarginConfidence(
+    PerceptronConfig config, unsigned num_levels)
+    : shadow_(config), numLevels_(num_levels)
+{
+    if (num_levels < 2)
+        fatal("perceptron margin confidence needs >= 2 levels");
+}
+
+std::uint64_t
+PerceptronMarginConfidence::bucketForMargin(std::int64_t margin) const
+{
+    const std::uint64_t magnitude =
+        static_cast<std::uint64_t>(margin < 0 ? -margin : margin);
+    const std::uint64_t theta =
+        static_cast<std::uint64_t>(shadow_.theta());
+    const std::uint64_t level = magnitude * numLevels_ / (theta + 1);
+    return level >= numLevels_ ? numLevels_ - 1 : level;
+}
+
+std::uint64_t
+PerceptronMarginConfidence::bucketOf(const BranchContext &ctx) const
+{
+    return bucketForMargin(shadow_.marginOf(ctx.pc));
+}
+
+void
+PerceptronMarginConfidence::update(const BranchContext &ctx,
+                                   bool /*correct*/, bool taken)
+{
+    shadow_.update(ctx.pc, taken);
+}
+
+std::uint64_t
+PerceptronMarginConfidence::numBuckets() const
+{
+    return numLevels_;
+}
+
+std::uint64_t
+PerceptronMarginConfidence::storageBits() const
+{
+    return shadow_.storageBits();
+}
+
+std::string
+PerceptronMarginConfidence::name() const
+{
+    return "perceptron-margin";
+}
+
+void
+PerceptronMarginConfidence::reset()
+{
+    shadow_.reset();
+}
+
+void
+PerceptronMarginConfidence::saveState(StateWriter &out) const
+{
+    shadow_.saveState(out);
+    out.putU64(numLevels_);
+}
+
+void
+PerceptronMarginConfidence::loadState(StateReader &in)
+{
+    shadow_.loadState(in);
+    in.expectU64(numLevels_, "perceptron margin levels");
+}
+
+std::int64_t
+PerceptronMarginConfidence::shadowMargin(const BranchContext &ctx) const
+{
+    return shadow_.marginOf(ctx.pc);
+}
+
+} // namespace confsim

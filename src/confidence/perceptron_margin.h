@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Perceptron margin confidence as a ConfidenceEstimator.
+ *
+ * The perceptron's dot product is a graded vote: |margin| measures how
+ * emphatically the weights agree on a direction, and theta is the
+ * scale on which the training rule itself judges "confident enough to
+ * stop learning". Quantizing |margin| against theta therefore yields
+ * a natural multi-level confidence signal — level 0 is a coin-flip,
+ * the top level is a margin beyond theta.
+ *
+ * Like TageProviderConfidence, this estimator trains a shadow replica
+ * of the perceptron on branch outcomes inside update(); paired with a
+ * main PerceptronPredictor of the same geometry the shadow's margins
+ * are bit-identical to the real predictor's.
+ *
+ * Buckets are monotone in |margin| by construction (ordered):
+ * bucket = min(|margin| * levels / (theta + 1), levels - 1).
+ */
+
+#ifndef CONFSIM_CONFIDENCE_PERCEPTRON_MARGIN_H
+#define CONFSIM_CONFIDENCE_PERCEPTRON_MARGIN_H
+
+#include "confidence/confidence_estimator.h"
+#include "predictor/perceptron.h"
+
+namespace confsim {
+
+/** |dot product| vs. theta, quantized into ordered levels. */
+class PerceptronMarginConfidence : public ConfidenceEstimator
+{
+  public:
+    /**
+     * @param config Shadow perceptron geometry (match the main
+     *        predictor's for a faithful signal).
+     * @param num_levels Confidence levels (buckets), >= 2.
+     */
+    explicit PerceptronMarginConfidence(
+        PerceptronConfig config = PerceptronConfig::makeDefault(),
+        unsigned num_levels = 8);
+
+    std::uint64_t bucketOf(const BranchContext &ctx) const override;
+
+    /** Train the shadow perceptron on the branch outcome. */
+    void update(const BranchContext &ctx, bool correct,
+                bool taken) override;
+
+    std::uint64_t numBuckets() const override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+    void reset() override;
+
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
+    bool bucketsAreOrdered() const override { return true; }
+
+    /** Quantize a margin value to its bucket (tests). */
+    std::uint64_t bucketForMargin(std::int64_t margin) const;
+
+    /** The shadow perceptron's current margin for @p ctx (tests). */
+    std::int64_t shadowMargin(const BranchContext &ctx) const;
+
+  private:
+    PerceptronPredictor shadow_;
+    unsigned numLevels_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_PERCEPTRON_MARGIN_H

@@ -1,0 +1,67 @@
+#include "confidence/tage_confidence.h"
+
+namespace confsim {
+
+TageProviderConfidence::TageProviderConfidence(TageConfig config)
+    : shadow_(std::move(config))
+{
+}
+
+std::uint64_t
+TageProviderConfidence::bucketOf(const BranchContext &ctx) const
+{
+    const TagePrediction d = shadow_.predictDetail(ctx.pc);
+    const bool agree = d.providerTaken == d.altTaken;
+    return 2 * d.providerStrength + (agree ? 1 : 0);
+}
+
+void
+TageProviderConfidence::update(const BranchContext &ctx, bool /*correct*/,
+                               bool taken)
+{
+    shadow_.update(ctx.pc, taken);
+}
+
+std::uint64_t
+TageProviderConfidence::numBuckets() const
+{
+    return 2 * shadow_.strengthLevels();
+}
+
+std::uint64_t
+TageProviderConfidence::storageBits() const
+{
+    return shadow_.storageBits();
+}
+
+std::string
+TageProviderConfidence::name() const
+{
+    return "tage-provider";
+}
+
+void
+TageProviderConfidence::reset()
+{
+    shadow_.reset();
+}
+
+void
+TageProviderConfidence::saveState(StateWriter &out) const
+{
+    shadow_.saveState(out);
+}
+
+void
+TageProviderConfidence::loadState(StateReader &in)
+{
+    shadow_.loadState(in);
+}
+
+TagePrediction
+TageProviderConfidence::shadowDetail(const BranchContext &ctx) const
+{
+    return shadow_.predictDetail(ctx.pc);
+}
+
+} // namespace confsim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * TAGE's built-in confidence signal as a ConfidenceEstimator.
+ *
+ * TAGE assigns confidence for free: the provider counter's distance
+ * from its weak boundary says how settled the entry is, and agreement
+ * between the provider and the alternate prediction corroborates it
+ * (cf. scarab's weight_conf level mechanism, which likewise grades
+ * predictions into confidence levels from predictor-internal state).
+ *
+ * The estimator keeps a *shadow replica* of the TAGE predictor —
+ * trained on branch outcomes inside update(), exactly like
+ * SelfCounterConfidence's shadow counter table — so it needs no
+ * channel into the main predictor and remains an independent,
+ * checkpointable hardware structure. Paired with a main TagePredictor
+ * of the same geometry it sees the identical (pc, outcome) stream and
+ * therefore tracks the real provider state bit-for-bit.
+ *
+ * Bucket = 2 * providerStrength + (provider agrees with alt), so
+ * larger buckets mean stronger, corroborated predictions (ordered).
+ */
+
+#ifndef CONFSIM_CONFIDENCE_TAGE_CONFIDENCE_H
+#define CONFSIM_CONFIDENCE_TAGE_CONFIDENCE_H
+
+#include "confidence/confidence_estimator.h"
+#include "predictor/tage.h"
+
+namespace confsim {
+
+/** Provider-strength + provider/alt-agreement confidence. */
+class TageProviderConfidence : public ConfidenceEstimator
+{
+  public:
+    explicit TageProviderConfidence(
+        TageConfig config = TageConfig::makeDefault());
+
+    std::uint64_t bucketOf(const BranchContext &ctx) const override;
+
+    /** Train the shadow TAGE on the branch outcome. */
+    void update(const BranchContext &ctx, bool correct,
+                bool taken) override;
+
+    std::uint64_t numBuckets() const override;
+    std::uint64_t storageBits() const override;
+    std::string name() const override;
+    void reset() override;
+
+    bool checkpointable() const override { return true; }
+    void saveState(StateWriter &out) const override;
+    void loadState(StateReader &in) override;
+    bool bucketsAreOrdered() const override { return true; }
+
+    /** The shadow predictor's full prediction breakdown (tests). */
+    TagePrediction shadowDetail(const BranchContext &ctx) const;
+
+  private:
+    TagePredictor shadow_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_CONFIDENCE_TAGE_CONFIDENCE_H

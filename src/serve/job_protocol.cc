@@ -381,22 +381,29 @@ parseJson(const std::string &text)
 std::vector<std::string>
 knownConfigNames()
 {
-    return {"ones", "ideal", "resetting", "saturating", "two-level"};
+    return {"ones",      "ideal",         "resetting",
+            "saturating", "two-level",     "tage-provider",
+            "perceptron-margin"};
 }
 
 SweepConfiguration
 makeNamedConfiguration(const std::string &name,
                        const std::string &predictor)
 {
-    PredictorFactory makePredictor;
-    if (predictor == "gshare-large" || predictor.empty())
-        makePredictor = largeGshareFactory();
-    else if (predictor == "gshare-small")
-        makePredictor = smallGshareFactory();
-    else
-        fatal(ErrorCategory::kConfig,
-              "unknown predictor '" + predictor +
-                  "' (expected gshare-large or gshare-small)");
+    // Native-confidence configs default to their matching predictor
+    // so the estimator's shadow replica mirrors the real structure;
+    // everything else defaults to the paper's large gshare.
+    std::string predictor_name = predictor;
+    if (predictor_name.empty()) {
+        if (name == "tage-provider")
+            predictor_name = "tage";
+        else if (name == "perceptron-margin")
+            predictor_name = "perceptron";
+        else
+            predictor_name = "gshare-large";
+    }
+    PredictorFactory makePredictor =
+        makeNamedPredictorFactory(predictor_name);
 
     EstimatorConfig estimator;
     if (name == "ones") {
@@ -412,6 +419,10 @@ makeNamedConfiguration(const std::string &name,
     } else if (name == "two-level") {
         estimator = twoLevelConfig(IndexScheme::PcXorBhr,
                                    SecondLevelIndex::CirXorPc);
+    } else if (name == "tage-provider") {
+        estimator = tageProviderConfig();
+    } else if (name == "perceptron-margin") {
+        estimator = perceptronMarginConfig();
     } else {
         std::string known;
         for (const auto &candidate : knownConfigNames())
@@ -461,7 +472,7 @@ parseProtocolRequest(const std::string &line)
                     bench.asString("benchmarks[]"));
         }
         const std::string predictor =
-            optionalString(root, "predictor", "gshare-large");
+            optionalString(root, "predictor", "");
         const JsonValue *configs = root.find("configs");
         if (configs == nullptr ||
             configs->kind != JsonValue::Kind::kArray)

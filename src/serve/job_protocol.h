@@ -88,7 +88,11 @@ std::vector<std::string> knownConfigNames();
 
 /**
  * Build the registry configuration named @p name over the predictor
- * named @p predictor ("gshare-large" or "gshare-small").
+ * named @p predictor (any knownPredictorNames() entry:
+ * "gshare-large", "gshare-small", "tage", "perceptron"). An empty
+ * @p predictor defaults to the config's natural pairing — "tage" for
+ * "tage-provider", "perceptron" for "perceptron-margin",
+ * "gshare-large" otherwise.
  * @throws Error{kConfig} on an unknown name.
  */
 SweepConfiguration

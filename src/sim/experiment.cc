@@ -72,6 +72,9 @@ ExperimentEnv::fromCli(int argc, const char *const *argv,
                   "completion markers)");
     cli.addFlag("resume",
                 "resume prior progress from --checkpoint-dir");
+    cli.addOption("predictor", "gshare-large",
+                  "predictor family: gshare-large, gshare-small, "
+                  "tage, perceptron");
     cli.addOption("sweep-threads", "0",
                   "sweep worker threads (0 = hardware concurrency)");
     cli.addOption("batch-size", "4096",
@@ -116,6 +119,8 @@ ExperimentEnv::fromCli(int argc, const char *const *argv,
     if (env.resume && env.checkpointDir.empty())
         fatal(ErrorCategory::kConfig,
               "--resume requires --checkpoint-dir");
+    env.predictor = cli.getString("predictor");
+    makeNamedPredictorFactory(env.predictor); // validate early
     env.sweepThreads =
         static_cast<unsigned>(cli.getUnsigned("sweep-threads"));
     env.batchSize = cli.getUnsigned("batch-size");
@@ -168,6 +173,46 @@ smallGshareFactory()
         return std::make_unique<GsharePredictor>(
             paper::kSmallPredictorEntries, paper::kSmallHistoryBits);
     };
+}
+
+PredictorFactory
+tageFactory(TageConfig config)
+{
+    return [config] { return std::make_unique<TagePredictor>(config); };
+}
+
+PredictorFactory
+perceptronFactory(PerceptronConfig config)
+{
+    return [config] {
+        return std::make_unique<PerceptronPredictor>(config);
+    };
+}
+
+std::vector<std::string>
+knownPredictorNames()
+{
+    return {"gshare-large", "gshare-small", "tage", "perceptron"};
+}
+
+PredictorFactory
+makeNamedPredictorFactory(const std::string &name)
+{
+    if (name == "gshare-large")
+        return largeGshareFactory();
+    if (name == "gshare-small")
+        return smallGshareFactory();
+    if (name == "tage")
+        return tageFactory();
+    if (name == "perceptron")
+        return perceptronFactory();
+    fatal(ErrorCategory::kConfig, "unknown predictor name: " + name);
+}
+
+PredictorFactory
+ExperimentEnv::predictorFactory() const
+{
+    return makeNamedPredictorFactory(predictor);
 }
 
 EstimatorConfig
@@ -225,6 +270,29 @@ twoLevelConfig(IndexScheme first_scheme, SecondLevelIndex second_index,
             second_cir_bits);
     };
     return config;
+}
+
+EstimatorConfig
+tageProviderConfig(TageConfig config)
+{
+    EstimatorConfig out;
+    out.label = "TAGE.Prov";
+    out.make = [config] {
+        return std::make_unique<TageProviderConfidence>(config);
+    };
+    return out;
+}
+
+EstimatorConfig
+perceptronMarginConfig(PerceptronConfig config, unsigned num_levels)
+{
+    EstimatorConfig out;
+    out.label = "Perc.Margin";
+    out.make = [config, num_levels] {
+        return std::make_unique<PerceptronMarginConfidence>(config,
+                                                            num_levels);
+    };
+    return out;
 }
 
 namespace {

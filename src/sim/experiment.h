@@ -20,10 +20,14 @@
 #include <vector>
 
 #include "confidence/one_level.h"
+#include "confidence/perceptron_margin.h"
+#include "confidence/tage_confidence.h"
 #include "confidence/two_level.h"
 #include "metrics/confidence_curve.h"
 #include "obs/telemetry.h"
 #include "predictor/gshare.h"
+#include "predictor/perceptron.h"
+#include "predictor/tage.h"
 #include "sim/suite_runner.h"
 #include "sim/sweep_engine.h"
 #include "util/cli.h"
@@ -106,6 +110,13 @@ struct ExperimentEnv
      */
     std::uint64_t deadlineMs = 0;
 
+    /**
+     * Predictor family name (--predictor); one of
+     * knownPredictorNames(). Benches that honor it build their
+     * predictor with predictorFactory().
+     */
+    std::string predictor = "gshare-large";
+
     /** Telemetry knobs (--telemetry/--telemetry-csv/--progress). */
     TelemetryOptions telemetry;
 
@@ -127,6 +138,9 @@ struct ExperimentEnv
 
     /** @return the configured IBS suite (full or reduced). */
     BenchmarkSuite makeSuite() const;
+
+    /** @return makeNamedPredictorFactory(predictor). */
+    PredictorFactory predictorFactory() const;
 };
 
 /** A labelled estimator configuration. */
@@ -141,6 +155,25 @@ PredictorFactory largeGshareFactory();
 
 /** Factory for the paper's 4K-entry gshare. */
 PredictorFactory smallGshareFactory();
+
+/** Factory for the reference-scale TAGE predictor. */
+PredictorFactory tageFactory(TageConfig config = TageConfig::makeDefault());
+
+/** Factory for the reference-scale perceptron predictor. */
+PredictorFactory perceptronFactory(
+    PerceptronConfig config = PerceptronConfig::makeDefault());
+
+/**
+ * The CLI predictor-name registry shared by --predictor and the sweep
+ * server: "gshare-large", "gshare-small", "tage", "perceptron".
+ */
+std::vector<std::string> knownPredictorNames();
+
+/**
+ * Build the predictor factory named @p name.
+ * @throws Error{kConfig} on an unknown name.
+ */
+PredictorFactory makeNamedPredictorFactory(const std::string &name);
 
 /** One-level CT with full CIRs and raw-pattern (ideal-ready) buckets. */
 EstimatorConfig
@@ -167,6 +200,23 @@ twoLevelConfig(IndexScheme first_scheme, SecondLevelIndex second_index,
                std::size_t first_entries = paper::kLargeCtEntries,
                unsigned first_cir_bits = paper::kCirBits,
                unsigned second_cir_bits = paper::kCirBits);
+
+/**
+ * TAGE's built-in provider confidence. Pair with tageFactory() of the
+ * same geometry so the estimator's shadow replica tracks the real
+ * predictor bit-for-bit.
+ */
+EstimatorConfig
+tageProviderConfig(TageConfig config = TageConfig::makeDefault());
+
+/**
+ * Perceptron |margin|-vs-theta confidence. Pair with
+ * perceptronFactory() of the same geometry.
+ */
+EstimatorConfig
+perceptronMarginConfig(
+    PerceptronConfig config = PerceptronConfig::makeDefault(),
+    unsigned num_levels = 8);
 
 /**
  * Run the configurations over the environment's suite with static

@@ -21,8 +21,10 @@
 #include "confidence/associative_ct.h"
 #include "confidence/composite_confidence.h"
 #include "confidence/one_level.h"
+#include "confidence/perceptron_margin.h"
 #include "confidence/self_counter.h"
 #include "confidence/static_confidence.h"
+#include "confidence/tage_confidence.h"
 #include "confidence/two_level.h"
 #include "confidence/unaliased.h"
 #include "predictor/agree.h"
@@ -30,7 +32,9 @@
 #include "predictor/gselect.h"
 #include "predictor/gshare.h"
 #include "predictor/hybrid.h"
+#include "predictor/perceptron.h"
 #include "predictor/static_predictor.h"
+#include "predictor/tage.h"
 #include "predictor/two_level.h"
 #include "sim/driver.h"
 #include "fault/fault_injection.h"
@@ -131,6 +135,12 @@ expectPredictorRoundTrip(const PredictorFactory &make)
         << a->name() << " left " << in.remaining()
         << " unconsumed byte(s)";
 
+    // serialize -> restore -> serialize is byte-identical.
+    StateWriter again;
+    b->saveState(again);
+    EXPECT_EQ(again.bytes(), out.bytes())
+        << a->name() << " re-serialization differs after restore";
+
     Xorshift rng(0xC0FFEE);
     for (int i = 0; i < 5000; ++i) {
         const Step step = makeStep(rng);
@@ -190,6 +200,25 @@ TEST(PredictorRoundTripTest, Hybrid)
     });
 }
 
+TEST(PredictorRoundTripTest, Tage)
+{
+    // Tagged tables, bimodal base, use_alt counter, aging clock and
+    // global history all have to survive the trip for the provider
+    // selection to stay bit-exact.
+    expectPredictorRoundTrip([] {
+        return std::make_unique<TagePredictor>(
+            TageConfig::makeSmall());
+    });
+}
+
+TEST(PredictorRoundTripTest, Perceptron)
+{
+    expectPredictorRoundTrip([] {
+        return std::make_unique<PerceptronPredictor>(
+            PerceptronConfig::makeSmall());
+    });
+}
+
 TEST(PredictorRoundTripTest, Static)
 {
     expectPredictorRoundTrip([] {
@@ -236,6 +265,12 @@ expectEstimatorRoundTrip(const EstimatorFactory &make)
     EXPECT_TRUE(in.atEnd())
         << a->name() << " left " << in.remaining()
         << " unconsumed byte(s)";
+
+    // serialize -> restore -> serialize is byte-identical.
+    StateWriter again;
+    b->saveState(again);
+    EXPECT_EQ(again.bytes(), out.bytes())
+        << a->name() << " re-serialization differs after restore";
 
     Xorshift rng(0xC0FFEE);
     for (int i = 0; i < 5000; ++i) {
@@ -343,6 +378,24 @@ TEST(EstimatorRoundTripTest, Composite)
                 16, 0),
             std::make_unique<SelfCounterConfidence>(IndexScheme::Pc,
                                                     1024, 3));
+    });
+}
+
+TEST(EstimatorRoundTripTest, TageProvider)
+{
+    // The estimator is a full shadow TAGE replica; its state is the
+    // predictor's state and must restore to the same bucket stream.
+    expectEstimatorRoundTrip([] {
+        return std::make_unique<TageProviderConfidence>(
+            TageConfig::makeSmall());
+    });
+}
+
+TEST(EstimatorRoundTripTest, PerceptronMargin)
+{
+    expectEstimatorRoundTrip([] {
+        return std::make_unique<PerceptronMarginConfidence>(
+            PerceptronConfig::makeSmall(), 8);
     });
 }
 

@@ -37,7 +37,9 @@
 
 #include "ckpt/checkpoint.h"
 #include "confidence/one_level.h"
+#include "confidence/tage_confidence.h"
 #include "predictor/gshare.h"
+#include "predictor/tage.h"
 #include "trace/trace_io.h"
 #include "util/rng.h"
 #include "workload/suite.h"
@@ -321,6 +323,81 @@ TEST(CheckpointCorruptionFuzz, AnySingleByteFlipIsRejected)
         EXPECT_TRUE(threw) << "corrupt checkpoint was accepted";
 
         // The tolerant inspector must flag the damage, not throw.
+        const CheckpointInspection report = inspectCheckpoint(mutated);
+        EXPECT_FALSE(report.valid());
+    }
+}
+
+TEST(CheckpointCorruptionFuzz, TageStateSingleByteFlipIsRejected)
+{
+    // Same contract over the richest component layout we serialize: a
+    // trained TAGE predictor (tagged tables + bimodal + history +
+    // use_alt counter) and its provider-confidence shadow replica.
+    TagePredictor predictor(TageConfig::makeSmall());
+    TageProviderConfidence estimator(TageConfig::makeSmall());
+    {
+        const auto suite = BenchmarkSuite::ibsSmall(4'000);
+        const auto source = suite.makeGenerator(2);
+        BranchRecord record;
+        BranchContext ctx;
+        while (source->next(record)) {
+            if (!record.isConditional())
+                continue;
+            ctx.pc = record.pc;
+            const bool correct =
+                predictor.predict(record.pc) == record.taken;
+            estimator.bucketOf(ctx);
+            estimator.update(ctx, correct, record.taken);
+            predictor.update(record.pc, record.taken);
+        }
+    }
+    Checkpoint ckpt;
+    ckpt.label = "fuzz-tage-checkpoint";
+    ckpt.watermark = 8'765;
+    ckpt.branches = 4'000;
+    ckpt.addComponent("predictor:" + predictor.name(), predictor);
+    ckpt.addComponent("estimator:" + estimator.name(), estimator);
+
+    const auto path = tempPath("fuzz_tage_ckpt.csk1");
+    writeCheckpointFile(path.string(), ckpt);
+    const std::vector<std::uint8_t> pristine = slurp(path);
+    ASSERT_GT(pristine.size(), 32u);
+
+    // Sanity: the unmutated file restores into a replica that writes
+    // byte-identical state back out.
+    {
+        const Checkpoint reread = readCheckpointFile(path.string());
+        TagePredictor restored(TageConfig::makeSmall());
+        reread.restoreComponent("predictor:" + predictor.name(),
+                                restored);
+        StateWriter original_state;
+        StateWriter restored_state;
+        predictor.saveState(original_state);
+        restored.saveState(restored_state);
+        EXPECT_EQ(restored_state.bytes(), original_state.bytes());
+    }
+
+    Rng rng(0x7A6E7A6Eu);
+    constexpr int kFlips = 200;
+    for (int i = 0; i < kFlips; ++i) {
+        const std::size_t offset =
+            static_cast<std::size_t>(rng.nextBelow(pristine.size()));
+        const auto mask =
+            static_cast<std::uint8_t>(1 + rng.nextBelow(255));
+        std::vector<std::uint8_t> mutated = pristine;
+        mutated[offset] ^= mask;
+        writeBytes(path, mutated);
+
+        SCOPED_TRACE("flip #" + std::to_string(i) + " at offset " +
+                     std::to_string(offset));
+        bool threw = false;
+        try {
+            readCheckpointFile(path.string());
+        } catch (const std::exception &) {
+            threw = true;
+        }
+        EXPECT_TRUE(threw) << "corrupt TAGE checkpoint was accepted";
+
         const CheckpointInspection report = inspectCheckpoint(mutated);
         EXPECT_FALSE(report.valid());
     }

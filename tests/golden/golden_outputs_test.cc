@@ -115,7 +115,9 @@ expectCsvMatchesGolden(const std::filesystem::path &actual_path,
 TEST(GoldenOutputs, Fig05OneLevelCsvIsFrozen)
 {
     // bench/fig05_one_level.cc's pipeline, verbatim: three one-level
-    // ideal-reduction index schemes plus the static composite.
+    // ideal-reduction index schemes plus the static composite, with
+    // the TAGE-provider and perceptron-margin native families riding
+    // the same sweep.
     const auto csv_dir = std::filesystem::path(::testing::TempDir()) /
                          "golden_fig05";
     std::filesystem::create_directories(csv_dir);
@@ -126,13 +128,23 @@ TEST(GoldenOutputs, Fig05OneLevelCsvIsFrozen)
         oneLevelIdealConfig(IndexScheme::Bhr),
         oneLevelIdealConfig(IndexScheme::PcXorBhr),
     };
-    const auto result =
-        runSuiteExperiment(env, largeGshareFactory(), configs);
+    const std::vector<SweepExperimentConfig> sweep_configs = {
+        {"gshare+CIR", largeGshareFactory(), configs},
+        {"tage", tageFactory(), {tageProviderConfig()}},
+        {"perceptron", perceptronFactory(), {perceptronMarginConfig()}},
+    };
+    const SweepSuiteResult sweep =
+        runSweepSuiteExperiment(env, sweep_configs);
+    const SuiteRunResult &result = sweep.perConfig[0];
 
     std::vector<NamedCurve> curves;
     curves.push_back(staticCompositeCurve(result));
     for (std::size_t i = 0; i < configs.size(); ++i)
         curves.push_back(compositeCurve(result, i, configs[i].label));
+    curves.push_back(compositeCurve(
+        sweep.perConfig[1], 0, sweep_configs[1].estimators[0].label));
+    curves.push_back(compositeCurve(
+        sweep.perConfig[2], 0, sweep_configs[2].estimators[0].label));
     const auto csv = csv_dir / "fig05_one_level.csv";
     writeCurvesCsv(csv.string(), curves);
 
@@ -143,7 +155,8 @@ TEST(GoldenOutputs, Fig09BenchmarksCsvIsFrozen)
 {
     // bench/fig09_benchmarks.cc's pipeline, verbatim: per-benchmark
     // curves for the paper's best (jpeg) / worst (gcc) pair under the
-    // best one-level method.
+    // best one-level method, plus the same pair under the two native
+    // confidence families.
     const auto csv_dir = std::filesystem::path(::testing::TempDir()) /
                          "golden_fig09";
     std::filesystem::create_directories(csv_dir);
@@ -152,8 +165,14 @@ TEST(GoldenOutputs, Fig09BenchmarksCsvIsFrozen)
     const std::vector<EstimatorConfig> configs = {
         oneLevelIdealConfig(IndexScheme::PcXorBhr),
     };
-    const auto result =
-        runSuiteExperiment(env, largeGshareFactory(), configs);
+    const std::vector<SweepExperimentConfig> sweep_configs = {
+        {"gshare+CIR", largeGshareFactory(), configs},
+        {"tage", tageFactory(), {tageProviderConfig()}},
+        {"perceptron", perceptronFactory(), {perceptronMarginConfig()}},
+    };
+    const SweepSuiteResult sweep =
+        runSweepSuiteExperiment(env, sweep_configs);
+    const SuiteRunResult &result = sweep.perConfig[0];
 
     std::vector<NamedCurve> figure_curves;
     for (const auto &bench : result.perBenchmark) {
@@ -163,7 +182,18 @@ TEST(GoldenOutputs, Fig09BenchmarksCsvIsFrozen)
                                  bench.estimatorStats[0])});
         }
     }
-    ASSERT_EQ(figure_curves.size(), 2u);
+    const char *const kNativeTags[] = {"tage", "perc"};
+    for (std::size_t c = 1; c < sweep.perConfig.size(); ++c) {
+        for (const auto &bench : sweep.perConfig[c].perBenchmark) {
+            if (bench.name != "jpeg" && bench.name != "real_gcc")
+                continue;
+            figure_curves.push_back(
+                {bench.name + "-" + kNativeTags[c - 1],
+                 ConfidenceCurve::fromBucketStats(
+                     bench.estimatorStats[0])});
+        }
+    }
+    ASSERT_EQ(figure_curves.size(), 6u);
     const auto csv = csv_dir / "fig09_benchmarks.csv";
     writeCurvesCsv(csv.string(), figure_curves);
 

@@ -4,13 +4,15 @@
  *
  * The sweep engine's entire contract is bit-exactness: running N
  * configurations through one shared decode pass must produce EXACTLY
- * what N independent sequential SimulationDriver runs produce — same
+* what N independent sequential SimulationDriver runs produce — same
  * branch counts, same per-bucket reference/misprediction doubles, same
  * reduction curves, same serialized component bytes. These tests run
- * every estimator family in src/confidence/ through both paths and
- * compare without tolerance. Thread count and batch size are varied to
- * prove they never leak into results, and sweep checkpoints are
- * round-tripped to prove resume is bit-exact too.
+ * every (predictor, estimator) family in the shared registry
+ * (sim/family_registry.h) through both paths and compare without
+ * tolerance — a family added to the registry can never silently skip
+ * this wall. Thread count and batch size are varied to prove they
+ * never leak into results, and sweep checkpoints are round-tripped to
+ * prove resume is bit-exact too.
  */
 
 #include <cstdint>
@@ -23,15 +25,9 @@
 
 #include "ckpt/checkpoint.h"
 #include "ckpt/checkpoint_store.h"
-#include "confidence/associative_ct.h"
-#include "confidence/composite_confidence.h"
-#include "confidence/one_level.h"
-#include "confidence/self_counter.h"
-#include "confidence/two_level.h"
-#include "confidence/unaliased.h"
 #include "metrics/confidence_curve.h"
-#include "predictor/gshare.h"
 #include "sim/driver.h"
+#include "sim/family_registry.h"
 #include "sim/suite_runner.h"
 #include "sim/sweep_engine.h"
 #include "workload/suite.h"
@@ -41,97 +37,13 @@ namespace {
 
 constexpr std::uint64_t kBranches = 60'000;
 
-PredictorFactory
-testPredictor()
-{
-    return [] { return std::make_unique<GsharePredictor>(4096, 12); };
-}
+using Family = DifferentialFamily;
 
-/** One estimator family: a label plus a single-estimator factory. */
-struct Family
-{
-    std::string label;
-    EstimatorSetFactory make;
-};
-
-/** Every estimator family in src/confidence/, small geometries. */
+/** Every (predictor, estimator) family in the shared registry. */
 std::vector<Family>
 allFamilies()
 {
-    auto one = [](std::unique_ptr<ConfidenceEstimator> estimator) {
-        std::vector<std::unique_ptr<ConfidenceEstimator>> out;
-        out.push_back(std::move(estimator));
-        return out;
-    };
-    std::vector<Family> families;
-    families.push_back(
-        {"one_level_raw_pc", [one] {
-             return one(std::make_unique<OneLevelCirConfidence>(
-                 IndexScheme::Pc, 1024, 8, CirReduction::RawPattern,
-                 CtInit::Ones));
-         }});
-    families.push_back(
-        {"one_level_raw_bhr", [one] {
-             return one(std::make_unique<OneLevelCirConfidence>(
-                 IndexScheme::Bhr, 1024, 8, CirReduction::RawPattern,
-                 CtInit::Ones));
-         }});
-    families.push_back(
-        {"one_level_ones_pcxorbhr", [one] {
-             return one(std::make_unique<OneLevelCirConfidence>(
-                 IndexScheme::PcXorBhr, 1024, 8,
-                 CirReduction::OnesCount, CtInit::Ones));
-         }});
-    families.push_back(
-        {"counter_saturating", [one] {
-             return one(std::make_unique<OneLevelCounterConfidence>(
-                 IndexScheme::PcXorBhr, 1024,
-                 CounterKind::Saturating, 16, 0));
-         }});
-    families.push_back(
-        {"counter_resetting", [one] {
-             return one(std::make_unique<OneLevelCounterConfidence>(
-                 IndexScheme::PcXorBhr, 1024, CounterKind::Resetting,
-                 16, 0));
-         }});
-    families.push_back(
-        {"counter_half_reset", [one] {
-             return one(std::make_unique<OneLevelCounterConfidence>(
-                 IndexScheme::Pc, 1024, CounterKind::HalfReset, 16,
-                 0));
-         }});
-    families.push_back(
-        {"two_level", [one] {
-             return one(std::make_unique<TwoLevelConfidence>(
-                 IndexScheme::Pc, 1024, 8,
-                 SecondLevelIndex::CirXorPc, 8));
-         }});
-    families.push_back(
-        {"self_counter", [one] {
-             return one(std::make_unique<SelfCounterConfidence>(
-                 IndexScheme::Pc, 1024, 3));
-         }});
-    families.push_back(
-        {"unaliased", [one] {
-             return one(std::make_unique<UnaliasedCounterConfidence>(
-                 IndexScheme::PcXorBhr, CounterKind::Resetting, 16));
-         }});
-    families.push_back(
-        {"associative", [one] {
-             return one(std::make_unique<AssociativeCounterConfidence>(
-                 IndexScheme::Pc, 256, 4, 8, CounterKind::Saturating,
-                 16));
-         }});
-    families.push_back(
-        {"composite", [one] {
-             return one(std::make_unique<CompositeConfidence>(
-                 std::make_unique<OneLevelCounterConfidence>(
-                     IndexScheme::PcXorBhr, 1024,
-                     CounterKind::Resetting, 16, 0),
-                 std::make_unique<SelfCounterConfidence>(
-                     IndexScheme::Pc, 1024, 3)));
-         }});
-    return families;
+    return differentialFamilyRegistry();
 }
 
 /** Fresh deterministic source: benchmark 0 of the reduced suite. */
@@ -167,8 +79,8 @@ SequentialRun
 runSequential(const Family &family, DriverOptions options,
               std::uint64_t branches = kBranches)
 {
-    auto predictor = testPredictor()();
-    auto owned = family.make();
+    auto predictor = family.makePredictor();
+    auto owned = family.makeEstimators();
     std::vector<ConfidenceEstimator *> raw;
     raw.reserve(owned.size());
     for (auto &estimator : owned)
@@ -245,8 +157,8 @@ familyConfigs(const std::vector<Family> &families)
     std::vector<SweepConfiguration> configs;
     configs.reserve(families.size());
     for (const auto &family : families)
-        configs.push_back(
-            {family.label, testPredictor(), family.make});
+        configs.push_back({family.label, family.makePredictor,
+                           family.makeEstimators});
     return configs;
 }
 
@@ -295,7 +207,7 @@ TEST(SweepDifferential, AllFamiliesBitExactMultiThread)
 
 TEST(SweepDifferential, BatchSizeNeverChangesResults)
 {
-    const Family family = allFamilies()[4]; // counter_resetting
+    const Family family = differentialFamilyNamed("counter_resetting");
     DriverOptions options;
     options.profileStatic = true;
     const SequentialRun reference = runSequential(family, options);
@@ -322,7 +234,7 @@ TEST(SweepDifferential, BatchSizeNeverChangesResults)
 
 TEST(SweepDifferential, WarmupAndContextSwitchCombosBitExact)
 {
-    const Family family = allFamilies()[3]; // counter_saturating
+    const Family family = differentialFamilyNamed("counter_saturating");
     struct Combo
     {
         std::uint64_t warmup;
@@ -381,13 +293,13 @@ TEST(SweepDifferential, FinalComponentBytesMatchSequential)
         std::vector<ConfidenceEstimator *> sweep_estimators;
         SweepConfiguration config;
         config.label = family.label;
-        config.makePredictor = [&sweep_predictor] {
-            auto predictor = testPredictor()();
+        config.makePredictor = [&family, &sweep_predictor] {
+            auto predictor = family.makePredictor();
             sweep_predictor = predictor.get();
             return predictor;
         };
         config.makeEstimators = [&family, &sweep_estimators] {
-            auto owned = family.make();
+            auto owned = family.makeEstimators();
             sweep_estimators.clear();
             for (auto &estimator : owned)
                 sweep_estimators.push_back(estimator.get());
@@ -415,9 +327,11 @@ TEST(SweepDifferential, CheckpointResumeIsBitExact)
     std::filesystem::remove_all(dir);
     std::filesystem::create_directories(dir);
 
-    const std::vector<Family> families = {allFamilies()[0],
-                                          allFamilies()[4],
-                                          allFamilies()[7]};
+    const std::vector<Family> families = {
+        differentialFamilyNamed("one_level_raw_pc"),
+        differentialFamilyNamed("counter_resetting"),
+        differentialFamilyNamed("tage_provider"),
+        differentialFamilyNamed("perceptron_margin")};
     DriverOptions options;
     options.profileStatic = true;
     SweepOptions sweep;
@@ -472,7 +386,7 @@ TEST(SweepDifferential, CheckpointResumeIsBitExact)
 
 TEST(SweepDifferential, DecodeAheadDepthNeverChangesResults)
 {
-    const Family family = allFamilies()[6]; // two_level
+    const Family family = differentialFamilyNamed("two_level");
     DriverOptions options;
     options.profileStatic = true;
     const SequentialRun reference = runSequential(family, options);
@@ -503,9 +417,10 @@ TEST(SweepDifferential, SharedPoolWithSurplusWorkersBitExact)
     // shards at the config count and leave the surplus workers idle
     // (they exist to serve other benchmarks' concurrent passes), with
     // results identical to a lone engine.
-    const std::vector<Family> families = {allFamilies()[2],
-                                          allFamilies()[4],
-                                          allFamilies()[8]};
+    const std::vector<Family> families = {
+        differentialFamilyNamed("one_level_ones_pcxorbhr"),
+        differentialFamilyNamed("tage_provider"),
+        differentialFamilyNamed("unaliased")};
     DriverOptions options;
     options.profileStatic = true;
 
@@ -542,8 +457,9 @@ TEST(SweepDifferential, CheckpointResumeWithDecodeAheadBitExact)
     std::filesystem::remove_all(dir);
     std::filesystem::create_directories(dir);
 
-    const std::vector<Family> families = {allFamilies()[1],
-                                          allFamilies()[5]};
+    const std::vector<Family> families = {
+        differentialFamilyNamed("perceptron_margin"),
+        differentialFamilyNamed("counter_half_reset")};
     DriverOptions options;
     options.profileStatic = true;
 
@@ -679,8 +595,9 @@ TEST(SweepDifferential, BenchParallelScheduleNeverChangesResults)
     // Concurrent benchmark passes on a shared pool vs strictly
     // sequential single-threaded passes: identical outputs, identical
     // suite ordering, identical composites.
-    const std::vector<Family> families = {allFamilies()[4],
-                                          allFamilies()[9]};
+    const std::vector<Family> families = {
+        differentialFamilyNamed("counter_resetting"),
+        differentialFamilyNamed("tage_provider")};
     DriverOptions options;
     options.profileStatic = true;
     SuiteRunner runner(BenchmarkSuite::ibsSmall(20'000));
@@ -709,9 +626,10 @@ TEST(SweepDifferential, SweepWallTimeIsSharedEquallyAcrossConfigs)
     // The pass is shared: each config's per-benchmark wallMs must be
     // an equal 1/numConfigs share, so summing over configs recovers
     // the pass cost instead of multiplying it.
-    const std::vector<Family> families = {allFamilies()[0],
-                                          allFamilies()[3],
-                                          allFamilies()[7]};
+    const std::vector<Family> families = {
+        differentialFamilyNamed("one_level_raw_pc"),
+        differentialFamilyNamed("counter_saturating"),
+        differentialFamilyNamed("self_counter")};
     SuiteRunner runner(BenchmarkSuite::ibsSmall(10'000));
     const SweepSuiteResult swept = runner.runSweep(
         familyConfigs(families), DriverOptions{}, SweepOptions{},
@@ -736,8 +654,9 @@ TEST(SweepDifferential, SuiteRunnerSweepMatchesSequentialRun)
     // The full SuiteRunner integration: per-benchmark results AND the
     // Section 1.2 composites must match the sequential path exactly,
     // for every attached configuration.
-    const std::vector<Family> families = {allFamilies()[3],
-                                          allFamilies()[6]};
+    const std::vector<Family> families = {
+        differentialFamilyNamed("counter_saturating"),
+        differentialFamilyNamed("perceptron_margin")};
     DriverOptions options;
     options.profileStatic = true;
 
@@ -751,8 +670,9 @@ TEST(SweepDifferential, SuiteRunnerSweepMatchesSequentialRun)
     ASSERT_EQ(swept.perConfig.size(), families.size());
     for (std::size_t c = 0; c < families.size(); ++c) {
         SCOPED_TRACE(families[c].label);
-        const SuiteRunResult expected = runner.run(
-            testPredictor(), families[c].make, options, RunPolicy{});
+        const SuiteRunResult expected =
+            runner.run(families[c].makePredictor,
+                       families[c].makeEstimators, options, RunPolicy{});
         const SuiteRunResult &actual = swept.perConfig[c];
 
         ASSERT_EQ(expected.perBenchmark.size(),

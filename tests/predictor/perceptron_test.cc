@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Property tests for the perceptron predictor and its margin-based
+ * confidence estimator. The load-bearing invariants: the prediction is
+ * exactly the sign of the margin, training fires iff the prediction
+ * was wrong or |margin| <= theta (and moves every weight by exactly
+ * +/-1 toward agreement, clamped to the weight range), the confidence
+ * bucket is monotone in |margin|, and the estimator's shadow replica
+ * reproduces a main predictor's margins bit-for-bit.
+ */
+
+#include "predictor/perceptron.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/state_io.h"
+#include "confidence/perceptron_margin.h"
+
+namespace confsim {
+namespace {
+
+/** Deterministic xorshift stream for synthesizing branch activity. */
+class Xorshift
+{
+  public:
+    explicit Xorshift(std::uint64_t seed)
+        : state_(seed)
+    {}
+
+    std::uint64_t
+    next()
+    {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 7;
+        state_ ^= state_ << 17;
+        return state_;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+TEST(PerceptronTest, ConfigValidationAndTheta)
+{
+    PerceptronConfig non_pow2 = PerceptronConfig::makeSmall();
+    non_pow2.numRows = 100;
+    EXPECT_THROW(PerceptronPredictor{non_pow2}, std::runtime_error);
+
+    PerceptronConfig deep = PerceptronConfig::makeSmall();
+    deep.historyBits = 65;
+    EXPECT_THROW(PerceptronPredictor{deep}, std::runtime_error);
+
+    // Jimenez's tuned threshold: floor(1.93 h + 14).
+    EXPECT_EQ(PerceptronConfig::makeSmall().theta(),
+              static_cast<std::int64_t>(1.93 * 12 + 14.0));
+    EXPECT_EQ(PerceptronConfig::makeDefault().theta(),
+              static_cast<std::int64_t>(1.93 * 24 + 14.0));
+}
+
+TEST(PerceptronTest, PredictionIsSignOfMargin)
+{
+    PerceptronPredictor pred(PerceptronConfig::makeSmall());
+    Xorshift rng(0x9EC50001u);
+    for (int i = 0; i < 50'000; ++i) {
+        const std::uint64_t r = rng.next();
+        const std::uint64_t pc = ((r >> 8) & 0xFF) * 4;
+        const bool taken = (r & 1) != 0;
+        ASSERT_EQ(pred.predict(pc), pred.marginOf(pc) >= 0)
+            << "step " << i;
+        pred.update(pc, taken);
+    }
+}
+
+TEST(PerceptronTest, TrainsIffMispredictOrMarginWithinTheta)
+{
+    const PerceptronConfig config = PerceptronConfig::makeSmall();
+    PerceptronPredictor pred(config);
+    const auto weight_max =
+        static_cast<std::int32_t>((1 << (config.weightBits - 1)) - 1);
+    const std::int32_t weight_min = -weight_max - 1;
+
+    Xorshift rng(0x9EC50002u);
+    int trained = 0;
+    int skipped = 0;
+    for (int i = 0; i < 50'000; ++i) {
+        const std::uint64_t r = rng.next();
+        const std::uint64_t pc = ((r >> 8) & 0xFF) * 4;
+        const bool taken = (r & 1) != 0;
+
+        const std::int64_t margin = pred.marginOf(pc);
+        const bool mispredict = (margin >= 0) != taken;
+        const bool should_train =
+            mispredict || std::llabs(margin) <= pred.theta();
+        ASSERT_EQ(pred.wouldTrain(pc, taken), should_train)
+            << "step " << i;
+
+        const std::uint64_t row = pred.rowOf(pc);
+        const std::uint64_t history = pred.historyValue();
+        std::vector<std::int32_t> before;
+        for (unsigned w = 0; w <= config.historyBits; ++w)
+            before.push_back(pred.weightAt(row, w));
+
+        pred.update(pc, taken);
+
+        for (unsigned w = 0; w <= config.historyBits; ++w) {
+            std::int32_t expected = before[w];
+            if (should_train) {
+                // Bias trains on the outcome itself; weight i trains
+                // on agreement between history bit i and the outcome.
+                const bool agree =
+                    w == 0 ? taken
+                           : (((history >> (w - 1)) & 1) != 0) == taken;
+                expected += agree ? 1 : -1;
+                if (expected > weight_max)
+                    expected = weight_max;
+                if (expected < weight_min)
+                    expected = weight_min;
+            }
+            ASSERT_EQ(pred.weightAt(row, w), expected)
+                << "weight " << w << " at step " << i
+                << (should_train ? " (trained)" : " (frozen)");
+        }
+        (should_train ? trained : skipped) += 1;
+    }
+    EXPECT_GT(trained, 1000);
+    EXPECT_GT(skipped, 1000)
+        << "stream never exercised the confident-skip path";
+}
+
+TEST(PerceptronTest, WeightsStayClampedUnderConstantOutcome)
+{
+    const PerceptronConfig config = PerceptronConfig::makeSmall();
+    PerceptronPredictor pred(config);
+    const auto weight_max =
+        static_cast<std::int32_t>((1 << (config.weightBits - 1)) - 1);
+    const std::int32_t weight_min = -weight_max - 1;
+
+    // A single always-taken branch drives its bias to saturation.
+    for (int i = 0; i < 4 * weight_max; ++i)
+        pred.update(0x40, true);
+    const std::uint64_t row = pred.rowOf(0x40);
+    for (unsigned w = 0; w <= config.historyBits; ++w) {
+        ASSERT_LE(pred.weightAt(row, w), weight_max);
+        ASSERT_GE(pred.weightAt(row, w), weight_min);
+    }
+    EXPECT_TRUE(pred.predict(0x40));
+    EXPECT_GT(pred.marginOf(0x40), pred.theta())
+        << "saturated weights should clear the training threshold";
+}
+
+TEST(PerceptronTest, LoadStateRejectsMismatchedGeometry)
+{
+    PerceptronPredictor small(PerceptronConfig::makeSmall());
+    StateWriter out;
+    small.saveState(out);
+
+    PerceptronPredictor large(PerceptronConfig::makeDefault());
+    StateReader in(out.bytes());
+    EXPECT_THROW(large.loadState(in), std::runtime_error);
+}
+
+TEST(PerceptronMarginConfidenceTest, BucketIsMonotoneInMargin)
+{
+    const PerceptronConfig config = PerceptronConfig::makeSmall();
+    PerceptronMarginConfidence conf(config, 8);
+    EXPECT_EQ(conf.numBuckets(), 8u);
+    EXPECT_TRUE(conf.bucketsAreOrdered());
+
+    const std::int64_t theta = config.theta();
+    std::uint64_t prev = 0;
+    for (std::int64_t m = 0; m <= theta + 16; ++m) {
+        const std::uint64_t bucket = conf.bucketForMargin(m);
+        ASSERT_GE(bucket, prev) << "bucket fell at |margin| = " << m;
+        ASSERT_LT(bucket, conf.numBuckets());
+        // Sign never matters: confidence is the magnitude.
+        ASSERT_EQ(conf.bucketForMargin(-m), bucket);
+        prev = bucket;
+    }
+    EXPECT_EQ(conf.bucketForMargin(0), 0u);
+    EXPECT_EQ(conf.bucketForMargin(theta + 1), conf.numBuckets() - 1);
+    EXPECT_EQ(prev, conf.numBuckets() - 1)
+        << "the top bucket is unreachable";
+}
+
+TEST(PerceptronMarginConfidenceTest, RejectsDegenerateLevelCount)
+{
+    EXPECT_THROW(
+        PerceptronMarginConfidence(PerceptronConfig::makeSmall(), 1),
+        std::runtime_error);
+}
+
+TEST(PerceptronMarginConfidenceTest, ShadowTracksMainPredictorBitExactly)
+{
+    PerceptronPredictor main(PerceptronConfig::makeSmall());
+    PerceptronMarginConfidence conf(PerceptronConfig::makeSmall(), 8);
+
+    Xorshift rng(0x9EC50003u);
+    BranchContext ctx;
+    for (int i = 0; i < 50'000; ++i) {
+        const std::uint64_t r = rng.next();
+        const std::uint64_t pc = ((r >> 8) & 0xFF) * 4;
+        const bool taken = (r & 1) != 0;
+        ctx.pc = pc;
+
+        const std::int64_t margin = main.marginOf(pc);
+        ASSERT_EQ(conf.shadowMargin(ctx), margin) << "step " << i;
+        ASSERT_EQ(conf.bucketOf(ctx), conf.bucketForMargin(margin))
+            << "step " << i;
+
+        const bool correct = main.predict(pc) == taken;
+        conf.update(ctx, correct, taken);
+        main.update(pc, taken);
+    }
+}
+
+} // namespace
+} // namespace confsim
