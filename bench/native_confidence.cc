@@ -15,88 +15,13 @@
  * metrics/classification_metrics.h) — then names the winner per row.
  */
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 #include <vector>
 
-#include "metrics/classification_metrics.h"
+#include "metrics/operating_point.h"
 #include "sim/experiment.h"
 
 using namespace confsim;
-
-namespace {
-
-/** One series' quality numbers at the ~20% operating point. */
-struct OperatingPoint
-{
-    double coverage = 0.0;    //!< interpolated mispredict coverage @20%
-    double lowFraction = 0.0; //!< actual fraction of the discrete set
-    double pvn = 0.0;         //!< P(mispredict | low) of that set
-};
-
-/**
- * Ideal-reduction operating point: order buckets worst-first by
- * misprediction rate (the paper's profile ordering), grow the low set
- * until it holds ~20% of dynamic branches, then score it.
- */
-OperatingPoint
-operatingPointAt20(const BucketStats &stats)
-{
-    OperatingPoint point;
-    point.coverage =
-        ConfidenceCurve::fromBucketStats(stats).mispredCoverageAt(0.2);
-
-    std::vector<KeyedBucketCounts> keyed = stats.nonEmpty();
-    std::sort(keyed.begin(), keyed.end(),
-              [](const KeyedBucketCounts &a, const KeyedBucketCounts &b) {
-                  const double ra =
-                      a.counts.refs == 0
-                          ? 0.0
-                          : static_cast<double>(a.counts.mispredicts) /
-                                static_cast<double>(a.counts.refs);
-                  const double rb =
-                      b.counts.refs == 0
-                          ? 0.0
-                          : static_cast<double>(b.counts.mispredicts) /
-                                static_cast<double>(b.counts.refs);
-                  if (ra != rb)
-                      return ra > rb;
-                  return a.bucket < b.bucket;
-              });
-
-    std::uint64_t total_refs = 0;
-    std::uint64_t max_bucket = 0;
-    for (const auto &k : keyed) {
-        total_refs += k.counts.refs;
-        max_bucket = std::max(max_bucket, k.bucket);
-    }
-    if (total_refs == 0)
-        return point;
-
-    // Grow the set toward the 20% target, stopping at whichever side
-    // of the boundary is closer — a single huge bucket (the all-weak
-    // state) must not balloon the set to most of the trace.
-    const double target = 0.2 * static_cast<double>(total_refs);
-    std::vector<bool> low(max_bucket + 1, false);
-    std::uint64_t low_refs = 0;
-    for (const auto &k : keyed) {
-        const double with =
-            static_cast<double>(low_refs + k.counts.refs);
-        const double without = static_cast<double>(low_refs);
-        if (std::abs(with - target) >= std::abs(without - target))
-            break;
-        low[k.bucket] = true;
-        low_refs += k.counts.refs;
-    }
-    const ClassificationMetrics metrics =
-        computeMetrics(confusionFromBuckets(keyed, low));
-    point.lowFraction = metrics.lowFraction;
-    point.pvn = metrics.pvn;
-    return point;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)

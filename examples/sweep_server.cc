@@ -39,6 +39,7 @@
 #include "fault/fault_plan.h"
 #include "obs/telemetry.h"
 #include "serve/job_protocol.h"
+#include "serve/ndjson_reader.h"
 #include "serve/sweep_service.h"
 #include "util/cli.h"
 #include "util/signal_cancellation.h"
@@ -69,15 +70,17 @@ writeLine(int fd, const std::string &response)
 }
 
 /**
- * Read lines from @p fd until EOF or cancellation, feeding each to
- * @p handle (which returns false to stop, i.e. on "quit").
+ * Read lines from @p fd until EOF or cancellation, framing them
+ * through a bounded NdjsonLineReader and feeding each to @p handle
+ * (which returns false to stop, i.e. on "quit").
  * @return false when the loop should stop serving entirely.
  */
 template <typename Handler>
 bool
 serveStream(int fd, const CancellationToken &cancel, Handler &&handle)
 {
-    std::string buffer;
+    NdjsonLineReader reader;
+    NdjsonLineReader::Line line;
     char chunk[4096];
     for (;;) {
         if (cancel.cancelled())
@@ -99,36 +102,47 @@ serveStream(int fd, const CancellationToken &cancel, Handler &&handle)
                 continue;
             return true; // this stream failed; keep serving others
         }
-        if (n == 0)
-            return true; // EOF
-        buffer.append(chunk, static_cast<std::size_t>(n));
-        std::size_t start = 0;
-        for (;;) {
-            const std::size_t eol = buffer.find('\n', start);
-            if (eol == std::string::npos)
-                break;
-            std::string line = buffer.substr(start, eol - start);
-            start = eol + 1;
-            if (!line.empty() && line.back() == '\r')
-                line.pop_back();
-            if (line.empty())
-                continue;
+        if (n == 0) {
+            // EOF: a trailing unterminated line is still a request.
+            reader.finish();
+            while (reader.next(line)) {
+                if (!handle(line))
+                    return false;
+            }
+            return true;
+        }
+        reader.feed(chunk, static_cast<std::size_t>(n));
+        while (reader.next(line)) {
             if (!handle(line))
                 return false;
         }
-        buffer.erase(0, start);
     }
 }
 
-/** Handle one request line against @p service; response to @p fd.
- *  @return false when the server should stop ("quit"). */
+/** Handle one framed request line against @p service; response to
+ *  @p fd. @return false when the server should stop ("quit"). */
 bool
 handleRequest(SweepService &service, DrainMode drainMode,
-              const std::string &line, int fd)
+              const NdjsonLineReader::Line &line, int fd)
 {
+    if (line.oversize) {
+        // The reader consumed the line in constant memory; answer
+        // with a structured error instead of parsing the truncated
+        // prefix (which would surface a misleading JSON error).
+        writeLine(fd,
+                  protocolError(
+                      "parse",
+                      "request line of " + std::to_string(line.bytes) +
+                          " bytes exceeds the " +
+                          std::to_string(
+                              NdjsonLineReader::kDefaultMaxLineBytes) +
+                          "-byte limit",
+                      ErrorCategory::kConfig));
+        return true;
+    }
     ProtocolRequest request;
     try {
-        request = parseProtocolRequest(line);
+        request = parseProtocolRequest(line.text);
     } catch (const std::exception &e) {
         writeLine(fd, protocolError("parse", e.what(),
                                     categoryOf(e)));
@@ -224,12 +238,12 @@ serveSocket(SweepService &service, DrainMode drainMode,
         const int client = ::accept(listener, nullptr, nullptr);
         if (client < 0)
             continue;
-        serving = serveStream(client, cancel,
-                              [&](const std::string &line) {
-                                  return handleRequest(service,
-                                                       drainMode,
-                                                       line, client);
-                              });
+        serving = serveStream(
+            client, cancel,
+            [&](const NdjsonLineReader::Line &line) {
+                return handleRequest(service, drainMode, line,
+                                     client);
+            });
         ::close(client);
     }
     ::close(listener);
@@ -312,17 +326,26 @@ main(int argc, char **argv)
                          requestsPath.c_str());
             return 1;
         }
-        char line[65536];
-        while (!root.cancelled() &&
-               std::fgets(line, sizeof line, file) != nullptr) {
-            std::string text(line);
-            while (!text.empty() && (text.back() == '\n' ||
-                                     text.back() == '\r'))
-                text.pop_back();
-            if (text.empty())
-                continue;
-            if (!handleRequest(service, drainMode, text,
-                               STDOUT_FILENO))
+        // Frame through the same bounded reader as the stream
+        // transports: fgets would silently split an over-long line
+        // into several bogus requests.
+        NdjsonLineReader reader;
+        NdjsonLineReader::Line line;
+        char chunk[4096];
+        bool serving = true;
+        while (serving && !root.cancelled()) {
+            const std::size_t n =
+                std::fread(chunk, 1, sizeof chunk, file);
+            if (n == 0) {
+                reader.finish();
+            } else {
+                reader.feed(chunk, n);
+            }
+            while (serving && reader.next(line)) {
+                serving = handleRequest(service, drainMode, line,
+                                        STDOUT_FILENO);
+            }
+            if (n == 0)
                 break;
         }
         std::fclose(file);
@@ -330,9 +353,9 @@ main(int argc, char **argv)
         exitCode = serveSocket(service, drainMode, root, socketPath);
     } else {
         serveStream(STDIN_FILENO, root,
-                    [&](const std::string &text) {
+                    [&](const NdjsonLineReader::Line &line) {
                         return handleRequest(service, drainMode,
-                                             text, STDOUT_FILENO);
+                                             line, STDOUT_FILENO);
                     });
     }
 

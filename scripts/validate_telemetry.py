@@ -91,6 +91,14 @@ EVENT_REQUIRED_FIELDS = {
         "mispredict_rate", "context_switches",
     ],
     "metrics_snapshot": [],
+    # Statistical sampling (sim/sampling_engine.h): one summary per
+    # sampled suite run with the estimate provenance (rate/subsample
+    # count) and the replayed-records reduction the estimates cost.
+    "sampling_run_finished": [
+        "benchmarks", "configs", "sample_rate", "subsamples",
+        "total_branches", "recorded_branches", "reduction",
+        "composite_mispredict_rate", "wall_ms",
+    ],
     # Sweep-service lifecycle (serve/sweep_service.h): one admitted/
     # rejected per submit, started/finished-or-failed per admitted
     # job, and exactly one service_drained summary per service.
@@ -183,6 +191,19 @@ def validate_event(path, lineno, obj):
             fail(path, lineno,
                  f"sweep_run_finished 'barrier_wait_ms' must be a "
                  f"non-negative number, got {wait!r}")
+    if obj["type"] == "sampling_run_finished":
+        rate = obj.get("sample_rate")
+        if not isinstance(rate, (int, float)) or not 0.0 < rate <= 1.0:
+            fail(path, lineno,
+                 f"sampling_run_finished 'sample_rate' must be a "
+                 f"number in (0, 1], got {rate!r}")
+        recorded = obj.get("recorded_branches")
+        total = obj.get("total_branches")
+        if (isinstance(recorded, int) and isinstance(total, int) and
+                recorded > total):
+            fail(path, lineno,
+                 f"sampling_run_finished recorded_branches "
+                 f"{recorded} exceeds total_branches {total}")
     if obj["type"] == "metrics_snapshot":
         # The snapshot is flat: metric names are field keys. The sweep
         # occupancy metrics, when present, have hard ranges.

@@ -93,8 +93,11 @@ ConfidenceCurve::refFractionForCoverage(double mispred_fraction) const
 {
     // Mirror mispredCoverageAt: an empty curve recorded nothing, so
     // no branch fraction is needed for any coverage target (reading
-    // in either direction returns 0 on empty).
-    if (points_.empty())
+    // in either direction returns 0 on empty), and coverage targets
+    // at or below zero are met by the empty low set — symmetric with
+    // mispredCoverageAt clamping ref_fraction <= 0 to coverage 0
+    // instead of extrapolating below the origin.
+    if (points_.empty() || mispred_fraction <= 0.0)
         return 0.0;
 
     double prev_x = 0.0;
@@ -102,8 +105,13 @@ ConfidenceCurve::refFractionForCoverage(double mispred_fraction) const
     for (const auto &point : points_) {
         if (mispred_fraction <= point.mispredFraction) {
             const double span = point.mispredFraction - prev_y;
+            // A plateau (run of zero-mispredict buckets) is flat in Y:
+            // the target was already reached at the previous point, so
+            // the smallest sufficient branch fraction is prev_x — not
+            // this point's refFraction, which would overshoot by the
+            // width of the plateau.
             if (span <= 0.0)
-                return point.refFraction;
+                return prev_x;
             const double t = (mispred_fraction - prev_y) / span;
             return prev_x + t * (point.refFraction - prev_x);
         }

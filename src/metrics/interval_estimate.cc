@@ -1,0 +1,55 @@
+#include "metrics/interval_estimate.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace confsim {
+
+double
+studentT95(std::size_t dof)
+{
+    // Two-sided 95% critical values t_{0.975,dof}, dof 1..30.
+    static constexpr double kTable[30] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    if (dof == 0) {
+        fatal(ErrorCategory::kConfig,
+              "Student-t needs at least one degree of freedom");
+    }
+    return dof <= 30 ? kTable[dof - 1] : 1.96;
+}
+
+IntervalEstimate
+estimateFromSubsamples(const std::vector<double> &values)
+{
+    if (values.empty()) {
+        fatal(ErrorCategory::kConfig,
+              "an interval estimate needs at least one subsample");
+    }
+    IntervalEstimate est;
+    est.subsamples = values.size();
+
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    est.mean = sum / static_cast<double>(values.size());
+
+    if (values.size() < 2)
+        return est; // no variance information: zero error bars
+
+    double ss = 0.0;
+    for (const double v : values) {
+        const double d = v - est.mean;
+        ss += d * d;
+    }
+    const double n = static_cast<double>(values.size());
+    const double variance = ss / (n - 1.0); // unbiased
+    est.stdError = std::sqrt(variance / n);
+    est.ciHalf = studentT95(values.size() - 1) * est.stdError;
+    return est;
+}
+
+} // namespace confsim

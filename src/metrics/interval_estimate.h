@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Point estimates with error bars from repeated subsampling.
+ *
+ * The sampling engine (sim/sampling_engine.h) partitions its sampled
+ * regions into R subsample groups; each group yields an independent
+ * estimate of the same population quantity (misprediction rate,
+ * coverage at the operating point, PVN). The spread between those R
+ * estimates measures the sampling error directly — no per-stratum
+ * variance bookkeeping — which is the "repeated subsampling" recipe
+ * from the NVIDIA ranked-set-sampling paper (PAPERS.md): report the
+ * subsample mean, the standard error s/sqrt(R), and a 95% confidence
+ * interval mean +/- t_{0.975,R-1} * SE using Student's t with R-1
+ * degrees of freedom (the t quantile matters: R is typically 3-10,
+ * far from the normal regime).
+ */
+
+#ifndef CONFSIM_METRICS_INTERVAL_ESTIMATE_H
+#define CONFSIM_METRICS_INTERVAL_ESTIMATE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace confsim {
+
+/** A point estimate with repeated-subsampling error bars. */
+struct IntervalEstimate
+{
+    double mean = 0.0;     //!< subsample mean (the point estimate)
+    double stdError = 0.0; //!< s / sqrt(R), 0 when R < 2
+    double ciHalf = 0.0;   //!< 95% CI half-width, 0 when R < 2
+    std::size_t subsamples = 0; //!< R
+
+    double ciLow() const { return mean - ciHalf; }
+    double ciHigh() const { return mean + ciHalf; }
+
+    /** @return true iff @p value lies inside the 95% CI. */
+    bool
+    contains(double value) const
+    {
+        return value >= ciLow() && value <= ciHigh();
+    }
+};
+
+/**
+ * Two-sided 95% Student-t critical value t_{0.975,dof}. Exact table
+ * for dof 1..30, the normal quantile 1.96 beyond (within 2% of the
+ * true value from dof 31 on). fatal(kConfig) for dof 0.
+ */
+double studentT95(std::size_t dof);
+
+/**
+ * Build the estimate from one value per subsample: mean, standard
+ * error of the mean (unbiased sample stddev over sqrt(R)), and the
+ * t-based 95% half-width. An empty input is fatal(kConfig); a single
+ * value yields zero error bars (no variance information — callers
+ * wanting a CI must run >= 2 subsamples).
+ */
+IntervalEstimate
+estimateFromSubsamples(const std::vector<double> &values);
+
+} // namespace confsim
+
+#endif // CONFSIM_METRICS_INTERVAL_ESTIMATE_H

@@ -1,0 +1,58 @@
+#include "metrics/operating_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "metrics/classification_metrics.h"
+#include "metrics/confidence_curve.h"
+
+namespace confsim {
+
+OperatingPoint
+operatingPointAt(const BucketStats &stats, double ref_fraction)
+{
+    OperatingPoint point;
+    point.coverage = ConfidenceCurve::fromBucketStats(stats)
+                         .mispredCoverageAt(ref_fraction);
+
+    std::vector<KeyedBucketCounts> keyed = stats.nonEmpty();
+    std::sort(keyed.begin(), keyed.end(),
+              [](const KeyedBucketCounts &a,
+                 const KeyedBucketCounts &b) {
+                  const double ra = a.counts.rate();
+                  const double rb = b.counts.rate();
+                  if (ra != rb)
+                      return ra > rb;
+                  return a.bucket < b.bucket;
+              });
+
+    double total_refs = 0.0;
+    std::uint64_t max_bucket = 0;
+    for (const auto &k : keyed) {
+        total_refs += k.counts.refs;
+        max_bucket = std::max(max_bucket, k.bucket);
+    }
+    if (total_refs <= 0.0)
+        return point;
+
+    // Grow the set toward the target, stopping at whichever side of
+    // the boundary is closer.
+    const double target = ref_fraction * total_refs;
+    std::vector<bool> low(max_bucket + 1, false);
+    double low_refs = 0.0;
+    for (const auto &k : keyed) {
+        const double with = low_refs + k.counts.refs;
+        if (std::abs(with - target) >= std::abs(low_refs - target))
+            break;
+        low[k.bucket] = true;
+        low_refs = with;
+    }
+    const ClassificationMetrics metrics =
+        computeMetrics(confusionFromBuckets(keyed, low));
+    point.lowFraction = metrics.lowFraction;
+    point.pvn = metrics.pvn;
+    return point;
+}
+
+} // namespace confsim

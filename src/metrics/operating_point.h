@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The paper's ideal-reduction operating point, as a reusable metric.
+ *
+ * Several consumers score an estimator by the same recipe: order its
+ * buckets worst-first by misprediction rate (the paper's profile
+ * ordering), grow the low-confidence set toward a target fraction of
+ * dynamic branches, and report the coverage, the realized low-set
+ * size, and PVN at that point. This used to live in
+ * bench/native_confidence.cc; the sampling engine needs it too (its
+ * per-subsample coverage/PVN estimates), so it lives here once.
+ */
+
+#ifndef CONFSIM_METRICS_OPERATING_POINT_H
+#define CONFSIM_METRICS_OPERATING_POINT_H
+
+#include "metrics/bucket_stats.h"
+
+namespace confsim {
+
+/** An estimator scored at one low-set operating point. */
+struct OperatingPoint
+{
+    /** Fraction of mispredictions inside the target low set (read off
+     *  the cumulative confidence curve at the target fraction). */
+    double coverage = 0.0;
+
+    /** Realized low-set size as a fraction of dynamic branches. */
+    double lowFraction = 0.0;
+
+    /** Predictive value of a negative (low-confidence) prediction. */
+    double pvn = 0.0;
+};
+
+/**
+ * Score @p stats at the @p ref_fraction operating point. The discrete
+ * low set grows worst-bucket-first toward the target, stopping at
+ * whichever side of the boundary is closer — a single huge bucket
+ * (the all-weak state) must not balloon the set to most of the trace.
+ * Empty stats score zero everywhere. Weighted stats (e.g. composite
+ * or stratified banks) are fine: only rates and relative masses
+ * matter.
+ */
+OperatingPoint operatingPointAt(const BucketStats &stats,
+                                double ref_fraction);
+
+/** The paper's canonical 20%-of-branches operating point. */
+inline OperatingPoint
+operatingPointAt20(const BucketStats &stats)
+{
+    return operatingPointAt(stats, 0.2);
+}
+
+} // namespace confsim
+
+#endif // CONFSIM_METRICS_OPERATING_POINT_H

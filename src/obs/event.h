@@ -56,6 +56,8 @@ inline constexpr const char *kCheckpointWriteFailed =
 inline constexpr const char *kSpanSummary = "span_summary";
 inline constexpr const char *kBranchProfileWritten =
     "branch_profile_written";
+inline constexpr const char *kSamplingRunFinished =
+    "sampling_run_finished";
 inline constexpr const char *kJobAdmitted = "job_admitted";
 inline constexpr const char *kJobRejected = "job_rejected";
 inline constexpr const char *kJobStarted = "job_started";

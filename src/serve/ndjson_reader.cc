@@ -1,0 +1,83 @@
+#include "serve/ndjson_reader.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace confsim {
+
+NdjsonLineReader::NdjsonLineReader(std::size_t max_line_bytes)
+    : maxLineBytes_(max_line_bytes)
+{
+    if (maxLineBytes_ == 0)
+        fatal(ErrorCategory::kConfig,
+              "NdjsonLineReader needs a nonzero line cap");
+}
+
+void
+NdjsonLineReader::feed(const char *data, std::size_t size)
+{
+    std::size_t start = 0;
+    while (start < size) {
+        const void *eol =
+            std::memchr(data + start, '\n', size - start);
+        const std::size_t stop =
+            eol == nullptr
+                ? size
+                : static_cast<std::size_t>(
+                      static_cast<const char *>(eol) - data);
+        const std::size_t span = stop - start;
+        // Append only up to the cap; the remainder of an oversize
+        // line is counted but dropped, keeping memory constant while
+        // the stream is consumed to its terminating newline.
+        if (partial_.size() < maxLineBytes_) {
+            partial_.append(data + start,
+                            std::min(span,
+                                     maxLineBytes_ - partial_.size()));
+        }
+        partialBytes_ += span;
+        start = stop;
+        if (eol != nullptr) {
+            completeLine();
+            ++start; // past the '\n'
+        }
+    }
+}
+
+void
+NdjsonLineReader::finish()
+{
+    if (partialBytes_ > 0)
+        completeLine();
+}
+
+void
+NdjsonLineReader::completeLine()
+{
+    Line line;
+    line.bytes = partialBytes_;
+    line.oversize = partialBytes_ > maxLineBytes_;
+    line.text = std::move(partial_);
+    partial_.clear();
+    partialBytes_ = 0;
+    if (!line.oversize && !line.text.empty() &&
+        line.text.back() == '\r') {
+        line.text.pop_back();
+        --line.bytes;
+    }
+    if (line.text.empty() && !line.oversize)
+        return; // blank keep-alive line
+    ready_.push_back(std::move(line));
+}
+
+bool
+NdjsonLineReader::next(Line &line)
+{
+    if (ready_.empty())
+        return false;
+    line = std::move(ready_.front());
+    ready_.pop_front();
+    return true;
+}
+
+} // namespace confsim

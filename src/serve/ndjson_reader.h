@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Incremental NDJSON line framing with bounded memory.
+ *
+ * Every sweep_server transport (stdin, requests file, Unix socket)
+ * frames requests as newline-delimited JSON. Framing used to be
+ * duplicated per transport with two latent faults: the stream path
+ * buffered an unbounded amount of a newline-free input (a memory DoS
+ * from one misbehaving client), and the file path read through a
+ * fixed fgets buffer that silently split an over-long line into
+ * several bogus requests. NdjsonLineReader centralizes the framing:
+ * feed() raw chunks in, next() complete lines out, with CRLF line
+ * endings normalized and a hard per-line byte cap. An over-long line
+ * is consumed to its terminating newline in constant memory and
+ * surfaced as a single Line flagged oversize, so the caller can
+ * answer with a structured kConfig protocol error instead of
+ * crashing, stalling, or misparsing.
+ */
+
+#ifndef CONFSIM_SERVE_NDJSON_READER_H
+#define CONFSIM_SERVE_NDJSON_READER_H
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+namespace confsim {
+
+/** Incremental, bounded splitter of a byte stream into NDJSON lines. */
+class NdjsonLineReader
+{
+  public:
+    /** Default per-line cap: far above any legal request, far below
+     *  anything that could pressure memory. */
+    static constexpr std::size_t kDefaultMaxLineBytes = 1 << 20;
+
+    /** One framed line. */
+    struct Line
+    {
+        /** Line content, '\n' and any trailing '\r' stripped. For an
+         *  oversize line this is truncated to the cap (diagnostic
+         *  prefix only — never parse it). */
+        std::string text;
+
+        /** True when the logical line exceeded the cap. */
+        bool oversize = false;
+
+        /** Bytes of the logical line (excluding the terminator),
+         *  including bytes dropped past the cap. */
+        std::size_t bytes = 0;
+    };
+
+    explicit NdjsonLineReader(
+        std::size_t max_line_bytes = kDefaultMaxLineBytes);
+
+    /** Consume a raw chunk; complete lines become ready for next(). */
+    void feed(const char *data, std::size_t size);
+
+    /**
+     * Signal end of input: a trailing line without a newline becomes
+     * ready. Feeding after finish() starts a fresh line.
+     */
+    void finish();
+
+    /**
+     * Pop the next ready line. Blank lines (empty after CR stripping)
+     * are never surfaced — NDJSON treats them as keep-alive padding.
+     *
+     * @return false when no complete line is ready.
+     */
+    bool next(Line &line);
+
+    /** @return the configured per-line cap in bytes. */
+    std::size_t maxLineBytes() const { return maxLineBytes_; }
+
+  private:
+    void completeLine();
+
+    std::size_t maxLineBytes_;
+    std::string partial_;      //!< current line, capped at the limit
+    std::size_t partialBytes_ = 0; //!< logical bytes incl. dropped
+    std::deque<Line> ready_;
+};
+
+} // namespace confsim
+
+#endif // CONFSIM_SERVE_NDJSON_READER_H

@@ -85,6 +85,20 @@ ExperimentEnv::fromCli(int argc, const char *const *argv,
     cli.addOption("bench-parallel", "0",
                   "concurrent benchmark sweep passes (0 = auto-size "
                   "to the worker pool)");
+    cli.addOption("sample-rate", "0.1",
+                  "sampled-replay region fraction in (0, 1]");
+    cli.addOption("region-branches", "10000",
+                  "conditional branches per sampling region");
+    cli.addOption("strata", "4",
+                  "quantile strata for sampled replay");
+    cli.addOption("subsamples", "5",
+                  "repeated-subsampling groups (error-bar "
+                  "resolution)");
+    cli.addOption("sample-seed", "24301",
+                  "region-selection seed for sampled replay");
+    cli.addOption("warmup-regions", "",
+                  "functional-warming window in regions before each "
+                  "sample (unset = warm every non-sampled region)");
     cli.addOption("fault-plan", "",
                   "deterministic fault schedule, e.g. "
                   "'ckpt:write=1:enospc;shard:cfg=2:throw' (env "
@@ -132,6 +146,14 @@ ExperimentEnv::fromCli(int argc, const char *const *argv,
               "--decode-ahead must be at least 1");
     env.benchParallel =
         static_cast<unsigned>(cli.getUnsigned("bench-parallel"));
+    env.sampleRate = cli.getDouble("sample-rate");
+    env.regionBranches = cli.getUnsigned("region-branches");
+    env.strata = static_cast<std::uint32_t>(cli.getUnsigned("strata"));
+    env.subsamples =
+        static_cast<std::uint32_t>(cli.getUnsigned("subsamples"));
+    env.sampleSeed = cli.getUnsigned("sample-seed");
+    if (!cli.getString("warmup-regions").empty())
+        env.warmupRegions = cli.getUnsigned("warmup-regions");
     env.retryBackoffMs = cli.getUnsigned("retry-backoff-ms");
     env.deadlineMs = cli.getUnsigned("deadline-ms");
     env.faultPlan = cli.getString("fault-plan");
@@ -426,6 +448,61 @@ runSweepSuiteExperiment(const ExperimentEnv &env,
     policy.retryBackoffMs = env.retryBackoffMs;
     policy.deadlineMs = env.deadlineMs;
     return runner.runSweep(sweep_configs, options, sweep, policy);
+}
+
+SamplingRunResult
+runSampledSuiteExperiment(const ExperimentEnv &env,
+                          const std::vector<SweepExperimentConfig> &configs)
+{
+    if (configs.empty())
+        fatal(ErrorCategory::kConfig,
+              "runSampledSuiteExperiment needs at least one "
+              "configuration");
+    SuiteRunner runner(env.makeSuite());
+    DriverOptions options;
+    options.bhrBits = paper::kLargeHistoryBits;
+    options.gcirBits = paper::kCirBits;
+
+    Telemetry *const telemetry = env.telemetryContext.get();
+    if (telemetry != nullptr) {
+        telemetry->setManifest(buildManifest(
+            env, runner.suite(), configs.front().makePredictor,
+            configs.front().estimators, options));
+        options.telemetry = telemetry;
+        options.telemetrySampleStride = env.telemetry.sampleStride;
+    }
+
+    std::vector<SweepConfiguration> sweep_configs;
+    sweep_configs.reserve(configs.size());
+    for (const auto &config : configs) {
+        SweepConfiguration sweep_config;
+        sweep_config.label = config.label;
+        sweep_config.makePredictor = config.makePredictor;
+        const std::vector<EstimatorConfig> &estimators =
+            config.estimators;
+        sweep_config.makeEstimators = [estimators] {
+            std::vector<std::unique_ptr<ConfidenceEstimator>> out;
+            out.reserve(estimators.size());
+            for (const auto &estimator : estimators)
+                out.push_back(estimator.make());
+            return out;
+        };
+        sweep_configs.push_back(std::move(sweep_config));
+    }
+
+    SamplingOptions sampling;
+    sampling.sampleRate = env.sampleRate;
+    sampling.regionBranches = env.regionBranches;
+    sampling.strata = env.strata;
+    sampling.subsamples = env.subsamples;
+    sampling.seed = env.sampleSeed;
+    sampling.warmupRegions = env.warmupRegions;
+    sampling.sweep.threads = env.sweepThreads;
+    sampling.sweep.batchSize = env.batchSize;
+    sampling.sweep.decodeAhead = env.decodeAhead;
+
+    SamplingEngine engine(std::move(sweep_configs), options, sampling);
+    return engine.runSuite(runner);
 }
 
 NamedCurve

@@ -28,6 +28,7 @@
 #include "predictor/gshare.h"
 #include "predictor/perceptron.h"
 #include "predictor/tage.h"
+#include "sim/sampling_engine.h"
 #include "sim/suite_runner.h"
 #include "sim/sweep_engine.h"
 #include "util/cli.h"
@@ -116,6 +117,28 @@ struct ExperimentEnv
      * predictor with predictorFactory().
      */
     std::string predictor = "gshare-large";
+
+    /** Sampled-replay region fraction (--sample-rate), in (0, 1]. */
+    double sampleRate = 0.1;
+
+    /** Conditionals per sampling region (--region-branches). */
+    std::uint64_t regionBranches = 10'000;
+
+    /** Quantile strata for sampled replay (--strata). */
+    std::uint32_t strata = 4;
+
+    /** Repeated-subsampling groups (--subsamples). */
+    std::uint32_t subsamples = 5;
+
+    /** Region-selection seed (--sample-seed). */
+    std::uint64_t sampleSeed = 0x5eed;
+
+    /**
+     * Functional-warming window in regions (--warmup-regions);
+     * SamplingOptions::kWarmAll (the default) warms every non-sampled
+     * region instead of fast-forwarding.
+     */
+    std::uint64_t warmupRegions = ~0ull;
 
     /** Telemetry knobs (--telemetry/--telemetry-csv/--progress). */
     TelemetryOptions telemetry;
@@ -247,6 +270,20 @@ struct SweepExperimentConfig
 SweepSuiteResult
 runSweepSuiteExperiment(const ExperimentEnv &env,
                         const std::vector<SweepExperimentConfig> &configs);
+
+/**
+ * Statistically sample the environment's suite instead of replaying it
+ * exactly (sim/sampling_engine.h): stratified ranked-set region
+ * selection at env.sampleRate with env.subsamples repeated subsamples,
+ * yielding misprediction-rate / coverage@20% / PVN estimates with
+ * standard errors and 95% CIs. Sampling knobs come from env.sampleRate
+ * / env.regionBranches / env.strata / env.subsamples / env.sampleSeed
+ * / env.warmupRegions; replay tuning reuses the sweep knobs. Emits the
+ * sampling_run_finished telemetry event when telemetry is attached.
+ */
+SamplingRunResult
+runSampledSuiteExperiment(const ExperimentEnv &env,
+                          const std::vector<SweepExperimentConfig> &configs);
 
 /** A named curve ready for reporting. */
 struct NamedCurve

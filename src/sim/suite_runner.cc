@@ -676,20 +676,38 @@ std::size_t
 computeComposites(SuiteRunResult &result, bool profile_static,
                   std::size_t suite_size)
 {
+    // A benchmark that ran but recorded nothing (e.g. the warmup
+    // window covers the whole trace) has no rate or bucket mass to
+    // contribute; folding it in would average a meaningless 0.0 into
+    // the composite rate and trip EqualWeightComposite's zero-refs
+    // check. Exclude it from every composite and mark the result
+    // degraded-composite instead.
+    const auto zero_record = [](const BenchmarkRunResult &b) {
+        return !b.failed() && b.branches == 0;
+    };
+
     double rate_sum = 0.0;
     std::size_t survivors = 0;
+    std::size_t counted = 0;
     for (const auto &bench_result : result.perBenchmark) {
         if (!bench_result.failed()) {
-            rate_sum += bench_result.mispredictRate;
             ++survivors;
+            if (!zero_record(bench_result)) {
+                rate_sum += bench_result.mispredictRate;
+                ++counted;
+            } else {
+                ++result.zeroRecordBenchmarks;
+            }
         }
     }
     result.degraded = survivors != suite_size;
+    result.compositeDegraded =
+        result.degraded || counted != suite_size;
 
-    // Composites are equal-weight over the surviving subset.
+    // Composites are equal-weight over the surviving recorded subset.
     const BenchmarkRunResult *first_ok = nullptr;
     for (const auto &bench_result : result.perBenchmark) {
-        if (!bench_result.failed()) {
+        if (!bench_result.failed() && !zero_record(bench_result)) {
             first_ok = &bench_result;
             break;
         }
@@ -703,7 +721,7 @@ computeComposites(SuiteRunResult &result, bool profile_static,
         EqualWeightComposite composite(
             first_ok->estimatorStats[e].numBuckets());
         for (const auto &bench_result : result.perBenchmark) {
-            if (!bench_result.failed())
+            if (!bench_result.failed() && !zero_record(bench_result))
                 composite.add(bench_result.estimatorStats[e]);
         }
         result.compositeEstimatorStats.push_back(composite.result());
@@ -712,7 +730,7 @@ computeComposites(SuiteRunResult &result, bool profile_static,
     if (profile_static) {
         constexpr double kCommonMass = 1e6;
         for (const auto &bench_result : result.perBenchmark) {
-            if (bench_result.failed())
+            if (bench_result.failed() || zero_record(bench_result))
                 continue;
             const double refs = bench_result.staticStats.totalRefs();
             if (refs > 0.0) {
@@ -723,7 +741,8 @@ computeComposites(SuiteRunResult &result, bool profile_static,
     }
 
     result.compositeMispredictRate =
-        rate_sum / static_cast<double>(survivors);
+        counted == 0 ? 0.0
+                     : rate_sum / static_cast<double>(counted);
     return survivors;
 }
 
@@ -873,6 +892,9 @@ SuiteRunner::run(const PredictorFactory &make_predictor,
              field("failed_benchmarks",
                    static_cast<std::uint64_t>(
                        result.failedBenchmarks())),
+             field("zero_record_benchmarks",
+                   static_cast<std::uint64_t>(
+                       result.zeroRecordBenchmarks)),
              field("survivors",
                    static_cast<std::uint64_t>(survivors))}));
         telemetry->registry().observe("suite.wall_ms", result.wallMs);

@@ -118,6 +118,23 @@ struct SuiteRunResult
      */
     bool degraded = false;
 
+    /**
+     * Benchmarks that ran successfully but recorded zero branches
+     * (e.g. the warmup window covered the whole trace). They are
+     * excluded from every composite — averaging their meaningless
+     * 0.0 rate or compositing their empty bucket mass would corrupt
+     * the result — and flagged via compositeDegraded instead.
+     */
+    std::size_t zeroRecordBenchmarks = 0;
+
+    /**
+     * True iff the composites cover fewer benchmarks than the suite
+     * holds, whether through failures (degraded) or zero-record
+     * exclusions. Consumers that require full-suite composites should
+     * check this, not just degraded.
+     */
+    bool compositeDegraded = false;
+
     /** Wall-clock time of the whole suite run. */
     double wallMs = 0.0;
 
@@ -263,6 +280,9 @@ class SuiteRunner
 
     /** @return the suite being run. */
     const BenchmarkSuite &suite() const { return suite_; }
+
+    /** @return the installed decorator (empty when none). */
+    const SourceWrapper &sourceWrapper() const { return sourceWrapper_; }
 
   private:
     BenchmarkSuite suite_;

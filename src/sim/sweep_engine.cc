@@ -119,6 +119,17 @@ struct SweepEngine::ConfigState
     std::uint64_t until_switch = 0;
     std::uint64_t guardTick = 0;
 
+    /**
+     * Recording plan (null = record everything) plus its cursor: the
+     * current region's mode and how many conditionals of the region
+     * remain. The cursor is a pure function of `simulated`, so plan
+     * resolution is batch-boundary independent — the bit-exactness
+     * contract extends to planned runs unchanged.
+     */
+    const SweepRecordingPlan *plan = nullptr;
+    std::uint32_t planSlot = SweepRecordingPlan::kWarmOnly;
+    std::uint64_t planLeft = 0;
+
     SweepConfigResult result;
 
     /**
@@ -149,6 +160,38 @@ struct SweepEngine::ConfigState
             if (!record.isConditional())
                 continue;
 
+            // Resolve the recording plan's mode at region boundaries
+            // (a function of `simulated` only — see the field docs).
+            if (plan != nullptr) {
+                if (planLeft == 0) {
+                    planSlot = plan->slotForRegion(
+                        simulated / plan->regionBranches);
+                    planLeft = plan->regionBranches;
+                }
+                --planLeft;
+                if (planSlot == SweepRecordingPlan::kSkip) {
+                    // Fast-forward: no predictor/estimator work;
+                    // only the cursor and context-switch phase
+                    // advance. A kWarmOnly window ahead of each
+                    // detailed region re-converges the state.
+                    ++simulated;
+                    if (options.contextSwitchInterval != 0 &&
+                        --until_switch == 0) {
+                        until_switch = options.contextSwitchInterval;
+                        if (options.flushPredictorOnSwitch)
+                            predictor->reset();
+                        if (options.flushEstimatorsOnSwitch) {
+                            for (auto *estimator : estimators)
+                                estimator->reset();
+                        }
+                        bhr.reset();
+                        gcir.clear();
+                        ++result.contextSwitches;
+                    }
+                    continue;
+                }
+            }
+
             ctx.pc = record.pc;
             ctx.bhr = bhr.value();
             ctx.gcir = gcir.value();
@@ -156,19 +199,35 @@ struct SweepEngine::ConfigState
             const bool predicted = predictor->predict(record.pc);
             const bool correct = (predicted == record.taken);
             const bool recording =
-                simulated >= options.warmupBranches;
+                simulated >= options.warmupBranches &&
+                (plan == nullptr ||
+                 planSlot != SweepRecordingPlan::kWarmOnly);
+            SweepSlotStats *const slot_bank =
+                recording && plan != nullptr
+                    ? &result.slotStats[planSlot]
+                    : nullptr;
 
             if (recording) {
                 ++result.branches;
                 if (!correct)
                     ++result.mispredicts;
+                if (slot_bank != nullptr) {
+                    ++slot_bank->branches;
+                    if (!correct)
+                        ++slot_bank->mispredicts;
+                }
             }
 
             for (std::size_t i = 0; i < estimators.size(); ++i) {
                 const std::uint64_t bucket =
                     estimators[i]->bucketOf(ctx);
-                if (recording)
+                if (recording) {
                     result.estimatorStats[i].record(bucket, !correct);
+                    if (slot_bank != nullptr) {
+                        slot_bank->estimatorStats[i].record(bucket,
+                                                            !correct);
+                    }
+                }
                 estimators[i]->update(ctx, correct, record.taken);
                 if (profile != nullptr && recording)
                     profile->onBucket(i, bucket, correct);
@@ -735,6 +794,42 @@ SweepEngine::runImpl(TraceSource &source,
                 driver_.branchProfile, std::move(infos));
         }
         states_.push_back(std::move(state));
+    }
+
+    const SweepRecordingPlan *const plan = sweep_.recordingPlan;
+    if (plan != nullptr) {
+        if (plan->regionBranches == 0) {
+            fatal(ErrorCategory::kConfig,
+                  "recording plan needs regionBranches > 0");
+        }
+        for (const std::uint32_t slot : plan->regionSlots) {
+            if (slot >= plan->numSlots &&
+                slot != SweepRecordingPlan::kWarmOnly &&
+                slot != SweepRecordingPlan::kSkip) {
+                fatal(ErrorCategory::kConfig,
+                      "recording plan slot " + std::to_string(slot) +
+                          " is out of range (numSlots " +
+                          std::to_string(plan->numSlots) + ")");
+            }
+        }
+        if (ckptEvery_ != 0 || resume_from != nullptr) {
+            fatal(ErrorCategory::kConfig,
+                  "a recording plan composes with neither "
+                  "checkpointing nor resume: a partially recorded "
+                  "plan cannot be audited for bit-exact restoration");
+        }
+        for (auto &state : states_) {
+            state->plan = plan;
+            state->result.slotStats.resize(plan->numSlots);
+            for (auto &slot_bank : state->result.slotStats) {
+                slot_bank.estimatorStats.reserve(
+                    state->estimators.size());
+                for (const auto *estimator : state->estimators) {
+                    slot_bank.estimatorStats.emplace_back(
+                        estimator->numBuckets());
+                }
+            }
+        }
     }
 
     if (ckptEvery_ != 0) {

@@ -157,6 +157,57 @@ struct SweepConfiguration
     EstimatorSetFactory makeEstimators;
 };
 
+/**
+ * A region-granular recording plan for statistical sampling
+ * (sim/sampling_engine.h). The trace is viewed as consecutive regions
+ * of regionBranches conditional branches; each region is replayed in
+ * one of three modes chosen by regionSlots:
+ *
+ *  - a slot id < numSlots: **detailed** — predictor and estimators
+ *    update AND statistics are recorded, both into the aggregate
+ *    result fields and into that slot's SweepSlotStats bank (slots
+ *    separate sampled regions into repeated-subsampling groups);
+ *  - kWarmOnly: **functional warming** — predictor/estimator state
+ *    updates normally but nothing is recorded, keeping the state a
+ *    sampled region sees identical to a full replay's;
+ *  - kSkip: **fast-forward** — no predictor or estimator work at all;
+ *    only the branch cursor and context-switch phase advance. This is
+ *    the wall-clock lever: state diverges, so plans place a kWarmOnly
+ *    window before each detailed region to re-converge it.
+ *
+ * The plan is indexed purely by each configuration's private count of
+ * simulated conditional branches, so results are bit-exact at any
+ * thread count, batch size, or decode-ahead depth — the same contract
+ * as every other sweep knob. Plans compose with neither checkpointing
+ * nor resume (fatal at run time): a partially recorded plan cannot be
+ * audited for bit-exact restoration.
+ */
+struct SweepRecordingPlan
+{
+    /** Region mode: functionally warm, record nothing. */
+    static constexpr std::uint32_t kWarmOnly = 0xFFFFFFFFu;
+
+    /** Region mode: skip all predictor/estimator work. */
+    static constexpr std::uint32_t kSkip = 0xFFFFFFFEu;
+
+    /** Conditional branches per region (> 0). */
+    std::uint64_t regionBranches = 0;
+
+    /** Per-region mode: a slot id, kWarmOnly, or kSkip. */
+    std::vector<std::uint32_t> regionSlots;
+
+    /** Number of detailed slots (slot ids are < numSlots). */
+    std::uint32_t numSlots = 0;
+
+    /** @return the mode for @p region (past-the-end warms only). */
+    std::uint32_t
+    slotForRegion(std::uint64_t region) const
+    {
+        return region < regionSlots.size() ? regionSlots[region]
+                                           : kWarmOnly;
+    }
+};
+
 /** Sweep-engine knobs (simulation semantics come from DriverOptions). */
 struct SweepOptions
 {
@@ -214,7 +265,26 @@ struct SweepOptions
      */
     bool isolateConfigFailures = false;
 
+    /**
+     * Optional region-granular recording plan (non-owning; must
+     * outlive the run). Null replays and records everything — the
+     * exact-simulation default. See SweepRecordingPlan.
+     */
+    const SweepRecordingPlan *recordingPlan = nullptr;
+
     static constexpr std::size_t kDefaultDecodeAhead = 3;
+};
+
+/**
+ * Statistics one detailed recording-plan slot accumulated (see
+ * SweepRecordingPlan): the per-subsample banks the sampling layer
+ * turns into between-subsample variance.
+ */
+struct SweepSlotStats
+{
+    std::uint64_t branches = 0;    //!< recorded conditional branches
+    std::uint64_t mispredicts = 0; //!< predictor misses (recorded)
+    std::vector<BucketStats> estimatorStats; //!< per estimator
 };
 
 /**
@@ -238,6 +308,15 @@ struct SweepConfigResult
      * same configuration entry for entry.
      */
     BranchProfile branchProfile;
+
+    /**
+     * Per-slot statistic banks, one per SweepRecordingPlan slot;
+     * empty when the sweep ran without a recording plan. Detailed
+     * records land both here and in the aggregate fields above, so a
+     * full-coverage single-slot plan reproduces a plain sweep's
+     * aggregates exactly with slotStats[0] equal to them.
+     */
+    std::vector<SweepSlotStats> slotStats;
 
     /**
      * Empty on success. With SweepOptions::isolateConfigFailures set,

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Sampling determinism + accuracy differentials.
+ *
+ * The sampling engine inherits the sweep engine's bit-exactness
+ * contract: given one seed, region selections AND estimates must be
+ * bit-identical however the replay is parallelized (worker threads,
+ * decode-ahead depth, batch size). And against the differential
+ * harness's exact ground truth, the 95% CIs must do their job: contain
+ * the full-replay misprediction rate, per benchmark and composite.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "confidence/one_level.h"
+#include "predictor/gshare.h"
+#include "sim/sampling_engine.h"
+#include "sim/suite_runner.h"
+
+namespace confsim {
+namespace {
+
+std::vector<SweepConfiguration>
+twoConfigs()
+{
+    std::vector<SweepConfiguration> configs;
+    for (const char *label : {"large", "small"}) {
+        SweepConfiguration config;
+        config.label = label;
+        const bool large = std::string(label) == "large";
+        config.makePredictor = [large] {
+            return std::make_unique<GsharePredictor>(
+                large ? 65536 : 4096, large ? 16 : 12);
+        };
+        config.makeEstimators = [] {
+            std::vector<std::unique_ptr<ConfidenceEstimator>> out;
+            out.push_back(std::make_unique<OneLevelCirConfidence>(
+                IndexScheme::PcXorBhr, 4096, 16,
+                CirReduction::RawPattern, CtInit::Ones));
+            return out;
+        };
+        configs.push_back(std::move(config));
+    }
+    return configs;
+}
+
+SamplingOptions
+baseOptions()
+{
+    SamplingOptions options;
+    options.sampleRate = 0.1;
+    options.regionBranches = 2000;
+    options.strata = 4;
+    options.subsamples = 5;
+    options.seed = 0xFEED;
+    return options;
+}
+
+SamplingRunResult
+runSampled(const SamplingOptions &options)
+{
+    SuiteRunner runner(
+        BenchmarkSuite::ibsSubset({"jpeg", "real_gcc"}, 100000));
+    SamplingEngine engine(twoConfigs(), DriverOptions{}, options);
+    return engine.runSuite(runner);
+}
+
+void
+expectIdentical(const SamplingRunResult &a, const SamplingRunResult &b)
+{
+    ASSERT_EQ(a.perBenchmark.size(), b.perBenchmark.size());
+    EXPECT_EQ(a.totalBranches, b.totalBranches);
+    EXPECT_EQ(a.recordedBranches, b.recordedBranches);
+    for (std::size_t i = 0; i < a.perBenchmark.size(); ++i) {
+        const SamplingBenchmarkResult &ba = a.perBenchmark[i];
+        const SamplingBenchmarkResult &bb = b.perBenchmark[i];
+        EXPECT_EQ(ba.sampledRegionIds, bb.sampledRegionIds)
+            << ba.name;
+        ASSERT_EQ(ba.perConfig.size(), bb.perConfig.size());
+        for (std::size_t c = 0; c < ba.perConfig.size(); ++c) {
+            const SamplingConfigEstimate &ea = ba.perConfig[c];
+            const SamplingConfigEstimate &eb = bb.perConfig[c];
+            // Bit-identical, not approximately equal: the plan cursor
+            // is a pure function of the per-config simulated count.
+            EXPECT_EQ(ea.rateSubsamples, eb.rateSubsamples)
+                << ba.name << "/" << ea.label;
+            EXPECT_EQ(ea.coverageSubsamples, eb.coverageSubsamples);
+            EXPECT_EQ(ea.pvnSubsamples, eb.pvnSubsamples);
+            EXPECT_DOUBLE_EQ(ea.mispredictRate.mean,
+                             eb.mispredictRate.mean);
+            EXPECT_DOUBLE_EQ(ea.mispredictRate.ciHalf,
+                             eb.mispredictRate.ciHalf);
+        }
+    }
+    ASSERT_EQ(a.composite.size(), b.composite.size());
+    for (std::size_t c = 0; c < a.composite.size(); ++c) {
+        EXPECT_EQ(a.composite[c].rateSubsamples,
+                  b.composite[c].rateSubsamples);
+        EXPECT_DOUBLE_EQ(a.composite[c].mispredictRate.mean,
+                         b.composite[c].mispredictRate.mean);
+    }
+}
+
+TEST(SamplingDifferentialTest, ThreadCountNeverChangesEstimates)
+{
+    SamplingOptions one = baseOptions();
+    one.sweep.threads = 1;
+    SamplingOptions many = baseOptions();
+    many.sweep.threads = 4;
+    expectIdentical(runSampled(one), runSampled(many));
+}
+
+TEST(SamplingDifferentialTest, DecodeAheadNeverChangesEstimates)
+{
+    SamplingOptions sync = baseOptions();
+    sync.sweep.decodeAhead = 1;
+    SamplingOptions deep = baseOptions();
+    deep.sweep.decodeAhead = 4;
+    expectIdentical(runSampled(sync), runSampled(deep));
+}
+
+TEST(SamplingDifferentialTest, BatchSizeNeverChangesEstimates)
+{
+    SamplingOptions small = baseOptions();
+    small.sweep.batchSize = 512;
+    SamplingOptions large = baseOptions();
+    large.sweep.batchSize = 8192;
+    expectIdentical(runSampled(small), runSampled(large));
+}
+
+TEST(SamplingDifferentialTest,
+     ThreadCountNeverChangesBoundedWarmingEstimates)
+{
+    SamplingOptions one = baseOptions();
+    one.warmupRegions = 2;
+    one.sweep.threads = 1;
+    SamplingOptions many = baseOptions();
+    many.warmupRegions = 2;
+    many.sweep.threads = 4;
+    expectIdentical(runSampled(one), runSampled(many));
+}
+
+TEST(SamplingDifferentialTest, CiContainsExactGroundTruth)
+{
+    // The differential harness as oracle: replay the identical suite
+    // exactly through the sweep engine, then require every sampled
+    // 95% CI — per benchmark and composite — to contain it.
+    SuiteRunner runner(
+        BenchmarkSuite::ibsSubset({"jpeg", "real_gcc", "groff"},
+                                  100000));
+    const SweepSuiteResult exact =
+        runner.runSweep(twoConfigs(), DriverOptions{}, SweepOptions{});
+
+    SamplingEngine engine(twoConfigs(), DriverOptions{},
+                          baseOptions());
+    const SamplingRunResult sampled = engine.runSuite(runner);
+
+    EXPECT_GE(sampled.reductionFactor(), 5.0);
+    for (std::size_t c = 0; c < exact.perConfig.size(); ++c) {
+        const SuiteRunResult &truth = exact.perConfig[c];
+        for (std::size_t b = 0; b < sampled.perBenchmark.size();
+             ++b) {
+            const IntervalEstimate &est =
+                sampled.perBenchmark[b].perConfig[c].mispredictRate;
+            EXPECT_TRUE(est.contains(
+                truth.perBenchmark[b].mispredictRate))
+                << sampled.perBenchmark[b].name << "/"
+                << truth.perBenchmark[b].name << " config " << c
+                << ": exact " << truth.perBenchmark[b].mispredictRate
+                << " outside [" << est.ciLow() << ", "
+                << est.ciHigh() << "]";
+        }
+        const IntervalEstimate &composite =
+            sampled.composite[c].mispredictRate;
+        EXPECT_TRUE(
+            composite.contains(truth.compositeMispredictRate))
+            << "composite config " << c << ": exact "
+            << truth.compositeMispredictRate << " outside ["
+            << composite.ciLow() << ", " << composite.ciHigh()
+            << "]";
+    }
+}
+
+} // namespace
+} // namespace confsim

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <random>
+
 namespace confsim {
 namespace {
 
@@ -101,6 +104,92 @@ TEST(CurveTest, LowBucketSelection)
     const auto mask = curve.lowBucketMaskForRefFraction(0.2, 2);
     EXPECT_TRUE(mask[0]);
     EXPECT_FALSE(mask[1]);
+}
+
+/** Build a randomized curve; deliberately includes rate ties and
+ * zero-mispredict buckets so plateaus (flat Y runs) appear. */
+ConfidenceCurve
+randomCurve(std::mt19937_64 &rng)
+{
+    std::uniform_int_distribution<int> bucket_count(1, 12);
+    std::uniform_int_distribution<int> ref_count(1, 40);
+    std::uniform_int_distribution<int> kind(0, 3);
+    const int buckets = bucket_count(rng);
+    BucketStats stats(static_cast<std::uint64_t>(buckets));
+    for (int b = 0; b < buckets; ++b) {
+        const int refs = ref_count(rng);
+        int misses = 0;
+        switch (kind(rng)) {
+        case 0: misses = 0; break;              // zero-mispredict plateau
+        case 1: misses = refs; break;           // all-miss (rate ties at 1)
+        case 2: misses = refs / 2; break;       // rate ties at ~0.5
+        default:
+            misses = std::uniform_int_distribution<int>(0, refs)(rng);
+            break;
+        }
+        for (int i = 0; i < refs; ++i)
+            stats.record(static_cast<std::uint64_t>(b), i < misses);
+    }
+    return ConfidenceCurve::fromBucketStats(stats);
+}
+
+TEST(CurveTest, RoundTripPropertyOnRandomizedCurves)
+{
+    std::mt19937_64 rng(0xC0FFEEu);
+    constexpr double kEps = 1e-9;
+    for (int trial = 0; trial < 500; ++trial) {
+        const auto curve = randomCurve(rng);
+
+        // Degenerate targets never require any branches.
+        EXPECT_DOUBLE_EQ(curve.refFractionForCoverage(0.0), 0.0);
+        EXPECT_DOUBLE_EQ(curve.refFractionForCoverage(-0.5), 0.0);
+
+        // Forward then inverse: the smallest sufficient branch
+        // fraction for the achieved coverage never exceeds the
+        // fraction we started from.
+        for (int i = 0; i <= 20; ++i) {
+            const double x = i / 20.0;
+            const double y = curve.mispredCoverageAt(x);
+            EXPECT_LE(curve.refFractionForCoverage(y), x + kEps)
+                << "trial " << trial << " x=" << x << " y=" << y;
+        }
+
+        // Inverse then forward: the branch fraction reported for a
+        // coverage target actually achieves that coverage (when the
+        // target is reachable at all).
+        const double y_max =
+            curve.points().empty()
+                ? 0.0
+                : curve.points().back().mispredFraction;
+        for (int i = 0; i <= 20; ++i) {
+            const double y = i / 20.0;
+            if (y > y_max)
+                continue;
+            const double x = curve.refFractionForCoverage(y);
+            EXPECT_GE(curve.mispredCoverageAt(x), y - kEps)
+                << "trial " << trial << " y=" << y << " x=" << x;
+        }
+    }
+}
+
+TEST(CurveTest, PlateauInverseDoesNotOvershoot)
+{
+    // Bucket 0: rate 0.5 (10/20). Buckets 1 and 2: zero mispredicts —
+    // the curve is flat (plateau) from x=0.2 through x=1.0 at y=1.0.
+    BucketStats stats(3);
+    for (int i = 0; i < 20; ++i)
+        stats.record(0, i < 10);
+    for (int i = 0; i < 50; ++i)
+        stats.record(1, false);
+    for (int i = 0; i < 30; ++i)
+        stats.record(2, false);
+    const auto curve = ConfidenceCurve::fromBucketStats(stats);
+
+    // Full coverage is reached at x=0.2 already; the inverse must
+    // report the plateau's left edge, not its right edge.
+    EXPECT_NEAR(curve.refFractionForCoverage(1.0), 0.2, 1e-12);
+    // And the round trip holds there.
+    EXPECT_NEAR(curve.mispredCoverageAt(0.2), 1.0, 1e-12);
 }
 
 TEST(CurveTest, MaskWithTooFewBucketsIsFatal)

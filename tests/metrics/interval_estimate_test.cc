@@ -1,0 +1,80 @@
+/** @file Unit tests for repeated-subsampling interval estimates. */
+
+#include "metrics/interval_estimate.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+TEST(IntervalEstimateTest, StudentTTableEndpoints)
+{
+    EXPECT_NEAR(studentT95(1), 12.706, 1e-3);
+    EXPECT_NEAR(studentT95(2), 4.303, 1e-3);
+    EXPECT_NEAR(studentT95(4), 2.776, 1e-3);
+    EXPECT_NEAR(studentT95(30), 2.042, 1e-3);
+    // Beyond the table the normal quantile takes over.
+    EXPECT_NEAR(studentT95(31), 1.96, 1e-9);
+    EXPECT_NEAR(studentT95(10000), 1.96, 1e-9);
+}
+
+TEST(IntervalEstimateTest, StudentTZeroDofIsFatal)
+{
+    EXPECT_THROW(studentT95(0), std::runtime_error);
+}
+
+TEST(IntervalEstimateTest, KnownSeriesMeanAndError)
+{
+    // n = 4, mean 5, sample variance 20/3, SE = sqrt(20/12).
+    const std::vector<double> values = {2.0, 4.0, 6.0, 8.0};
+    const IntervalEstimate est = estimateFromSubsamples(values);
+    EXPECT_EQ(est.subsamples, 4u);
+    EXPECT_NEAR(est.mean, 5.0, 1e-12);
+    EXPECT_NEAR(est.stdError, std::sqrt(20.0 / 12.0), 1e-12);
+    EXPECT_NEAR(est.ciHalf, studentT95(3) * est.stdError, 1e-12);
+    EXPECT_NEAR(est.ciLow(), est.mean - est.ciHalf, 1e-12);
+    EXPECT_NEAR(est.ciHigh(), est.mean + est.ciHalf, 1e-12);
+}
+
+TEST(IntervalEstimateTest, SingleValueHasZeroErrorBars)
+{
+    const IntervalEstimate est = estimateFromSubsamples({0.25});
+    EXPECT_EQ(est.subsamples, 1u);
+    EXPECT_DOUBLE_EQ(est.mean, 0.25);
+    EXPECT_DOUBLE_EQ(est.stdError, 0.0);
+    EXPECT_DOUBLE_EQ(est.ciHalf, 0.0);
+    EXPECT_TRUE(est.contains(0.25));
+    EXPECT_FALSE(est.contains(0.26));
+}
+
+TEST(IntervalEstimateTest, EmptySeriesIsFatal)
+{
+    EXPECT_THROW(estimateFromSubsamples({}), std::runtime_error);
+}
+
+TEST(IntervalEstimateTest, ContainsIsInclusive)
+{
+    const IntervalEstimate est =
+        estimateFromSubsamples({1.0, 2.0, 3.0});
+    EXPECT_TRUE(est.contains(est.ciLow()));
+    EXPECT_TRUE(est.contains(est.ciHigh()));
+    EXPECT_TRUE(est.contains(est.mean));
+    EXPECT_FALSE(est.contains(est.ciLow() - 1e-9));
+    EXPECT_FALSE(est.contains(est.ciHigh() + 1e-9));
+}
+
+TEST(IntervalEstimateTest, IdenticalValuesCollapseTheInterval)
+{
+    const IntervalEstimate est =
+        estimateFromSubsamples({0.5, 0.5, 0.5, 0.5, 0.5});
+    EXPECT_DOUBLE_EQ(est.mean, 0.5);
+    EXPECT_DOUBLE_EQ(est.stdError, 0.0);
+    EXPECT_DOUBLE_EQ(est.ciHalf, 0.0);
+}
+
+} // namespace
+} // namespace confsim

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the bounded NDJSON line framer, plus a regression test
+ * driving the sweep_server binary through its --requests transport
+ * with CRLF line endings and an over-long line (the two framing
+ * faults the reader exists to fix).
+ */
+
+#include "serve/ndjson_reader.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace confsim {
+namespace {
+
+/** Drain every ready line. */
+std::vector<NdjsonLineReader::Line>
+drain(NdjsonLineReader &reader)
+{
+    std::vector<NdjsonLineReader::Line> out;
+    NdjsonLineReader::Line line;
+    while (reader.next(line))
+        out.push_back(line);
+    return out;
+}
+
+TEST(NdjsonReaderTest, SplitsLfTerminatedLines)
+{
+    NdjsonLineReader reader;
+    const std::string input = "one\ntwo\nthree\n";
+    reader.feed(input.data(), input.size());
+    const auto lines = drain(reader);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0].text, "one");
+    EXPECT_EQ(lines[1].text, "two");
+    EXPECT_EQ(lines[2].text, "three");
+    for (const auto &line : lines) {
+        EXPECT_FALSE(line.oversize);
+        EXPECT_EQ(line.bytes, line.text.size());
+    }
+}
+
+TEST(NdjsonReaderTest, StripsCrlfEndings)
+{
+    NdjsonLineReader reader;
+    const std::string input = "{\"op\":\"status\"}\r\nplain\n";
+    reader.feed(input.data(), input.size());
+    const auto lines = drain(reader);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0].text, "{\"op\":\"status\"}");
+    EXPECT_EQ(lines[0].bytes, lines[0].text.size());
+    EXPECT_EQ(lines[1].text, "plain");
+}
+
+TEST(NdjsonReaderTest, ReassemblesLinesAcrossFeeds)
+{
+    NdjsonLineReader reader;
+    const std::string input = "hello world\r\n";
+    for (char c : input)
+        reader.feed(&c, 1);
+    const auto lines = drain(reader);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].text, "hello world");
+}
+
+TEST(NdjsonReaderTest, SkipsBlankAndCrOnlyLines)
+{
+    NdjsonLineReader reader;
+    const std::string input = "\n\r\na\n\n";
+    reader.feed(input.data(), input.size());
+    const auto lines = drain(reader);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].text, "a");
+}
+
+TEST(NdjsonReaderTest, FinishFlushesUnterminatedTail)
+{
+    NdjsonLineReader reader;
+    const std::string input = "tail-no-newline";
+    reader.feed(input.data(), input.size());
+    EXPECT_TRUE(drain(reader).empty());
+    reader.finish();
+    const auto lines = drain(reader);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0].text, "tail-no-newline");
+}
+
+TEST(NdjsonReaderTest, OversizeLineIsFlaggedNotSplit)
+{
+    NdjsonLineReader reader(16);
+    const std::string big(100, 'x');
+    const std::string input = big + "\nafter\n";
+    reader.feed(input.data(), input.size());
+    const auto lines = drain(reader);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_TRUE(lines[0].oversize);
+    EXPECT_EQ(lines[0].bytes, 100u);
+    // The kept prefix is capped — memory stays bounded.
+    EXPECT_EQ(lines[0].text.size(), 16u);
+    // Framing recovers cleanly on the next line.
+    EXPECT_FALSE(lines[1].oversize);
+    EXPECT_EQ(lines[1].text, "after");
+}
+
+TEST(NdjsonReaderTest, OversizeDetectionSpansFeeds)
+{
+    NdjsonLineReader reader(8);
+    const std::string chunk(5, 'y');
+    reader.feed(chunk.data(), chunk.size());
+    reader.feed(chunk.data(), chunk.size());
+    const char nl = '\n';
+    reader.feed(&nl, 1);
+    const auto lines = drain(reader);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_TRUE(lines[0].oversize);
+    EXPECT_EQ(lines[0].bytes, 10u);
+}
+
+TEST(NdjsonReaderTest, ZeroCapIsFatal)
+{
+    EXPECT_THROW(NdjsonLineReader(0), std::runtime_error);
+}
+
+#ifdef CONFSIM_SWEEP_SERVER
+
+/** Run the server over @p requests_path; return stdout lines. */
+std::vector<std::string>
+runServer(const std::string &requests_path, const std::string &job_dir)
+{
+    const std::string cmd = std::string(CONFSIM_SWEEP_SERVER) +
+                            " --requests " + requests_path +
+                            " --job-dir " + job_dir + " 2>/dev/null";
+    std::FILE *pipe = ::popen(cmd.c_str(), "r");
+    EXPECT_NE(pipe, nullptr);
+    std::vector<std::string> lines;
+    if (pipe != nullptr) {
+        char buf[4096];
+        std::string current;
+        std::size_t n = 0;
+        while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
+            current.append(buf, n);
+        const int status = ::pclose(pipe);
+        EXPECT_EQ(status, 0);
+        std::size_t start = 0;
+        while (start < current.size()) {
+            const std::size_t eol = current.find('\n', start);
+            const std::size_t stop =
+                eol == std::string::npos ? current.size() : eol;
+            lines.push_back(current.substr(start, stop - start));
+            start = stop + 1;
+        }
+    }
+    return lines;
+}
+
+TEST(SweepServerRequestsFileTest, CrlfAndOversizeLines)
+{
+    const std::string dir =
+        ::testing::TempDir() + "ndjson_server_regression";
+    const std::string requests = dir + "_requests.ndjson";
+    {
+        std::ofstream out(requests, std::ios::binary);
+        ASSERT_TRUE(out.good());
+        // CRLF-terminated request: must parse, not fail on the '\r'.
+        out << "{\"op\":\"status\"}\r\n";
+        // One ~2 MiB junk line: must yield a single structured
+        // kConfig error, not a crash or a cascade of parse errors.
+        out << std::string(2u << 20, 'x') << "\n";
+        // CRLF again after the oversize line: framing recovered.
+        out << "{\"op\":\"quit\"}\r\n";
+    }
+
+    const auto lines = runServer(requests, dir + "_jobs");
+    ASSERT_EQ(lines.size(), 3u) << "one response per logical line";
+    EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"op\":\"status\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(lines[1].find("\"category\":\"config\""),
+              std::string::npos);
+    EXPECT_NE(lines[1].find("exceeds"), std::string::npos);
+    EXPECT_NE(lines[2].find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(lines[2].find("\"op\":\"quit\""), std::string::npos);
+    std::remove(requests.c_str());
+}
+
+#endif // CONFSIM_SWEEP_SERVER
+
+} // namespace
+} // namespace confsim

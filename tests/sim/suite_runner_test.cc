@@ -5,6 +5,8 @@
 #include <atomic>
 #include <cmath>
 
+#include "sim/sweep_engine.h"
+
 #include <gtest/gtest.h>
 
 #include "confidence/one_level.h"
@@ -99,6 +101,134 @@ TEST(SuiteRunnerTest, CompositeStatsGiveEqualMassPerBenchmark)
     const auto &composite = result.compositeEstimatorStats[0];
     // Two benchmarks, each scaled to 1e6 references.
     EXPECT_NEAR(composite.totalRefs(), 2e6, 1.0);
+}
+
+/** Truncates the wrapped source after a fixed number of records. */
+class TruncatingSource : public TraceSource
+{
+  public:
+    TruncatingSource(std::unique_ptr<TraceSource> inner,
+                     std::uint64_t limit)
+        : inner_(std::move(inner)), limit_(limit)
+    {
+    }
+
+    bool
+    next(BranchRecord &record) override
+    {
+        if (produced_ >= limit_ || !inner_->next(record))
+            return false;
+        ++produced_;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        inner_->reset();
+        produced_ = 0;
+    }
+
+  private:
+    std::unique_ptr<TraceSource> inner_;
+    std::uint64_t limit_ = 0;
+    std::uint64_t produced_ = 0;
+};
+
+/** Truncate benchmark 0 below the warmup window: it completes without
+ * error but records zero branches. */
+SourceWrapper
+truncateFirstBenchmark(std::uint64_t limit)
+{
+    return [limit](std::size_t bench,
+                   std::unique_ptr<TraceSource> inner)
+               -> std::unique_ptr<TraceSource> {
+        if (bench == 0) {
+            return std::make_unique<TruncatingSource>(std::move(inner),
+                                                      limit);
+        }
+        return inner;
+    };
+}
+
+TEST(SuiteRunnerTest, ZeroRecordBenchmarkExcludedFromComposites)
+{
+    SuiteRunner runner(
+        BenchmarkSuite::ibsSubset({"jpeg", "real_gcc"}, 5000));
+    runner.setSourceWrapper(truncateFirstBenchmark(500));
+    DriverOptions options;
+    options.warmupBranches = 1000;
+    const auto result =
+        runner.run(smallPredictor(), smallEstimators(), options);
+
+    ASSERT_EQ(result.perBenchmark.size(), 2u);
+    EXPECT_TRUE(result.perBenchmark[0].error.empty());
+    EXPECT_EQ(result.perBenchmark[0].branches, 0u);
+    EXPECT_GT(result.perBenchmark[1].branches, 0u);
+
+    // Nothing failed, but the composites cover only the recorded
+    // benchmark — flagged via the degraded-composite marker.
+    EXPECT_FALSE(result.degraded);
+    EXPECT_EQ(result.zeroRecordBenchmarks, 1u);
+    EXPECT_TRUE(result.compositeDegraded);
+    EXPECT_NEAR(result.compositeMispredictRate,
+                result.perBenchmark[1].mispredictRate, 1e-12);
+    ASSERT_EQ(result.compositeEstimatorStats.size(), 1u);
+    // One benchmark scaled to the 1e6 common mass, not two.
+    EXPECT_NEAR(result.compositeEstimatorStats[0].totalRefs(), 1e6,
+                1.0);
+}
+
+TEST(SuiteRunnerTest, AllZeroRecordBenchmarksGiveZeroComposite)
+{
+    SuiteRunner runner(
+        BenchmarkSuite::ibsSubset({"jpeg", "real_gcc"}, 2000));
+    DriverOptions options;
+    options.warmupBranches = 10000; // warmup covers the whole trace
+    const auto result =
+        runner.run(smallPredictor(), smallEstimators(), options);
+
+    for (const auto &bench : result.perBenchmark) {
+        EXPECT_TRUE(bench.error.empty()) << bench.name;
+        EXPECT_EQ(bench.branches, 0u) << bench.name;
+    }
+    EXPECT_FALSE(result.degraded);
+    EXPECT_EQ(result.zeroRecordBenchmarks, 2u);
+    EXPECT_TRUE(result.compositeDegraded);
+    EXPECT_EQ(result.compositeMispredictRate, 0.0);
+    EXPECT_FALSE(std::isnan(result.compositeMispredictRate));
+    EXPECT_TRUE(result.compositeEstimatorStats.empty());
+}
+
+TEST(SuiteRunnerTest, SweepZeroRecordBenchmarkExcludedFromComposites)
+{
+    SuiteRunner runner(
+        BenchmarkSuite::ibsSubset({"jpeg", "real_gcc"}, 5000));
+    runner.setSourceWrapper(truncateFirstBenchmark(500));
+    DriverOptions options;
+    options.warmupBranches = 1000;
+    std::vector<SweepConfiguration> configs;
+    configs.push_back(
+        {"a", smallPredictor(), smallEstimators()});
+    configs.push_back(
+        {"b", smallPredictor(), smallEstimators()});
+    const auto sweep =
+        runner.runSweep(configs, options, SweepOptions{});
+
+    ASSERT_EQ(sweep.perConfig.size(), 2u);
+    for (const auto &config_result : sweep.perConfig) {
+        ASSERT_EQ(config_result.perBenchmark.size(), 2u);
+        EXPECT_EQ(config_result.perBenchmark[0].branches, 0u);
+        EXPECT_FALSE(config_result.degraded);
+        EXPECT_EQ(config_result.zeroRecordBenchmarks, 1u);
+        EXPECT_TRUE(config_result.compositeDegraded);
+        EXPECT_NEAR(
+            config_result.compositeMispredictRate,
+            config_result.perBenchmark[1].mispredictRate, 1e-12);
+        // The per-config wall share stays finite for every entry.
+        for (const auto &bench : config_result.perBenchmark)
+            EXPECT_TRUE(std::isfinite(bench.wallMs)) << bench.name;
+    }
 }
 
 TEST(SuiteRunnerTest, StaticKeysDoNotCollideAcrossBenchmarks)
